@@ -1,0 +1,27 @@
+.PHONY: install test bench examples suite clean
+
+PYTHON ?= python
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# full paper evaluation with CSV + report output
+suite:
+	$(PYTHON) -m repro.cli bench --outdir suite_results
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache .benchmarks \
+		suite_results bench_results/*.json
+	find . -name '__pycache__' -type d -exec rm -rf {} +

@@ -1,0 +1,55 @@
+"""Fig. 13 — WEBSPAM-UK2007: vary internal memory (paper: 1 GB–3 GB).
+
+Paper result: even with a large main memory, DFS-SCC, 2P-SCC and
+1P-SCC cannot compute all SCCs on the full webspam graph; 1PB-SCC can,
+and it converts additional memory into larger batches, so its time and
+I/O fall as M grows.
+
+The reproduction sweeps multiples of the paper's default
+``M = 4·(3|V|) + B`` on the webspam stand-in and checks 1PB-SCC's cost
+is non-increasing in memory; the three baselines are measured once at
+the base memory.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_algorithm, webspam_workload
+
+from repro.io.memory import MemoryModel
+
+MEMORY_FACTORS = [1.0, 1.5, 2.0, 2.5, 3.0]
+
+
+def memory_at(graph, factor: float) -> MemoryModel:
+    base = MemoryModel.default_capacity(graph.num_nodes)
+    return MemoryModel(num_nodes=graph.num_nodes, capacity=int(base * factor))
+
+
+@pytest.mark.parametrize("factor", MEMORY_FACTORS)
+def test_fig13_1pb_memory_sweep(benchmark, factor):
+    planted = webspam_workload()
+    graph = planted.graph
+    record = run_algorithm(
+        benchmark,
+        graph,
+        "1PB-SCC",
+        workload=f"webspam-M{factor:g}x",
+        memory=memory_at(graph, factor),
+        time_limit=300,
+        params={"memory_factor": factor, "nodes": graph.num_nodes},
+    )
+    assert record.ok  # 1PB-SCC completes at every memory size
+
+
+@pytest.mark.parametrize("algorithm", ["1P-SCC", "2P-SCC", "DFS-SCC"])
+def test_fig13_baselines_at_base_memory(benchmark, algorithm):
+    planted = webspam_workload()
+    graph = planted.graph
+    run_algorithm(
+        benchmark,
+        graph,
+        algorithm,
+        workload="webspam-M1x",
+        memory=memory_at(graph, 1.0),
+        params={"memory_factor": 1.0, "nodes": graph.num_nodes},
+    )

@@ -1,0 +1,44 @@
+"""Table 3 — time and #I/Os on the three real large datasets.
+
+Paper result (cit-patents / go-uniprot / citeseerx):
+
+=========  ======  ======  ======  =======
+metric     1PB     1P      2P      DFS
+=========  ======  ======  ======  =======
+time       24/22/10s  22/21/8s  701/301/517s  840/856/669s
+# of I/Os  16K/26K/15K  13K/48K/13K  133K/472K/105K  668K/620K/393K
+=========  ======  ======  ======  =======
+
+Expected *shape* at reproduction scale: 1P-SCC and 1PB-SCC within a
+small factor of each other (1P usually slightly ahead — these graphs
+have only small SCCs), 2P-SCC an order of magnitude behind, DFS-SCC
+slowest, and the same ordering for block I/Os.
+"""
+
+import pytest
+
+from benchmarks.conftest import TIME_LIMIT, real_dataset, run_algorithm
+
+DATASETS = ["cit-patents", "go-uniprot", "citeseerx"]
+ALGORITHMS = ["1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table3(benchmark, dataset, algorithm):
+    graph = real_dataset(dataset)
+    # DFS-SCC is the designated-slow baseline; give it the headroom the
+    # paper's 5-hour budget represents so the table completes.
+    time_limit = TIME_LIMIT * 4 if algorithm == "DFS-SCC" else TIME_LIMIT
+    record = run_algorithm(
+        benchmark,
+        graph,
+        algorithm,
+        workload=dataset,
+        time_limit=time_limit,
+        params={"dataset": dataset, "nodes": graph.num_nodes,
+                "edges": graph.num_edges},
+    )
+    # All four algorithms agree on the SCC count whenever they finish.
+    if record.ok:
+        assert record.num_sccs is not None

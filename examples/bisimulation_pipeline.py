@@ -1,0 +1,54 @@
+"""External-style bisimulation over a condensed graph.
+
+The paper's introduction cites Hellings et al.'s external-memory
+bisimulation, which assumes its input arrives as a DAG in reverse
+topological order — "this needs to find all SCCs in a preprocessing
+step".  This example runs the full pipeline:
+
+1. generate a go-uniprot-like ontology graph (+10% random edges),
+2. compute all SCCs with the semi-external 1P-SCC algorithm,
+3. condense and partition the DAG by maximal bisimulation.
+
+Run with::
+
+    python examples/bisimulation_pipeline.py
+"""
+
+import numpy as np
+
+from repro import compute_sccs
+from repro.apps.bisimulation import bisimulation_partition
+from repro.workloads.realworld import go_uniprot_like
+
+
+def main() -> None:
+    print("generating go-uniprot stand-in ...")
+    graph = go_uniprot_like(scale=2e-4, seed=3)
+    print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges")
+
+    print("\ncomputing SCCs with 1P-SCC (semi-external) ...")
+    result = compute_sccs(graph, algorithm="1P-SCC")
+    print(
+        f"  {result.num_sccs:,} SCCs in {result.stats.iterations} iterations, "
+        f"{result.stats.io.total:,} block I/Os"
+    )
+
+    print("\npartitioning the condensation by maximal bisimulation ...")
+    classes, num_classes = bisimulation_partition(graph, labels=result.labels)
+    sizes = np.bincount(classes)
+    compression = graph.num_nodes / num_classes
+    print(f"  {num_classes:,} bisimulation classes "
+          f"({compression:.1f}x structural compression)")
+    print(f"  largest class: {int(sizes.max()):,} nodes")
+    print(f"  singleton classes: {int((sizes == 1).sum()):,}")
+
+    # Every pair inside a class is structurally indistinguishable —
+    # a pattern-matching engine only needs one representative per class.
+    big = int(np.argmax(sizes))
+    members = np.flatnonzero(classes == big)[:5]
+    print(f"\nexample: nodes {members.tolist()} all behave identically "
+          "(same reachable structure).")
+
+
+if __name__ == "__main__":
+    main()

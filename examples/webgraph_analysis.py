@@ -1,0 +1,69 @@
+"""Analyse the SCC structure of a WEBSPAM-UK2007-like web graph.
+
+This reproduces the paper's Section 7.4 narrative at reproduction
+scale: run 1PB-SCC on a web graph with a giant core SCC, watch early
+acceptance and early rejection prune the graph iteration by iteration,
+and report the SCC profile the paper quotes for the real dataset.
+
+Run with::
+
+    python examples/webgraph_analysis.py [scale]
+
+``scale`` defaults to 2e-4 (about 21K nodes); the paper's real graph is
+105.9M nodes.
+"""
+
+import sys
+
+from repro import DiskGraph, OnePhaseBatchSCC
+from repro.graph.properties import scc_profile
+from repro.workloads.realworld import webspam_like
+
+import tempfile
+import os
+
+
+def main(scale: float = 2e-4) -> None:
+    print(f"generating WEBSPAM-UK2007 stand-in at scale {scale} ...")
+    planted = webspam_like(scale=scale, seed=42, avg_degree=10)
+    graph = planted.graph
+    print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges\n")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        disk = DiskGraph.from_digraph(graph, os.path.join(workdir, "web.bin"))
+        algorithm = OnePhaseBatchSCC()
+        result = algorithm.run(disk)
+        disk.unlink()
+
+    print(f"1PB-SCC finished in {result.stats.iterations} iterations, "
+          f"{result.stats.io.total:,} block I/Os, "
+          f"{result.stats.wall_seconds:.2f}s\n")
+
+    # --- the Table 1 view: per-iteration reduction.
+    print("iteration  nodes-reduced  edges-reduced  %nodes  %edges")
+    n0 = graph.num_nodes
+    m0 = graph.num_edges
+    for it in result.stats.per_iteration[:8]:
+        print(
+            f"{it.iteration:>9}  {it.nodes_reduced:>13,}  "
+            f"{it.edges_reduced:>13,}  "
+            f"{100 * it.nodes_reduced / n0:>5.2f}%  "
+            f"{100 * it.edges_reduced / m0:>5.2f}%"
+        )
+
+    # --- the dataset profile the paper quotes.
+    profile = scc_profile(result.scc_sizes)
+    print(f"\nSCC profile:")
+    print(f"  non-trivial SCCs:        {profile.num_sccs_nontrivial:,}")
+    print(f"  nodes in SCCs:           {profile.nodes_in_nontrivial_sccs:,} "
+          f"({100 * profile.nodes_in_nontrivial_sccs / n0:.1f}% of nodes)")
+    print(f"  biggest SCC:             {profile.largest_scc_size:,} nodes "
+          f"({100 * profile.largest_scc_size / n0:.1f}%)")
+    print(f"  second biggest SCC:      {profile.second_largest_scc_size:,}")
+    print(f"  smallest non-trivial:    {profile.smallest_nontrivial_scc_size}")
+    print("\n(The real WEBSPAM-UK2007: 193,670 SCCs covering 79.8% of nodes;")
+    print(" biggest SCC 64.8% of the graph — the same shape as above.)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 2e-4)

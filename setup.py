@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+so ``pip install -e . --no-use-pep517`` works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Motivating applications from the paper's introduction.
+
+Computing SCCs is a preprocessing step; these modules are the
+downstream consumers the paper cites:
+
+* :mod:`~repro.apps.reachability` — a GRAIL-style interval index over
+  the condensation for reachability queries (Yildirim et al., cited as
+  the paper's flagship motivation).
+* :mod:`~repro.apps.bisimulation` — DAG bisimulation partitioning in
+  reverse topological order (Hellings et al.'s external bisimulation,
+  which "needs to find all SCCs in a preprocessing step").
+"""
+
+from repro.apps.bisimulation import bisimulation_partition
+from repro.apps.condense_external import condense_to_disk
+from repro.apps.reachability import ReachabilityIndex
+from repro.apps.toposort import TopoSortResult, semi_external_toposort
+
+__all__ = [
+    "ReachabilityIndex",
+    "bisimulation_partition",
+    "condense_to_disk",
+    "semi_external_toposort",
+    "TopoSortResult",
+]

@@ -1,0 +1,29 @@
+"""Benchmark harness: run algorithm × workload matrices, render tables.
+
+The harness is what the ``benchmarks/`` suite drives; it can also be
+used directly to reproduce any paper table or figure from a script.
+"""
+
+from repro.bench.figures import ascii_series_chart
+from repro.bench.harness import BenchRecord, run_matrix, run_one
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    records_to_rows,
+    write_csv,
+)
+from repro.bench.suite import SuiteConfig, SuiteResult, run_paper_suite
+
+__all__ = [
+    "BenchRecord",
+    "run_one",
+    "run_matrix",
+    "format_table",
+    "format_series",
+    "records_to_rows",
+    "write_csv",
+    "ascii_series_chart",
+    "SuiteConfig",
+    "SuiteResult",
+    "run_paper_suite",
+]

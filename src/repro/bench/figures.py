@@ -1,0 +1,84 @@
+"""Plot-free figure rendering: ASCII bar charts for benchmark series.
+
+The paper's figures are log-scale line plots; in a terminal-only
+reproduction the same information is conveyed as horizontal bar charts,
+one row per (x value, algorithm) with bars scaled logarithmically and
+failure cells (``INF``/``DNF``) marked as the paper marks them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.harness import BenchRecord
+
+
+def _bar(value: float, lo: float, hi: float, width: int) -> str:
+    if hi <= lo:
+        return "#" * width
+    span = math.log10(hi) - math.log10(lo) if lo > 0 else 1.0
+    frac = (math.log10(max(value, 1e-12)) - math.log10(lo)) / span if span else 1.0
+    filled = max(1, int(round(frac * width)))
+    return "#" * min(filled, width)
+
+
+def ascii_series_chart(
+    records: Iterable[BenchRecord],
+    x_param: str,
+    metric: str = "seconds",
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render records as a log-scale ASCII bar chart grouped by x value.
+
+    ``metric`` is ``"seconds"`` or ``"ios"``; failed runs render as the
+    status string instead of a bar, as the paper plots its INF marks.
+    """
+    records = list(records)
+    values: Dict[tuple, Optional[float]] = {}
+    xs: List[object] = []
+    algorithms: List[str] = []
+    for record in records:
+        x = record.params.get(x_param)
+        if x not in xs:
+            xs.append(x)
+        if record.algorithm not in algorithms:
+            algorithms.append(record.algorithm)
+        if record.ok:
+            value = record.seconds if metric == "seconds" else record.ios
+            values[(x, record.algorithm)] = float(value)
+        else:
+            values[(x, record.algorithm)] = None
+
+    finite = [v for v in values.values() if v is not None and v > 0]
+    lo = min(finite) if finite else 1.0
+    hi = max(finite) if finite else 1.0
+    unit = "s" if metric == "seconds" else " I/Os"
+
+    label_width = max(len(str(a)) for a in algorithms) if algorithms else 4
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for x in xs:
+        lines.append(f"{x_param} = {x}")
+        for algorithm in algorithms:
+            if (x, algorithm) not in values:
+                continue
+            value = values[(x, algorithm)]
+            if value is None:
+                status = next(
+                    r.status
+                    for r in records
+                    if r.params.get(x_param) == x and r.algorithm == algorithm
+                )
+                lines.append(f"  {algorithm:<{label_width}}  {status}")
+            else:
+                bar = _bar(value, lo, hi, width)
+                shown = f"{value:.3f}{unit}" if metric == "seconds" else (
+                    f"{int(value):,}{unit}"
+                )
+                lines.append(f"  {algorithm:<{label_width}}  {bar} {shown}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

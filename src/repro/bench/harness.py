@@ -1,0 +1,135 @@
+"""Run algorithms over workloads and collect comparable records.
+
+A :class:`BenchRecord` captures exactly what the paper's evaluation
+reports per (algorithm, dataset) cell: wall-clock time, number of block
+I/Os, iteration count — or the failure mode (``INF`` for a timeout,
+``DNF`` for non-termination), which the paper's figures are full of.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.constants import DEFAULT_BLOCK_SIZE
+from repro.core import ALGORITHMS, SCCAlgorithm, SCCResult
+from repro.exceptions import AlgorithmTimeout, NonTermination
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.io.memory import MemoryModel
+
+
+@dataclass
+class BenchRecord:
+    """One (algorithm, workload) measurement."""
+
+    algorithm: str
+    workload: str
+    status: str  # "ok", "INF" (timeout) or "DNF" (non-termination)
+    seconds: Optional[float] = None
+    ios: Optional[int] = None
+    iterations: Optional[int] = None
+    num_sccs: Optional[int] = None
+    params: Dict[str, object] = field(default_factory=dict)
+    result: Optional[SCCResult] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed."""
+        return self.status == "ok"
+
+    def display_seconds(self) -> str:
+        """Time cell as the paper prints it (``INF`` on timeout)."""
+        if not self.ok:
+            return self.status
+        return f"{self.seconds:.2f}s"
+
+    def display_ios(self) -> str:
+        """I/O cell as the paper prints it."""
+        if not self.ok:
+            return self.status
+        return f"{self.ios:,}"
+
+
+def _resolve(algorithm: Union[str, SCCAlgorithm]) -> SCCAlgorithm:
+    if isinstance(algorithm, str):
+        return ALGORITHMS[algorithm]()
+    return algorithm
+
+
+def run_one(
+    graph: Digraph,
+    algorithm: Union[str, SCCAlgorithm],
+    workload: str = "graph",
+    memory: Optional[MemoryModel] = None,
+    time_limit: Optional[float] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workdir: Optional[str] = None,
+    keep_result: bool = False,
+    params: Optional[Dict[str, object]] = None,
+) -> BenchRecord:
+    """Run one algorithm on one in-memory workload graph.
+
+    The graph is materialised to disk inside ``workdir`` (a temporary
+    directory when omitted) so the run's I/O pattern is real.
+    """
+    algo = _resolve(algorithm)
+    record = BenchRecord(
+        algorithm=algo.name, workload=workload, status="ok", params=params or {}
+    )
+    cleanup: Optional[tempfile.TemporaryDirectory] = None
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-bench-")
+        workdir = cleanup.name
+    try:
+        disk = DiskGraph.from_digraph(
+            graph,
+            os.path.join(workdir, f"{workload}-{algo.name}.bin".replace("/", "_")),
+            block_size=block_size,
+        )
+        try:
+            result = algo.run(disk, memory=memory, time_limit=time_limit)
+            record.seconds = result.stats.wall_seconds
+            record.ios = result.stats.io.total
+            record.iterations = result.stats.iterations
+            record.num_sccs = result.num_sccs
+            if keep_result:
+                record.result = result
+        except AlgorithmTimeout:
+            record.status = "INF"
+        except NonTermination:
+            record.status = "DNF"
+        finally:
+            disk.unlink()
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    return record
+
+
+def run_matrix(
+    graphs: Dict[str, Digraph],
+    algorithms: Iterable[Union[str, SCCAlgorithm]],
+    memory: Optional[MemoryModel] = None,
+    time_limit: Optional[float] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    params: Optional[Dict[str, object]] = None,
+) -> List[BenchRecord]:
+    """Run every algorithm on every workload; return all records."""
+    records: List[BenchRecord] = []
+    for workload, graph in graphs.items():
+        for algorithm in algorithms:
+            records.append(
+                run_one(
+                    graph,
+                    algorithm,
+                    workload=workload,
+                    memory=memory,
+                    time_limit=time_limit,
+                    block_size=block_size,
+                    params=params,
+                )
+            )
+    return records

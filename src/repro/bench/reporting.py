@@ -1,0 +1,128 @@
+"""Render benchmark records as the paper's tables and figure series."""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterable, List
+
+from repro.bench.harness import BenchRecord
+
+
+def records_to_rows(records: Iterable[BenchRecord]) -> List[Dict[str, object]]:
+    """Flatten records into dict rows (for CSV export or inspection)."""
+    rows = []
+    for record in records:
+        row: Dict[str, object] = {
+            "algorithm": record.algorithm,
+            "workload": record.workload,
+            "status": record.status,
+            "seconds": record.seconds,
+            "ios": record.ios,
+            "iterations": record.iterations,
+            "num_sccs": record.num_sccs,
+        }
+        row.update(record.params)
+        rows.append(row)
+    return rows
+
+
+def write_csv(records: Iterable[BenchRecord], path: str) -> None:
+    """Dump records to a CSV file (one row per record)."""
+    rows = records_to_rows(records)
+    if not rows:
+        return
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _grid(records: Iterable[BenchRecord], metric: str) -> tuple[list, list, dict]:
+    algorithms: List[str] = []
+    workloads: List[str] = []
+    cells: Dict[tuple, str] = {}
+    for record in records:
+        if record.algorithm not in algorithms:
+            algorithms.append(record.algorithm)
+        if record.workload not in workloads:
+            workloads.append(record.workload)
+        if metric == "seconds":
+            cells[(record.workload, record.algorithm)] = record.display_seconds()
+        else:
+            cells[(record.workload, record.algorithm)] = record.display_ios()
+    return algorithms, workloads, cells
+
+
+def format_table(
+    records: Iterable[BenchRecord],
+    metric: str = "seconds",
+    title: str = "",
+) -> str:
+    """A Table 3-style grid: workloads as rows, algorithms as columns."""
+    records = list(records)
+    algorithms, workloads, cells = _grid(records, metric)
+    headers = ["workload"] + algorithms
+    rows = [
+        [workload] + [cells.get((workload, algo), "-") for algo in algorithms]
+        for workload in workloads
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    records: Iterable[BenchRecord],
+    x_param: str,
+    metric: str = "seconds",
+    title: str = "",
+) -> str:
+    """A figure-style series: one row per x value, algorithms as columns.
+
+    ``x_param`` names the entry in each record's ``params`` dict that
+    varies along the figure's x axis (e.g. ``num_nodes``, ``degree``).
+    """
+    records = list(records)
+    algorithms: List[str] = []
+    xs: List[object] = []
+    cells: Dict[tuple, str] = {}
+    for record in records:
+        x = record.params.get(x_param)
+        if record.algorithm not in algorithms:
+            algorithms.append(record.algorithm)
+        if x not in xs:
+            xs.append(x)
+        value = (
+            record.display_seconds() if metric == "seconds" else record.display_ios()
+        )
+        cells[(x, record.algorithm)] = value
+    headers = [x_param] + algorithms
+    rows = [
+        [x] + [cells.get((x, algo), "-") for algo in algorithms] for x in xs
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,305 @@
+"""One-call reproduction of the paper's whole evaluation.
+
+:func:`run_paper_suite` regenerates every experiment (Tables 1 and 3,
+Figures 12–17) at a chosen scale, returning all records and optionally
+writing per-experiment CSVs plus a text report.  The pytest benchmarks
+under ``benchmarks/`` drive the same code paths one experiment at a
+time; this module is for users who want the full sweep from a script or
+the ``repro-scc bench`` command.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import BenchRecord, run_one
+from repro.bench.reporting import format_series, format_table, write_csv
+from repro.core.one_phase_batch import OnePhaseBatchSCC
+from repro.graph.builders import induced_subgraph
+from repro.io.memory import MemoryModel
+from repro.workloads.params import params_for_class
+from repro.workloads.realworld import (
+    cit_patents_like,
+    citeseerx_like,
+    go_uniprot_like,
+    webspam_like,
+)
+
+#: Paper x-axis values reused by several experiments.
+PAPER_NODE_SWEEP = [30, 40, 50, 60, 70]  # millions
+DEGREE_SWEEP = [3, 4, 5, 6, 7]
+FRACTION_SWEEP = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+@dataclass
+class SuiteConfig:
+    """Knobs for a full-suite run."""
+
+    scale: float = 2.5e-4
+    time_limit: float = 30.0
+    webspam_degree: float = 12.0
+    seed: int = 0
+    #: Algorithms for the fast sweeps.
+    fast_algorithms: List[str] = field(
+        default_factory=lambda: ["1PB-SCC", "1P-SCC"]
+    )
+    #: Baselines measured only at the cheapest point of each sweep.
+    slow_algorithms: List[str] = field(
+        default_factory=lambda: ["2P-SCC", "DFS-SCC"]
+    )
+
+
+@dataclass
+class SuiteResult:
+    """All records of a suite run, grouped by experiment id."""
+
+    records: Dict[str, List[BenchRecord]] = field(default_factory=dict)
+
+    def add(self, experiment: str, record: BenchRecord) -> None:
+        """File a record under its experiment."""
+        self.records.setdefault(experiment, []).append(record)
+
+    def report(self) -> str:
+        """Human-readable summary of every experiment."""
+        sections = []
+        for experiment in sorted(self.records):
+            records = self.records[experiment]
+            x_param = records[0].params.get("x_param") if records else None
+            if x_param:
+                body = format_series(records, x_param=str(x_param),
+                                     metric="seconds")
+                body += "\n\n" + format_series(records, x_param=str(x_param),
+                                               metric="ios")
+            else:
+                body = format_table(records, metric="seconds")
+                body += "\n\n" + format_table(records, metric="ios")
+            sections.append(f"== {experiment} ==\n{body}")
+        return "\n\n".join(sections)
+
+    def write(self, outdir: str) -> None:
+        """Write one CSV per experiment plus the text report."""
+        os.makedirs(outdir, exist_ok=True)
+        for experiment, records in self.records.items():
+            write_csv(records, os.path.join(outdir, f"{experiment}.csv"))
+        with open(os.path.join(outdir, "report.txt"), "w") as handle:
+            handle.write(self.report() + "\n")
+
+
+def _run(
+    suite: SuiteResult,
+    experiment: str,
+    graph,
+    algorithm,
+    workload: str,
+    config: SuiteConfig,
+    x_param: Optional[str] = None,
+    x_value=None,
+    time_limit: Optional[float] = None,
+) -> BenchRecord:
+    params: Dict[str, object] = {}
+    if x_param is not None:
+        params = {"x_param": x_param, x_param: x_value}
+    record = run_one(
+        graph,
+        algorithm,
+        workload=workload,
+        time_limit=time_limit or config.time_limit,
+        params=params,
+    )
+    suite.add(experiment, record)
+    return record
+
+
+def run_table3(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Table 3: the three citation datasets, all four algorithms."""
+    datasets = {
+        "cit-patents": cit_patents_like(config.scale, config.seed),
+        "go-uniprot": go_uniprot_like(config.scale, config.seed),
+        "citeseerx": citeseerx_like(config.scale, config.seed),
+    }
+    for name, graph in datasets.items():
+        for algorithm in config.fast_algorithms + config.slow_algorithms:
+            limit = (
+                config.time_limit * 4
+                if algorithm == "DFS-SCC"
+                else config.time_limit
+            )
+            _run(suite, "table3", graph, algorithm, name, config,
+                 time_limit=limit)
+
+
+def run_table1(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Table 1: 1PB-SCC reduction, optimizations on and off."""
+    planted = webspam_like(0.4 * config.scale, config.seed,
+                           config.webspam_degree)
+    for acceptance, rejection in [(True, True), (False, False)]:
+        algorithm = OnePhaseBatchSCC(
+            enable_acceptance=acceptance, enable_rejection=rejection
+        )
+        record = _run(
+            suite, "table1", planted.graph, algorithm,
+            f"webspam[acc={acceptance},rej={rejection}]", config,
+            time_limit=10 * config.time_limit,
+        )
+        record.params["acceptance"] = acceptance
+        record.params["rejection"] = rejection
+
+
+def run_fig12(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Fig. 12: webspam induced-subgraph size sweep."""
+    planted = webspam_like(0.4 * config.scale, config.seed,
+                           config.webspam_degree)
+    graph = planted.graph
+    rng = np.random.default_rng(config.seed)
+    for fraction in FRACTION_SWEEP:
+        if fraction >= 1.0:
+            sub = graph
+        else:
+            nodes = rng.choice(
+                graph.num_nodes,
+                size=int(round(graph.num_nodes * fraction)),
+                replace=False,
+            )
+            sub, _ = induced_subgraph(graph, nodes)
+        algorithms = list(config.fast_algorithms)
+        if fraction == FRACTION_SWEEP[0]:
+            algorithms += config.slow_algorithms
+        for algorithm in algorithms:
+            _run(suite, "fig12", sub, algorithm,
+                 f"webspam-{int(fraction * 100)}pct", config,
+                 x_param="fraction", x_value=fraction)
+
+
+def run_fig13(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Fig. 13: memory sweep; 1PB at every point, baselines at base."""
+    planted = webspam_like(0.4 * config.scale, config.seed,
+                           config.webspam_degree)
+    graph = planted.graph
+    base = MemoryModel.default_capacity(graph.num_nodes)
+    for factor in (1.0, 1.5, 2.0, 2.5, 3.0):
+        memory = MemoryModel(num_nodes=graph.num_nodes,
+                             capacity=int(base * factor))
+        record = run_one(
+            graph, "1PB-SCC", workload=f"M{factor:g}x",
+            memory=memory, time_limit=10 * config.time_limit,
+            params={"x_param": "memory_factor", "memory_factor": factor},
+        )
+        suite.add("fig13", record)
+    for algorithm in ["1P-SCC"] + config.slow_algorithms:
+        record = run_one(
+            graph, algorithm, workload="M1x",
+            memory=MemoryModel(num_nodes=graph.num_nodes, capacity=base),
+            time_limit=config.time_limit,
+            params={"x_param": "memory_factor", "memory_factor": 1.0},
+        )
+        suite.add("fig13", record)
+
+
+def run_fig14(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Fig. 14: node-count sweep per SCC class."""
+    for scc_class in ("massive", "large", "small"):
+        for millions in PAPER_NODE_SWEEP:
+            planted = params_for_class(
+                scc_class,
+                paper_nodes=millions * 1_000_000,
+                scale=config.scale,
+                seed=config.seed,
+            ).build()
+            algorithms = list(config.fast_algorithms)
+            if millions == PAPER_NODE_SWEEP[0]:
+                algorithms += config.slow_algorithms
+            for algorithm in algorithms:
+                _run(suite, f"fig14-{scc_class}", planted.graph, algorithm,
+                     f"{scc_class}-{millions}M", config,
+                     x_param="paper_nodes_millions", x_value=millions)
+
+
+def run_fig15(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Fig. 15: degree sweep per SCC class."""
+    for scc_class in ("massive", "large", "small"):
+        for degree in DEGREE_SWEEP:
+            planted = params_for_class(
+                scc_class, degree=degree, scale=config.scale, seed=config.seed
+            ).build()
+            algorithms = list(config.fast_algorithms)
+            if degree == DEGREE_SWEEP[0]:
+                algorithms += config.slow_algorithms
+            for algorithm in algorithms:
+                _run(suite, f"fig15-{scc_class}", planted.graph, algorithm,
+                     f"{scc_class}-d{degree}", config,
+                     x_param="degree", x_value=degree)
+
+
+def run_fig16(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Fig. 16: SCC-size sweep per class (single-phase algorithms)."""
+    sweeps = {
+        "massive": [200_000, 300_000, 400_000, 500_000, 600_000],
+        "large": [4_000, 6_000, 8_000, 10_000, 12_000],
+        "small": [20, 30, 40, 50, 60],
+    }
+    for scc_class, sizes in sweeps.items():
+        for size in sizes:
+            kwargs = {"scale": config.scale, "seed": config.seed}
+            if scc_class == "small":
+                kwargs["scc_size"] = size
+            else:
+                kwargs["paper_scc_size"] = size
+            planted = params_for_class(scc_class, **kwargs).build()
+            for algorithm in config.fast_algorithms:
+                _run(suite, f"fig16-{scc_class}", planted.graph, algorithm,
+                     f"{scc_class}-s{size}", config,
+                     x_param="scc_size", x_value=size)
+
+
+def run_fig17(suite: SuiteResult, config: SuiteConfig) -> None:
+    """Fig. 17: SCC-count sweep (Large and Small classes)."""
+    sweeps = {"large": [30, 40, 50, 60, 70],
+              "small": [6_000, 8_000, 10_000, 12_000, 14_000]}
+    for scc_class, counts in sweeps.items():
+        for count in counts:
+            kwargs = {"scale": config.scale, "seed": config.seed}
+            if scc_class == "small":
+                kwargs["paper_num_sccs"] = count
+            else:
+                kwargs["num_sccs"] = count
+            planted = params_for_class(scc_class, **kwargs).build()
+            for algorithm in config.fast_algorithms:
+                _run(suite, f"fig17-{scc_class}", planted.graph, algorithm,
+                     f"{scc_class}-x{count}", config,
+                     x_param="num_sccs", x_value=count)
+
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table3": run_table3,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+}
+
+
+def run_paper_suite(
+    config: Optional[SuiteConfig] = None,
+    experiments: Optional[List[str]] = None,
+    outdir: Optional[str] = None,
+) -> SuiteResult:
+    """Run the requested experiments (default: all) and collect records."""
+    config = config or SuiteConfig()
+    names = experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments {unknown}; "
+                         f"choose from {sorted(EXPERIMENTS)}")
+    suite = SuiteResult()
+    for name in names:
+        EXPERIMENTS[name](suite, config)
+    if outdir:
+        suite.write(outdir)
+    return suite

@@ -1,0 +1,297 @@
+"""Command-line interface: generate, inspect, and decompose graphs.
+
+Installed as the ``repro-scc`` console script::
+
+    repro-scc generate --kind webspam --scale 1e-4 --out web.rgr
+    repro-scc info web.rgr
+    repro-scc compute web.rgr --algorithm 1PB-SCC --labels-out labels.npy
+    repro-scc compare web.rgr --time-limit 60
+
+Graphs are stored in the :mod:`repro.graph.storage` layout (binary
+edges + ``.meta`` sidecar); ``compute`` runs semi-externally on the
+stored file itself, so the reported block I/Os are real.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.harness import run_one
+from repro.bench.reporting import format_table
+from repro.core import ALGORITHMS
+from repro.exceptions import AlgorithmTimeout, NonTermination, ReproError
+from repro.graph.io_text import read_edge_list
+from repro.graph.storage import (
+    load_graph,
+    open_disk_graph,
+    read_metadata,
+    save_graph,
+    write_metadata,
+)
+from repro.io.memory import MemoryModel
+from repro.workloads.params import params_for_class
+from repro.workloads.realworld import (
+    cit_patents_like,
+    citeseerx_like,
+    go_uniprot_like,
+    webspam_like,
+)
+
+GENERATORS = {
+    "cit-patents": lambda scale, seed: cit_patents_like(scale, seed),
+    "go-uniprot": lambda scale, seed: go_uniprot_like(scale, seed),
+    "citeseerx": lambda scale, seed: citeseerx_like(scale, seed),
+    "webspam": lambda scale, seed: webspam_like(scale, seed).graph,
+    "massive": lambda scale, seed: params_for_class(
+        "massive", scale=scale, seed=seed
+    ).build().graph,
+    "large": lambda scale, seed: params_for_class(
+        "large", scale=scale, seed=seed
+    ).build().graph,
+    "small": lambda scale, seed: params_for_class(
+        "small", scale=scale, seed=seed
+    ).build().graph,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scc",
+        description="Semi-external SCC computation (SIGMOD'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload graph")
+    gen.add_argument("--kind", choices=sorted(GENERATORS), required=True)
+    gen.add_argument("--scale", type=float, default=1e-4,
+                     help="fraction of the paper's dataset size")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output graph path")
+
+    imp = sub.add_parser("import", help="import a SNAP-style text edge list")
+    imp.add_argument("edge_list", help="text file with 'u v' lines")
+    imp.add_argument("--out", required=True)
+    imp.add_argument("--num-nodes", type=int, default=None)
+
+    info = sub.add_parser("info", help="show stored-graph statistics")
+    info.add_argument("graph", help="stored graph path")
+    info.add_argument("--full", action="store_true",
+                      help="load the graph and compute degree statistics")
+
+    compute = sub.add_parser("compute", help="compute all SCCs")
+    compute.add_argument("graph")
+    compute.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                         default="1PB-SCC")
+    compute.add_argument("--time-limit", type=float, default=None)
+    compute.add_argument("--memory-factor", type=float, default=1.0,
+                         help="multiple of the paper's default M")
+    compute.add_argument("--block-size", type=int, default=64 * 1024)
+    compute.add_argument("--labels-out", default=None,
+                         help="write per-node SCC labels as .npy")
+
+    compare = sub.add_parser("compare", help="run several algorithms")
+    compare.add_argument("graph")
+    compare.add_argument("--algorithms", nargs="+",
+                         default=["1PB-SCC", "1P-SCC", "2P-SCC"])
+    compare.add_argument("--time-limit", type=float, default=60.0)
+
+    condense = sub.add_parser(
+        "condense", help="build the SCC condensation on disk"
+    )
+    condense.add_argument("graph")
+    condense.add_argument("--out", required=True,
+                          help="output path for the condensed graph")
+    condense.add_argument("--labels", default=None,
+                          help=".npy labels (computed with 1PB-SCC if omitted)")
+    condense.add_argument("--keep-multiplicities", action="store_true")
+
+    topo = sub.add_parser(
+        "toposort", help="topologically sort the condensation"
+    )
+    topo.add_argument("graph")
+    topo.add_argument("--labels", default=None,
+                      help=".npy labels (computed with 1PB-SCC if omitted)")
+    topo.add_argument("--out", default=None,
+                      help="write per-node layers as .npy")
+
+    bench = sub.add_parser(
+        "bench", help="run the paper's evaluation suite"
+    )
+    bench.add_argument("--experiments", nargs="+", default=None,
+                       help="subset (table1 table3 fig12 ... fig17)")
+    bench.add_argument("--scale", type=float, default=2.5e-4)
+    bench.add_argument("--time-limit", type=float, default=30.0)
+    bench.add_argument("--outdir", default=None,
+                       help="write per-experiment CSVs and report.txt here")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = GENERATORS[args.kind](args.scale, args.seed)
+    save_graph(
+        graph,
+        args.out,
+        attributes={"kind": args.kind, "scale": args.scale, "seed": args.seed},
+    )
+    print(f"wrote {args.out}: {graph.num_nodes:,} nodes, "
+          f"{graph.num_edges:,} edges")
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.edge_list, num_nodes=args.num_nodes)
+    save_graph(graph, args.out, attributes={"source": args.edge_list})
+    print(f"wrote {args.out}: {graph.num_nodes:,} nodes, "
+          f"{graph.num_edges:,} edges")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    meta = read_metadata(args.graph)
+    print(f"format:     {meta['format']}")
+    print(f"nodes:      {meta['num_nodes']:,}")
+    print(f"edges:      {meta['num_edges']:,}")
+    for key, value in meta.get("attributes", {}).items():
+        print(f"{key + ':':<11} {value}")
+    if args.full:
+        from repro.graph.properties import degree_stats
+
+        stats = degree_stats(load_graph(args.graph))
+        print(f"avg degree: {stats.average_degree:.2f}")
+        print(f"max out:    {stats.max_out_degree}")
+        print(f"max in:     {stats.max_in_degree}")
+        print(f"isolated:   {stats.isolated_nodes:,}")
+    return 0
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    disk = open_disk_graph(args.graph, block_size=args.block_size)
+    base = MemoryModel.default_capacity(disk.num_nodes, args.block_size)
+    memory = MemoryModel(
+        num_nodes=disk.num_nodes,
+        capacity=int(base * args.memory_factor),
+        block_size=args.block_size,
+    )
+    algorithm = ALGORITHMS[args.algorithm]()
+    try:
+        result = algorithm.run(disk, memory=memory, time_limit=args.time_limit)
+    except AlgorithmTimeout:
+        print("INF: time limit exceeded", file=sys.stderr)
+        return 2
+    except NonTermination as exc:
+        print(f"DNF: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        disk.close()
+    sizes = result.scc_sizes
+    print(f"algorithm:   {args.algorithm}")
+    print(f"SCCs:        {result.num_sccs:,} "
+          f"({result.nontrivial_count():,} non-trivial)")
+    print(f"largest SCC: {int(sizes.max()):,} nodes")
+    print(f"iterations:  {result.stats.iterations}")
+    print(f"block I/Os:  {result.stats.io.total:,}")
+    print(f"time:        {result.stats.wall_seconds:.2f}s")
+    if args.labels_out:
+        np.save(args.labels_out, result.labels)
+        print(f"labels:      {args.labels_out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    records = [
+        run_one(graph, name, workload=args.graph, time_limit=args.time_limit)
+        for name in args.algorithms
+    ]
+    print(format_table(records, metric="seconds", title="Time"))
+    print()
+    print(format_table(records, metric="ios", title="# of block I/Os"))
+    return 0
+
+
+def _cmd_condense(args: argparse.Namespace) -> int:
+    from repro.apps.condense_external import condense_to_disk
+
+    disk = open_disk_graph(args.graph)
+    try:
+        if args.labels:
+            labels = np.load(args.labels)
+        else:
+            labels = ALGORITHMS["1PB-SCC"]().run(disk).labels
+        condensed = condense_to_disk(
+            disk,
+            labels,
+            out_path=args.out,
+            deduplicate=not args.keep_multiplicities,
+        )
+    finally:
+        disk.close()
+    num_nodes, num_edges = condensed.num_nodes, condensed.num_edges
+    condensed.close()
+    write_metadata(args.out, num_nodes, num_edges,
+                   attributes={"condensation_of": args.graph})
+    print(f"wrote {args.out}: {num_nodes:,} SCC nodes, "
+          f"{num_edges:,} inter-SCC edges")
+    return 0
+
+
+def _cmd_toposort(args: argparse.Namespace) -> int:
+    from repro.apps.toposort import semi_external_toposort
+
+    disk = open_disk_graph(args.graph)
+    try:
+        labels = np.load(args.labels) if args.labels else None
+        result = semi_external_toposort(disk, labels=labels)
+    finally:
+        disk.close()
+    layers = int(result.scc_layers.max()) + 1 if result.scc_layers.size else 0
+    print(f"layers:      {layers}")
+    print(f"scans:       {result.scans}")
+    print(f"block I/Os:  {result.io.total:,}")
+    if args.out:
+        np.save(args.out, result.node_layers)
+        print(f"node layers: {args.out}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.suite import SuiteConfig, run_paper_suite
+
+    config = SuiteConfig(scale=args.scale, time_limit=args.time_limit)
+    suite = run_paper_suite(
+        config=config, experiments=args.experiments, outdir=args.outdir
+    )
+    print(suite.report())
+    if args.outdir:
+        print(f"\nwrote CSVs and report.txt to {args.outdir}/")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "import": _cmd_import,
+    "info": _cmd_info,
+    "compute": _cmd_compute,
+    "compare": _cmd_compare,
+    "condense": _cmd_condense,
+    "toposort": _cmd_toposort,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Shared constants mirroring the paper's experimental setup (Section 8).
+
+The paper stores a node id in ``b = 4`` bytes, uses a disk block size of
+``B = 64`` KiB, and gives each algorithm a default memory budget of
+``M = 4 * (3 |V|) + B`` bytes — enough for the three ``|V|``-sized arrays
+of a BR+-Tree plus a single disk block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes used to store a single node id (paper Section 8: ``b = 4``).
+NODE_BYTES: int = 4
+
+#: Bytes used to store a single directed edge (two node ids).
+EDGE_BYTES: int = 2 * NODE_BYTES
+
+#: Default disk block size in bytes (paper Section 8: 64 KB).
+DEFAULT_BLOCK_SIZE: int = 64 * 1024
+
+#: Edge records that fit in one default block.
+EDGES_PER_BLOCK: int = DEFAULT_BLOCK_SIZE // EDGE_BYTES
+
+#: numpy dtype for a node id on disk.
+NODE_DTYPE = np.uint32
+
+#: numpy dtype for signed node indices in memory (parent arrays use -1
+#: as the virtual-root sentinel, so they must be signed).
+INDEX_DTYPE = np.int64
+
+#: Sentinel parent value: the node hangs off the virtual root ``v0``.
+VIRTUAL_ROOT: int = -1
+
+#: Default early-acceptance threshold tau as a fraction of |V|
+#: (paper Section 8: tau = 0.5% of |V(G)|).
+DEFAULT_TAU_FRACTION: float = 0.005
+
+#: Default early-rejection period in iterations (paper Section 8:
+#: "early rejection is processed in every 5 iterations").
+DEFAULT_REJECTION_PERIOD: int = 5

@@ -1,0 +1,63 @@
+"""The paper's SCC algorithms: baselines and contributions.
+
+============  ==========================================================
+Name          Algorithm
+============  ==========================================================
+``DFS-SCC``   Semi-external double-DFS baseline (paper Algorithms 1-2)
+``EM-SCC``    Contraction heuristic baseline (Section 4; may not stop)
+``2P-SCC``    Two-phase single-tree algorithm (Algorithms 3-5)
+``1P-SCC``    Single-phase w/ early acceptance + rejection (Algs. 6-7)
+``1PB-SCC``   1P-SCC plus batch edge reduction (Algorithm 8)
+============  ==========================================================
+"""
+
+from repro.core.base import (
+    Deadline,
+    IterationStats,
+    RunStats,
+    SCCAlgorithm,
+    SCCResult,
+    canonicalize_labels,
+)
+from repro.core.dfs_scc import DFSSCC, build_dfs_tree
+from repro.core.em_scc import EMSCC
+from repro.core.one_phase import OnePhaseSCC
+from repro.core.one_phase_batch import OnePhaseBatchSCC
+from repro.core.two_phase import TwoPhaseSCC, tree_construction, tree_search
+from repro.core.validate import (
+    canonical_partition,
+    certify_scc_partition,
+    partitions_equal,
+    validate_against_tarjan,
+)
+
+#: Factories for every algorithm keyed by its paper name.
+ALGORITHMS = {
+    "DFS-SCC": DFSSCC,
+    "EM-SCC": EMSCC,
+    "2P-SCC": TwoPhaseSCC,
+    "1P-SCC": OnePhaseSCC,
+    "1PB-SCC": OnePhaseBatchSCC,
+}
+
+__all__ = [
+    "SCCAlgorithm",
+    "SCCResult",
+    "RunStats",
+    "IterationStats",
+    "Deadline",
+    "canonicalize_labels",
+    "DFSSCC",
+    "EMSCC",
+    "TwoPhaseSCC",
+    "OnePhaseSCC",
+    "OnePhaseBatchSCC",
+    "ALGORITHMS",
+    "build_dfs_tree",
+    "tree_construction",
+    "tree_search",
+    "canonical_partition",
+    "certify_scc_partition",
+    "partitions_equal",
+    "validate_against_tarjan",
+]

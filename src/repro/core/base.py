@@ -1,0 +1,158 @@
+"""Shared interface and result types for the SCC algorithms.
+
+Every algorithm consumes a :class:`~repro.graph.diskgraph.DiskGraph`
+under a :class:`~repro.io.memory.MemoryModel` and produces an
+:class:`SCCResult`: per-node labels plus a :class:`RunStats` record with
+the two quantities the paper's evaluation reports — wall-clock time and
+the number of block I/Os — alongside per-iteration reduction stats
+(Table 1's rows).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import AlgorithmTimeout
+from repro.graph.diskgraph import DiskGraph
+from repro.io.counter import IOStats
+from repro.io.memory import MemoryModel
+
+logger = logging.getLogger("repro.core")
+
+
+class Deadline:
+    """A wall-clock budget that raises :class:`AlgorithmTimeout` when hit."""
+
+    def __init__(self, algorithm: str, limit_seconds: Optional[float]) -> None:
+        self.algorithm = algorithm
+        self.limit_seconds = limit_seconds
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return time.perf_counter() - self._start
+
+    def check(self) -> None:
+        """Raise :class:`AlgorithmTimeout` when the budget is exhausted."""
+        if self.limit_seconds is not None and self.elapsed > self.limit_seconds:
+            raise AlgorithmTimeout(self.algorithm, self.limit_seconds)
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration graph reduction record (the paper's Table 1)."""
+
+    iteration: int
+    nodes_reduced: int
+    edges_reduced: int
+    live_nodes: int
+    live_edges: int
+
+
+@dataclass
+class RunStats:
+    """Everything measured about one algorithm run."""
+
+    algorithm: str
+    iterations: int
+    io: IOStats
+    wall_seconds: float
+    per_iteration: List[IterationStats] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SCCResult:
+    """SCC labels for every node plus the run's measurements."""
+
+    labels: np.ndarray
+    num_sccs: int
+    stats: RunStats
+
+    @property
+    def scc_sizes(self) -> np.ndarray:
+        """Member count of every SCC."""
+        return np.bincount(self.labels, minlength=self.num_sccs)
+
+    def members(self, scc: int) -> np.ndarray:
+        """Original node ids in SCC ``scc``."""
+        return np.flatnonzero(self.labels == scc)
+
+    def nontrivial_count(self) -> int:
+        """SCCs with at least two members (what the paper counts)."""
+        return int(np.count_nonzero(self.scc_sizes >= 2))
+
+
+def canonicalize_labels(labels: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Relabel to contiguous ``0 .. k - 1`` by first appearance."""
+    labels = np.asarray(labels, dtype=np.int64)
+    unique, inverse = np.unique(labels, return_inverse=True)
+    return inverse.astype(np.int64), int(unique.size)
+
+
+class SCCAlgorithm(ABC):
+    """Base class: timing, I/O diffing, and label canonicalisation."""
+
+    #: Short name used in reports (e.g. ``"1PB-SCC"``).
+    name: str = "abstract"
+
+    def run(
+        self,
+        graph: DiskGraph,
+        memory: Optional[MemoryModel] = None,
+        time_limit: Optional[float] = None,
+    ) -> SCCResult:
+        """Compute all SCCs of ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The semi-external input; its edge file's I/O counter is
+            diffed around the run, so only this run's I/Os are reported.
+        memory:
+            Budget ``M``; the paper's default (``4·(3|V|) + B``) when
+            omitted.
+        time_limit:
+            Wall-clock limit in seconds; :class:`AlgorithmTimeout` is
+            raised when exceeded (the paper's ``INF`` entries).
+        """
+        if memory is None:
+            memory = MemoryModel(graph.num_nodes, block_size=graph.block_size)
+        deadline = Deadline(self.name, time_limit)
+        logger.debug(
+            "%s: starting on %d nodes / %d edges (M=%d, B=%d)",
+            self.name, graph.num_nodes, graph.num_edges,
+            memory.capacity, memory.block_size,
+        )
+        io_before = graph.counter.snapshot()
+        labels, iterations, per_iteration, extras = self._run(graph, memory, deadline)
+        labels, num_sccs = canonicalize_labels(labels)
+        stats = RunStats(
+            algorithm=self.name,
+            iterations=iterations,
+            io=graph.counter.since(io_before),
+            wall_seconds=deadline.elapsed,
+            per_iteration=per_iteration,
+            extras=extras,
+        )
+        logger.debug(
+            "%s: finished — %d SCCs, %d iterations, %d block I/Os, %.3fs",
+            self.name, num_sccs, iterations, stats.io.total, stats.wall_seconds,
+        )
+        return SCCResult(labels=labels, num_sccs=num_sccs, stats=stats)
+
+    @abstractmethod
+    def _run(
+        self,
+        graph: DiskGraph,
+        memory: MemoryModel,
+        deadline: Deadline,
+    ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
+        """Algorithm body: return ``(labels, iterations, per_iter, extras)``."""

@@ -1,0 +1,221 @@
+"""EM-SCC: the contraction-based external-memory baseline.
+
+Cosgaya-Lozano and Zeh's heuristic (paper Section 4): repeatedly
+partition the on-disk graph into memory-sized pieces, find the SCCs of
+each piece with an in-memory algorithm, contract them, and rewrite the
+graph smaller; once everything fits in memory, finish in-memory.
+
+The paper's critique is that this loop need not terminate: an SCC that
+straddles partitions may never be contracted (Case-1) and a DAG larger
+than memory cannot shrink at all (Case-2).  This implementation
+faithfully exhibits both failure modes by raising
+:class:`~repro.exceptions.NonTermination` when a full pass makes no
+progress while the graph still exceeds memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.constants import EDGE_BYTES, NODE_DTYPE
+from repro.core.base import Deadline, IterationStats, SCCAlgorithm
+from repro.exceptions import NonTermination
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.kosaraju import kosaraju_scc
+from repro.io.edgefile import EdgeFile
+from repro.io.memory import MemoryModel
+
+
+class EMSCC(SCCAlgorithm):
+    """The contraction heuristic of Cosgaya-Lozano & Zeh (EM-SCC).
+
+    Parameters
+    ----------
+    max_iterations:
+        Abort threshold standing in for "runs forever"; the paper's
+        experiments simply report that EM-SCC "cannot stop in most
+        cases".
+    """
+
+    name = "EM-SCC"
+
+    def __init__(self, max_iterations: int = 64) -> None:
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        graph: DiskGraph,
+        memory: MemoryModel,
+        deadline: Deadline,
+    ):
+        n = graph.num_nodes
+        if n == 0:
+            return np.empty(0, dtype=np.int64), 0, [], {}
+
+        from repro.spanning.unionfind import DisjointSet
+
+        ds = DisjointSet(n)
+        live = np.ones(n, dtype=bool)
+        current = graph.edge_file
+        owns_current = False
+        per_iteration: List[IterationStats] = []
+        iteration = 0
+
+        # Edges a partition may hold: the memory left after one node
+        # array (the contraction map).
+        partition_blocks = memory.blocks_per_batch(1)
+
+        try:
+            while True:
+                deadline.check()
+                live_count = int(np.count_nonzero(live))
+                in_memory_bytes = (
+                    live_count * memory.node_bytes + current.num_edges * EDGE_BYTES
+                )
+                if in_memory_bytes <= memory.capacity:
+                    self._finish_in_memory(current, ds, live)
+                    break
+                if iteration >= self.max_iterations:
+                    raise NonTermination(self.name, iteration)
+
+                iteration += 1
+                live_before = live_count
+                edges_before = current.num_edges
+
+                progress = False
+                for batch in current.scan(batch_blocks=partition_blocks):
+                    deadline.check()
+                    if self._contract_partition(batch, ds, live):
+                        progress = True
+
+                current, owns_current = self._rewrite(
+                    graph, ds, live, current, owns_current, iteration
+                )
+                live_after = int(np.count_nonzero(live))
+                per_iteration.append(
+                    IterationStats(
+                        iteration=iteration,
+                        nodes_reduced=live_before - live_after,
+                        edges_reduced=edges_before - current.num_edges,
+                        live_nodes=live_after,
+                        live_edges=current.num_edges,
+                    )
+                )
+                if not progress:
+                    # Case-1/Case-2 of Section 4: stuck while too large.
+                    raise NonTermination(self.name, iteration)
+        finally:
+            if owns_current:
+                current.unlink()
+
+        labels, _ = ds.labels()
+        return labels, iteration, per_iteration, {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _contract_partition(
+        batch: np.ndarray, ds, live: np.ndarray
+    ) -> bool:
+        """Contract the SCCs of one memory-sized partition."""
+        us = ds.find_many(batch[:, 0].astype(np.int64))
+        vs = ds.find_many(batch[:, 1].astype(np.int64))
+        keep = us != vs
+        us = us[keep]
+        vs = vs[keep]
+        if us.size == 0:
+            return False
+        nodes = np.unique(np.concatenate([us, vs]))
+        comp = {int(node): index for index, node in enumerate(nodes.tolist())}
+        comp_edges = np.column_stack(
+            (
+                [comp[int(u)] for u in us.tolist()],
+                [comp[int(v)] for v in vs.tolist()],
+            )
+        )
+        local = Digraph(int(nodes.size), comp_edges)
+        labels, count = kosaraju_scc(local)
+        if count == nodes.size:
+            return False
+        order = np.argsort(labels, kind="stable")
+        boundaries = np.searchsorted(labels[order], np.arange(count + 1))
+        progress = False
+        for label in range(count):
+            members = nodes[order[boundaries[label] : boundaries[label + 1]]]
+            if members.size < 2:
+                continue
+            rep = int(members[0])
+            for member in members[1:].tolist():
+                ds.union_into(int(member), rep)
+                live[int(member)] = False
+            progress = True
+        return progress
+
+    @staticmethod
+    def _finish_in_memory(current: EdgeFile, ds, live: np.ndarray) -> None:
+        """Load the remaining graph and finish with in-memory Kosaraju."""
+        edges = current.read_all()
+        if edges.shape[0] == 0:
+            return
+        us = ds.find_many(edges[:, 0].astype(np.int64))
+        vs = ds.find_many(edges[:, 1].astype(np.int64))
+        keep = us != vs
+        us, vs = us[keep], vs[keep]
+        if us.size == 0:
+            return
+        nodes = np.unique(np.concatenate([us, vs]))
+        comp = {int(node): index for index, node in enumerate(nodes.tolist())}
+        comp_edges = np.column_stack(
+            (
+                [comp[int(u)] for u in us.tolist()],
+                [comp[int(v)] for v in vs.tolist()],
+            )
+        )
+        local = Digraph(int(nodes.size), comp_edges)
+        labels, count = kosaraju_scc(local)
+        order = np.argsort(labels, kind="stable")
+        boundaries = np.searchsorted(labels[order], np.arange(count + 1))
+        for label in range(count):
+            members = nodes[order[boundaries[label] : boundaries[label + 1]]]
+            if members.size < 2:
+                continue
+            rep = int(members[0])
+            for member in members[1:].tolist():
+                ds.union_into(int(member), rep)
+                live[int(member)] = False
+
+    @staticmethod
+    def _rewrite(
+        graph: DiskGraph,
+        ds,
+        live: np.ndarray,
+        current: EdgeFile,
+        owns_current: bool,
+        iteration: int,
+    ) -> Tuple[EdgeFile, bool]:
+        """Compress the on-disk graph after a contraction pass."""
+
+        def batches():
+            for batch in current.scan():
+                us = ds.find_many(batch[:, 0].astype(np.int64))
+                vs = ds.find_many(batch[:, 1].astype(np.int64))
+                keep = us != vs
+                if keep.any():
+                    yield np.column_stack((us[keep], vs[keep])).astype(NODE_DTYPE)
+
+        reduced = EdgeFile.create(
+            graph.scratch_path(f"em{iteration}"),
+            counter=graph.counter,
+            block_size=graph.block_size,
+        )
+        for batch in batches():
+            reduced.append(batch)
+        reduced.flush()
+        if owns_current:
+            current.unlink()
+        return reduced, True

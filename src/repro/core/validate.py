@@ -1,0 +1,122 @@
+"""Cross-validation helpers for SCC partitions.
+
+Partitions are compared up to label renaming; the ground truth is the
+in-memory Tarjan implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.digraph import Digraph
+from repro.inmemory.tarjan import tarjan_scc
+
+
+def canonical_partition(labels: np.ndarray) -> np.ndarray:
+    """Rename labels to first-appearance order so partitions compare."""
+    labels = np.asarray(labels, dtype=np.int64)
+    seen: dict[int, int] = {}
+    out = np.empty_like(labels)
+    for index, label in enumerate(labels.tolist()):
+        out[index] = seen.setdefault(label, len(seen))
+    return out
+
+
+def partitions_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether two labelings induce the same partition of the nodes."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(canonical_partition(a), canonical_partition(b)))
+
+
+def certify_scc_partition(graph: Digraph, labels: np.ndarray) -> None:
+    """Certify that ``labels`` is *the* SCC partition — without Tarjan.
+
+    A partition equals the SCC decomposition iff
+
+    1. every group is strongly connected (every member reaches every
+       other member inside the graph), and
+    2. the condensation induced by the partition is acyclic (no two
+       groups are mutually reachable, so no group could be larger).
+
+    Both are checked directly: (1) by forward and backward BFS inside
+    each group restricted to intra-group edges, (2) by a topological
+    sort of the quotient graph.  Raises :class:`ValidationError` with a
+    specific reason on failure.
+
+    This is an independent *certifying checker*: it shares no code with
+    any SCC algorithm in the package, so agreement is strong evidence
+    of correctness.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != graph.num_nodes:
+        raise ValidationError("labels must cover every node")
+    if graph.num_nodes == 0:
+        return
+    num_groups = int(labels.max()) + 1
+
+    edges = graph.edges.astype(np.int64)
+    mapped = labels[edges] if edges.size else edges.reshape(0, 2)
+
+    # --- condition 2: quotient graph must be a DAG.
+    from repro.exceptions import GraphFormatError
+    from repro.inmemory.toposort import topological_sort
+
+    inter = mapped[:, 0] != mapped[:, 1] if mapped.size else np.zeros(0, bool)
+    quotient = Digraph(num_groups, mapped[inter] if mapped.size else None)
+    try:
+        topological_sort(quotient)
+    except GraphFormatError as exc:
+        raise ValidationError(
+            "partition is too fine: two groups are mutually reachable "
+            "(quotient graph has a cycle)"
+        ) from exc
+
+    # --- condition 1: each group strongly connected on intra edges.
+    intra = mapped[:, 0] == mapped[:, 1] if mapped.size else np.zeros(0, bool)
+    intra_edges = edges[intra] if mapped.size else edges
+    subgraph = Digraph(graph.num_nodes, intra_edges)
+    reverse = subgraph.reverse()
+    sizes = np.bincount(labels, minlength=num_groups)
+    seeds = np.full(num_groups, -1, dtype=np.int64)
+    seeds[labels] = np.arange(graph.num_nodes, dtype=np.int64)
+
+    for group in np.flatnonzero(sizes >= 2).tolist():
+        seed = int(seeds[group])
+        for direction in (subgraph, reverse):
+            indptr, indices = direction.indptr, direction.indices
+            seen = {seed}
+            stack = [seed]
+            while stack:
+                node = stack.pop()
+                for child in indices[indptr[node] : indptr[node + 1]]:
+                    child = int(child)
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append(child)
+            if len(seen) != int(sizes[group]):
+                raise ValidationError(
+                    f"partition is too coarse: group {group} is not "
+                    f"strongly connected ({len(seen)} of {sizes[group]} "
+                    "members reachable from a seed)"
+                )
+
+
+def validate_against_tarjan(graph: Digraph, labels: np.ndarray) -> None:
+    """Raise :class:`ValidationError` unless ``labels`` matches Tarjan.
+
+    ``graph`` must be the in-memory image of the input the labels were
+    computed for.
+    """
+    truth, _ = tarjan_scc(graph)
+    if not partitions_equal(truth, labels):
+        truth_c = canonical_partition(truth)
+        mine_c = canonical_partition(np.asarray(labels))
+        differing = int(np.count_nonzero(truth_c != mine_c))
+        raise ValidationError(
+            f"SCC partition mismatch: {differing} of {graph.num_nodes} "
+            "nodes labelled inconsistently with Tarjan"
+        )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphFormatError(ReproError):
+    """An on-disk or textual graph representation is malformed."""
+
+
+class MemoryBudgetError(ReproError):
+    """An operation would exceed the configured semi-external memory budget."""
+
+
+class AlgorithmTimeout(ReproError):
+    """An algorithm exceeded its wall-clock time limit (paper: ``INF``)."""
+
+    def __init__(self, algorithm: str, limit_seconds: float) -> None:
+        self.algorithm = algorithm
+        self.limit_seconds = limit_seconds
+        super().__init__(
+            f"{algorithm} exceeded the time limit of {limit_seconds:.1f}s"
+        )
+
+
+class NonTermination(ReproError):
+    """An algorithm failed to make progress and was aborted.
+
+    This models the paper's observation (Section 4) that the EM-SCC
+    contraction heuristic may loop forever on DAG-like graphs or on SCCs
+    that straddle partitions.
+    """
+
+    def __init__(self, algorithm: str, iterations: int) -> None:
+        self.algorithm = algorithm
+        self.iterations = iterations
+        super().__init__(
+            f"{algorithm} made no progress after {iterations} iterations"
+        )
+
+
+class ValidationError(ReproError):
+    """A computed SCC partition failed cross-validation."""

@@ -1,0 +1,29 @@
+"""Graph representations: in-memory digraphs and disk-resident graphs.
+
+* :class:`~repro.graph.digraph.Digraph` — an immutable in-memory
+  directed graph with numpy CSR adjacency.  Used by the workload
+  generators, by the in-memory SCC baselines, and inside 1PB-SCC's
+  per-batch computation.
+* :class:`~repro.graph.diskgraph.DiskGraph` — the semi-external view:
+  ``|V|`` known up front, edges living in an
+  :class:`~repro.io.edgefile.EdgeFile` that is only ever scanned.
+"""
+
+from repro.graph.builders import (
+    add_random_edges,
+    induced_subgraph,
+    relabel_nodes,
+)
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.graph.io_text import read_edge_list, write_edge_list
+
+__all__ = [
+    "Digraph",
+    "DiskGraph",
+    "add_random_edges",
+    "induced_subgraph",
+    "relabel_nodes",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,171 @@
+"""An immutable in-memory directed graph with CSR adjacency.
+
+:class:`Digraph` stores edges as a dense ``(m, 2)`` array and builds a
+compressed-sparse-row index on demand.  Nodes are the integers
+``0 .. n-1``; parallel edges and self-loops are allowed (the paper's
+synthetic generator produces both).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import NODE_DTYPE
+from repro.exceptions import GraphFormatError
+
+
+class Digraph:
+    """A directed graph over nodes ``0 .. num_nodes - 1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids must all be smaller than this.
+    edges:
+        ``(m, 2)`` integer array of ``(u, v)`` pairs (copied and cast to
+        ``uint32``).  May be empty.
+    """
+
+    def __init__(self, num_nodes: int, edges: Optional[np.ndarray] = None) -> None:
+        if num_nodes < 0:
+            raise GraphFormatError("num_nodes must be non-negative")
+        if edges is None:
+            edges = np.empty((0, 2), dtype=NODE_DTYPE)
+        edges = np.ascontiguousarray(edges, dtype=NODE_DTYPE)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise GraphFormatError("edges must have shape (m, 2)")
+        if edges.size and int(edges.max()) >= num_nodes:
+            raise GraphFormatError(
+                f"edge endpoint {int(edges.max())} out of range for {num_nodes} nodes"
+            )
+        self._num_nodes = num_nodes
+        self._edges = edges
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """``|V(G)|``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """``|E(G)|`` (counting parallel edges)."""
+        return int(self._edges.shape[0])
+
+    @property
+    def edges(self) -> np.ndarray:
+        """The ``(m, 2)`` edge array (do not mutate)."""
+        return self._edges
+
+    def __repr__(self) -> str:
+        return f"Digraph(n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # CSR adjacency
+    # ------------------------------------------------------------------
+    def _build_csr(self) -> None:
+        if self._indptr is not None:
+            return
+        sources = self._edges[:, 0].astype(np.int64)
+        order = np.argsort(sources, kind="stable")
+        counts = np.bincount(sources, minlength=self._num_nodes)
+        self._indptr = np.concatenate(
+            ([0], np.cumsum(counts, dtype=np.int64))
+        )
+        self._indices = self._edges[order, 1].astype(np.int64)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer (length ``n + 1``)."""
+        self._build_csr()
+        assert self._indptr is not None
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices, grouped by source node."""
+        self._build_csr()
+        assert self._indices is not None
+        return self._indices
+
+    def successors(self, node: int) -> np.ndarray:
+        """Out-neighbours of ``node`` (with multiplicity)."""
+        self._build_csr()
+        assert self._indptr is not None and self._indices is not None
+        return self._indices[self._indptr[node] : self._indptr[node + 1]]
+
+    def out_degree(self, node: Optional[int] = None) -> np.ndarray | int:
+        """Out-degree of ``node``, or the full out-degree array."""
+        self._build_csr()
+        assert self._indptr is not None
+        degrees = np.diff(self._indptr)
+        if node is None:
+            return degrees
+        return int(degrees[node])
+
+    def in_degree(self) -> np.ndarray:
+        """Array of in-degrees."""
+        return np.bincount(
+            self._edges[:, 1].astype(np.int64), minlength=self._num_nodes
+        )
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "Digraph":
+        """The transposed graph (every edge flipped)."""
+        return Digraph(self._num_nodes, self._edges[:, ::-1])
+
+    def without_self_loops(self) -> "Digraph":
+        """A copy with self-loop edges removed."""
+        keep = self._edges[:, 0] != self._edges[:, 1]
+        return Digraph(self._num_nodes, self._edges[keep])
+
+    def deduplicated(self) -> "Digraph":
+        """A copy with parallel edges collapsed."""
+        if self.num_edges == 0:
+            return Digraph(self._num_nodes)
+        return Digraph(self._num_nodes, np.unique(self._edges, axis=0))
+
+    # ------------------------------------------------------------------
+    # iteration and construction helpers
+    # ------------------------------------------------------------------
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(u, v)`` tuples in storage order."""
+        for u, v in self._edges:
+            yield int(u), int(v)
+
+    @classmethod
+    def from_edge_iter(
+        cls, num_nodes: int, pairs: Iterable[Tuple[int, int]]
+    ) -> "Digraph":
+        """Build a graph from an iterable of ``(u, v)`` pairs."""
+        edge_list = list(pairs)
+        if not edge_list:
+            return cls(num_nodes)
+        return cls(num_nodes, np.asarray(edge_list, dtype=np.int64))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        if self.num_nodes != other.num_nodes:
+            return False
+        mine = self._edges
+        theirs = other._edges
+        if mine.shape != theirs.shape:
+            return False
+        # Compare as multisets of edges.
+        return bool(
+            np.array_equal(
+                np.sort(mine.view([("u", NODE_DTYPE), ("v", NODE_DTYPE)]), axis=0),
+                np.sort(theirs.view([("u", NODE_DTYPE), ("v", NODE_DTYPE)]), axis=0),
+            )
+        )
+
+    __hash__ = None  # type: ignore[assignment]

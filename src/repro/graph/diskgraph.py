@@ -1,0 +1,136 @@
+"""The semi-external graph view: node count in memory, edges on disk.
+
+A :class:`DiskGraph` is what the paper's algorithms actually consume —
+``|V|`` is known (and small enough that a few node arrays fit in
+memory), while ``E(G)`` lives in an :class:`~repro.io.edgefile.EdgeFile`
+and is accessed only through sequential scans.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_BLOCK_SIZE
+from repro.graph.digraph import Digraph
+from repro.io.counter import IOCounter
+from repro.io.edgefile import EdgeFile
+from repro.io.extsort import reverse_edges
+
+
+class DiskGraph:
+    """A directed graph whose edge set resides on disk.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``|V(G)|``.
+    edge_file:
+        The on-disk edge list.
+    """
+
+    def __init__(self, num_nodes: int, edge_file: EdgeFile) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self.num_nodes = num_nodes
+        self.edge_file = edge_file
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(
+        cls,
+        graph: Digraph,
+        path: str,
+        counter: Optional[IOCounter] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "DiskGraph":
+        """Materialise an in-memory graph onto disk."""
+        edge_file = EdgeFile.from_array(
+            path, graph.edges, counter=counter, block_size=block_size
+        )
+        return cls(graph.num_nodes, edge_file)
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: np.ndarray,
+        path: str,
+        counter: Optional[IOCounter] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "DiskGraph":
+        """Materialise a raw edge array onto disk."""
+        edge_file = EdgeFile.from_array(
+            path, edges, counter=counter, block_size=block_size
+        )
+        return cls(num_nodes, edge_file)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """``|E(G)|``."""
+        return self.edge_file.num_edges
+
+    @property
+    def counter(self) -> IOCounter:
+        """The shared I/O counter."""
+        return self.edge_file.counter
+
+    @property
+    def block_size(self) -> int:
+        """Disk block size ``B``."""
+        return self.edge_file.block_size
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskGraph(n={self.num_nodes}, m={self.num_edges}, "
+            f"path={self.edge_file.path!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def scan_edges(self, batch_blocks: int = 1) -> Iterator[np.ndarray]:
+        """Sequentially scan the edge set, charging block reads."""
+        return self.edge_file.scan(batch_blocks=batch_blocks)
+
+    def to_digraph(self) -> Digraph:
+        """Load the whole graph into memory (one full scan)."""
+        return Digraph(self.num_nodes, self.edge_file.read_all())
+
+    def reversed_graph(self, path: Optional[str] = None) -> "DiskGraph":
+        """Build the transposed graph on disk (one read + one write pass)."""
+        reversed_file = reverse_edges(self.edge_file, out_path=path)
+        return DiskGraph(self.num_nodes, reversed_file)
+
+    def scratch_path(self, suffix: str) -> str:
+        """A sibling path for temporary files derived from this graph."""
+        return self.edge_file.path + "." + suffix
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the backing edge file."""
+        self.edge_file.close()
+
+    def unlink(self) -> None:
+        """Close and delete the backing edge file and known scratch files."""
+        base = self.edge_file.path
+        self.edge_file.unlink()
+        for suffix in (".rev", ".sorted", ".staging"):
+            candidate = base + suffix
+            if os.path.exists(candidate):
+                os.remove(candidate)
+
+    def __enter__(self) -> "DiskGraph":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,102 @@
+"""Structural statistics of directed graphs.
+
+Degree summaries, SCC profiles, and the ``depth(G)`` quantity the
+paper's I/O bounds are stated in (the longest simple path of ``G``,
+computed exactly on the condensation where it reduces to a DAG longest
+path plus the internal extent of the SCCs on it — we report the standard
+conservative proxy: longest path of the condensation weighted by SCC
+sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import Digraph
+
+
+@dataclass
+class DegreeStats:
+    """Summary of a graph's degree distribution."""
+
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    isolated_nodes: int
+
+
+def degree_stats(graph: Digraph) -> DegreeStats:
+    """Compute :class:`DegreeStats` for ``graph``."""
+    out_degree = np.asarray(graph.out_degree())
+    in_degree = graph.in_degree()
+    isolated = int(np.count_nonzero((out_degree == 0) & (in_degree == 0)))
+    average = graph.num_edges / graph.num_nodes if graph.num_nodes else 0.0
+    return DegreeStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_degree=average,
+        max_out_degree=int(out_degree.max()) if graph.num_nodes else 0,
+        max_in_degree=int(in_degree.max()) if graph.num_nodes else 0,
+        isolated_nodes=isolated,
+    )
+
+
+@dataclass
+class SCCProfile:
+    """The SCC structure summary the paper quotes for its datasets."""
+
+    num_sccs_nontrivial: int
+    num_sccs_total: int
+    nodes_in_nontrivial_sccs: int
+    largest_scc_size: int
+    second_largest_scc_size: int
+    smallest_nontrivial_scc_size: int
+
+
+def scc_profile(sizes: np.ndarray) -> SCCProfile:
+    """Summarise an array of SCC sizes (one entry per SCC)."""
+    sizes = np.asarray(sizes, dtype=np.int64)
+    nontrivial = sizes[sizes >= 2]
+    ordered = np.sort(nontrivial)[::-1]
+    return SCCProfile(
+        num_sccs_nontrivial=int(nontrivial.size),
+        num_sccs_total=int(sizes.size),
+        nodes_in_nontrivial_sccs=int(nontrivial.sum()),
+        largest_scc_size=int(ordered[0]) if ordered.size else 0,
+        second_largest_scc_size=int(ordered[1]) if ordered.size > 1 else 0,
+        smallest_nontrivial_scc_size=int(ordered[-1]) if ordered.size else 0,
+    )
+
+
+def estimated_depth(graph: Digraph) -> int:
+    """A ``depth(G)`` proxy: SCC-size-weighted longest condensation path.
+
+    The true longest simple path is NP-hard in general graphs; the
+    paper's bounds only need an upper-bound flavour, which this gives:
+    every simple path visits each SCC at most once and can use at most
+    ``|SCC|`` nodes inside it.
+    """
+    from repro.inmemory.condensation import condense
+    from repro.inmemory.toposort import topological_sort
+
+    if graph.num_nodes == 0:
+        return 0
+    condensed = condense(graph)
+    dag = condensed.dag
+    weights = condensed.sizes.astype(np.int64)
+    order = topological_sort(dag)
+    best = weights.copy()
+    indptr = dag.indptr
+    indices = dag.indices
+    for v in order:
+        v = int(v)
+        reach = best[v]
+        for w in indices[indptr[v] : indptr[v + 1]]:
+            w = int(w)
+            if best[w] < reach + weights[w]:
+                best[w] = reach + weights[w]
+    return int(best.max()) - 1 if best.size else 0

@@ -1,0 +1,103 @@
+"""Persistent graph storage: binary edge file + JSON sidecar metadata.
+
+The on-disk layout keeps the edge payload bit-identical to what
+:class:`~repro.io.edgefile.EdgeFile` scans (so a stored graph can be
+opened semi-externally with zero conversion), and puts everything else
+— node count, provenance, free-form attributes — in a small
+``<path>.meta`` JSON sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.constants import DEFAULT_BLOCK_SIZE
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.io.counter import IOCounter
+from repro.io.edgefile import EdgeFile
+
+_FORMAT = "repro-graph-v1"
+
+
+def _meta_path(path: str) -> str:
+    return path + ".meta"
+
+
+def write_metadata(
+    path: str,
+    num_nodes: int,
+    num_edges: int,
+    attributes: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write the ``path.meta`` sidecar for an existing edge file.
+
+    Use this to adopt an edge file produced out-of-core (e.g. by
+    :func:`repro.apps.condense_external.condense_to_disk`) into the
+    storage layout without loading it into memory.
+    """
+    meta = {
+        "format": _FORMAT,
+        "num_nodes": num_nodes,
+        "num_edges": num_edges,
+        "attributes": attributes or {},
+    }
+    with open(_meta_path(path), "w", encoding="ascii") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def save_graph(
+    graph: Digraph,
+    path: str,
+    attributes: Optional[Dict[str, Any]] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> None:
+    """Store ``graph`` at ``path`` (edges) and ``path.meta`` (metadata)."""
+    edge_file = EdgeFile.from_array(path, graph.edges, block_size=block_size)
+    edge_file.close()
+    write_metadata(path, graph.num_nodes, graph.num_edges, attributes)
+
+
+def read_metadata(path: str) -> Dict[str, Any]:
+    """Read and validate the sidecar metadata for a stored graph."""
+    meta_path = _meta_path(path)
+    if not os.path.exists(meta_path):
+        raise GraphFormatError(f"missing metadata sidecar {meta_path}")
+    with open(meta_path, "r", encoding="ascii") as handle:
+        meta = json.load(handle)
+    if meta.get("format") != _FORMAT:
+        raise GraphFormatError(
+            f"{meta_path}: unknown format {meta.get('format')!r}"
+        )
+    if "num_nodes" not in meta:
+        raise GraphFormatError(f"{meta_path}: num_nodes missing")
+    return meta
+
+
+def open_disk_graph(
+    path: str,
+    counter: Optional[IOCounter] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> DiskGraph:
+    """Open a stored graph semi-externally (edges stay on disk)."""
+    meta = read_metadata(path)
+    edge_file = EdgeFile(path, counter=counter, block_size=block_size)
+    graph = DiskGraph(int(meta["num_nodes"]), edge_file)
+    if graph.num_edges != meta["num_edges"]:
+        raise GraphFormatError(
+            f"{path}: metadata says {meta['num_edges']} edges, "
+            f"file holds {graph.num_edges}"
+        )
+    return graph
+
+
+def load_graph(path: str) -> Digraph:
+    """Load a stored graph fully into memory."""
+    disk = open_disk_graph(path)
+    try:
+        return disk.to_digraph()
+    finally:
+        disk.close()

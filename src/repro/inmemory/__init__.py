@@ -1,0 +1,26 @@
+"""In-memory SCC algorithms and DAG utilities, implemented from scratch.
+
+These serve three roles in the reproduction:
+
+* ground truth for testing the semi-external algorithms,
+* the in-memory Kosaraju-Sharir step inside 1PB-SCC's batch processing
+  (paper Algorithm 8, line 7),
+* the "internal memory algorithm" EM-SCC falls back to once the graph
+  fits in memory.
+"""
+
+from repro.inmemory.condensation import CondensedGraph, condense
+from repro.inmemory.kosaraju import kosaraju_scc
+from repro.inmemory.pathbased import gabow_scc
+from repro.inmemory.tarjan import tarjan_scc
+from repro.inmemory.toposort import longest_path_depths, topological_sort
+
+__all__ = [
+    "tarjan_scc",
+    "kosaraju_scc",
+    "gabow_scc",
+    "condense",
+    "CondensedGraph",
+    "topological_sort",
+    "longest_path_depths",
+]

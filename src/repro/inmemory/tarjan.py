@@ -1,0 +1,94 @@
+"""Tarjan's SCC algorithm (iterative, linear time).
+
+The primary in-memory ground truth for the whole repository.  Labels
+are assigned in the order SCCs are *completed*, which for Tarjan is a
+reverse topological order of the condensation — a property
+:mod:`repro.inmemory.condensation` exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.digraph import Digraph
+
+
+def tarjan_scc(graph: Digraph) -> Tuple[np.ndarray, int]:
+    """Compute SCC labels for ``graph``.
+
+    Returns
+    -------
+    labels:
+        ``(n,)`` int64 array; ``labels[v]`` identifies ``v``'s SCC.
+        Labels are contiguous in ``0 .. num_sccs - 1`` and appear in
+        reverse topological order of the condensation.
+    num_sccs:
+        Number of strongly connected components.
+    """
+    n = graph.num_nodes
+    labels = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return labels, 0
+
+    indptr = graph.indptr
+    indices = graph.indices
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+
+    counter = 0
+    scc_count = 0
+    scc_stack: list[int] = []
+    # Each work frame is [node, next_child_offset]; offsets index into
+    # the CSR slice of the node.
+    work: list[list[int]] = []
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        work.append([root, 0])
+        while work:
+            frame = work[-1]
+            v = frame[0]
+            if frame[1] == 0:
+                index[v] = counter
+                lowlink[v] = counter
+                counter += 1
+                scc_stack.append(v)
+                on_stack[v] = True
+
+            start = indptr[v]
+            end = indptr[v + 1]
+            descended = False
+            child_offset = frame[1]
+            while start + child_offset < end:
+                w = int(indices[start + child_offset])
+                child_offset += 1
+                if index[w] == -1:
+                    frame[1] = child_offset
+                    work.append([w, 0])
+                    descended = True
+                    break
+                if on_stack[w] and index[w] < lowlink[v]:
+                    lowlink[v] = index[w]
+            if descended:
+                continue
+
+            # v is fully explored.
+            work.pop()
+            if lowlink[v] == index[v]:
+                while True:
+                    w = scc_stack.pop()
+                    on_stack[w] = False
+                    labels[w] = scc_count
+                    if w == v:
+                        break
+                scc_count += 1
+            if work:
+                parent = work[-1][0]
+                if lowlink[v] < lowlink[parent]:
+                    lowlink[parent] = lowlink[v]
+
+    return labels, scc_count

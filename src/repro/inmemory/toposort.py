@@ -1,0 +1,87 @@
+"""Topological ordering and longest-path depths over DAGs.
+
+1PB-SCC (paper Algorithm 8) rebuilds its BR-Tree by processing the
+batch DAG in topological order and computing
+``drank(v) = max over (u, v) of drank(u) + 1`` by dynamic programming;
+these are the primitives it uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import Digraph
+
+
+def topological_sort(graph: Digraph) -> np.ndarray:
+    """Kahn's algorithm; returns node ids in topological order.
+
+    Raises :class:`GraphFormatError` if the graph contains a cycle.
+    """
+    n = graph.num_nodes
+    indptr = graph.indptr
+    indices = graph.indices
+    in_degree = graph.in_degree().astype(np.int64)
+
+    queue = deque(int(v) for v in np.flatnonzero(in_degree == 0))
+    order = np.empty(n, dtype=np.int64)
+    filled = 0
+    while queue:
+        v = queue.popleft()
+        order[filled] = v
+        filled += 1
+        for w in indices[indptr[v] : indptr[v + 1]]:
+            w = int(w)
+            in_degree[w] -= 1
+            if in_degree[w] == 0:
+                queue.append(w)
+    if filled != n:
+        raise GraphFormatError("graph has a cycle; topological sort impossible")
+    return order
+
+
+def longest_path_depths(
+    graph: Digraph,
+    order: Optional[np.ndarray] = None,
+    base_depth: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Longest-path depth of every node in a DAG.
+
+    ``depth[v] = max(base_depth[v], max over (u, v) of depth[u] + 1)``,
+    computed in one pass over a topological ``order`` (recomputed when
+    omitted).  ``base_depth`` defaults to 1 for every node — the paper
+    hangs all roots off a virtual root ``v0`` at depth 0, so real nodes
+    start at depth 1.
+    """
+    n = graph.num_nodes
+    if order is None:
+        order = topological_sort(graph)
+    if base_depth is None:
+        depth = np.ones(n, dtype=np.int64)
+    else:
+        depth = np.asarray(base_depth, dtype=np.int64).copy()
+        if depth.shape[0] != n:
+            raise ValueError("base_depth must cover every node")
+
+    indptr = graph.indptr
+    indices = graph.indices
+    for v in order:
+        v = int(v)
+        dv1 = depth[v] + 1
+        for w in indices[indptr[v] : indptr[v + 1]]:
+            w = int(w)
+            if depth[w] < dv1:
+                depth[w] = dv1
+    return depth
+
+
+def dag_depth(graph: Digraph) -> int:
+    """Length (in edges) of the longest path in a DAG."""
+    if graph.num_nodes == 0:
+        return 0
+    depths = longest_path_depths(graph, base_depth=np.zeros(graph.num_nodes, np.int64))
+    return int(depths.max())

@@ -1,0 +1,34 @@
+"""Simulated external-memory I/O substrate.
+
+The paper evaluates algorithms in the classic I/O model of Aggarwal and
+Vitter: memory of size ``M``, disk blocks of size ``B``, and the cost of
+an algorithm is the number of blocks transferred.  This subpackage
+provides that model as a library:
+
+* :class:`~repro.io.counter.IOCounter` / :class:`~repro.io.counter.IOStats`
+  — the single choke-point through which every block transfer is tallied.
+* :class:`~repro.io.blocks.BlockDevice` — block-granular access to a real
+  file on disk.
+* :class:`~repro.io.edgefile.EdgeFile` — an on-disk binary edge list that
+  can only be scanned sequentially (the access pattern every semi-external
+  algorithm in the paper is built around).
+* :class:`~repro.io.memory.MemoryModel` — the ``M``/``B`` budget and the
+  semi-external invariant ``c|V| <= M << ||G||``.
+* :mod:`~repro.io.extsort` — external k-way merge sort with I/O
+  accounting, used to reverse and regroup edge files.
+"""
+
+from repro.io.blocks import BlockDevice
+from repro.io.counter import IOCounter, IOStats
+from repro.io.edgefile import EdgeFile
+from repro.io.extsort import external_sort_edges
+from repro.io.memory import MemoryModel
+
+__all__ = [
+    "BlockDevice",
+    "IOCounter",
+    "IOStats",
+    "EdgeFile",
+    "MemoryModel",
+    "external_sort_edges",
+]

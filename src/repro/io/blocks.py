@@ -1,0 +1,137 @@
+"""A block-granular disk abstraction backed by a real file.
+
+:class:`BlockDevice` enforces the I/O model's core rule: the disk can
+only be touched one ``B``-byte block at a time, and every touch is
+tallied in an :class:`~repro.io.counter.IOCounter`.  Whether an access
+counts as sequential or random is decided by comparing the block index
+with the previously accessed one — exactly how a spinning disk would
+experience it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.constants import DEFAULT_BLOCK_SIZE
+from repro.io.counter import IOCounter
+
+
+class BlockDevice:
+    """Block-addressed access to a file with per-block I/O accounting.
+
+    Parameters
+    ----------
+    path:
+        File backing the device; created if missing.
+    counter:
+        Shared :class:`IOCounter` that tallies every transfer.
+    block_size:
+        Block size ``B`` in bytes (default 64 KiB, the paper's setting).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        counter: Optional[IOCounter] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.path = path
+        self.counter = counter if counter is not None else IOCounter()
+        self.block_size = block_size
+        self._file = open(path, "a+b")
+        self._file.seek(0, os.SEEK_END)
+        self._size = self._file.tell()
+        self._last_read_block = -2
+        self._last_write_block = -2
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def unlink(self) -> None:
+        """Close the device and delete the backing file."""
+        self.close()
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def __enter__(self) -> "BlockDevice":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Current size of the backing file in bytes."""
+        return self._size
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of (possibly partial) blocks currently stored."""
+        return -(-self._size // self.block_size)
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def read_block(self, index: int) -> bytes:
+        """Read block ``index`` and tally one block read.
+
+        The final block of the file may be shorter than ``block_size``.
+        """
+        if index < 0 or index >= self.num_blocks:
+            raise IndexError(f"block {index} out of range (have {self.num_blocks})")
+        sequential = index == self._last_read_block + 1
+        self._file.seek(index * self.block_size)
+        data = self._file.read(self.block_size)
+        self._last_read_block = index
+        self.counter.record_read(1, len(data), sequential=sequential)
+        return data
+
+    def write_block(self, index: int, data: bytes) -> None:
+        """Write ``data`` at block ``index`` and tally one block write."""
+        if index < 0:
+            raise IndexError("block index must be non-negative")
+        if len(data) > self.block_size:
+            raise ValueError("data does not fit in one block")
+        sequential = index == self._last_write_block + 1
+        offset = index * self.block_size
+        self._file.seek(offset)
+        self._file.write(data)
+        self._last_write_block = index
+        self._size = max(self._size, offset + len(data))
+        self.counter.record_write(1, len(data), sequential=sequential)
+
+    def append_block(self, data: bytes) -> int:
+        """Append ``data`` as the next block; return its index."""
+        index = self.num_blocks
+        # Appending right after the last full block is sequential even if
+        # the previous block was partial; model it as such.
+        self._last_write_block = index - 1
+        self.write_block(index, data)
+        return index
+
+    def truncate(self) -> None:
+        """Discard all contents (no I/O charged — metadata operation)."""
+        self._file.truncate(0)
+        self._size = 0
+        self._last_read_block = -2
+        self._last_write_block = -2
+
+    def truncate_to(self, nbytes: int) -> None:
+        """Shrink the file to ``nbytes`` (no I/O charged — metadata)."""
+        if nbytes < 0 or nbytes > self._size:
+            raise ValueError("truncate_to target out of range")
+        self._file.truncate(nbytes)
+        self._size = nbytes

@@ -1,0 +1,118 @@
+"""Block-level I/O accounting.
+
+Every disk transfer performed by the library flows through an
+:class:`IOCounter`.  The counter distinguishes sequential from random
+block accesses because the paper's central argument is that bounded
+*sequential scans* beat the random accesses of externalized DFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """An immutable-ish snapshot of block-transfer counts.
+
+    Attributes mirror the I/O model: each unit is one block of ``B``
+    bytes moved between disk and memory.
+    """
+
+    seq_reads: int = 0
+    seq_writes: int = 0
+    rand_reads: int = 0
+    rand_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Total block reads (sequential + random)."""
+        return self.seq_reads + self.rand_reads
+
+    @property
+    def writes(self) -> int:
+        """Total block writes (sequential + random)."""
+        return self.seq_writes + self.rand_writes
+
+    @property
+    def total(self) -> int:
+        """Total block transfers — the paper's ``# of I/Os`` metric."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            seq_reads=self.seq_reads - other.seq_reads,
+            seq_writes=self.seq_writes - other.seq_writes,
+            rand_reads=self.rand_reads - other.rand_reads,
+            rand_writes=self.rand_writes - other.rand_writes,
+            bytes_read=self.bytes_read - other.bytes_read,
+            bytes_written=self.bytes_written - other.bytes_written,
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            seq_reads=self.seq_reads + other.seq_reads,
+            seq_writes=self.seq_writes + other.seq_writes,
+            rand_reads=self.rand_reads + other.rand_reads,
+            rand_writes=self.rand_writes + other.rand_writes,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+    def copy(self) -> "IOStats":
+        """Return an independent copy of the current counts."""
+        return IOStats(
+            seq_reads=self.seq_reads,
+            seq_writes=self.seq_writes,
+            rand_reads=self.rand_reads,
+            rand_writes=self.rand_writes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+        )
+
+
+@dataclass
+class IOCounter:
+    """Mutable accumulator of block transfers.
+
+    One counter is shared by every :class:`~repro.io.blocks.BlockDevice`
+    and :class:`~repro.io.edgefile.EdgeFile` participating in a run, so
+    ``counter.stats.total`` is directly comparable to the ``# of I/Os``
+    columns of the paper's Table 3 and figures.
+    """
+
+    stats: IOStats = field(default_factory=IOStats)
+
+    def record_read(self, blocks: int, nbytes: int, sequential: bool = True) -> None:
+        """Tally ``blocks`` block reads moving ``nbytes`` payload bytes."""
+        if blocks < 0 or nbytes < 0:
+            raise ValueError("I/O quantities must be non-negative")
+        if sequential:
+            self.stats.seq_reads += blocks
+        else:
+            self.stats.rand_reads += blocks
+        self.stats.bytes_read += nbytes
+
+    def record_write(self, blocks: int, nbytes: int, sequential: bool = True) -> None:
+        """Tally ``blocks`` block writes moving ``nbytes`` payload bytes."""
+        if blocks < 0 or nbytes < 0:
+            raise ValueError("I/O quantities must be non-negative")
+        if sequential:
+            self.stats.seq_writes += blocks
+        else:
+            self.stats.rand_writes += blocks
+        self.stats.bytes_written += nbytes
+
+    def snapshot(self) -> IOStats:
+        """Return a copy of the current counts for later diffing."""
+        return self.stats.copy()
+
+    def since(self, snapshot: IOStats) -> IOStats:
+        """Return the counts accumulated since ``snapshot`` was taken."""
+        return self.stats - snapshot
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.stats = IOStats()

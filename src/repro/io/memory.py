@@ -1,0 +1,132 @@
+"""The semi-external memory model ``c|V| <= M << ||G||``.
+
+The paper's problem statement gives every algorithm a memory budget
+``M`` large enough for a small constant number of ``|V|``-sized node
+arrays (the default in Section 8 is ``M = 4 * (3|V|) + B`` — three
+4-byte arrays plus one disk block).  :class:`MemoryModel` captures that
+budget and answers the two questions algorithms keep asking:
+
+* *Can I afford this many node arrays?* (semi-external feasibility)
+* *How many edges fit in the memory left over?* (1PB-SCC's batch size,
+  which grows as early acceptance/rejection frees node slots —
+  the Section 7.4 feedback loop)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import DEFAULT_BLOCK_SIZE, EDGE_BYTES, NODE_BYTES
+from repro.exceptions import MemoryBudgetError
+
+
+@dataclass
+class MemoryModel:
+    """Memory budget ``M`` and block size ``B`` for one algorithm run.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``|V(G)|`` of the input graph.
+    capacity:
+        Total budget ``M`` in bytes.  Defaults to the paper's
+        ``4 * (3 |V|) + B``.
+    block_size:
+        Disk block size ``B`` in bytes.
+    node_bytes:
+        Bytes per node id (paper: 4).
+    """
+
+    num_nodes: int
+    capacity: int | None = None
+    block_size: int = DEFAULT_BLOCK_SIZE
+    node_bytes: int = NODE_BYTES
+    _charged: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        if self.capacity is None:
+            self.capacity = self.default_capacity(
+                self.num_nodes, self.block_size, self.node_bytes
+            )
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+    @staticmethod
+    def default_capacity(
+        num_nodes: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        node_bytes: int = NODE_BYTES,
+    ) -> int:
+        """The paper's default ``M = node_bytes * (3 |V|) + B``."""
+        return node_bytes * 3 * num_nodes + block_size
+
+    # ------------------------------------------------------------------
+    # feasibility checks
+    # ------------------------------------------------------------------
+    def node_array_bytes(self, arrays: int, live_nodes: int | None = None) -> int:
+        """Bytes consumed by ``arrays`` node-indexed arrays."""
+        nodes = self.num_nodes if live_nodes is None else live_nodes
+        return arrays * nodes * self.node_bytes
+
+    def require_node_arrays(self, arrays: int, live_nodes: int | None = None) -> None:
+        """Raise :class:`MemoryBudgetError` if ``arrays`` arrays overflow ``M``.
+
+        Semi-external algorithms call this once up front to assert their
+        resident footprint (BR-Tree: 2 arrays, BR+-Tree: 3) fits.
+        """
+        needed = self.node_array_bytes(arrays, live_nodes)
+        if needed > self.capacity:
+            raise MemoryBudgetError(
+                f"{arrays} node arrays over {live_nodes or self.num_nodes} nodes "
+                f"need {needed} bytes but M = {self.capacity}"
+            )
+
+    # ------------------------------------------------------------------
+    # edge-batch budgeting (1PB-SCC)
+    # ------------------------------------------------------------------
+    def edge_budget_bytes(self, resident_arrays: int, live_nodes: int | None = None) -> int:
+        """Bytes left for edge batches after ``resident_arrays`` node arrays.
+
+        Never less than one block: the problem statement guarantees room
+        for at least one block of edges beyond the node arrays.
+        """
+        free = self.capacity - self.node_array_bytes(resident_arrays, live_nodes)
+        return max(free, self.block_size)
+
+    def edges_per_batch(self, resident_arrays: int, live_nodes: int | None = None) -> int:
+        """Edge records that fit in the leftover memory (>= one block)."""
+        per_block = self.block_size // EDGE_BYTES
+        edges = self.edge_budget_bytes(resident_arrays, live_nodes) // EDGE_BYTES
+        return max(edges, per_block)
+
+    def blocks_per_batch(self, resident_arrays: int, live_nodes: int | None = None) -> int:
+        """Whole blocks that fit in the leftover memory (>= 1)."""
+        blocks = self.edge_budget_bytes(resident_arrays, live_nodes) // self.block_size
+        return max(blocks, 1)
+
+    # ------------------------------------------------------------------
+    # explicit charge tracking (used by tests and the bench harness)
+    # ------------------------------------------------------------------
+    @property
+    def charged(self) -> int:
+        """Bytes currently charged via :meth:`charge`."""
+        return self._charged
+
+    def charge(self, nbytes: int) -> None:
+        """Charge ``nbytes`` against the budget; raise if it overflows."""
+        if nbytes < 0:
+            raise ValueError("cannot charge a negative amount")
+        if self._charged + nbytes > self.capacity:
+            raise MemoryBudgetError(
+                f"charging {nbytes} bytes exceeds M = {self.capacity} "
+                f"(already charged {self._charged})"
+            )
+        self._charged += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Release a previous charge."""
+        if nbytes < 0 or nbytes > self._charged:
+            raise ValueError("release amount out of range")
+        self._charged -= nbytes

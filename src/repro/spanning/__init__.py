@@ -1,0 +1,21 @@
+"""Spanning-tree machinery: BR-Trees, BR+-Trees, pushdown, contraction.
+
+The paper's algorithms all operate on a spanning tree of the graph
+hanging off a virtual root ``v0``:
+
+* :class:`~repro.spanning.unionfind.DisjointSet` — supernode membership
+  with explicit control over which member stays representative.
+* :class:`~repro.spanning.tree.ContractibleTree` — a parent/depth forest
+  supporting the paper's primitive operations: ancestor tests, the
+  ``pushdown`` reshaping operation, tree-path contraction (early
+  acceptance), and node rejection (early rejection).
+* :class:`~repro.spanning.brtree.BRPlusTree` — a ContractibleTree plus
+  one stored backward link per node, with the ``drank``/``dlink``
+  closure of Definition 5.1.
+"""
+
+from repro.spanning.brtree import BRPlusTree
+from repro.spanning.tree import ContractibleTree
+from repro.spanning.unionfind import DisjointSet
+
+__all__ = ["DisjointSet", "ContractibleTree", "BRPlusTree"]

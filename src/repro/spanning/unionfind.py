@@ -1,0 +1,87 @@
+"""Disjoint sets with caller-chosen representatives.
+
+Tree-path contraction must keep the *topmost* path node as the merged
+supernode's identity (it inherits that node's parent and depth), so this
+union-find lets the caller dictate the surviving representative instead
+of using union-by-rank.  Path compression keeps finds cheap; a
+vectorised ``find_many`` serves the batch-oriented algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DisjointSet:
+    """Union-find over ``0 .. n - 1`` with explicit representatives.
+
+    Parameters
+    ----------
+    n:
+        Number of elements.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.parent.shape[0])
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    def find_many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised find over an array of elements."""
+        parent = self.parent
+        roots = parent[xs]
+        while True:
+            nxt = parent[roots]
+            if np.array_equal(nxt, roots):
+                break
+            roots = nxt
+        # One-shot compression for the queried elements.
+        parent[xs] = roots
+        return roots
+
+    def union_into(self, absorbed: int, representative: int) -> int:
+        """Merge ``absorbed``'s set into ``representative``'s set.
+
+        ``representative`` (which must already be a representative)
+        survives as the set's identity — the semantics tree contraction
+        needs.  Returns the representative.
+        """
+        absorbed = self.find(absorbed)
+        if self.parent[representative] != representative:
+            raise ValueError("representative must be a set representative")
+        if absorbed == representative:
+            return representative
+        self.parent[absorbed] = representative
+        self.size[representative] += self.size[absorbed]
+        return representative
+
+    def same(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, x: int) -> int:
+        """Number of elements in ``x``'s set."""
+        return int(self.size[self.find(x)])
+
+    def labels(self) -> tuple[np.ndarray, int]:
+        """Contiguous labels ``0 .. k - 1`` for the current partition."""
+        n = len(self)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), 0
+        roots = self.find_many(np.arange(n, dtype=np.int64))
+        unique_roots, labels = np.unique(roots, return_inverse=True)
+        return labels.astype(np.int64), int(unique_roots.size)

@@ -1,0 +1,45 @@
+"""Workload generators reproducing the paper's datasets.
+
+* :mod:`~repro.workloads.synthetic` — the planted-SCC generator behind
+  the paper's Massive-SCC / Large-SCC / Small-SCC graph families
+  (Table 2), built so the planted component structure is *exact*:
+  cross-component edges follow a hidden topological order and can never
+  create unplanned SCCs.
+* :mod:`~repro.workloads.realworld` — scaled synthetic stand-ins for
+  cit-patents, go-uniprot, citeseerx and WEBSPAM-UK2007, matching the
+  published node/edge counts (times ``scale``), average degrees and SCC
+  profiles (see DESIGN.md for the substitution rationale).
+* :mod:`~repro.workloads.params` — the Table 2 parameter grid.
+"""
+
+from repro.workloads.params import (
+    SCC_CLASSES,
+    SyntheticParams,
+    massive_scc_params,
+    large_scc_params,
+    small_scc_params,
+)
+from repro.workloads.realworld import (
+    cit_patents_like,
+    citeseerx_like,
+    go_uniprot_like,
+    webspam_like,
+)
+from repro.workloads.streaming import planted_scc_graph_to_disk
+from repro.workloads.synthetic import PlantedGraph, planted_scc_graph, synthetic_graph
+
+__all__ = [
+    "PlantedGraph",
+    "planted_scc_graph",
+    "planted_scc_graph_to_disk",
+    "synthetic_graph",
+    "SyntheticParams",
+    "massive_scc_params",
+    "large_scc_params",
+    "small_scc_params",
+    "SCC_CLASSES",
+    "cit_patents_like",
+    "go_uniprot_like",
+    "citeseerx_like",
+    "webspam_like",
+]

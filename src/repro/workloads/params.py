@@ -1,0 +1,127 @@
+"""The paper's Table 2 parameter grid, with a reproduction scale knob.
+
+The paper sweeps 30M-70M node graphs; a pure-Python reproduction runs
+the same sweeps at ``scale`` times the size (default 1/1000, i.e.
+30K-70K nodes).  Scaling rules, chosen so every ratio the figures plot
+is preserved:
+
+* ``|V|``, the Massive-SCC size and the Large-SCC size scale linearly;
+* the Small-SCC size (20-60 nodes) is already small and stays fixed,
+  while the *number* of small SCCs scales;
+* the number of Large-SCCs (30-70) and of Massive-SCCs (1) stay fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+#: Default reproduction scale relative to the paper's sizes.
+DEFAULT_SCALE: float = 1e-3
+
+#: Table 2 defaults (paper units, before scaling).
+PAPER_DEFAULT_NODES: int = 30_000_000
+PAPER_DEFAULT_DEGREE: int = 5
+PAPER_DEFAULT_MASSIVE_SIZE: int = 400_000
+PAPER_DEFAULT_LARGE_SIZE: int = 8_000
+PAPER_DEFAULT_SMALL_SIZE: int = 40
+PAPER_DEFAULT_NUM_LARGE: int = 50
+PAPER_DEFAULT_NUM_SMALL: int = 10_000
+
+#: The three synthetic families of Section 8.
+SCC_CLASSES = ("massive", "large", "small")
+
+
+@dataclass
+class SyntheticParams:
+    """One fully-resolved synthetic workload configuration."""
+
+    scc_class: str
+    num_nodes: int
+    avg_degree: float
+    massive_sccs: List[int] = field(default_factory=list)
+    large_sccs: List[int] = field(default_factory=list)
+    small_sccs: List[int] = field(default_factory=list)
+    seed: int = 0
+
+    def build(self):
+        """Generate the graph (returns a PlantedGraph)."""
+        from repro.workloads.synthetic import synthetic_graph
+
+        return synthetic_graph(
+            self.num_nodes,
+            avg_degree=self.avg_degree,
+            massive_sccs=self.massive_sccs,
+            large_sccs=self.large_sccs,
+            small_sccs=self.small_sccs,
+            seed=self.seed,
+        )
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def massive_scc_params(
+    paper_nodes: int = PAPER_DEFAULT_NODES,
+    degree: float = PAPER_DEFAULT_DEGREE,
+    paper_scc_size: int = PAPER_DEFAULT_MASSIVE_SIZE,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> SyntheticParams:
+    """A Massive-SCC graph: one SCC of (scaled) 200K-600K nodes."""
+    return SyntheticParams(
+        scc_class="massive",
+        num_nodes=_scaled(paper_nodes, scale, 1_000),
+        avg_degree=degree,
+        massive_sccs=[_scaled(paper_scc_size, scale, 16)],
+        seed=seed,
+    )
+
+
+def large_scc_params(
+    paper_nodes: int = PAPER_DEFAULT_NODES,
+    degree: float = PAPER_DEFAULT_DEGREE,
+    paper_scc_size: int = PAPER_DEFAULT_LARGE_SIZE,
+    num_sccs: int = PAPER_DEFAULT_NUM_LARGE,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> SyntheticParams:
+    """A Large-SCC graph: ``num_sccs`` SCCs of (scaled) 4K-12K nodes."""
+    return SyntheticParams(
+        scc_class="large",
+        num_nodes=_scaled(paper_nodes, scale, 1_000),
+        avg_degree=degree,
+        large_sccs=[_scaled(paper_scc_size, scale, 4)] * num_sccs,
+        seed=seed,
+    )
+
+
+def small_scc_params(
+    paper_nodes: int = PAPER_DEFAULT_NODES,
+    degree: float = PAPER_DEFAULT_DEGREE,
+    scc_size: int = PAPER_DEFAULT_SMALL_SIZE,
+    paper_num_sccs: int = PAPER_DEFAULT_NUM_SMALL,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> SyntheticParams:
+    """A Small-SCC graph: (scaled) thousands of SCCs of 20-60 nodes."""
+    return SyntheticParams(
+        scc_class="small",
+        num_nodes=_scaled(paper_nodes, scale, 1_000),
+        avg_degree=degree,
+        small_sccs=[scc_size] * _scaled(paper_num_sccs, scale, 2),
+        seed=seed,
+    )
+
+
+def params_for_class(scc_class: str, **kwargs) -> SyntheticParams:
+    """Dispatch to the right factory by class name."""
+    factories = {
+        "massive": massive_scc_params,
+        "large": large_scc_params,
+        "small": small_scc_params,
+    }
+    if scc_class not in factories:
+        raise ValueError(f"unknown SCC class {scc_class!r}; use one of {SCC_CLASSES}")
+    return factories[scc_class](**kwargs)

@@ -1,0 +1,105 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.digraph import Digraph
+from repro.io.counter import IOCounter
+from repro.io.edgefile import EdgeFile
+
+#: A block size small enough that tiny test graphs still span several
+#: blocks, exercising the batching paths.
+SMALL_BLOCK = 64
+
+
+@pytest.fixture
+def counter() -> IOCounter:
+    """A fresh I/O counter."""
+    return IOCounter()
+
+
+@pytest.fixture
+def edge_file_factory(tmp_path, counter):
+    """Create EdgeFiles in the test's temporary directory."""
+
+    made = []
+
+    def make(name="edges.bin", edges=None, block_size=SMALL_BLOCK):
+        path = str(tmp_path / name)
+        if edges is None:
+            edge_file = EdgeFile.create(path, counter=counter, block_size=block_size)
+        else:
+            edge_file = EdgeFile.from_array(
+                path, np.asarray(edges), counter=counter, block_size=block_size
+            )
+        made.append(edge_file)
+        return edge_file
+
+    yield make
+    for edge_file in made:
+        edge_file.device.close()
+
+
+@pytest.fixture
+def figure1_graph() -> Digraph:
+    """The paper's running example (Fig. 1): 12 nodes, 18 edges, 2 SCCs.
+
+    Nodes a..l are mapped to 0..11.  SCC1 = {b, c, d, e} and
+    SCC2 = {g, h, i, j}; the remaining 4 nodes are singletons.
+    """
+    a, b, c, d, e, f, g, h, i, j, k, l = range(12)
+    edges = [
+        (a, b), (a, g), (a, h),
+        (b, c), (b, d),
+        (c, e), (c, b),
+        (d, e),
+        (e, b),
+        (f, g),
+        (g, j), (g, i),
+        (h, g), (h, k),
+        (i, h),
+        (j, i), (j, l),
+        (l, k),
+    ]
+    return Digraph(12, np.array(edges))
+
+
+#: Ground truth partition for figure1_graph as frozensets of node ids.
+FIGURE1_SCCS = [
+    frozenset({1, 2, 3, 4}),   # b c d e
+    frozenset({6, 7, 8, 9}),   # g h i j
+    frozenset({0}),
+    frozenset({5}),
+    frozenset({10}),
+    frozenset({11}),
+]
+
+
+def labels_to_sets(labels) -> set[frozenset[int]]:
+    """Convert a label array into a set of frozenset groups."""
+    groups: dict[int, set[int]] = {}
+    for node, label in enumerate(np.asarray(labels).tolist()):
+        groups.setdefault(label, set()).add(node)
+    return {frozenset(group) for group in groups.values()}
+
+
+@st.composite
+def random_digraphs(draw, max_nodes=30, max_degree=4.0):
+    """Hypothesis strategy: small random digraphs (self-loops allowed)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=int(max_degree * n)))
+    if m:
+        flat = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=2 * m,
+                max_size=2 * m,
+            )
+        )
+        edges = np.asarray(flat, dtype=np.int64).reshape(-1, 2)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return Digraph(n, edges)

@@ -1,0 +1,66 @@
+"""Tests for the bisimulation partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bisimulation import bisimulation_partition
+from repro.graph.digraph import Digraph
+
+
+class TestDAGBisimulation:
+    def test_identical_leaves_collapse(self):
+        # 0 -> 1, 0 -> 2; 1 and 2 are both sinks -> bisimilar.
+        g = Digraph(3, np.array([[0, 1], [0, 2]]))
+        classes, count = bisimulation_partition(g)
+        assert classes[1] == classes[2]
+        assert classes[0] != classes[1]
+        assert count == 2
+
+    def test_different_successors_distinguish(self):
+        # 1 -> 3 (sink), 2 -> nothing: different signatures.
+        g = Digraph(4, np.array([[0, 1], [0, 2], [1, 3]]))
+        classes, _ = bisimulation_partition(g)
+        assert classes[1] != classes[2]
+
+    def test_two_parallel_chains_collapse(self):
+        # Two disjoint chains of equal length are pointwise bisimilar.
+        g = Digraph(6, np.array([[0, 1], [1, 2], [3, 4], [4, 5]]))
+        classes, count = bisimulation_partition(g)
+        assert classes[0] == classes[3]
+        assert classes[1] == classes[4]
+        assert classes[2] == classes[5]
+        assert count == 3
+
+    def test_scc_members_share_class(self):
+        # A 3-cycle feeding a sink: the cycle condenses to one node.
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 0], [2, 3]]))
+        classes, _ = bisimulation_partition(g)
+        assert classes[0] == classes[1] == classes[2]
+        assert classes[3] != classes[0]
+
+
+class TestNodeLabels:
+    def test_labels_split_classes(self):
+        g = Digraph(3, np.array([[0, 1], [0, 2]]))
+        classes, count = bisimulation_partition(
+            g, node_labels=np.array([0, 1, 2])
+        )
+        assert classes[1] != classes[2]
+        assert count == 3
+
+    def test_label_shape_checked(self):
+        g = Digraph(2)
+        with pytest.raises(ValueError):
+            bisimulation_partition(g, node_labels=np.array([1]))
+
+    def test_mixed_labels_in_scc_rejected(self):
+        g = Digraph(2, np.array([[0, 1], [1, 0]]))
+        with pytest.raises(ValueError):
+            bisimulation_partition(g, node_labels=np.array([0, 1]))
+
+    def test_uniform_labels_in_scc_accepted(self):
+        g = Digraph(2, np.array([[0, 1], [1, 0]]))
+        classes, count = bisimulation_partition(
+            g, node_labels=np.array([7, 7])
+        )
+        assert classes[0] == classes[1]

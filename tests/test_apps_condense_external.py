@@ -1,0 +1,89 @@
+"""Tests for the out-of-core condensation builder."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.condense_external import condense_to_disk
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.condensation import condense
+from repro.inmemory.tarjan import tarjan_scc
+
+from tests.conftest import SMALL_BLOCK
+
+
+def disk(tmp_path, graph, name="g.bin"):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+class TestMatchesInMemoryCondensation:
+    def test_figure1(self, tmp_path, figure1_graph):
+        labels, count = tarjan_scc(figure1_graph)
+        dg = disk(tmp_path, figure1_graph)
+        out = condense_to_disk(dg, labels)
+        expected = condense(figure1_graph, labels, count)
+        assert out.num_nodes == expected.num_sccs
+        assert out.to_digraph() == expected.dag
+        out.unlink()
+        dg.unlink()
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(0, 9999), n=st.integers(2, 50))
+    def test_property_random(self, tmp_path, seed, n):
+        rng = np.random.default_rng(seed)
+        g = Digraph(n, rng.integers(0, n, size=(3 * n, 2)))
+        labels, count = tarjan_scc(g)
+        dg = disk(tmp_path, g, name=f"g{seed}-{n}.bin")
+        out = condense_to_disk(dg, labels)
+        expected = condense(g, labels, count)
+        assert out.to_digraph() == expected.dag
+        out.unlink()
+        dg.unlink()
+
+
+class TestOptions:
+    def test_keep_multiplicities(self, tmp_path):
+        g = Digraph(4, np.array([[0, 1], [1, 0], [0, 2], [1, 2], [0, 2]]))
+        labels, _ = tarjan_scc(g)
+        dg = disk(tmp_path, g)
+        out = condense_to_disk(dg, labels, deduplicate=False)
+        # {0,1} -> 2 appears three times (0->2 twice, 1->2 once).
+        assert out.num_edges == 3
+        out.unlink()
+        dg.unlink()
+
+    def test_pure_scc_graph_condenses_to_no_edges(self, tmp_path):
+        n = 20
+        g = Digraph(n, np.array([[i, (i + 1) % n] for i in range(n)]))
+        labels, _ = tarjan_scc(g)
+        dg = disk(tmp_path, g)
+        out = condense_to_disk(dg, labels)
+        assert out.num_nodes == 1
+        assert out.num_edges == 0
+        out.unlink()
+        dg.unlink()
+
+    def test_labels_validated(self, tmp_path):
+        dg = disk(tmp_path, Digraph(3))
+        with pytest.raises(ValueError):
+            condense_to_disk(dg, np.array([0]))
+        dg.unlink()
+
+    def test_io_charged_to_shared_counter(self, tmp_path):
+        from repro.workloads.synthetic import planted_scc_graph
+
+        planted = planted_scc_graph(60, [5, 5, 5], avg_degree=4, seed=1)
+        g = planted.graph  # plenty of inter-SCC edges by construction
+        labels, _ = tarjan_scc(g)
+        dg = disk(tmp_path, g)
+        before = dg.counter.snapshot()
+        out = condense_to_disk(dg, labels)
+        delta = dg.counter.since(before)
+        assert delta.reads > 0 and delta.writes > 0
+        out.unlink()
+        dg.unlink()

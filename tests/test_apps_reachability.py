@@ -1,0 +1,68 @@
+"""Tests for the GRAIL-style reachability index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.apps.reachability import ReachabilityIndex
+from repro.graph.digraph import Digraph
+from repro.inmemory.tarjan import tarjan_scc
+
+from tests.conftest import random_digraphs
+
+
+def brute_force_reachability(graph):
+    """Boolean reachability matrix by BFS from every node."""
+    n = graph.num_nodes
+    reach = np.zeros((n, n), dtype=bool)
+    indptr, indices = graph.indptr, graph.indices
+    for s in range(n):
+        seen = np.zeros(n, dtype=bool)
+        seen[s] = True
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                v = int(v)
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        reach[s] = seen
+    return reach
+
+
+class TestKnownGraphs:
+    def test_chain(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        index = ReachabilityIndex(g)
+        assert index.reaches(0, 3)
+        assert not index.reaches(3, 0)
+        assert index.reaches(2, 2)
+
+    def test_scc_members_mutually_reachable(self, figure1_graph):
+        index = ReachabilityIndex(figure1_graph)
+        # SCC {g, h, i, j} = {6, 7, 8, 9}
+        for a in (6, 7, 8, 9):
+            for b in (6, 7, 8, 9):
+                assert index.reaches(a, b)
+
+    def test_precomputed_labels_accepted(self, figure1_graph):
+        labels, _ = tarjan_scc(figure1_graph)
+        index = ReachabilityIndex(figure1_graph, labels=labels)
+        assert index.num_sccs == 6
+        assert index.reaches(0, 10)  # a reaches k via h
+
+    def test_invalid_traversals(self):
+        with pytest.raises(ValueError):
+            ReachabilityIndex(Digraph(1), num_traversals=0)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(graph=random_digraphs(max_nodes=20))
+    def test_property_exact(self, graph):
+        truth = brute_force_reachability(graph)
+        index = ReachabilityIndex(graph, num_traversals=2, seed=1)
+        for s in range(graph.num_nodes):
+            for t in range(graph.num_nodes):
+                assert index.reaches(s, t) == truth[s, t]

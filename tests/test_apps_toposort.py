@@ -1,0 +1,106 @@
+"""Tests for the semi-external topological sort."""
+
+import numpy as np
+import pytest
+
+from repro.apps.toposort import semi_external_toposort
+from repro.exceptions import NonTermination
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.tarjan import tarjan_scc
+
+from tests.conftest import SMALL_BLOCK
+
+
+def disk(tmp_path, graph, name="g.bin"):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+def assert_valid_topological(graph, result):
+    """Every inter-SCC edge must go from a lower layer to a higher one."""
+    for u, v in graph.edges.tolist():
+        lu = result.labels[u]
+        lv = result.labels[v]
+        if lu != lv:
+            assert result.scc_layers[lu] < result.scc_layers[lv]
+
+
+class TestChainAndDAGs:
+    def test_chain_layers(self, tmp_path):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        dg = disk(tmp_path, g)
+        result = semi_external_toposort(dg)
+        assert result.node_layers.tolist() == [0, 1, 2, 3]
+        assert result.scans == 4
+        dg.unlink()
+
+    def test_order_is_topological(self, tmp_path):
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, 40, size=(120, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        dag_edges = np.column_stack((pairs.min(axis=1), pairs.max(axis=1)))
+        g = Digraph(40, dag_edges)
+        dg = disk(tmp_path, g)
+        result = semi_external_toposort(dg)
+        assert_valid_topological(g, result)
+        position = {int(v): i for i, v in enumerate(result.order())}
+        for u, v in g.edges.tolist():
+            assert position[u] < position[v]
+        dg.unlink()
+
+
+class TestWithCycles:
+    def test_cycles_share_rank(self, tmp_path, figure1_graph):
+        dg = disk(tmp_path, figure1_graph)
+        result = semi_external_toposort(dg)
+        # All of {b,c,d,e} share a layer; same for {g,h,i,j}.
+        assert len(set(result.node_layers[[1, 2, 3, 4]].tolist())) == 1
+        assert len(set(result.node_layers[[6, 7, 8, 9]].tolist())) == 1
+        assert_valid_topological(figure1_graph, result)
+        dg.unlink()
+
+    def test_accepts_precomputed_labels(self, tmp_path, figure1_graph):
+        labels, _ = tarjan_scc(figure1_graph)
+        dg = disk(tmp_path, figure1_graph)
+        result = semi_external_toposort(dg, labels=labels)
+        assert_valid_topological(figure1_graph, result)
+        dg.unlink()
+
+    def test_reverse_order(self, tmp_path):
+        g = Digraph(3, np.array([[0, 1], [1, 2]]))
+        dg = disk(tmp_path, g)
+        result = semi_external_toposort(dg)
+        assert result.reverse_order().tolist() == [2, 1, 0]
+        dg.unlink()
+
+
+class TestIOAndFailure:
+    def test_scan_count_matches_depth(self, tmp_path):
+        """depth(DAG) peeling scans, each one pass over E(G)."""
+        n = 10
+        g = Digraph(n, np.array([[i, i + 1] for i in range(n - 1)]))
+        dg = disk(tmp_path, g)
+        before = dg.counter.snapshot()
+        result = semi_external_toposort(
+            dg, labels=np.arange(n, dtype=np.int64)
+        )
+        assert result.scans == n
+        assert dg.counter.since(before).reads == result.scans * dg.edge_file.num_blocks
+        dg.unlink()
+
+    def test_bad_labels_shape(self, tmp_path):
+        g = Digraph(3)
+        dg = disk(tmp_path, g)
+        with pytest.raises(ValueError):
+            semi_external_toposort(dg, labels=np.array([0]))
+        dg.unlink()
+
+    def test_cyclic_labels_raise_nontermination(self, tmp_path):
+        """Labels that fail to break a cycle make peeling stall."""
+        g = Digraph(2, np.array([[0, 1], [1, 0]]))
+        dg = disk(tmp_path, g)
+        with pytest.raises(NonTermination):
+            semi_external_toposort(dg, labels=np.array([0, 1]))
+        dg.unlink()

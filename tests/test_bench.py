@@ -1,0 +1,105 @@
+"""Tests for the benchmark harness and reporting."""
+
+import numpy as np
+
+from repro.bench.harness import BenchRecord, run_matrix, run_one
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    records_to_rows,
+    write_csv,
+)
+from repro.graph.digraph import Digraph
+
+
+def small_graph(seed=0):
+    rng = np.random.default_rng(seed)
+    return Digraph(30, rng.integers(0, 30, size=(90, 2)))
+
+
+class TestRunOne:
+    def test_successful_run(self, tmp_path):
+        record = run_one(
+            small_graph(),
+            "1PB-SCC",
+            workload="toy",
+            block_size=64,
+            workdir=str(tmp_path),
+        )
+        assert record.ok
+        assert record.seconds is not None and record.ios > 0
+        assert record.algorithm == "1PB-SCC"
+        assert record.workload == "toy"
+
+    def test_timeout_marked_inf(self, tmp_path):
+        rng = np.random.default_rng(1)
+        big = Digraph(400, rng.integers(0, 400, size=(2000, 2)))
+        record = run_one(
+            big, "DFS-SCC", time_limit=0.0, block_size=64, workdir=str(tmp_path)
+        )
+        assert record.status == "INF"
+        assert record.display_seconds() == "INF"
+        assert record.display_ios() == "INF"
+
+    def test_keep_result(self, tmp_path):
+        record = run_one(
+            small_graph(), "1P-SCC", block_size=64, keep_result=True,
+            workdir=str(tmp_path),
+        )
+        assert record.result is not None
+        assert record.result.num_sccs == record.num_sccs
+
+    def test_params_attached(self, tmp_path):
+        record = run_one(
+            small_graph(), "1P-SCC", block_size=64,
+            params={"num_nodes": 30}, workdir=str(tmp_path),
+        )
+        assert record.params["num_nodes"] == 30
+
+
+class TestRunMatrix:
+    def test_full_matrix(self, tmp_path):
+        graphs = {"a": small_graph(0), "b": small_graph(1)}
+        records = run_matrix(graphs, ["1P-SCC", "1PB-SCC"], block_size=64)
+        assert len(records) == 4
+        assert {r.workload for r in records} == {"a", "b"}
+        assert all(r.ok for r in records)
+
+
+class TestReporting:
+    def _records(self):
+        return [
+            BenchRecord("1PB-SCC", "cit", "ok", seconds=1.5, ios=100,
+                        params={"x": 1}),
+            BenchRecord("DFS-SCC", "cit", "INF", params={"x": 1}),
+            BenchRecord("1PB-SCC", "go", "ok", seconds=2.0, ios=150,
+                        params={"x": 2}),
+        ]
+
+    def test_format_table_contains_cells(self):
+        text = format_table(self._records(), metric="seconds", title="T")
+        assert "T" in text
+        assert "1.50s" in text
+        assert "INF" in text
+        assert "cit" in text and "go" in text
+
+    def test_format_table_io_metric(self):
+        text = format_table(self._records(), metric="ios")
+        assert "100" in text and "150" in text
+
+    def test_format_series(self):
+        text = format_series(self._records(), x_param="x", metric="seconds")
+        assert text.splitlines()[0].startswith("x")
+        assert "1.50s" in text
+
+    def test_rows_and_csv(self, tmp_path):
+        rows = records_to_rows(self._records())
+        assert rows[0]["algorithm"] == "1PB-SCC"
+        assert rows[0]["x"] == 1
+        path = str(tmp_path / "out.csv")
+        write_csv(self._records(), path)
+        content = open(path).read()
+        assert "algorithm" in content and "INF" in content
+
+    def test_write_csv_empty(self, tmp_path):
+        write_csv([], str(tmp_path / "e.csv"))

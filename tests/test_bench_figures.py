@@ -1,0 +1,41 @@
+"""Tests for ASCII figure rendering."""
+
+from repro.bench.figures import ascii_series_chart
+from repro.bench.harness import BenchRecord
+
+
+def make_records():
+    return [
+        BenchRecord("1PB-SCC", "w", "ok", seconds=0.1, ios=10,
+                    params={"n": 100}),
+        BenchRecord("DFS-SCC", "w", "INF", params={"n": 100}),
+        BenchRecord("1PB-SCC", "w", "ok", seconds=1.0, ios=100,
+                    params={"n": 200}),
+        BenchRecord("DFS-SCC", "w", "ok", seconds=10.0, ios=1000,
+                    params={"n": 200}),
+    ]
+
+
+class TestAsciiChart:
+    def test_contains_all_groups_and_values(self):
+        chart = ascii_series_chart(make_records(), "n", title="Fig")
+        assert "Fig" in chart
+        assert "n = 100" in chart and "n = 200" in chart
+        assert "0.100s" in chart and "10.000s" in chart
+
+    def test_failures_render_status(self):
+        chart = ascii_series_chart(make_records(), "n")
+        assert "INF" in chart
+
+    def test_log_scaling_orders_bar_lengths(self):
+        chart = ascii_series_chart(make_records(), "n")
+        lines = [l for l in chart.splitlines() if "#" in l]
+        lengths = [line.count("#") for line in lines]
+        assert lengths == sorted(lengths)  # 0.1s < 1s < 10s
+
+    def test_io_metric(self):
+        chart = ascii_series_chart(make_records(), "n", metric="ios")
+        assert "1,000 I/Os" in chart
+
+    def test_empty_records(self):
+        assert ascii_series_chart([], "n") == ""

@@ -1,0 +1,110 @@
+"""Tests for the programmatic paper-suite driver (at toy scale)."""
+
+import os
+
+import pytest
+
+from repro.bench.suite import (
+    EXPERIMENTS,
+    SuiteConfig,
+    SuiteResult,
+    run_paper_suite,
+)
+
+#: Tiny configuration so suite tests stay fast.
+TOY = SuiteConfig(scale=2e-5, time_limit=20.0, webspam_degree=6.0)
+
+
+class TestSuiteResult:
+    def test_add_and_report(self):
+        from repro.bench.harness import BenchRecord
+
+        suite = SuiteResult()
+        suite.add("exp", BenchRecord("1P-SCC", "w", "ok", seconds=1.0, ios=5))
+        report = suite.report()
+        assert "exp" in report and "1P-SCC" in report
+
+    def test_write(self, tmp_path):
+        from repro.bench.harness import BenchRecord
+
+        suite = SuiteResult()
+        suite.add("exp", BenchRecord("1P-SCC", "w", "ok", seconds=1.0, ios=5))
+        suite.write(str(tmp_path))
+        assert os.path.exists(tmp_path / "exp.csv")
+        assert os.path.exists(tmp_path / "report.txt")
+
+
+class TestRunSuite:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_paper_suite(TOY, experiments=["fig99"])
+
+    def test_table3_at_toy_scale(self):
+        suite = run_paper_suite(TOY, experiments=["table3"])
+        records = suite.records["table3"]
+        assert len(records) == 12  # 3 datasets x 4 algorithms
+        fast = [r for r in records if r.algorithm in ("1PB-SCC", "1P-SCC")]
+        assert all(r.ok for r in fast)
+
+    def test_table1_records_both_settings(self):
+        suite = run_paper_suite(TOY, experiments=["table1"])
+        records = suite.records["table1"]
+        assert len(records) == 2
+        assert {r.params["acceptance"] for r in records} == {True, False}
+
+    def test_fig17_series_params(self):
+        suite = run_paper_suite(TOY, experiments=["fig17"])
+        for records in (suite.records["fig17-large"],
+                        suite.records["fig17-small"]):
+            assert len(records) == 10  # 5 x values x 2 algorithms
+            assert all("num_sccs" in r.params for r in records)
+            assert all(r.ok for r in records)
+
+    def test_outdir_written(self, tmp_path):
+        run_paper_suite(TOY, experiments=["table1"], outdir=str(tmp_path))
+        assert os.path.exists(tmp_path / "table1.csv")
+
+    def test_every_registered_experiment_is_callable(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table3", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17",
+        }
+
+    def test_fig12_sweep_structure(self):
+        suite = run_paper_suite(TOY, experiments=["fig12"])
+        records = suite.records["fig12"]
+        fractions = {r.params["fraction"] for r in records}
+        assert fractions == {0.2, 0.4, 0.6, 0.8, 1.0}
+        # baselines only at the cheapest point
+        baseline = [r for r in records if r.algorithm in ("2P-SCC", "DFS-SCC")]
+        assert {r.params["fraction"] for r in baseline} == {0.2}
+
+    def test_fig13_memory_sweep_structure(self):
+        suite = run_paper_suite(TOY, experiments=["fig13"])
+        records = suite.records["fig13"]
+        pb = [r for r in records if r.algorithm == "1PB-SCC"]
+        assert len(pb) == 5 and all(r.ok for r in pb)
+        factors = {r.params["memory_factor"] for r in pb}
+        assert factors == {1.0, 1.5, 2.0, 2.5, 3.0}
+
+    def test_fig15_degree_sweep_structure(self):
+        suite = run_paper_suite(TOY, experiments=["fig15"])
+        for scc_class in ("massive", "large", "small"):
+            records = suite.records[f"fig15-{scc_class}"]
+            fast = [r for r in records
+                    if r.algorithm in ("1PB-SCC", "1P-SCC")]
+            assert {r.params["degree"] for r in fast} == {3, 4, 5, 6, 7}
+            assert all(r.ok for r in fast)
+
+    def test_fig16_sweep_structure(self):
+        suite = run_paper_suite(TOY, experiments=["fig16"])
+        for scc_class, count in (("massive", 10), ("large", 10), ("small", 10)):
+            records = suite.records[f"fig16-{scc_class}"]
+            assert len(records) == count
+            assert all(r.ok for r in records)
+
+    def test_report_covers_all_experiments(self):
+        suite = run_paper_suite(TOY, experiments=["table1", "fig17"])
+        report = suite.report()
+        assert "table1" in report
+        assert "fig17-large" in report and "fig17-small" in report

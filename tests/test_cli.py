@@ -1,0 +1,157 @@
+"""End-to-end tests for the repro-scc command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.digraph import Digraph
+from repro.graph.io_text import write_edge_list
+from repro.graph.storage import save_graph
+
+
+@pytest.fixture
+def stored_graph(tmp_path):
+    rng = np.random.default_rng(0)
+    graph = Digraph(200, rng.integers(0, 200, size=(900, 2)))
+    path = str(tmp_path / "g.rgr")
+    save_graph(graph, path, attributes={"kind": "test"})
+    return path, graph
+
+
+class TestGenerate:
+    def test_generate_synthetic(self, tmp_path, capsys):
+        out = str(tmp_path / "m.rgr")
+        code = main(["generate", "--kind", "massive", "--scale", "3e-5",
+                     "--out", out])
+        assert code == 0
+        assert "nodes" in capsys.readouterr().out
+
+    def test_generate_webspam(self, tmp_path, capsys):
+        out = str(tmp_path / "w.rgr")
+        code = main(["generate", "--kind", "webspam", "--scale", "2e-5",
+                     "--out", out])
+        assert code == 0
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["cit-patents", "go-uniprot", "citeseerx", "large", "small"],
+    )
+    def test_generate_every_kind(self, tmp_path, kind, capsys):
+        from repro.graph.storage import read_metadata
+
+        out = str(tmp_path / f"{kind}.rgr")
+        assert main(["generate", "--kind", kind, "--scale", "2e-5",
+                     "--out", out]) == 0
+        meta = read_metadata(out)
+        assert meta["num_nodes"] >= 1000
+        assert meta["attributes"]["kind"] == kind
+
+
+class TestImportInfo:
+    def test_import_then_info(self, tmp_path, capsys):
+        text = str(tmp_path / "e.txt")
+        write_edge_list(Digraph(4, np.array([[0, 1], [1, 0], [2, 3]])), text)
+        out = str(tmp_path / "i.rgr")
+        assert main(["import", text, "--out", out]) == 0
+        assert main(["info", out]) == 0
+        captured = capsys.readouterr().out
+        assert "nodes:      4" in captured
+
+    def test_info_full(self, stored_graph, capsys):
+        path, _ = stored_graph
+        assert main(["info", path, "--full"]) == 0
+        assert "avg degree" in capsys.readouterr().out
+
+    def test_info_missing_graph(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.rgr")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompute:
+    def test_compute_prints_stats_and_writes_labels(
+        self, stored_graph, tmp_path, capsys
+    ):
+        path, graph = stored_graph
+        labels_out = str(tmp_path / "labels.npy")
+        code = main(["compute", path, "--algorithm", "1PB-SCC",
+                     "--labels-out", labels_out])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCCs" in out and "block I/Os" in out
+        labels = np.load(labels_out)
+        assert labels.shape == (graph.num_nodes,)
+
+    def test_compute_timeout_exit_code(self, stored_graph, capsys):
+        path, _ = stored_graph
+        code = main(["compute", path, "--algorithm", "DFS-SCC",
+                     "--time-limit", "0"])
+        assert code == 2
+        assert "INF" in capsys.readouterr().err
+
+    def test_compute_dnf_exit_code(self, tmp_path, capsys):
+        # A long chain DAG with EM-SCC and minimal memory cannot finish.
+        n = 3000
+        graph = Digraph(n, np.array([[i, i + 1] for i in range(n - 1)]))
+        path = str(tmp_path / "chain.rgr")
+        save_graph(graph, path, block_size=4096)
+        code = main(["compute", path, "--algorithm", "EM-SCC",
+                     "--block-size", "4096", "--memory-factor", "0.4"])
+        assert code == 3
+        assert "DNF" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_table(self, stored_graph, capsys):
+        path, _ = stored_graph
+        code = main(["compare", path, "--algorithms", "1PB-SCC", "1P-SCC"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Time" in out and "1PB-SCC" in out and "1P-SCC" in out
+
+
+class TestCondenseAndToposort:
+    def test_condense_writes_openable_graph(self, stored_graph, tmp_path, capsys):
+        from repro.graph.storage import open_disk_graph
+        from repro.inmemory.toposort import topological_sort
+
+        path, _ = stored_graph
+        out = str(tmp_path / "c.rgr")
+        assert main(["condense", path, "--out", out]) == 0
+        assert "SCC nodes" in capsys.readouterr().out
+        condensed = open_disk_graph(out)
+        topological_sort(condensed.to_digraph())  # must be a DAG
+        condensed.close()
+
+    def test_condense_with_precomputed_labels(self, stored_graph, tmp_path):
+        from repro.graph.storage import load_graph
+        from repro.inmemory.tarjan import tarjan_scc
+
+        path, graph = stored_graph
+        labels, _ = tarjan_scc(graph)
+        labels_path = str(tmp_path / "labels.npy")
+        np.save(labels_path, labels)
+        out = str(tmp_path / "c2.rgr")
+        assert main(["condense", path, "--out", out,
+                     "--labels", labels_path]) == 0
+        condensed = load_graph(out)
+        assert condensed.num_nodes == int(labels.max()) + 1
+
+    def test_toposort_reports_layers(self, stored_graph, tmp_path, capsys):
+        path, graph = stored_graph
+        out = str(tmp_path / "layers.npy")
+        assert main(["toposort", path, "--out", out]) == 0
+        assert "layers" in capsys.readouterr().out
+        layers = np.load(out)
+        assert layers.shape == (graph.num_nodes,)
+
+
+class TestBenchCommand:
+    def test_bench_single_experiment(self, tmp_path, capsys):
+        outdir = str(tmp_path / "results")
+        code = main(["bench", "--experiments", "table1",
+                     "--scale", "2e-5", "--outdir", outdir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert (tmp_path / "results" / "table1.csv").exists()
+        assert (tmp_path / "results" / "report.txt").exists()

@@ -1,0 +1,33 @@
+"""Sanity checks on the paper-derived constants."""
+
+import numpy as np
+
+from repro import constants
+
+
+def test_edge_record_is_two_node_ids():
+    assert constants.EDGE_BYTES == 2 * constants.NODE_BYTES
+
+
+def test_block_holds_whole_edge_records():
+    assert constants.DEFAULT_BLOCK_SIZE % constants.EDGE_BYTES == 0
+    assert (
+        constants.EDGES_PER_BLOCK
+        == constants.DEFAULT_BLOCK_SIZE // constants.EDGE_BYTES
+    )
+
+
+def test_paper_section8_values():
+    """The exact experimental constants quoted in Section 8."""
+    assert constants.NODE_BYTES == 4
+    assert constants.DEFAULT_BLOCK_SIZE == 64 * 1024
+    assert constants.DEFAULT_TAU_FRACTION == 0.005
+    assert constants.DEFAULT_REJECTION_PERIOD == 5
+
+
+def test_node_dtype_matches_node_bytes():
+    assert np.dtype(constants.NODE_DTYPE).itemsize == constants.NODE_BYTES
+
+
+def test_virtual_root_is_outside_id_space():
+    assert constants.VIRTUAL_ROOT < 0

@@ -1,0 +1,97 @@
+"""Tests for the analytic cost model — including bound-vs-measured."""
+
+import numpy as np
+import pytest
+
+from repro import compute_sccs
+from repro.core.analysis import (
+    batch_cpu_cost,
+    blocks_for_edges,
+    buchsbaum_io_estimate,
+    dfs_scc_io_bound,
+    extra_edges_loadable,
+    optimal_batch_count,
+    reduction_io_savings,
+    scan_ios,
+    sort_ios,
+    two_phase_io_bound,
+)
+from repro.graph.digraph import Digraph
+from repro.graph.properties import estimated_depth
+
+
+class TestPrimitives:
+    def test_blocks_for_edges(self):
+        assert blocks_for_edges(0, 64) == 0
+        assert blocks_for_edges(8, 64) == 1
+        assert blocks_for_edges(9, 64) == 2
+
+    def test_scan_matches_blocks(self):
+        assert scan_ios(100, 64) == blocks_for_edges(100, 64)
+
+    def test_sort_superlinear_only_when_memory_small(self):
+        cheap = sort_ios(10_000, 1 << 30, 65536)
+        costly = sort_ios(10_000, 2 * 65536, 65536)
+        assert costly >= cheap
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_for_edges(-1, 64)
+
+
+class TestPaperNumbers:
+    def test_webspam_buchsbaum_vs_paper_claim(self):
+        """Section 2: Buchsbaum et al. need ~1.566G I/Os for one DFS on
+        WEBSPAM-UK2007; the paper's approach ~4M.  The model should put
+        the theoretical bound in the right ballpark (same order)."""
+        n = 105_895_908
+        m = 3_738_733_568
+        estimate = buchsbaum_io_estimate(n, m, 64 * 1024)
+        assert 1e8 < estimate < 1e11
+
+    def test_section74_savings_formula(self):
+        """(P + 2Q) L(L-1)/2 · b/B with the paper's Table 1 magnitudes."""
+        savings = reduction_io_savings(
+            nodes_per_iteration=5.9e6,
+            edges_per_iteration=129e6,
+            iterations=21,
+            block_size=64 * 1024,
+        )
+        assert savings > 0
+        # Doubling the pruning rate doubles the savings (linearity).
+        assert reduction_io_savings(11.8e6, 258e6, 21, 64 * 1024) == (
+            pytest.approx(2 * savings)
+        )
+
+    def test_extra_edges_formula(self):
+        """P·L(L-1)/4: the paper's 7.6M first-iteration nodes buy 3.8M
+        edges of headroom per subsequent iteration."""
+        per_iteration_gain = extra_edges_loadable(7.6e6, 2) / 1  # L=2: one gap
+        assert per_iteration_gain == pytest.approx(3.8e6)
+
+    def test_batch_cpu_tradeoff(self):
+        n, m = 1_000_000, 35_000_000
+        beta = optimal_batch_count(n, m)
+        assert beta == 35
+        assert batch_cpu_cost(n, m, beta) == m + beta * n
+        # Far-from-optimal batch counts cost more.
+        assert batch_cpu_cost(n, m, 1000) > batch_cpu_cost(n, m, beta)
+
+
+class TestBoundsVsMeasured:
+    @pytest.fixture
+    def graph(self):
+        rng = np.random.default_rng(3)
+        return Digraph(60, rng.integers(0, 60, size=(240, 2)))
+
+    def test_two_phase_within_bound(self, graph):
+        result = compute_sccs(graph, algorithm="2P-SCC", block_size=64)
+        depth = max(1, estimated_depth(graph))
+        bound = two_phase_io_bound(depth, graph.num_edges, 64)
+        assert result.stats.io.reads <= bound
+
+    def test_dfs_scc_within_bound(self, graph):
+        result = compute_sccs(graph, algorithm="DFS-SCC", block_size=64)
+        depth = max(1, estimated_depth(graph))
+        bound = dfs_scc_io_bound(depth, graph.num_edges, 64)
+        assert result.stats.io.total <= bound

@@ -1,0 +1,67 @@
+"""Tests for the certifying SCC partition checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import compute_sccs
+from repro.core.validate import certify_scc_partition
+from repro.exceptions import ValidationError
+from repro.graph.digraph import Digraph
+from repro.inmemory.tarjan import tarjan_scc
+
+from tests.conftest import random_digraphs
+
+
+class TestAcceptsCorrect:
+    def test_figure1(self, figure1_graph):
+        labels, _ = tarjan_scc(figure1_graph)
+        certify_scc_partition(figure1_graph, labels)
+
+    def test_empty(self):
+        certify_scc_partition(Digraph(0), np.empty(0, dtype=np.int64))
+
+    def test_all_singletons_dag(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        certify_scc_partition(g, np.array([0, 1, 2, 3]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=random_digraphs())
+    def test_property_tarjan_always_certifies(self, graph):
+        labels, _ = tarjan_scc(graph)
+        certify_scc_partition(graph, labels)
+
+
+class TestRejectsWrong:
+    def test_too_coarse(self):
+        """Merging two distinct SCCs must fail condition 1."""
+        g = Digraph(4, np.array([[0, 1], [1, 0], [1, 2], [2, 3], [3, 2]]))
+        with pytest.raises(ValidationError, match="too coarse"):
+            certify_scc_partition(g, np.array([0, 0, 0, 0]))
+
+    def test_too_fine(self):
+        """Splitting one SCC must fail condition 2 (quotient cycle)."""
+        g = Digraph(2, np.array([[0, 1], [1, 0]]))
+        with pytest.raises(ValidationError, match="too fine"):
+            certify_scc_partition(g, np.array([0, 1]))
+
+    def test_too_fine_via_long_cycle(self):
+        n = 6
+        g = Digraph(n, np.array([[i, (i + 1) % n] for i in range(n)]))
+        with pytest.raises(ValidationError, match="too fine"):
+            certify_scc_partition(g, np.arange(n))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            certify_scc_partition(Digraph(3), np.array([0, 1]))
+
+
+class TestCertifiesSemiExternalOutputs:
+    @pytest.mark.parametrize("algorithm", ["1PB-SCC", "1P-SCC", "2P-SCC"])
+    def test_certify_random(self, algorithm):
+        rng = np.random.default_rng(17)
+        for _ in range(5):
+            n = int(rng.integers(5, 60))
+            g = Digraph(n, rng.integers(0, n, size=(3 * n, 2)))
+            result = compute_sccs(g, algorithm=algorithm, block_size=64)
+            certify_scc_partition(g, result.labels)

@@ -1,0 +1,106 @@
+"""The central correctness gauntlet: every semi-external algorithm must
+produce exactly the partition in-memory Tarjan produces, over random
+graphs, planted-SCC graphs, and the paper's running example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import compute_sccs
+from repro.core.validate import partitions_equal
+from repro.graph.digraph import Digraph
+from repro.inmemory.tarjan import tarjan_scc
+from repro.workloads.synthetic import synthetic_graph
+
+from tests.conftest import FIGURE1_SCCS, labels_to_sets, random_digraphs
+
+SEMI_EXTERNAL = ["1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC"]
+
+
+@pytest.mark.parametrize("algorithm", SEMI_EXTERNAL)
+class TestKnownAnswers:
+    def test_figure1(self, algorithm, figure1_graph):
+        result = compute_sccs(figure1_graph, algorithm=algorithm, block_size=64)
+        assert result.num_sccs == 6
+        assert labels_to_sets(result.labels) == set(FIGURE1_SCCS)
+
+    def test_single_giant_cycle(self, algorithm):
+        n = 60
+        edges = np.array([[i, (i + 1) % n] for i in range(n)])
+        result = compute_sccs(Digraph(n, edges), algorithm=algorithm, block_size=64)
+        assert result.num_sccs == 1
+
+    def test_pure_dag(self, algorithm):
+        edges = np.array([[i, j] for i in range(8) for j in range(i + 1, 8)])
+        result = compute_sccs(Digraph(8, edges), algorithm=algorithm, block_size=64)
+        assert result.num_sccs == 8
+
+    def test_disconnected_components(self, algorithm):
+        edges = np.array([[0, 1], [1, 0], [3, 4], [4, 3]])
+        result = compute_sccs(Digraph(6, edges), algorithm=algorithm, block_size=64)
+        assert result.num_sccs == 4
+
+    def test_empty_graph(self, algorithm):
+        result = compute_sccs(Digraph(0), algorithm=algorithm, block_size=64)
+        assert result.num_sccs == 0
+
+    def test_isolated_nodes_only(self, algorithm):
+        result = compute_sccs(Digraph(5), algorithm=algorithm, block_size=64)
+        assert result.num_sccs == 5
+
+    def test_self_loops_everywhere(self, algorithm):
+        edges = np.array([[i, i] for i in range(4)] + [[0, 1], [1, 0]])
+        result = compute_sccs(Digraph(4, edges), algorithm=algorithm, block_size=64)
+        assert result.num_sccs == 3
+
+
+@pytest.mark.parametrize("algorithm", SEMI_EXTERNAL)
+@settings(max_examples=25, deadline=None)
+@given(graph=random_digraphs(max_nodes=25))
+def test_property_matches_tarjan(algorithm, graph):
+    truth, _ = tarjan_scc(graph)
+    result = compute_sccs(graph, algorithm=algorithm, block_size=64)
+    assert partitions_equal(truth, result.labels)
+
+
+@pytest.mark.parametrize("algorithm", SEMI_EXTERNAL)
+@pytest.mark.parametrize("seed", range(3))
+def test_planted_graphs_match_ground_truth(algorithm, seed):
+    planted = synthetic_graph(
+        300,
+        avg_degree=4,
+        massive_sccs=[60],
+        large_sccs=[15, 15],
+        small_sccs=[4] * 5,
+        seed=seed,
+    )
+    result = compute_sccs(planted.graph, algorithm=algorithm, block_size=256)
+    assert partitions_equal(planted.labels, result.labels)
+
+
+@pytest.mark.parametrize("algorithm", SEMI_EXTERNAL)
+def test_dense_random_graph_giant_scc(algorithm):
+    """Dense random digraphs have one giant SCC — a stress shape."""
+    rng = np.random.default_rng(5)
+    n = 80
+    g = Digraph(n, rng.integers(0, n, size=(6 * n, 2)))
+    truth, _ = tarjan_scc(g)
+    result = compute_sccs(g, algorithm=algorithm, block_size=256)
+    assert partitions_equal(truth, result.labels)
+
+
+class TestResultStats:
+    @pytest.mark.parametrize("algorithm", SEMI_EXTERNAL)
+    def test_io_and_iterations_recorded(self, algorithm, figure1_graph):
+        result = compute_sccs(figure1_graph, algorithm=algorithm, block_size=64)
+        assert result.stats.io.total > 0
+        assert result.stats.iterations >= 1
+        assert result.stats.wall_seconds >= 0
+
+    def test_one_phase_records_reduction_series(self, figure1_graph):
+        result = compute_sccs(figure1_graph, algorithm="1P-SCC", block_size=64)
+        assert len(result.stats.per_iteration) == result.stats.iterations
+        total_nodes_reduced = sum(
+            it.nodes_reduced for it in result.stats.per_iteration
+        )
+        assert total_nodes_reduced > 0  # the two 4-node SCCs contracted

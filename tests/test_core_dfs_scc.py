@@ -1,0 +1,104 @@
+"""Tests specific to the DFS-SCC baseline (Algorithms 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Deadline
+from repro.core.dfs_scc import DFSSCC, build_dfs_tree
+from repro.exceptions import AlgorithmTimeout
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+
+from tests.conftest import SMALL_BLOCK
+
+
+def disk(tmp_path, graph, name="g.bin"):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+def check_dfs_tree(tree, graph):
+    """A spanning tree is a DFS tree iff it has no forward-cross-edges."""
+    for u, v in graph.edges.tolist():
+        if u == v or tree.parent[v] == u:
+            continue
+        if tree.depth[u] < tree.depth[v] and tree.is_ancestor(u, v):
+            continue  # forward
+        if tree.depth[v] < tree.depth[u] and tree.is_ancestor(v, u):
+            continue  # backward
+        assert tree.pre[u] > tree.pre[v], f"forward-cross edge ({u},{v}) remains"
+
+
+class TestBuildDFSTree:
+    def test_result_is_dfs_tree(self, tmp_path):
+        rng = np.random.default_rng(0)
+        g = Digraph(30, rng.integers(0, 30, size=(90, 2)))
+        dg = disk(tmp_path, g)
+        tree, scans = build_dfs_tree(dg, np.arange(30), Deadline("t", None))
+        check_dfs_tree(tree, g)
+        assert scans >= 1
+        dg.unlink()
+
+    def test_preorder_is_permutation(self, tmp_path):
+        rng = np.random.default_rng(1)
+        g = Digraph(20, rng.integers(0, 20, size=(60, 2)))
+        dg = disk(tmp_path, g)
+        tree, _ = build_dfs_tree(dg, np.arange(20), Deadline("t", None))
+        assert sorted(tree.pre.tolist()) == list(range(20))
+        dg.unlink()
+
+    def test_postorder_is_permutation(self, tmp_path):
+        rng = np.random.default_rng(2)
+        g = Digraph(15, rng.integers(0, 15, size=(40, 2)))
+        dg = disk(tmp_path, g)
+        tree, _ = build_dfs_tree(dg, np.arange(15), Deadline("t", None))
+        assert sorted(tree.postorder().tolist()) == list(range(15))
+        dg.unlink()
+
+    def test_root_order_respected(self, tmp_path):
+        """Roots must appear in the prescribed node order (Kosaraju needs
+        the first unvisited node in order to start each tree)."""
+        g = Digraph(4, np.array([[2, 3]]))  # 0, 1 isolated
+        dg = disk(tmp_path, g)
+        order = np.array([1, 2, 0, 3])
+        tree, _ = build_dfs_tree(dg, order, Deadline("t", None))
+        roots = list(tree.roots)
+        assert roots.index(1) < roots.index(2) < roots.index(0)
+        dg.unlink()
+
+    def test_subtree_sizes_consistent(self, tmp_path):
+        rng = np.random.default_rng(3)
+        g = Digraph(25, rng.integers(0, 25, size=(70, 2)))
+        dg = disk(tmp_path, g)
+        tree, _ = build_dfs_tree(dg, np.arange(25), Deadline("t", None))
+        for v in range(25):
+            manual = 1 + sum(
+                tree.size[c] for c in tree.children[v]
+            )
+            assert tree.size[v] == manual
+        dg.unlink()
+
+
+class TestDFSSCC:
+    def test_timeout_raises(self, tmp_path):
+        rng = np.random.default_rng(4)
+        g = Digraph(300, rng.integers(0, 300, size=(1500, 2)))
+        dg = disk(tmp_path, g)
+        with pytest.raises(AlgorithmTimeout):
+            DFSSCC().run(dg, time_limit=0.0)
+        dg.unlink()
+
+    def test_extras_report_both_passes(self, tmp_path, figure1_graph):
+        dg = disk(tmp_path, figure1_graph)
+        result = DFSSCC().run(dg)
+        assert result.stats.extras["first_pass_scans"] >= 1
+        assert result.stats.extras["second_pass_scans"] >= 1
+        dg.unlink()
+
+    def test_reversed_scratch_file_cleaned_up(self, tmp_path, figure1_graph):
+        dg = disk(tmp_path, figure1_graph)
+        DFSSCC().run(dg)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["g.bin"]
+        dg.unlink()

@@ -1,0 +1,81 @@
+"""Tests for the EM-SCC contraction baseline, including its failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.em_scc import EMSCC
+from repro.core.validate import partitions_equal
+from repro.exceptions import NonTermination
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.tarjan import tarjan_scc
+from repro.io.memory import MemoryModel
+
+from tests.conftest import SMALL_BLOCK
+
+
+def disk(tmp_path, graph, name="g.bin"):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+class TestHappyPath:
+    def test_correct_when_graph_fits_memory(self, tmp_path, figure1_graph):
+        dg = disk(tmp_path, figure1_graph)
+        result = EMSCC().run(dg)  # default memory easily fits 18 edges
+        truth, _ = tarjan_scc(figure1_graph)
+        assert partitions_equal(truth, result.labels)
+        dg.unlink()
+
+    def test_contracts_through_iterations(self, tmp_path):
+        """Graph larger than memory whose cycles sit inside partitions:
+        contraction shrinks it until it fits (the EM-SCC happy path)."""
+        n = 100
+        pairs = []
+        for i in range(n // 2):
+            pairs.append([2 * i, 2 * i + 1])
+            pairs.append([2 * i + 1, 2 * i])
+        g = Digraph(n, np.array(pairs))
+        truth, _ = tarjan_scc(g)
+        memory = MemoryModel(
+            num_nodes=n, capacity=SMALL_BLOCK + 4 * n, block_size=SMALL_BLOCK
+        )
+        dg = disk(tmp_path, g)
+        result = EMSCC().run(dg, memory=memory)
+        assert partitions_equal(truth, result.labels)
+        assert result.stats.iterations >= 1
+        dg.unlink()
+
+
+class TestFailureModes:
+    def test_case2_dag_larger_than_memory_does_not_terminate(self, tmp_path):
+        """Section 4 Case-2: a DAG cannot be compressed by contraction."""
+        n = 200
+        edges = np.array([[i, i + 1] for i in range(n - 1)])
+        g = Digraph(n, edges)
+        memory = MemoryModel(
+            num_nodes=n, capacity=SMALL_BLOCK + 4 * n, block_size=SMALL_BLOCK
+        )
+        dg = disk(tmp_path, g)
+        with pytest.raises(NonTermination):
+            EMSCC().run(dg, memory=memory)
+        dg.unlink()
+
+    def test_max_iterations_cap(self, tmp_path):
+        """Even a compressible graph aborts at the iteration cap."""
+        rng = np.random.default_rng(1)
+        n = 150
+        g = Digraph(n, rng.integers(0, n, size=(5 * n, 2)))
+        memory = MemoryModel(
+            num_nodes=n, capacity=SMALL_BLOCK + 4 * n, block_size=SMALL_BLOCK
+        )
+        dg = disk(tmp_path, g)
+        algo = EMSCC(max_iterations=1)
+        with pytest.raises(NonTermination):
+            algo.run(dg, memory=memory)
+        dg.unlink()
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ValueError):
+            EMSCC(max_iterations=0)

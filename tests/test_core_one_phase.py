@@ -1,0 +1,107 @@
+"""Tests specific to 1P-SCC: early acceptance, early rejection, reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.one_phase import OnePhaseSCC
+from repro.core.validate import partitions_equal
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.tarjan import tarjan_scc
+from repro.workloads.synthetic import synthetic_graph
+
+from tests.conftest import SMALL_BLOCK
+
+
+def disk(tmp_path, graph, name="g.bin"):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+class TestParameters:
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            OnePhaseSCC(tau_fraction=0.0)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            OnePhaseSCC(rejection_period=0)
+
+
+class TestOptimizationsPreserveCorrectness:
+    """All four on/off combinations must give identical partitions."""
+
+    @pytest.mark.parametrize("acceptance", [True, False])
+    @pytest.mark.parametrize("rejection", [True, False])
+    def test_ablation_grid(self, tmp_path, acceptance, rejection):
+        rng = np.random.default_rng(11)
+        g = Digraph(100, rng.integers(0, 100, size=(350, 2)))
+        truth, _ = tarjan_scc(g)
+        algo = OnePhaseSCC(
+            enable_acceptance=acceptance, enable_rejection=rejection
+        )
+        dg = disk(tmp_path, g, name=f"g-{acceptance}-{rejection}.bin")
+        result = algo.run(dg)
+        assert partitions_equal(truth, result.labels)
+        dg.unlink()
+
+    def test_aggressive_rejection_period(self, tmp_path):
+        """Rejecting every iteration is the most dangerous setting."""
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(20, 120))
+            g = Digraph(n, rng.integers(0, n, size=(3 * n, 2)))
+            truth, _ = tarjan_scc(g)
+            algo = OnePhaseSCC(rejection_period=1)
+            dg = disk(tmp_path, g, name=f"r{seed}.bin")
+            result = algo.run(dg)
+            assert partitions_equal(truth, result.labels)
+            dg.unlink()
+
+    def test_tiny_tau_forces_many_rewrites(self, tmp_path):
+        planted = synthetic_graph(
+            200, avg_degree=4, massive_sccs=[50], small_sccs=[5] * 4, seed=3
+        )
+        algo = OnePhaseSCC(tau_fraction=1e-9)
+        dg = disk(tmp_path, planted.graph)
+        result = algo.run(dg)
+        assert partitions_equal(planted.labels, result.labels)
+        dg.unlink()
+
+
+class TestGraphReduction:
+    def test_edges_shrink_when_acceptance_fires(self, tmp_path):
+        planted = synthetic_graph(
+            300, avg_degree=5, massive_sccs=[150], seed=0, intra_fraction=0.7
+        )
+        dg = disk(tmp_path, planted.graph)
+        result = OnePhaseSCC(tau_fraction=0.01).run(dg)
+        live_edges = [it.live_edges for it in result.stats.per_iteration]
+        assert live_edges[-1] < planted.graph.num_edges
+        dg.unlink()
+
+    def test_rejection_reported_in_extras(self, tmp_path):
+        # A long chain rejects aggressively: no cycles anywhere.
+        n = 50
+        g = Digraph(n, np.array([[i, i + 1] for i in range(n - 1)]))
+        dg = disk(tmp_path, g)
+        result = OnePhaseSCC(rejection_period=1).run(dg)
+        assert result.num_sccs == n
+        assert result.stats.extras["rejected_nodes"] > 0
+        dg.unlink()
+
+    def test_input_file_never_modified(self, tmp_path):
+        planted = synthetic_graph(150, avg_degree=5, massive_sccs=[70], seed=2)
+        dg = disk(tmp_path, planted.graph)
+        before = dg.edge_file.read_all().copy()
+        OnePhaseSCC(tau_fraction=1e-9, rejection_period=1).run(dg)
+        assert np.array_equal(dg.edge_file.read_all(), before)
+        dg.unlink()
+
+    def test_scratch_files_cleaned_up(self, tmp_path):
+        planted = synthetic_graph(150, avg_degree=5, massive_sccs=[70], seed=2)
+        dg = disk(tmp_path, planted.graph)
+        OnePhaseSCC(tau_fraction=1e-9).run(dg)
+        assert [p.name for p in tmp_path.iterdir()] == ["g.bin"]
+        dg.unlink()

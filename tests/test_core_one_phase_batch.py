@@ -1,0 +1,107 @@
+"""Tests specific to 1PB-SCC: batching, DP tree rebuild, memory scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.one_phase_batch import OnePhaseBatchSCC
+from repro.core.validate import partitions_equal
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.tarjan import tarjan_scc
+from repro.io.memory import MemoryModel
+from repro.workloads.synthetic import synthetic_graph
+
+from tests.conftest import SMALL_BLOCK
+
+
+def disk(tmp_path, graph, name="g.bin"):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+class TestBatching:
+    def test_one_block_batches_still_correct(self, tmp_path):
+        """The most adversarial batching: one block (8 edges) at a time."""
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(10, 80))
+            g = Digraph(n, rng.integers(0, n, size=(3 * n, 2)))
+            truth, _ = tarjan_scc(g)
+            algo = OnePhaseBatchSCC(batch_blocks=1)
+            dg = disk(tmp_path, g, name=f"b{seed}.bin")
+            result = algo.run(dg)
+            assert partitions_equal(truth, result.labels)
+            dg.unlink()
+
+    def test_huge_batches_one_shot(self, tmp_path):
+        """When the whole graph fits in one batch, a single iteration of
+        in-memory Kosaraju should settle everything."""
+        planted = synthetic_graph(200, avg_degree=4, massive_sccs=[80], seed=1)
+        algo = OnePhaseBatchSCC(batch_blocks=10_000)
+        dg = disk(tmp_path, planted.graph)
+        result = algo.run(dg)
+        assert partitions_equal(planted.labels, result.labels)
+        assert result.stats.extras["batches"] <= 2 * result.stats.iterations
+        dg.unlink()
+
+    def test_batch_count_reported(self, tmp_path, figure1_graph):
+        dg = disk(tmp_path, figure1_graph)
+        result = OnePhaseBatchSCC(batch_blocks=1).run(dg)
+        assert result.stats.extras["batches"] >= result.stats.iterations
+        dg.unlink()
+
+    def test_more_memory_fewer_or_equal_iterations(self, tmp_path):
+        """Fig. 13's mechanism: bigger batches converge in fewer passes."""
+        planted = synthetic_graph(
+            400, avg_degree=5, massive_sccs=[150], seed=4, intra_fraction=0.6
+        )
+        dg = disk(tmp_path, planted.graph)
+        small = OnePhaseBatchSCC(batch_blocks=1).run(dg)
+        big = OnePhaseBatchSCC(batch_blocks=1_000).run(dg)
+        assert big.stats.iterations <= small.stats.iterations
+        assert partitions_equal(small.labels, big.labels)
+        dg.unlink()
+
+
+class TestMemoryModel:
+    def test_default_memory_batches_grow_as_nodes_shrink(self, tmp_path):
+        """Section 7.4: freed node slots become edge-batch headroom."""
+        memory = MemoryModel(num_nodes=1000)
+        full = memory.blocks_per_batch(2, 1000)
+        after = memory.blocks_per_batch(2, 100)
+        assert after >= full
+
+    def test_runs_under_paper_default_memory(self, tmp_path):
+        planted = synthetic_graph(300, avg_degree=4, massive_sccs=[100], seed=5)
+        dg = disk(tmp_path, planted.graph)
+        memory = MemoryModel(num_nodes=300, block_size=SMALL_BLOCK)
+        result = OnePhaseBatchSCC().run(dg, memory=memory)
+        assert partitions_equal(planted.labels, result.labels)
+        dg.unlink()
+
+
+class TestAblations:
+    @pytest.mark.parametrize("acceptance", [True, False])
+    @pytest.mark.parametrize("rejection", [True, False])
+    def test_optimizations_preserve_partition(
+        self, tmp_path, acceptance, rejection
+    ):
+        rng = np.random.default_rng(12)
+        g = Digraph(120, rng.integers(0, 120, size=(420, 2)))
+        truth, _ = tarjan_scc(g)
+        algo = OnePhaseBatchSCC(
+            enable_acceptance=acceptance, enable_rejection=rejection
+        )
+        dg = disk(tmp_path, g, name=f"a{acceptance}{rejection}.bin")
+        result = algo.run(dg)
+        assert partitions_equal(truth, result.labels)
+        dg.unlink()
+
+    def test_input_file_untouched(self, tmp_path):
+        planted = synthetic_graph(150, avg_degree=5, massive_sccs=[70], seed=6)
+        dg = disk(tmp_path, planted.graph)
+        before = dg.edge_file.read_all().copy()
+        OnePhaseBatchSCC(tau_fraction=1e-9, rejection_period=1).run(dg)
+        assert np.array_equal(dg.edge_file.read_all(), before)
+        dg.unlink()

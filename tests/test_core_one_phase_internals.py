@@ -1,0 +1,72 @@
+"""White-box tests for 1P-SCC internals and the naive variant."""
+
+import numpy as np
+
+from repro.core.one_phase import OnePhaseSCC, naive_single_tree
+from repro.core.validate import partitions_equal
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.tarjan import tarjan_scc
+from repro.spanning.tree import ContractibleTree
+
+from tests.conftest import SMALL_BLOCK
+
+
+class TestCandidatePrefilter:
+    def test_only_depth_nonincreasing_edges_survive(self):
+        tree = ContractibleTree(4)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)  # depths: 0->1, 1->2, 2->3; 3 root (depth 1)
+        batch = np.array(
+            [[0, 2], [2, 0], [2, 3], [3, 2], [1, 1]], dtype=np.uint32
+        )
+        candidates = OnePhaseSCC._candidates(tree, batch)
+        pairs = {tuple(c) for c in candidates}
+        # (0,2): depth 1 < 3 -> dropped.  (2,0): 3 >= 1 -> kept.
+        # (2,3): 3 >= 1 -> kept.  (3,2): 1 < 3 -> dropped.  (1,1): self.
+        assert pairs == {(2, 0), (2, 3)}
+
+    def test_dead_endpoints_filtered(self):
+        tree = ContractibleTree(3)
+        tree.reject(1)
+        batch = np.array([[0, 1], [1, 2], [2, 0]], dtype=np.uint32)
+        candidates = OnePhaseSCC._candidates(tree, batch)
+        flat = {node for pair in candidates for node in pair}
+        assert 1 not in flat
+
+    def test_down_edges_yield_no_candidates(self):
+        tree = ContractibleTree(2)
+        tree.reparent(1, 0)
+        batch = np.array([[0, 1]], dtype=np.uint32)  # down edge only
+        assert OnePhaseSCC._candidates(tree, batch) == []
+
+
+class TestNaiveVariant:
+    def test_factory_disables_optimizations(self):
+        algo = naive_single_tree()
+        assert algo.name == "Naive-1T"
+        assert not algo.enable_acceptance
+        assert not algo.enable_rejection
+
+    def test_naive_is_correct_but_never_shrinks_the_graph(self, tmp_path):
+        rng = np.random.default_rng(4)
+        g = Digraph(80, rng.integers(0, 80, size=(300, 2)))
+        truth, _ = tarjan_scc(g)
+        disk = DiskGraph.from_digraph(
+            g, str(tmp_path / "g.bin"), block_size=SMALL_BLOCK
+        )
+        result = naive_single_tree().run(disk)
+        assert partitions_equal(truth, result.labels)
+        assert all(
+            it.live_edges == g.num_edges for it in result.stats.per_iteration
+        )
+        disk.unlink()
+
+    def test_result_name_used_in_stats(self, tmp_path):
+        g = Digraph(4, np.array([[0, 1], [1, 0]]))
+        disk = DiskGraph.from_digraph(
+            g, str(tmp_path / "n.bin"), block_size=SMALL_BLOCK
+        )
+        result = naive_single_tree().run(disk)
+        assert result.stats.algorithm == "Naive-1T"
+        disk.unlink()

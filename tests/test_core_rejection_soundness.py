@@ -1,0 +1,76 @@
+"""Regression tests for early-rejection soundness.
+
+Randomized soak testing caught a real bug in a naive reading of
+Sections 7.2/Algorithm 6: accumulating the ``drank`` window while the
+scan mutates the tree mixes depths from different moments, and
+rejection against that inconsistent window finalises nodes whose SCC
+has not surfaced yet.  The fix measures the window during the rewrite
+scan, where the tree is frozen.  These tests pin the exact failing
+graphs the soak found plus the aggressive configurations that exposed
+them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Digraph, compute_sccs
+from repro.core.one_phase import OnePhaseSCC
+from repro.core.one_phase_batch import OnePhaseBatchSCC
+from repro.core.validate import partitions_equal
+from repro.inmemory.tarjan import tarjan_scc
+
+#: The two minimal counterexamples found by the soak (pre-fix, the
+#: first wrongly rejected the {1, 5} SCC; the second split a giant SCC).
+REGRESSION_GRAPHS = [
+    (7, [[2, 5], [4, 2], [4, 2], [6, 5], [0, 2], [1, 5], [6, 6], [5, 1]]),
+    (
+        11,
+        [
+            [1, 6], [8, 0], [7, 1], [3, 0], [5, 10], [10, 1], [2, 6],
+            [2, 8], [0, 7], [3, 0], [9, 5], [9, 9], [1, 0], [5, 3],
+            [5, 9], [9, 5], [0, 3], [5, 9], [5, 10], [2, 5], [3, 5],
+            [7, 7], [8, 10], [4, 8], [6, 4], [2, 3], [3, 3], [8, 10],
+            [7, 3],
+        ],
+    ),
+]
+
+AGGRESSIVE = [
+    OnePhaseSCC(rejection_period=1, tau_fraction=1e-9),
+    OnePhaseBatchSCC(rejection_period=1, tau_fraction=1e-9, batch_blocks=1),
+]
+
+
+@pytest.mark.parametrize("n,edges", REGRESSION_GRAPHS)
+@pytest.mark.parametrize("algorithm", AGGRESSIVE, ids=["1P", "1PB"])
+def test_soak_counterexamples(n, edges, algorithm):
+    graph = Digraph(n, np.array(edges))
+    truth, _ = tarjan_scc(graph)
+    result = compute_sccs(graph, algorithm=algorithm, block_size=64)
+    assert partitions_equal(truth, result.labels)
+
+
+@pytest.mark.parametrize("algorithm", AGGRESSIVE, ids=["1P", "1PB"])
+def test_aggressive_rejection_mini_soak(algorithm):
+    rng = np.random.default_rng(424242)
+    for _ in range(60):
+        n = int(rng.integers(4, 80))
+        m = int(rng.integers(2, 4 * n))
+        graph = Digraph(n, rng.integers(0, n, size=(m, 2)))
+        truth, _ = tarjan_scc(graph)
+        result = compute_sccs(graph, algorithm=algorithm, block_size=256)
+        assert partitions_equal(truth, result.labels)
+
+
+def test_empty_window_finalises_everything():
+    """A DAG has no cycle-candidate edges at the frozen snapshot, so a
+    rejection pass may finalise every live node at once."""
+    n = 30
+    graph = Digraph(n, np.array([[i, i + 1] for i in range(n - 1)]))
+    result = compute_sccs(
+        graph,
+        algorithm=OnePhaseSCC(rejection_period=1),
+        block_size=64,
+    )
+    assert result.num_sccs == n
+    assert result.stats.extras["rejected_nodes"] == n

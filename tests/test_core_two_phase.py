@@ -1,0 +1,108 @@
+"""Tests specific to 2P-SCC: construction fixpoint and one-scan search."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import Deadline
+from repro.core.two_phase import TwoPhaseSCC, tree_construction, tree_search
+from repro.core.validate import partitions_equal
+from repro.exceptions import AlgorithmTimeout
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.tarjan import tarjan_scc
+
+from tests.conftest import SMALL_BLOCK
+
+
+def disk(tmp_path, graph, name="g.bin"):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+class TestTreeConstruction:
+    def test_fixpoint_has_no_actionable_up_edges(self, tmp_path):
+        """At the fixpoint, no edge may still trigger a pushdown: every
+        cross edge with drank(u) >= drank(v) must have dlink(v) as an
+        ancestor of u (i.e. its cycle is already certified)."""
+        rng = np.random.default_rng(0)
+        g = Digraph(40, rng.integers(0, 40, size=(140, 2)))
+        dg = disk(tmp_path, g)
+        tree, _ = tree_construction(dg, Deadline("t", None))
+        for u, v in g.edges.tolist():
+            if u == v or tree.parent[v] == u:
+                continue
+            if tree.is_ancestor(u, v) or tree.is_ancestor(v, u):
+                continue
+            if tree.drank[u] >= tree.drank[v]:
+                w = int(tree.dlink[v])
+                assert tree.is_ancestor(w, u) or tree.depth[u] < tree.depth[w]
+        dg.unlink()
+
+    def test_construction_bounded_by_lemma(self, tmp_path):
+        """Lemma 6.1: at most depth(G)-ish scans (we allow slack for the
+        drank staleness, but it must stay far below the hard cap)."""
+        rng = np.random.default_rng(1)
+        g = Digraph(60, rng.integers(0, 60, size=(180, 2)))
+        dg = disk(tmp_path, g)
+        tree, scans = tree_construction(dg, Deadline("t", None))
+        assert scans <= 60
+        dg.unlink()
+
+    def test_blinks_point_to_ancestors(self, tmp_path, figure1_graph):
+        dg = disk(tmp_path, figure1_graph)
+        tree, _ = tree_construction(dg, Deadline("t", None))
+        for u in np.flatnonzero(tree.blink != -1).tolist():
+            assert tree.is_ancestor(int(tree.blink[u]), u)
+        dg.unlink()
+
+
+class TestTreeSearch:
+    def test_single_scan_suffices(self, tmp_path):
+        """The paper's core claim: after construction, ONE scan finds all
+        SCCs (Section 6.2)."""
+        rng = np.random.default_rng(2)
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(10, 80))
+            g = Digraph(n, rng.integers(0, n, size=(3 * n, 2)))
+            dg = disk(tmp_path, g, name=f"g{seed}.bin")
+            truth, _ = tarjan_scc(g)
+            tree, _ = tree_construction(dg, Deadline("t", None))
+            scans = tree_search(dg, tree, Deadline("t", None))
+            labels, _ = tree.scc_labels()
+            assert scans == 1
+            assert partitions_equal(truth, labels)
+            dg.unlink()
+
+
+class TestTwoPhase:
+    def test_memory_footprint_is_brplus(self, tmp_path, figure1_graph):
+        """2P-SCC asserts the 3|V| BR+-Tree footprint."""
+        from repro.exceptions import MemoryBudgetError
+        from repro.io.memory import MemoryModel
+
+        dg = disk(tmp_path, figure1_graph)
+        tight = MemoryModel(num_nodes=12, capacity=4 * 2 * 12)  # only 2|V|
+        with pytest.raises(MemoryBudgetError):
+            TwoPhaseSCC().run(dg, memory=tight)
+        dg.unlink()
+
+    def test_timeout(self, tmp_path):
+        rng = np.random.default_rng(3)
+        g = Digraph(500, rng.integers(0, 500, size=(2500, 2)))
+        dg = disk(tmp_path, g)
+        with pytest.raises(AlgorithmTimeout):
+            TwoPhaseSCC().run(dg, time_limit=0.0)
+        dg.unlink()
+
+    def test_iterations_split_reported(self, tmp_path, figure1_graph):
+        dg = disk(tmp_path, figure1_graph)
+        result = TwoPhaseSCC().run(dg)
+        extras = result.stats.extras
+        assert extras["search_scans"] == 1
+        assert extras["construction_scans"] >= 1
+        assert result.stats.iterations == (
+            extras["construction_scans"] + extras["search_scans"]
+        )
+        dg.unlink()

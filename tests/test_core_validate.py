@@ -1,0 +1,47 @@
+"""Tests for partition comparison and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.validate import (
+    canonical_partition,
+    partitions_equal,
+    validate_against_tarjan,
+)
+from repro.exceptions import ValidationError
+from repro.graph.digraph import Digraph
+
+
+class TestCanonicalPartition:
+    def test_first_appearance_order(self):
+        assert canonical_partition(np.array([5, 5, 2, 9])).tolist() == [0, 0, 1, 2]
+
+    def test_idempotent(self):
+        labels = np.array([3, 1, 3, 2])
+        once = canonical_partition(labels)
+        assert np.array_equal(canonical_partition(once), once)
+
+
+class TestPartitionsEqual:
+    def test_equal_up_to_renaming(self):
+        assert partitions_equal(np.array([0, 0, 1]), np.array([7, 7, 3]))
+
+    def test_different_groupings(self):
+        assert not partitions_equal(np.array([0, 0, 1]), np.array([0, 1, 1]))
+
+    def test_shape_mismatch(self):
+        assert not partitions_equal(np.array([0]), np.array([0, 1]))
+
+    def test_finer_partition_not_equal(self):
+        assert not partitions_equal(np.array([0, 0, 0]), np.array([0, 0, 1]))
+
+
+class TestValidateAgainstTarjan:
+    def test_accepts_correct_labels(self):
+        g = Digraph(3, np.array([[0, 1], [1, 0]]))
+        validate_against_tarjan(g, np.array([9, 9, 4]))
+
+    def test_rejects_wrong_labels(self):
+        g = Digraph(3, np.array([[0, 1], [1, 0]]))
+        with pytest.raises(ValidationError):
+            validate_against_tarjan(g, np.array([0, 1, 2]))

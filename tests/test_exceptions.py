@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy and error messages."""
+
+import pytest
+
+from repro.exceptions import (
+    AlgorithmTimeout,
+    GraphFormatError,
+    MemoryBudgetError,
+    NonTermination,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [GraphFormatError, MemoryBudgetError, ValidationError],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_timeout_carries_context(self):
+        exc = AlgorithmTimeout("1PB-SCC", 30.0)
+        assert isinstance(exc, ReproError)
+        assert exc.algorithm == "1PB-SCC"
+        assert exc.limit_seconds == 30.0
+        assert "1PB-SCC" in str(exc) and "30.0" in str(exc)
+
+    def test_nontermination_carries_context(self):
+        exc = NonTermination("EM-SCC", 64)
+        assert isinstance(exc, ReproError)
+        assert exc.algorithm == "EM-SCC"
+        assert exc.iterations == 64
+        assert "64" in str(exc)
+
+    def test_single_except_clause_catches_everything(self):
+        for exc in (
+            GraphFormatError("x"),
+            AlgorithmTimeout("a", 1.0),
+            NonTermination("a", 1),
+            MemoryBudgetError("m"),
+            ValidationError("v"),
+        ):
+            with pytest.raises(ReproError):
+                raise exc

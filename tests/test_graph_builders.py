@@ -1,0 +1,89 @@
+"""Unit tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import (
+    add_random_edges,
+    induced_subgraph,
+    random_node_sample,
+    relabel_nodes,
+)
+from repro.graph.digraph import Digraph
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = Digraph(5, np.array([[0, 1], [1, 2], [2, 3], [3, 4]]))
+        sub, original = induced_subgraph(g, np.array([1, 2, 3]))
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2  # 1->2 and 2->3 survive
+        assert original.tolist() == [1, 2, 3]
+
+    def test_relabelling_is_consistent(self):
+        g = Digraph(4, np.array([[3, 1]]))
+        sub, original = induced_subgraph(g, np.array([3, 1]))
+        # original[i] maps subgraph node i back to the input graph
+        u, v = sub.edges[0]
+        assert original[u] == 3 and original[v] == 1
+
+    def test_out_of_range_nodes_rejected(self):
+        g = Digraph(3)
+        with pytest.raises(ValueError):
+            induced_subgraph(g, np.array([5]))
+
+    def test_duplicate_nodes_deduplicated(self):
+        g = Digraph(3, np.array([[0, 1]]))
+        sub, original = induced_subgraph(g, np.array([1, 1, 0]))
+        assert sub.num_nodes == 2
+
+
+class TestRelabel:
+    def test_merges_and_drops_self_loops(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        mapping = np.array([0, 0, 1, 2])  # contract {0,1}
+        out = relabel_nodes(g, mapping, 3)
+        assert out.num_nodes == 3
+        assert out.num_edges == 2  # (0,1) became a self-loop and is gone
+
+    def test_mapping_must_cover_all_nodes(self):
+        g = Digraph(3)
+        with pytest.raises(ValueError):
+            relabel_nodes(g, np.array([0, 1]), 2)
+
+
+class TestAddRandomEdges:
+    def test_adds_about_the_requested_fraction(self):
+        g = Digraph(100, np.random.default_rng(0).integers(0, 100, (1000, 2)))
+        out = add_random_edges(g, 0.10, rng=np.random.default_rng(1))
+        assert 1050 <= out.num_edges <= 1100  # self-loop rejections allowed
+
+    def test_zero_fraction_is_identity(self):
+        g = Digraph(10, np.array([[0, 1]]))
+        out = add_random_edges(g, 0.0)
+        assert out == g
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            add_random_edges(Digraph(2), -0.1)
+
+    def test_no_self_loops_added(self):
+        g = Digraph(5, np.random.default_rng(2).integers(0, 5, (100, 2)))
+        out = add_random_edges(g, 1.0, rng=np.random.default_rng(3))
+        added = out.edges[g.num_edges :]
+        assert (added[:, 0] != added[:, 1]).all()
+
+
+class TestRandomNodeSample:
+    def test_sample_size(self):
+        g = Digraph(100)
+        sample = random_node_sample(g, 0.2, rng=np.random.default_rng(0))
+        assert sample.shape == (20,)
+        assert len(set(sample.tolist())) == 20
+
+    def test_fraction_validation(self):
+        g = Digraph(10)
+        with pytest.raises(ValueError):
+            random_node_sample(g, 0.0)
+        with pytest.raises(ValueError):
+            random_node_sample(g, 1.5)

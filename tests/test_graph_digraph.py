@@ -1,0 +1,95 @@
+"""Unit tests for the in-memory digraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import Digraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Digraph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_nodes_without_edges(self):
+        g = Digraph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Digraph(3, np.array([[0, 3]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Digraph(3, np.array([0, 1, 2]))
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Digraph(-1)
+
+    def test_from_edge_iter(self):
+        g = Digraph.from_edge_iter(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+
+class TestCSR:
+    def test_successors(self):
+        g = Digraph(4, np.array([[0, 1], [0, 2], [1, 3], [0, 2]]))
+        assert sorted(g.successors(0).tolist()) == [1, 2, 2]
+        assert g.successors(1).tolist() == [3]
+        assert g.successors(3).tolist() == []
+
+    def test_out_degree(self):
+        g = Digraph(3, np.array([[0, 1], [0, 2], [2, 0]]))
+        assert g.out_degree(0) == 2
+        assert np.asarray(g.out_degree()).tolist() == [2, 0, 1]
+
+    def test_in_degree(self):
+        g = Digraph(3, np.array([[0, 1], [2, 1]]))
+        assert g.in_degree().tolist() == [0, 2, 0]
+
+    def test_indptr_covers_all_edges(self):
+        rng = np.random.default_rng(0)
+        g = Digraph(20, rng.integers(0, 20, size=(100, 2)))
+        assert g.indptr[-1] == 100
+        assert g.indices.shape == (100,)
+
+
+class TestDerived:
+    def test_reverse(self):
+        g = Digraph(3, np.array([[0, 1], [1, 2]]))
+        r = g.reverse()
+        assert sorted(map(tuple, r.edges.tolist())) == [(1, 0), (2, 1)]
+
+    def test_double_reverse_is_identity(self):
+        rng = np.random.default_rng(1)
+        g = Digraph(10, rng.integers(0, 10, size=(40, 2)))
+        assert g.reverse().reverse() == g
+
+    def test_without_self_loops(self):
+        g = Digraph(3, np.array([[0, 0], [0, 1], [2, 2]]))
+        assert g.without_self_loops().num_edges == 1
+
+    def test_deduplicated(self):
+        g = Digraph(3, np.array([[0, 1], [0, 1], [1, 2]]))
+        assert g.deduplicated().num_edges == 2
+
+    def test_equality_is_multiset_equality(self):
+        a = Digraph(3, np.array([[0, 1], [1, 2]]))
+        b = Digraph(3, np.array([[1, 2], [0, 1]]))
+        assert a == b
+
+    def test_inequality_on_different_multiplicity(self):
+        a = Digraph(3, np.array([[0, 1], [0, 1]]))
+        b = Digraph(3, np.array([[0, 1], [1, 2]]))
+        assert a != b
+
+
+class TestIteration:
+    def test_iter_edges_matches_storage(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        g = Digraph(3, np.array(edges))
+        assert list(g.iter_edges()) == edges

@@ -1,0 +1,78 @@
+"""Unit tests for the semi-external graph view."""
+
+import os
+
+import numpy as np
+
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.io.counter import IOCounter
+
+from tests.conftest import SMALL_BLOCK
+
+
+def make_disk_graph(tmp_path, n=20, m=80, seed=0, counter=None):
+    rng = np.random.default_rng(seed)
+    g = Digraph(n, rng.integers(0, n, size=(m, 2)))
+    disk = DiskGraph.from_digraph(
+        g, str(tmp_path / "g.bin"), counter=counter, block_size=SMALL_BLOCK
+    )
+    return g, disk
+
+
+class TestRoundtrip:
+    def test_to_digraph_matches_source(self, tmp_path):
+        g, disk = make_disk_graph(tmp_path)
+        assert disk.to_digraph() == g
+        disk.unlink()
+
+    def test_counts(self, tmp_path):
+        g, disk = make_disk_graph(tmp_path, n=7, m=13)
+        assert disk.num_nodes == 7
+        assert disk.num_edges == 13
+        disk.unlink()
+
+    def test_scan_edges_covers_everything(self, tmp_path):
+        g, disk = make_disk_graph(tmp_path, m=50)
+        total = sum(len(batch) for batch in disk.scan_edges())
+        assert total == 50
+        disk.unlink()
+
+
+class TestReversal:
+    def test_reversed_graph(self, tmp_path):
+        g, disk = make_disk_graph(tmp_path)
+        rev = disk.reversed_graph()
+        assert rev.to_digraph() == g.reverse()
+        rev.unlink()
+        disk.unlink()
+
+    def test_reversal_counts_ios(self, tmp_path):
+        counter = IOCounter()
+        g, disk = make_disk_graph(tmp_path, counter=counter)
+        before = counter.snapshot()
+        rev = disk.reversed_graph()
+        delta = counter.since(before)
+        assert delta.reads > 0 and delta.writes > 0
+        rev.unlink()
+        disk.unlink()
+
+
+class TestLifecycle:
+    def test_unlink_removes_files(self, tmp_path):
+        g, disk = make_disk_graph(tmp_path)
+        path = disk.edge_file.path
+        disk.unlink()
+        assert not os.path.exists(path)
+
+    def test_scratch_path_is_sibling(self, tmp_path):
+        g, disk = make_disk_graph(tmp_path)
+        scratch = disk.scratch_path("work")
+        assert scratch.startswith(disk.edge_file.path)
+        disk.unlink()
+
+    def test_context_manager(self, tmp_path):
+        g, disk = make_disk_graph(tmp_path)
+        with disk:
+            pass
+        assert disk.edge_file.device._closed

@@ -1,0 +1,61 @@
+"""Unit tests for text edge-list serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import Digraph
+from repro.graph.io_text import read_edge_list, write_edge_list
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        g = Digraph(5, np.array([[0, 1], [3, 4], [4, 3]]))
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back == g
+
+    def test_header_preserves_isolated_nodes(self, tmp_path):
+        g = Digraph(10, np.array([[0, 1]]))
+        path = str(tmp_path / "iso.txt")
+        write_edge_list(g, path)
+        assert read_edge_list(path).num_nodes == 10
+
+    def test_headerless_infers_node_count(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 5\n2 3\n")
+        g = read_edge_list(str(path))
+        assert g.num_nodes == 6
+        assert g.num_edges == 2
+
+    def test_explicit_num_nodes_overrides(self, tmp_path):
+        path = tmp_path / "n.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(str(path), num_nodes=7).num_nodes == 7
+
+
+class TestRobustness:
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        assert read_edge_list(str(path)).num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(str(path))
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "alpha.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        g = read_edge_list(str(path))
+        assert g.num_nodes == 0
+        assert g.num_edges == 0

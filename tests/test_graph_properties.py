@@ -1,0 +1,61 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+
+from repro.graph.digraph import Digraph
+from repro.graph.properties import (
+    degree_stats,
+    estimated_depth,
+    scc_profile,
+)
+
+
+class TestDegreeStats:
+    def test_basic_counts(self):
+        g = Digraph(4, np.array([[0, 1], [0, 2], [1, 2]]))
+        stats = degree_stats(g)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 3
+        assert stats.average_degree == 0.75
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.isolated_nodes == 1  # node 3
+
+    def test_empty_graph(self):
+        stats = degree_stats(Digraph(0))
+        assert stats.average_degree == 0.0
+        assert stats.max_out_degree == 0
+
+
+class TestSCCProfile:
+    def test_profile_fields(self):
+        sizes = np.array([1, 1, 5, 3, 2, 1])
+        profile = scc_profile(sizes)
+        assert profile.num_sccs_total == 6
+        assert profile.num_sccs_nontrivial == 3
+        assert profile.nodes_in_nontrivial_sccs == 10
+        assert profile.largest_scc_size == 5
+        assert profile.second_largest_scc_size == 3
+        assert profile.smallest_nontrivial_scc_size == 2
+
+    def test_all_trivial(self):
+        profile = scc_profile(np.ones(4, dtype=int))
+        assert profile.num_sccs_nontrivial == 0
+        assert profile.largest_scc_size == 0
+
+
+class TestEstimatedDepth:
+    def test_path_graph(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        assert estimated_depth(g) == 3
+
+    def test_cycle_counts_internal_extent(self):
+        g = Digraph(3, np.array([[0, 1], [1, 2], [2, 0]]))
+        # One SCC of 3 nodes: a simple path can use all three.
+        assert estimated_depth(g) == 2
+
+    def test_empty(self):
+        assert estimated_depth(Digraph(0)) == 0
+
+    def test_isolated_nodes(self):
+        assert estimated_depth(Digraph(5)) == 0

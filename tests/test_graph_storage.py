@@ -1,0 +1,80 @@
+"""Tests for persistent graph storage."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import Digraph
+from repro.graph.storage import (
+    load_graph,
+    open_disk_graph,
+    read_metadata,
+    save_graph,
+)
+
+
+def sample_graph(seed=0, n=25, m=80):
+    rng = np.random.default_rng(seed)
+    return Digraph(n, rng.integers(0, n, size=(m, 2)))
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "g.rgr")
+        save_graph(g, path)
+        assert load_graph(path) == g
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        g = Digraph(50, np.array([[0, 1]]))
+        path = str(tmp_path / "iso.rgr")
+        save_graph(g, path)
+        assert load_graph(path).num_nodes == 50
+
+    def test_metadata_attributes(self, tmp_path):
+        path = str(tmp_path / "a.rgr")
+        save_graph(sample_graph(), path, attributes={"kind": "demo"})
+        meta = read_metadata(path)
+        assert meta["attributes"]["kind"] == "demo"
+        assert meta["num_nodes"] == 25
+
+    def test_open_disk_graph_scans_without_loading(self, tmp_path):
+        g = sample_graph(m=200)
+        path = str(tmp_path / "d.rgr")
+        save_graph(g, path)
+        disk = open_disk_graph(path)
+        assert disk.num_nodes == g.num_nodes
+        assert sum(len(b) for b in disk.scan_edges()) == g.num_edges
+        disk.close()
+
+
+class TestFailureInjection:
+    def test_missing_sidecar(self, tmp_path):
+        path = str(tmp_path / "orphan.rgr")
+        open(path, "wb").close()
+        with pytest.raises(GraphFormatError):
+            read_metadata(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = str(tmp_path / "bad.rgr")
+        save_graph(sample_graph(), path)
+        meta_path = path + ".meta"
+        content = open(meta_path).read().replace("repro-graph-v1", "other")
+        open(meta_path, "w").write(content)
+        with pytest.raises(GraphFormatError):
+            read_metadata(path)
+
+    def test_truncated_edge_file_detected(self, tmp_path):
+        path = str(tmp_path / "trunc.rgr")
+        save_graph(sample_graph(m=100), path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(GraphFormatError):
+            open_disk_graph(path)
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = str(tmp_path / "cj.rgr")
+        save_graph(sample_graph(), path)
+        open(path + ".meta", "w").write("{not json")
+        with pytest.raises(Exception):
+            read_metadata(path)

@@ -1,0 +1,55 @@
+"""Tests for DAG condensation."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.digraph import Digraph
+from repro.inmemory.condensation import condense, scc_size_histogram
+from repro.inmemory.toposort import topological_sort
+
+from tests.conftest import random_digraphs
+
+
+class TestCondense:
+    def test_figure1_condensation(self, figure1_graph):
+        condensed = condense(figure1_graph)
+        assert condensed.num_sccs == 6
+        assert sorted(condensed.sizes.tolist()) == [1, 1, 1, 1, 4, 4]
+
+    def test_condensation_is_acyclic(self, figure1_graph):
+        condensed = condense(figure1_graph)
+        topological_sort(condensed.dag)  # raises on a cycle
+
+    def test_members_partition_nodes(self, figure1_graph):
+        condensed = condense(figure1_graph)
+        seen = []
+        for scc in range(condensed.num_sccs):
+            seen.extend(condensed.members(scc).tolist())
+        assert sorted(seen) == list(range(12))
+
+    def test_largest_and_nontrivial(self, figure1_graph):
+        condensed = condense(figure1_graph)
+        largest = condensed.largest_sccs(2)
+        assert all(condensed.sizes[s] == 4 for s in largest)
+        assert set(condensed.nontrivial_sccs().tolist()) == set(largest.tolist())
+
+    def test_supplied_labels_are_used(self):
+        g = Digraph(2, np.array([[0, 1]]))
+        labels = np.array([0, 0])  # caller claims one group
+        condensed = condense(g, labels, 1)
+        assert condensed.num_sccs == 1
+        assert condensed.dag.num_edges == 0  # internal edge dropped
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=random_digraphs())
+    def test_condensation_always_acyclic(self, graph):
+        condensed = condense(graph)
+        topological_sort(condensed.dag)
+        assert int(condensed.sizes.sum()) == graph.num_nodes
+
+
+class TestHistogram:
+    def test_histogram(self):
+        sizes, counts = scc_size_histogram(np.array([1, 1, 2, 4, 2]))
+        assert sizes.tolist() == [1, 2, 4]
+        assert counts.tolist() == [2, 2, 1]

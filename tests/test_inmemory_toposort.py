@@ -1,0 +1,83 @@
+"""Tests for topological sorting and longest-path depths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import Digraph
+from repro.inmemory.toposort import (
+    dag_depth,
+    longest_path_depths,
+    topological_sort,
+)
+
+
+def random_dag(n, m, seed):
+    """A random DAG: edges oriented low id -> high id."""
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, n, size=(m, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    lo = pairs.min(axis=1)
+    hi = pairs.max(axis=1)
+    return Digraph(n, np.column_stack((lo, hi)))
+
+
+class TestTopologicalSort:
+    def test_chain(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        assert topological_sort(g).tolist() == [0, 1, 2, 3]
+
+    def test_cycle_raises(self):
+        g = Digraph(2, np.array([[0, 1], [1, 0]]))
+        with pytest.raises(GraphFormatError):
+            topological_sort(g)
+
+    def test_self_loop_raises(self):
+        g = Digraph(1, np.array([[0, 0]]))
+        with pytest.raises(GraphFormatError):
+            topological_sort(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=0, max_value=120),
+        seed=st.integers(0, 9999),
+    )
+    def test_order_respects_every_edge(self, n, m, seed):
+        g = random_dag(n, m, seed)
+        order = topological_sort(g)
+        position = np.empty(n, dtype=np.int64)
+        position[order] = np.arange(n)
+        for u, v in g.edges.tolist():
+            assert position[u] < position[v]
+
+
+class TestLongestPathDepths:
+    def test_chain_depths(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        assert longest_path_depths(g).tolist() == [1, 2, 3, 4]
+
+    def test_diamond_takes_longest_route(self):
+        # 0 -> 1 -> 3 and 0 -> 3: node 3 should be at depth 3.
+        g = Digraph(4, np.array([[0, 1], [1, 3], [0, 3]]))
+        depths = longest_path_depths(g)
+        assert depths[3] == 3
+
+    def test_base_depth_carries_through(self):
+        g = Digraph(2, np.array([[0, 1]]))
+        depths = longest_path_depths(g, base_depth=np.array([5, 1]))
+        assert depths.tolist() == [5, 6]
+
+    def test_base_depth_shape_checked(self):
+        g = Digraph(2)
+        with pytest.raises(ValueError):
+            longest_path_depths(g, base_depth=np.array([1]))
+
+    def test_dag_depth(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [0, 3]]))
+        assert dag_depth(g) == 2
+
+    def test_dag_depth_empty(self):
+        assert dag_depth(Digraph(0)) == 0

@@ -1,0 +1,93 @@
+"""Unit tests for the block device abstraction."""
+
+import os
+
+import pytest
+
+from repro.io.blocks import BlockDevice
+from repro.io.counter import IOCounter
+
+
+@pytest.fixture
+def device(tmp_path):
+    counter = IOCounter()
+    dev = BlockDevice(str(tmp_path / "disk.bin"), counter=counter, block_size=16)
+    yield dev
+    dev.close()
+
+
+class TestGeometry:
+    def test_new_device_is_empty(self, device):
+        assert device.size_bytes == 0
+        assert device.num_blocks == 0
+
+    def test_partial_final_block_counts_as_block(self, device):
+        device.append_block(b"abc")
+        assert device.num_blocks == 1
+        assert device.size_bytes == 3
+
+
+class TestTransfers:
+    def test_roundtrip(self, device):
+        device.append_block(b"x" * 16)
+        device.append_block(b"y" * 16)
+        assert device.read_block(0) == b"x" * 16
+        assert device.read_block(1) == b"y" * 16
+
+    def test_read_out_of_range(self, device):
+        with pytest.raises(IndexError):
+            device.read_block(0)
+
+    def test_write_oversized_block_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.write_block(0, b"z" * 17)
+
+    def test_sequential_reads_counted_as_sequential(self, device):
+        for _ in range(3):
+            device.append_block(b"a" * 16)
+        device.counter.reset()
+        for i in range(3):
+            device.read_block(i)
+        assert device.counter.stats.seq_reads >= 2  # 1..2 are sequential
+        assert device.counter.stats.rand_reads <= 1
+
+    def test_backwards_read_counted_as_random(self, device):
+        device.append_block(b"a" * 16)
+        device.append_block(b"b" * 16)
+        device.counter.reset()
+        device.read_block(1)
+        device.read_block(0)  # going backwards
+        assert device.counter.stats.rand_reads >= 1
+
+    def test_append_returns_indices_in_order(self, device):
+        assert device.append_block(b"1") == 0
+        assert device.append_block(b"2" * 16) == 1
+
+
+class TestLifecycle:
+    def test_truncate_discards_contents(self, device):
+        device.append_block(b"a" * 16)
+        device.truncate()
+        assert device.num_blocks == 0
+
+    def test_truncate_to(self, device):
+        device.append_block(b"a" * 16)
+        device.append_block(b"b" * 16)
+        device.truncate_to(16)
+        assert device.size_bytes == 16
+
+    def test_truncate_to_out_of_range(self, device):
+        with pytest.raises(ValueError):
+            device.truncate_to(1)
+
+    def test_unlink_removes_file(self, tmp_path):
+        path = str(tmp_path / "gone.bin")
+        dev = BlockDevice(path, block_size=16)
+        dev.append_block(b"data")
+        dev.unlink()
+        assert not os.path.exists(path)
+
+    def test_context_manager_closes(self, tmp_path):
+        with BlockDevice(str(tmp_path / "cm.bin"), block_size=16) as dev:
+            dev.append_block(b"ok")
+        assert dev._closed

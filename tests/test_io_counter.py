@@ -1,0 +1,90 @@
+"""Unit tests for the I/O accounting layer."""
+
+import pytest
+
+from repro.io.counter import IOCounter, IOStats
+
+
+class TestIOStats:
+    def test_defaults_are_zero(self):
+        stats = IOStats()
+        assert stats.total == 0
+        assert stats.reads == 0
+        assert stats.writes == 0
+
+    def test_total_combines_all_categories(self):
+        stats = IOStats(seq_reads=2, seq_writes=3, rand_reads=5, rand_writes=7)
+        assert stats.reads == 7
+        assert stats.writes == 10
+        assert stats.total == 17
+
+    def test_subtraction_diffs_each_field(self):
+        after = IOStats(seq_reads=10, bytes_read=100)
+        before = IOStats(seq_reads=4, bytes_read=40)
+        diff = after - before
+        assert diff.seq_reads == 6
+        assert diff.bytes_read == 60
+
+    def test_addition_accumulates(self):
+        a = IOStats(seq_reads=1, rand_writes=2)
+        b = IOStats(seq_reads=3, rand_writes=4)
+        total = a + b
+        assert total.seq_reads == 4
+        assert total.rand_writes == 6
+
+    def test_copy_is_independent(self):
+        stats = IOStats(seq_reads=1)
+        clone = stats.copy()
+        clone.seq_reads = 99
+        assert stats.seq_reads == 1
+
+
+class TestIOCounter:
+    def test_record_read_sequential(self):
+        counter = IOCounter()
+        counter.record_read(3, 3000)
+        assert counter.stats.seq_reads == 3
+        assert counter.stats.rand_reads == 0
+        assert counter.stats.bytes_read == 3000
+
+    def test_record_read_random(self):
+        counter = IOCounter()
+        counter.record_read(2, 128, sequential=False)
+        assert counter.stats.rand_reads == 2
+        assert counter.stats.seq_reads == 0
+
+    def test_record_write_categories(self):
+        counter = IOCounter()
+        counter.record_write(1, 10)
+        counter.record_write(1, 10, sequential=False)
+        assert counter.stats.seq_writes == 1
+        assert counter.stats.rand_writes == 1
+        assert counter.stats.bytes_written == 20
+
+    def test_negative_quantities_rejected(self):
+        counter = IOCounter()
+        with pytest.raises(ValueError):
+            counter.record_read(-1, 0)
+        with pytest.raises(ValueError):
+            counter.record_write(0, -5)
+
+    def test_snapshot_and_since(self):
+        counter = IOCounter()
+        counter.record_read(5, 500)
+        snap = counter.snapshot()
+        counter.record_read(2, 200)
+        delta = counter.since(snap)
+        assert delta.seq_reads == 2
+        assert delta.bytes_read == 200
+
+    def test_snapshot_is_frozen(self):
+        counter = IOCounter()
+        snap = counter.snapshot()
+        counter.record_write(9, 900)
+        assert snap.total == 0
+
+    def test_reset(self):
+        counter = IOCounter()
+        counter.record_read(1, 1)
+        counter.reset()
+        assert counter.stats.total == 0

@@ -1,0 +1,128 @@
+"""Unit tests for on-disk edge lists."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphFormatError
+from repro.io.edgefile import EdgeFile
+
+
+def edges_array(m, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1000, size=(m, 2), dtype=np.int64)
+
+
+class TestWriteRead:
+    def test_roundtrip_exact(self, edge_file_factory):
+        edges = edges_array(100)
+        ef = edge_file_factory(edges=edges)
+        assert np.array_equal(ef.read_all(), edges.astype(np.uint32))
+
+    def test_empty_file(self, edge_file_factory):
+        ef = edge_file_factory()
+        assert ef.num_edges == 0
+        assert list(ef.scan()) == []
+        assert ef.read_all().shape == (0, 2)
+
+    def test_num_edges_counts_buffered(self, edge_file_factory):
+        ef = edge_file_factory()
+        ef.append(edges_array(3))
+        assert ef.num_edges == 3  # still partly in the write buffer
+
+    def test_append_after_flush_preserves_data(self, edge_file_factory):
+        first = edges_array(5, seed=1)
+        second = edges_array(7, seed=2)
+        ef = edge_file_factory(edges=first)
+        ef.append(second)
+        ef.flush()
+        combined = np.concatenate([first, second]).astype(np.uint32)
+        assert np.array_equal(ef.read_all(), combined)
+
+    def test_bad_shape_rejected(self, edge_file_factory):
+        ef = edge_file_factory()
+        with pytest.raises(GraphFormatError):
+            ef.append(np.zeros((3, 3)))
+
+    def test_block_size_must_fit_records(self, tmp_path):
+        with pytest.raises(ValueError):
+            EdgeFile(str(tmp_path / "bad.bin"), block_size=12)
+
+
+class TestScan:
+    def test_scan_batches_cover_file_in_order(self, edge_file_factory):
+        edges = edges_array(50)
+        ef = edge_file_factory(edges=edges)
+        got = np.concatenate(list(ef.scan()))
+        assert np.array_equal(got, edges.astype(np.uint32))
+
+    def test_scan_charges_one_read_per_block(self, edge_file_factory, counter):
+        edges = edges_array(64)  # 64 edges * 8B = 512B = 8 blocks of 64B
+        ef = edge_file_factory(edges=edges)
+        before = counter.snapshot()
+        list(ef.scan())
+        delta = counter.since(before)
+        assert delta.reads == ef.num_blocks == 8
+
+    def test_scan_with_larger_batches_same_io(self, edge_file_factory, counter):
+        edges = edges_array(64)
+        ef = edge_file_factory(edges=edges)
+        before = counter.snapshot()
+        batches = list(ef.scan(batch_blocks=3))
+        delta = counter.since(before)
+        assert delta.reads == ef.num_blocks
+        assert sum(len(b) for b in batches) == 64
+
+    def test_scan_rejects_nonpositive_batch(self, edge_file_factory):
+        ef = edge_file_factory(edges=edges_array(4))
+        with pytest.raises(ValueError):
+            list(ef.scan(batch_blocks=0))
+
+
+class TestRewrite:
+    def test_rewrite_replaces_contents(self, edge_file_factory):
+        ef = edge_file_factory(edges=edges_array(20, seed=3))
+        replacement = edges_array(5, seed=4)
+        ef.rewrite([replacement])
+        assert np.array_equal(ef.read_all(), replacement.astype(np.uint32))
+
+    def test_rewrite_from_own_scan(self, edge_file_factory):
+        edges = edges_array(30, seed=5)
+        ef = edge_file_factory(edges=edges)
+        ef.rewrite(batch[batch[:, 0] % 2 == 0] for batch in ef.scan())
+        kept = edges[edges[:, 0] % 2 == 0].astype(np.uint32)
+        assert np.array_equal(ef.read_all(), kept)
+
+    def test_rewrite_charges_writes(self, edge_file_factory, counter):
+        ef = edge_file_factory(edges=edges_array(40, seed=6))
+        before = counter.snapshot()
+        ef.rewrite([edges_array(40, seed=7)])
+        assert counter.since(before).writes > 0
+
+
+class TestHypothesis:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        chunks=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=6
+        )
+    )
+    def test_chunked_appends_equal_one_append(self, tmp_path, chunks):
+        rng = np.random.default_rng(sum(chunks) + len(chunks))
+        total = sum(chunks)
+        edges = rng.integers(0, 100, size=(total, 2), dtype=np.int64)
+        path_a = str(tmp_path / f"a-{rng.integers(1 << 30)}.bin")
+        path_b = str(tmp_path / f"b-{rng.integers(1 << 30)}.bin")
+
+        whole = EdgeFile.from_array(path_a, edges, block_size=64)
+        piecewise = EdgeFile.create(path_b, block_size=64)
+        offset = 0
+        for chunk in chunks:
+            piecewise.append(edges[offset : offset + chunk])
+            piecewise.flush()  # force partial-tail reclaim paths
+            offset += chunk
+        assert np.array_equal(whole.read_all(), piecewise.read_all())
+        whole.unlink()
+        piecewise.unlink()

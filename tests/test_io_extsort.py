@@ -1,0 +1,109 @@
+"""Unit and property tests for external sorting and reversal."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.io.edgefile import EdgeFile
+from repro.io.extsort import (
+    estimate_sort_ios,
+    external_sort_edges,
+    reverse_edges,
+)
+from repro.io.memory import MemoryModel
+
+
+def _sorted_copy(edges, target_major):
+    edges = edges.astype(np.int64)
+    if target_major:
+        order = np.lexsort((edges[:, 0], edges[:, 1]))
+    else:
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+    return edges[order].astype(np.uint32)
+
+
+class TestExternalSort:
+    def test_sorts_by_source(self, edge_file_factory, tmp_path):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 50, size=(500, 2), dtype=np.int64)
+        ef = edge_file_factory(edges=edges)
+        out = external_sort_edges(ef, order="source")
+        assert np.array_equal(out.read_all(), _sorted_copy(edges, False))
+        out.unlink()
+
+    def test_sorts_by_target(self, edge_file_factory):
+        rng = np.random.default_rng(1)
+        edges = rng.integers(0, 50, size=(300, 2), dtype=np.int64)
+        ef = edge_file_factory(edges=edges)
+        out = external_sort_edges(ef, order="target")
+        assert np.array_equal(out.read_all(), _sorted_copy(edges, True))
+        out.unlink()
+
+    def test_tiny_memory_forces_multiway_merge(self, edge_file_factory):
+        """Many runs -> several merge generations, still fully sorted."""
+        rng = np.random.default_rng(2)
+        edges = rng.integers(0, 1000, size=(2000, 2), dtype=np.int64)
+        ef = edge_file_factory(edges=edges)
+        memory = MemoryModel(num_nodes=0, capacity=2 * 64, block_size=64)
+        out = external_sort_edges(ef, order="source", memory=memory)
+        assert np.array_equal(out.read_all(), _sorted_copy(edges, False))
+        out.unlink()
+
+    def test_empty_input(self, edge_file_factory):
+        ef = edge_file_factory()
+        out = external_sort_edges(ef)
+        assert out.num_edges == 0
+        out.unlink()
+
+    def test_charges_ios(self, edge_file_factory, counter):
+        rng = np.random.default_rng(3)
+        ef = edge_file_factory(edges=rng.integers(0, 9, size=(200, 2)))
+        before = counter.snapshot()
+        out = external_sort_edges(ef)
+        delta = counter.since(before)
+        assert delta.reads > 0 and delta.writes > 0
+        out.unlink()
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(m=st.integers(min_value=0, max_value=200), seed=st.integers(0, 999))
+    def test_property_sorted_and_permutation(self, tmp_path, m, seed):
+        rng = np.random.default_rng(seed)
+        edges = rng.integers(0, 64, size=(m, 2), dtype=np.int64)
+        path = str(tmp_path / f"p{seed}-{m}.bin")
+        ef = EdgeFile.from_array(path, edges, block_size=64)
+        out = external_sort_edges(ef)
+        got = out.read_all()
+        assert np.array_equal(got, _sorted_copy(edges, False))
+        ef.unlink()
+        out.unlink()
+
+
+class TestReverse:
+    def test_reverse_swaps_columns(self, edge_file_factory):
+        edges = np.array([[1, 2], [3, 4], [5, 6]])
+        ef = edge_file_factory(edges=edges)
+        out = reverse_edges(ef)
+        assert np.array_equal(out.read_all(), edges[:, ::-1].astype(np.uint32))
+        out.unlink()
+
+    def test_reverse_costs_one_read_one_write_pass(self, edge_file_factory, counter):
+        rng = np.random.default_rng(4)
+        ef = edge_file_factory(edges=rng.integers(0, 9, size=(64, 2)))
+        blocks = ef.num_blocks
+        before = counter.snapshot()
+        out = reverse_edges(ef)
+        delta = counter.since(before)
+        assert delta.reads == blocks
+        assert delta.writes == blocks
+        out.unlink()
+
+
+class TestEstimate:
+    def test_zero_edges(self):
+        assert estimate_sort_ios(0, 64, 1024) == 0
+
+    def test_grows_with_input(self):
+        small = estimate_sort_ios(1_000, 65536, 1 << 20)
+        big = estimate_sort_ios(1_000_000, 65536, 1 << 20)
+        assert big > small

@@ -1,0 +1,75 @@
+"""Unit tests for the semi-external memory model."""
+
+import pytest
+
+from repro.constants import DEFAULT_BLOCK_SIZE, EDGE_BYTES
+from repro.exceptions import MemoryBudgetError
+from repro.io.memory import MemoryModel
+
+
+class TestDefaults:
+    def test_paper_default_capacity(self):
+        model = MemoryModel(num_nodes=1000)
+        assert model.capacity == 4 * 3 * 1000 + DEFAULT_BLOCK_SIZE
+
+    def test_explicit_capacity_respected(self):
+        model = MemoryModel(num_nodes=10, capacity=12345)
+        assert model.capacity == 12345
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(num_nodes=-1)
+
+
+class TestNodeArrays:
+    def test_three_arrays_fit_by_default(self):
+        model = MemoryModel(num_nodes=1_000)
+        model.require_node_arrays(3)  # BR+-Tree fits by construction
+
+    def test_four_arrays_overflow_default(self):
+        model = MemoryModel(num_nodes=1_000_000)
+        with pytest.raises(MemoryBudgetError):
+            model.require_node_arrays(4)
+
+    def test_live_nodes_shrink_requirement(self):
+        model = MemoryModel(num_nodes=1_000_000)
+        model.require_node_arrays(4, live_nodes=100)  # tiny live set fits
+
+
+class TestEdgeBudget:
+    def test_budget_shrinks_with_resident_arrays(self):
+        model = MemoryModel(num_nodes=1000)
+        assert model.edge_budget_bytes(2) < model.edge_budget_bytes(1)
+
+    def test_budget_grows_as_nodes_are_freed(self):
+        """The Section 7.4 feedback loop: fewer live nodes, bigger batches."""
+        model = MemoryModel(num_nodes=100_000)
+        full = model.edges_per_batch(2, live_nodes=100_000)
+        reduced = model.edges_per_batch(2, live_nodes=50_000)
+        assert reduced > full
+
+    def test_budget_never_below_one_block(self):
+        model = MemoryModel(num_nodes=10, capacity=100, block_size=64)
+        assert model.edge_budget_bytes(3) == 64
+        assert model.blocks_per_batch(3) == 1
+        assert model.edges_per_batch(3) == 64 // EDGE_BYTES
+
+
+class TestChargeTracking:
+    def test_charge_and_release(self):
+        model = MemoryModel(num_nodes=10, capacity=100)
+        model.charge(60)
+        assert model.charged == 60
+        model.release(10)
+        assert model.charged == 50
+
+    def test_overflow_raises(self):
+        model = MemoryModel(num_nodes=10, capacity=100)
+        model.charge(90)
+        with pytest.raises(MemoryBudgetError):
+            model.charge(11)
+
+    def test_release_validation(self):
+        model = MemoryModel(num_nodes=10, capacity=100)
+        with pytest.raises(ValueError):
+            model.release(1)

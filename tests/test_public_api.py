@@ -1,0 +1,68 @@
+"""Tests for the top-level public API (`repro.compute_sccs` and exports)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Digraph, DiskGraph, compute_sccs
+from repro.core.validate import partitions_equal
+from repro.inmemory.tarjan import tarjan_scc
+
+
+class TestComputeSCCs:
+    def test_accepts_digraph(self, figure1_graph):
+        result = compute_sccs(figure1_graph)
+        assert result.num_sccs == 6
+
+    def test_accepts_raw_edge_array(self):
+        edges = np.array([[0, 1], [1, 0]])
+        result = compute_sccs(edges, num_nodes=3)
+        assert result.num_sccs == 2
+
+    def test_raw_edges_require_num_nodes(self):
+        with pytest.raises(ValueError):
+            compute_sccs(np.array([[0, 1]]))
+
+    def test_accepts_disk_graph(self, tmp_path, figure1_graph):
+        disk = DiskGraph.from_digraph(
+            figure1_graph, str(tmp_path / "g.bin"), block_size=64
+        )
+        result = compute_sccs(disk)
+        assert result.num_sccs == 6
+        disk.unlink()
+
+    def test_accepts_algorithm_instance(self, figure1_graph):
+        from repro import OnePhaseSCC
+
+        result = compute_sccs(figure1_graph, algorithm=OnePhaseSCC())
+        assert result.num_sccs == 6
+
+    def test_unknown_algorithm_rejected(self, figure1_graph):
+        with pytest.raises(ValueError):
+            compute_sccs(figure1_graph, algorithm="3P-SCC")
+
+    def test_workdir_used_and_cleaned(self, tmp_path, figure1_graph):
+        compute_sccs(figure1_graph, workdir=str(tmp_path))
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("name", sorted(repro.ALGORITHMS))
+    def test_every_registered_algorithm_runs(self, name, figure1_graph):
+        truth, _ = tarjan_scc(figure1_graph)
+        result = compute_sccs(figure1_graph, algorithm=name, block_size=64)
+        assert partitions_equal(truth, result.labels)
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_docstring_example(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0], [2, 3]])
+        graph = Digraph(4, edges)
+        result = compute_sccs(graph, algorithm="1PB-SCC")
+        assert result.num_sccs == 2
+        assert result.stats.io.total > 0

@@ -1,0 +1,126 @@
+"""Tests for the BR+-Tree: backward links, drank/dlink, classification."""
+
+import numpy as np
+
+from repro.constants import VIRTUAL_ROOT
+from repro.spanning.brtree import BRPlusTree
+
+
+def chain_tree(n):
+    tree = BRPlusTree(n)
+    for v in range(1, n):
+        tree.reparent(v, v - 1)
+    return tree
+
+
+class TestBlinks:
+    def test_offer_blink_accepts_first(self):
+        tree = chain_tree(4)
+        assert tree.offer_blink(3, 1)
+        assert tree.blink[3] == 1
+
+    def test_offer_blink_prefers_shallower(self):
+        tree = chain_tree(4)
+        tree.offer_blink(3, 2)
+        assert tree.offer_blink(3, 0)  # depth 1 beats depth 3
+        assert tree.blink[3] == 0
+
+    def test_offer_blink_rejects_deeper(self):
+        tree = chain_tree(4)
+        tree.offer_blink(3, 0)
+        assert not tree.offer_blink(3, 2)
+        assert tree.blink[3] == 0
+
+    def test_invalidated_blink_dropped_by_update(self):
+        tree = BRPlusTree(4)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)  # chain 0-1-2, root 3
+        tree.offer_blink(2, 0)
+        tree.pushdown(3, 1)  # move subtree {1,2} under 3: 0 no longer anc
+        tree.update_drank()
+        assert tree.blink[2] == VIRTUAL_ROOT
+
+
+class TestDrank:
+    def test_no_blinks_drank_equals_depth(self):
+        tree = chain_tree(5)
+        tree.update_drank()
+        assert np.array_equal(tree.drank, tree.depth)
+        assert np.array_equal(tree.dlink, np.arange(5))
+
+    def test_blink_lifts_whole_subtree(self):
+        # chain 0-1-2-3 with blink 3 -> 0: drank of 1, 2, 3 becomes 1.
+        tree = chain_tree(4)
+        tree.offer_blink(3, 0)
+        tree.update_drank()
+        assert tree.drank.tolist() == [1, 1, 1, 1]
+        assert tree.dlink.tolist() == [0, 0, 0, 0]
+
+    def test_jump_chain_closure(self):
+        # 0-1-2-3-4; blink 4->2 and blink 2->0: closure gives drank 1 deep.
+        tree = chain_tree(5)
+        tree.offer_blink(4, 2)
+        tree.offer_blink(2, 0)
+        tree.update_drank()
+        assert tree.drank[4] == 1
+        assert tree.dlink[4] == 0
+
+    def test_sibling_subtrees_independent(self):
+        tree = BRPlusTree(5)
+        tree.reparent(1, 0)
+        tree.reparent(2, 0)
+        tree.reparent(3, 1)
+        tree.reparent(4, 2)
+        tree.offer_blink(3, 0)  # only 1's branch gets the lift
+        tree.update_drank()
+        assert tree.drank[3] == 1
+        assert tree.drank[1] == 1
+        assert tree.drank[4] == 3  # untouched branch keeps its depth
+        assert tree.drank[2] == 2
+
+
+class TestClassification:
+    def test_tree_and_forward_edges(self):
+        tree = chain_tree(3)
+        tree.update_drank()
+        assert tree.classify_edge(0, 1) == "tree-or-forward"
+        assert tree.classify_edge(0, 2) == "tree-or-forward"
+
+    def test_backward_edge(self):
+        tree = chain_tree(3)
+        tree.update_drank()
+        assert tree.classify_edge(2, 0) == "backward"
+
+    def test_up_edge_by_depth(self):
+        tree = BRPlusTree(4)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)  # depth(2) = 3; node 3 at depth 1
+        tree.update_drank()
+        assert tree.classify_edge(2, 3) == "up"
+
+    def test_down_edge(self):
+        tree = BRPlusTree(4)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)
+        tree.update_drank()
+        assert tree.classify_edge(3, 2) == "down"
+
+    def test_refined_up_edge_via_drank(self):
+        # Fig. 5's situation: a blink lifts a node's drank, flipping
+        # how cross-branch edges classify under Definition 5.1.
+        tree = BRPlusTree(5)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)   # branch A: 0-1-2 (depths 1, 2, 3)
+        tree.reparent(4, 3)   # branch B: 3-4 (depths 1, 2)
+        tree.offer_blink(4, 3)  # drank(4) = 1
+        tree.update_drank()
+        # edge (2, 4): drank(2)=3 >= drank(4)=1, no ancestry -> up-edge.
+        assert tree.classify_edge(2, 4) == "up"
+        # edge (4, 2): drank(4)=1 < drank(2)=3 -> down (ignorable).
+        assert tree.classify_edge(4, 2) == "down"
+        # Lifting 2's branch to drank 1 makes both directions up-edges
+        # (equal dranks satisfy the >= of Definition 5.1).
+        tree.offer_blink(2, 0)
+        tree.update_drank()
+        assert tree.classify_edge(4, 2) == "up"
+        assert tree.classify_edge(2, 4) == "up"

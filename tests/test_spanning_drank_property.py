@@ -1,0 +1,91 @@
+"""Property test: update_drank equals brute-force Rset reachability.
+
+The paper defines ``drank(u, T)`` as the minimum depth over
+``Rset(u, G, T)`` — everything ``u`` can reach inside the BR+-Tree by
+walking tree edges downwards and stored backward links upwards,
+repeatedly.  ``BRPlusTree.update_drank`` computes this closure in two
+passes; here it is checked against a literal BFS over the
+"tree-edges + backward-links" graph on randomly built trees.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import VIRTUAL_ROOT
+from repro.spanning.brtree import BRPlusTree
+
+
+def random_brplus_tree(rng: np.random.Generator, n: int) -> BRPlusTree:
+    """A random forest with random valid backward links."""
+    tree = BRPlusTree(n)
+    order = rng.permutation(n)
+    for index, v in enumerate(order.tolist()):
+        if index == 0 or rng.random() < 0.2:
+            continue  # stays a root
+        parent = int(order[rng.integers(0, index)])
+        tree.reparent(v, parent)
+    # Valid blinks: each to a random proper ancestor.
+    for v in range(n):
+        ancestors = []
+        node = int(tree.parent[v])
+        while node != VIRTUAL_ROOT:
+            ancestors.append(node)
+            node = int(tree.parent[node])
+        if ancestors and rng.random() < 0.6:
+            tree.blink[v] = int(ancestors[rng.integers(0, len(ancestors))])
+    return tree
+
+
+def brute_force_drank(tree: BRPlusTree) -> tuple[np.ndarray, np.ndarray]:
+    """BFS over tree edges (down) plus backward links (up)."""
+    n = tree.n
+    drank = np.empty(n, dtype=np.int64)
+    dlink = np.empty(n, dtype=np.int64)
+    for start in range(n):
+        best_node = start
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if tree.depth[node] < tree.depth[best_node]:
+                best_node = node
+            for child in tree.children[node]:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+            blink = int(tree.blink[node])
+            if blink != VIRTUAL_ROOT and blink not in seen:
+                seen.add(blink)
+                stack.append(blink)
+        drank[start] = tree.depth[best_node]
+        dlink[start] = best_node
+    return drank, dlink
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 24))
+def test_update_drank_matches_brute_force(seed, n):
+    rng = np.random.default_rng(seed)
+    tree = random_brplus_tree(rng, n)
+    tree.update_drank()
+    expected_drank, expected_dlink = brute_force_drank(tree)
+    assert np.array_equal(tree.drank, expected_drank)
+    # dlink must point at a node of the minimal depth (ties allowed).
+    assert np.array_equal(
+        tree.depth[tree.dlink], tree.depth[expected_dlink]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(2, 20))
+def test_drank_monotone_along_tree_edges(seed, n):
+    """A child can reach everything its subtree can; its parent can
+    reach at least as much: drank(parent) <= drank(child)."""
+    rng = np.random.default_rng(seed)
+    tree = random_brplus_tree(rng, n)
+    tree.update_drank()
+    for v in range(n):
+        p = int(tree.parent[v])
+        if p != VIRTUAL_ROOT:
+            assert tree.drank[p] <= tree.drank[v]

@@ -1,0 +1,154 @@
+"""Tests for the contractible spanning forest."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VIRTUAL_ROOT
+from repro.spanning.tree import ContractibleTree
+
+
+def build_chain(n):
+    """A path 0 -> 1 -> ... -> n-1 hanging off the virtual root."""
+    tree = ContractibleTree(n)
+    for v in range(1, n):
+        tree.reparent(v, v - 1)
+    return tree
+
+
+class TestInitialStar:
+    def test_all_nodes_are_roots(self):
+        tree = ContractibleTree(4)
+        assert (tree.parent == VIRTUAL_ROOT).all()
+        assert (tree.depth == 1).all()
+        assert sorted(tree.roots()) == [0, 1, 2, 3]
+        tree.check_invariants()
+
+    def test_initial_star_edges_are_not_real(self):
+        tree = ContractibleTree(3)
+        assert not tree.parent_is_real.any()
+
+
+class TestAncestry:
+    def test_chain_ancestry(self):
+        tree = build_chain(5)
+        assert tree.is_ancestor(0, 4)
+        assert tree.is_ancestor(2, 3)
+        assert not tree.is_ancestor(3, 2)
+        assert tree.is_ancestor(2, 2)
+
+    def test_path_up(self):
+        tree = build_chain(5)
+        assert tree.path_up(4, 1) == [4, 3, 2, 1]
+
+    def test_path_up_rejects_non_ancestor(self):
+        tree = ContractibleTree(3)
+        tree.reparent(1, 0)
+        with pytest.raises(ValueError):
+            tree.path_up(1, 2)
+
+    def test_siblings_not_ancestors(self):
+        tree = ContractibleTree(3)
+        tree.reparent(1, 0)
+        tree.reparent(2, 0)
+        assert not tree.is_ancestor(1, 2)
+        assert not tree.is_ancestor(2, 1)
+
+
+class TestPushdown:
+    def test_pushdown_moves_subtree_and_depths(self):
+        tree = ContractibleTree(4)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)  # chain 0-1-2; 3 separate root
+        tree.pushdown(2, 3)  # move 3 under 2
+        assert tree.parent[3] == 2
+        assert tree.depth[3] == 4
+        tree.check_invariants()
+
+    def test_pushdown_updates_whole_subtree(self):
+        tree = ContractibleTree(5)
+        tree.reparent(1, 0)  # 0-1
+        tree.reparent(3, 2)
+        tree.reparent(4, 3)  # 2-3-4
+        tree.pushdown(1, 2)  # move 2's subtree under 1
+        assert tree.depth[2] == 3
+        assert tree.depth[3] == 4
+        assert tree.depth[4] == 5
+        tree.check_invariants()
+
+
+class TestContraction:
+    def test_contract_path_merges_members(self):
+        tree = build_chain(4)
+        rep = tree.contract_path(3, 1)  # contract 1-2-3
+        assert rep == 1
+        assert tree.find(2) == 1 and tree.find(3) == 1
+        assert tree.ds.set_size(1) == 3
+        assert tree.num_live() == 2  # nodes 0 and supernode 1
+        tree.check_invariants()
+
+    def test_contract_rehangs_side_children(self):
+        extra = ContractibleTree(5)
+        extra.reparent(1, 0)
+        extra.reparent(2, 1)
+        extra.reparent(3, 1)  # side child of 1
+        extra.reparent(4, 2)  # side child of 2
+        extra.contract_path(2, 0)  # contract 0-1-2
+        assert extra.find(1) == 0 and extra.find(2) == 0
+        assert extra.parent[3] == 0 and extra.parent[4] == 0
+        assert extra.depth[3] == 2 and extra.depth[4] == 2
+        extra.check_invariants()
+
+    def test_contract_single_node_is_noop(self):
+        tree = build_chain(3)
+        assert tree.contract_path(1, 1) == 1
+        assert tree.num_live() == 3
+
+    def test_contracted_supernode_keeps_top_position(self):
+        tree = build_chain(4)
+        tree.contract_path(2, 0)
+        assert tree.depth[0] == 1
+        assert tree.parent[0] == VIRTUAL_ROOT
+
+    def test_nested_contractions(self):
+        tree = build_chain(6)
+        tree.contract_path(2, 1)
+        tree.contract_path(tree.find(4), tree.find(3))
+        tree.contract_path(tree.find(5), tree.find(1))
+        # everything from 1 down is now one supernode
+        assert len({tree.find(v) for v in range(1, 6)}) == 1
+        tree.check_invariants()
+
+
+class TestRejection:
+    def test_reject_root_promotes_children(self):
+        tree = build_chain(3)
+        tree.reject(0)
+        assert not tree.live[0]
+        assert tree.parent[1] == VIRTUAL_ROOT
+        assert tree.depth[1] == 1 and tree.depth[2] == 2
+        assert tree.rejected == [0]
+        tree.check_invariants()
+
+    def test_reject_leaf(self):
+        tree = build_chain(3)
+        tree.reject(2)
+        assert not tree.live[2]
+        assert tree.num_live() == 2
+        tree.check_invariants()
+
+    def test_rejected_children_lose_real_parent_flag(self):
+        tree = build_chain(3)
+        tree.parent_is_real[:] = True
+        tree.reject(1)
+        assert not tree.parent_is_real[2]
+
+
+class TestLabels:
+    def test_labels_after_mixed_operations(self):
+        tree = build_chain(5)
+        tree.contract_path(2, 1)
+        tree.reject(tree.find(4))
+        labels, count = tree.scc_labels()
+        assert count == 4  # {0}, {1,2}, {3}, {4}
+        assert labels[1] == labels[2]
+        assert len({labels[0], labels[1], labels[3], labels[4]}) == 4

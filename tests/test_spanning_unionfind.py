@@ -1,0 +1,94 @@
+"""Tests for the explicit-representative union-find."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spanning.unionfind import DisjointSet
+
+
+class TestBasics:
+    def test_initially_all_singletons(self):
+        ds = DisjointSet(5)
+        assert len(ds) == 5
+        assert [ds.find(i) for i in range(5)] == list(range(5))
+
+    def test_union_into_keeps_representative(self):
+        ds = DisjointSet(4)
+        rep = ds.union_into(1, 0)
+        assert rep == 0
+        assert ds.find(1) == 0
+        assert ds.set_size(0) == 2
+
+    def test_union_into_absorbs_whole_set(self):
+        ds = DisjointSet(5)
+        ds.union_into(1, 0)
+        ds.union_into(0, 2)  # absorb {0,1} into 2
+        assert ds.find(0) == ds.find(1) == 2
+        assert ds.set_size(2) == 3
+
+    def test_union_into_requires_representative_target(self):
+        ds = DisjointSet(3)
+        ds.union_into(1, 0)
+        with pytest.raises(ValueError):
+            ds.union_into(2, 1)  # 1 is no longer a representative
+
+    def test_union_same_set_is_noop(self):
+        ds = DisjointSet(3)
+        ds.union_into(1, 0)
+        ds.union_into(1, 0)
+        assert ds.set_size(0) == 2
+
+    def test_same(self):
+        ds = DisjointSet(3)
+        assert not ds.same(0, 1)
+        ds.union_into(1, 0)
+        assert ds.same(0, 1)
+
+
+class TestVectorised:
+    def test_find_many_matches_scalar_find(self):
+        ds = DisjointSet(10)
+        ds.union_into(1, 0)
+        ds.union_into(3, 2)
+        ds.union_into(2, 0)
+        xs = np.arange(10, dtype=np.int64)
+        vectorised = ds.find_many(xs)
+        scalar = np.array([ds.find(i) for i in range(10)])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_find_many_empty(self):
+        ds = DisjointSet(3)
+        assert ds.find_many(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_labels_contiguous(self):
+        ds = DisjointSet(6)
+        ds.union_into(1, 0)
+        ds.union_into(5, 4)
+        labels, count = ds.labels()
+        assert count == 4
+        assert labels[0] == labels[1]
+        assert labels[4] == labels[5]
+        assert set(labels.tolist()) == set(range(4))
+
+    def test_labels_empty(self):
+        labels, count = DisjointSet(0).labels()
+        assert count == 0 and labels.shape == (0,)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        merges=st.lists(
+            st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60
+        ),
+    )
+    def test_sizes_always_sum_to_n(self, n, merges):
+        ds = DisjointSet(n)
+        for a, b in merges:
+            a, b = a % n, b % n
+            ds.union_into(a, ds.find(b))
+        roots = {ds.find(i) for i in range(n)}
+        assert sum(ds.set_size(r) for r in roots) == n

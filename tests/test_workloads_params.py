@@ -1,0 +1,52 @@
+"""Tests for the Table 2 parameter grid."""
+
+import pytest
+
+from repro.workloads.params import (
+    SCC_CLASSES,
+    large_scc_params,
+    massive_scc_params,
+    params_for_class,
+    small_scc_params,
+)
+
+
+class TestScaling:
+    def test_default_scale_shrinks_uniformly(self):
+        params = massive_scc_params(scale=1e-3)
+        assert params.num_nodes == 30_000
+        assert params.massive_sccs == [400]
+
+    def test_large_class_scales_size_not_count(self):
+        params = large_scc_params(scale=1e-3)
+        assert len(params.large_sccs) == 50  # count fixed
+        assert params.large_sccs[0] == 8  # 8000 * 1e-3
+
+    def test_small_class_scales_count_not_size(self):
+        params = small_scc_params(scale=1e-3)
+        assert len(params.small_sccs) == 10  # 10000 * 1e-3
+        assert params.small_sccs[0] == 40  # size fixed
+
+    def test_minimums_enforced(self):
+        params = massive_scc_params(scale=1e-9)
+        assert params.num_nodes >= 1000
+        assert params.massive_sccs[0] >= 16
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("scc_class", SCC_CLASSES)
+    def test_params_for_class(self, scc_class):
+        params = params_for_class(scc_class, scale=1e-4)
+        assert params.scc_class == scc_class
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            params_for_class("gigantic")
+
+
+class TestBuild:
+    def test_build_generates_planted_graph(self):
+        params = massive_scc_params(scale=3e-5, seed=1)  # ~1000 nodes
+        planted = params.build()
+        assert planted.graph.num_nodes == params.num_nodes
+        assert planted.num_planted == 1

@@ -1,0 +1,73 @@
+"""Tests for the real-dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.core.validate import partitions_equal
+from repro.graph.properties import scc_profile
+from repro.inmemory.condensation import condense
+from repro.inmemory.tarjan import tarjan_scc
+from repro.workloads.realworld import (
+    REAL_DATASET_STATS,
+    cit_patents_like,
+    citeseerx_like,
+    go_uniprot_like,
+    webspam_like,
+)
+
+SMALL = 3e-4  # keep the suite fast
+
+
+class TestCitationGraphs:
+    @pytest.mark.parametrize(
+        "factory,name",
+        [
+            (cit_patents_like, "cit-patents"),
+            (go_uniprot_like, "go-uniprot"),
+            (citeseerx_like, "citeseerx"),
+        ],
+    )
+    def test_scaled_sizes_match_published_stats(self, factory, name):
+        g = factory(scale=SMALL, seed=0)
+        nodes, edges = REAL_DATASET_STATS[name]
+        expected_nodes = max(1000, int(round(nodes * SMALL)))
+        assert g.num_nodes == expected_nodes
+        # Degree should match the published average within 15 %
+        # (the +10 % random edges push it slightly above).
+        degree = g.num_edges / g.num_nodes
+        published = edges / nodes
+        assert published * 0.95 <= degree <= published * 1.25
+
+    def test_extra_edges_create_sccs(self):
+        """The paper adds 10% random edges precisely to create SCCs."""
+        g = cit_patents_like(scale=SMALL, seed=1)
+        _, count = tarjan_scc(g)
+        assert count < g.num_nodes  # at least one non-trivial SCC
+
+    def test_reproducible(self):
+        assert cit_patents_like(scale=SMALL, seed=2) == cit_patents_like(
+            scale=SMALL, seed=2
+        )
+
+
+class TestWebspam:
+    def test_scc_profile_matches_paper_shape(self):
+        planted = webspam_like(scale=2e-4, seed=0, avg_degree=8)
+        condensed = condense(planted.graph, planted.labels,
+                             int(planted.labels.max()) + 1)
+        profile = scc_profile(condensed.sizes)
+        n = planted.graph.num_nodes
+        # Giant SCC ~64.8 % of nodes; ~80 % of nodes in some SCC.
+        assert abs(profile.largest_scc_size / n - 0.648) < 0.02
+        assert abs(profile.nodes_in_nontrivial_sccs / n - 0.798) < 0.02
+        assert profile.second_largest_scc_size < 0.01 * n
+
+    def test_ground_truth_labels(self):
+        planted = webspam_like(scale=1e-4, seed=1, avg_degree=6)
+        truth, _ = tarjan_scc(planted.graph)
+        assert partitions_equal(truth, planted.labels)
+
+    def test_degree_override(self):
+        planted = webspam_like(scale=1e-4, seed=2, avg_degree=5)
+        degree = planted.graph.num_edges / planted.graph.num_nodes
+        assert abs(degree - 5) < 1.0

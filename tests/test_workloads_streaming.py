@@ -1,0 +1,92 @@
+"""Tests for the streamed on-disk graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.validate import partitions_equal
+from repro.inmemory.tarjan import tarjan_scc
+from repro.io.counter import IOCounter
+from repro.workloads.streaming import planted_scc_graph_to_disk
+
+from tests.conftest import SMALL_BLOCK
+
+
+class TestGroundTruth:
+    def test_labels_match_tarjan(self, tmp_path):
+        disk, labels = planted_scc_graph_to_disk(
+            300,
+            [40, 12, 5],
+            str(tmp_path / "g.bin"),
+            avg_degree=5,
+            seed=7,
+            block_size=SMALL_BLOCK,
+        )
+        graph = disk.to_digraph()
+        truth, _ = tarjan_scc(graph)
+        assert partitions_equal(truth, labels)
+        disk.unlink()
+
+    def test_small_chunks_equivalent_structure(self, tmp_path):
+        """Tiny chunks change nothing about the planted structure."""
+        disk, labels = planted_scc_graph_to_disk(
+            200,
+            [30, 10],
+            str(tmp_path / "c.bin"),
+            avg_degree=4,
+            seed=3,
+            chunk_edges=16,
+            block_size=SMALL_BLOCK,
+        )
+        graph = disk.to_digraph()
+        truth, _ = tarjan_scc(graph)
+        assert partitions_equal(truth, labels)
+        sizes = np.bincount(labels)
+        assert sorted(sizes[sizes >= 2].tolist()) == [10, 30]
+        disk.unlink()
+
+    def test_edge_budget_met(self, tmp_path):
+        disk, _ = planted_scc_graph_to_disk(
+            500, [100], str(tmp_path / "b.bin"), avg_degree=6, seed=1,
+            block_size=SMALL_BLOCK,
+        )
+        target = 6 * 500
+        assert abs(disk.num_edges - target) <= 0.12 * target
+        disk.unlink()
+
+
+class TestStreamingBehaviour:
+    def test_writes_charged_to_counter(self, tmp_path):
+        counter = IOCounter()
+        disk, _ = planted_scc_graph_to_disk(
+            200, [20], str(tmp_path / "w.bin"), seed=0,
+            counter=counter, block_size=SMALL_BLOCK,
+        )
+        assert counter.stats.writes > 0
+        disk.unlink()
+
+    def test_algorithms_consume_directly(self, tmp_path):
+        from repro.core.one_phase_batch import OnePhaseBatchSCC
+
+        disk, labels = planted_scc_graph_to_disk(
+            400, [80, 15], str(tmp_path / "a.bin"), seed=5,
+            block_size=SMALL_BLOCK,
+        )
+        result = OnePhaseBatchSCC().run(disk)
+        assert partitions_equal(labels, result.labels)
+        disk.unlink()
+
+
+class TestValidation:
+    def test_oversized_components(self, tmp_path):
+        with pytest.raises(ValueError):
+            planted_scc_graph_to_disk(5, [10], str(tmp_path / "x.bin"))
+
+    def test_tiny_component(self, tmp_path):
+        with pytest.raises(ValueError):
+            planted_scc_graph_to_disk(5, [1], str(tmp_path / "y.bin"))
+
+    def test_bad_chunk(self, tmp_path):
+        with pytest.raises(ValueError):
+            planted_scc_graph_to_disk(
+                5, [2], str(tmp_path / "z.bin"), chunk_edges=0
+            )

@@ -1,0 +1,90 @@
+"""Tests for the planted-SCC generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validate import partitions_equal
+from repro.inmemory.tarjan import tarjan_scc
+from repro.workloads.synthetic import planted_scc_graph, synthetic_graph
+
+
+class TestPlantedStructureIsExact:
+    def test_labels_match_tarjan(self):
+        planted = planted_scc_graph(200, [30, 10, 5], avg_degree=5, seed=0)
+        truth, _ = tarjan_scc(planted.graph)
+        assert partitions_equal(truth, planted.labels)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        sizes=st.lists(st.integers(2, 12), min_size=0, max_size=5),
+        degree=st.floats(min_value=1.0, max_value=8.0),
+    )
+    def test_property_ground_truth_holds(self, seed, sizes, degree):
+        num_nodes = sum(sizes) + 50
+        planted = planted_scc_graph(
+            num_nodes, sizes, avg_degree=degree, seed=seed
+        )
+        truth, _ = tarjan_scc(planted.graph)
+        assert partitions_equal(truth, planted.labels)
+
+    def test_component_sizes_exact(self):
+        planted = planted_scc_graph(100, [20, 7], avg_degree=4, seed=1)
+        sizes = np.bincount(planted.labels)
+        assert sorted(sizes[sizes >= 2].tolist()) == [7, 20]
+
+
+class TestEdgeBudget:
+    def test_edge_count_near_target(self):
+        planted = planted_scc_graph(500, [100], avg_degree=6, seed=2)
+        target = 6 * 500
+        assert abs(planted.graph.num_edges - target) <= 0.1 * target
+
+    def test_intra_fraction_extremes(self):
+        dense_core = planted_scc_graph(
+            200, [100], avg_degree=5, intra_fraction=1.0, seed=3
+        )
+        sparse_core = planted_scc_graph(
+            200, [100], avg_degree=5, intra_fraction=0.0, seed=3
+        )
+        truth_a, _ = tarjan_scc(dense_core.graph)
+        truth_b, _ = tarjan_scc(sparse_core.graph)
+        assert partitions_equal(truth_a, dense_core.labels)
+        assert partitions_equal(truth_b, sparse_core.labels)
+
+
+class TestValidation:
+    def test_components_must_fit(self):
+        with pytest.raises(ValueError):
+            planted_scc_graph(10, [8, 8])
+
+    def test_min_component_size(self):
+        with pytest.raises(ValueError):
+            planted_scc_graph(10, [1])
+
+    def test_intra_fraction_range(self):
+        with pytest.raises(ValueError):
+            planted_scc_graph(10, [2], intra_fraction=1.5)
+
+
+class TestSyntheticWrapper:
+    def test_three_classes_combined(self):
+        planted = synthetic_graph(
+            300,
+            avg_degree=4,
+            massive_sccs=[50],
+            large_sccs=[10, 10],
+            small_sccs=[3, 3, 3],
+            seed=4,
+        )
+        sizes = sorted(planted.planted_sizes.tolist())
+        assert sizes == [3, 3, 3, 10, 10, 50]
+        truth, _ = tarjan_scc(planted.graph)
+        assert partitions_equal(truth, planted.labels)
+
+    def test_reproducible_by_seed(self):
+        a = synthetic_graph(100, massive_sccs=[20], seed=7)
+        b = synthetic_graph(100, massive_sccs=[20], seed=7)
+        assert a.graph == b.graph

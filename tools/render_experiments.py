@@ -1,0 +1,98 @@
+"""Consolidate pytest-benchmark JSON exports into experiment tables.
+
+Reads every ``bench_results/batch*.json`` produced by::
+
+    pytest benchmarks/... --benchmark-json=bench_results/batchN.json
+
+and prints, per benchmark file, a compact table of
+(case, status, seconds, block I/Os, iterations) — the raw material for
+EXPERIMENTS.md.
+
+Run with::
+
+    python tools/render_experiments.py [results_dir]
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+from collections import defaultdict
+
+
+def load_records(results_dir: str):
+    records = []
+    for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except json.JSONDecodeError:
+            print(f"skipping unreadable {path} (run in progress?)", file=sys.stderr)
+            continue
+        for bench in data.get("benchmarks", []):
+            extra = bench.get("extra_info", {})
+            group = bench["name"].split("[")[0]
+            case = bench["name"][len(group):].strip("[]")
+            records.append(
+                {
+                    "file": os.path.basename(bench.get("fullname", "")).split("::")[0]
+                    or group,
+                    "group": group,
+                    "case": case or "-",
+                    "seconds": bench["stats"]["mean"],
+                    "status": extra.get("status", "ok"),
+                    "ios": extra.get("ios"),
+                    "iterations": extra.get("iterations"),
+                    "extra": extra,
+                }
+            )
+    return records
+
+
+def render(records) -> str:
+    by_group = defaultdict(list)
+    for record in records:
+        by_group[record["group"]].append(record)
+    lines = []
+    for group in sorted(by_group):
+        lines.append(f"\n## {group}")
+        lines.append(
+            f"{'case':<28} {'status':<6} {'seconds':>9} {'block I/Os':>11} "
+            f"{'iters':>6}"
+        )
+        lines.append("-" * 64)
+        for record in sorted(by_group[group], key=lambda r: r["case"]):
+            seconds = (
+                f"{record['seconds']:.3f}" if record["status"] == "ok" else "-"
+            )
+            ios = (
+                f"{record['ios']:,}"
+                if record["status"] == "ok" and record["ios"] is not None
+                else record["status"]
+            )
+            iters = (
+                str(record["iterations"])
+                if record["iterations"] is not None
+                else "-"
+            )
+            lines.append(
+                f"{record['case']:<28} {record['status']:<6} {seconds:>9} "
+                f"{ios:>11} {iters:>6}"
+            )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+    records = load_records(results_dir)
+    if not records:
+        print(f"no benchmark JSON files found in {results_dir}/", file=sys.stderr)
+        return 1
+    print(render(records))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
