@@ -1,12 +1,26 @@
-.PHONY: install test bench examples suite clean
+.PHONY: install test lint bench examples suite clean
 
 PYTHON ?= python
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e ".[test]"
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Contract analyzer always runs; ruff/mypy only when installed.
+lint:
+	$(PYTHON) -m repro.cli lint src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed -- skipping (pip install -e '.[lint]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy -p repro.io -p repro.core; \
+	else \
+		echo "mypy not installed -- skipping (pip install -e '.[lint]')"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -21,7 +35,8 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
+# bench_results/ holds measured records -- clean must never delete them.
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache .benchmarks \
-		suite_results bench_results/*.json
+		suite_results
 	find . -name '__pycache__' -type d -exec rm -rf {} +

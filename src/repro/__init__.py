@@ -39,6 +39,7 @@ from repro.core import (
 )
 from repro.exceptions import (
     AlgorithmTimeout,
+    ContractViolation,
     GraphFormatError,
     MemoryBudgetError,
     NonTermination,
@@ -76,6 +77,7 @@ __all__ = [
     "AlgorithmTimeout",
     "NonTermination",
     "ValidationError",
+    "ContractViolation",
     "__version__",
 ]
 

@@ -1,0 +1,62 @@
+"""Semi-external contract analyzer: static rules + runtime invariants.
+
+The paper's claims rest on discipline the type system cannot express:
+core algorithms hold only O(|V|) state, and every disk transfer is a
+counted sequential block scan through :mod:`repro.io`.  This package
+makes that discipline checkable:
+
+* :mod:`~repro.analysis_static.rules` — pluggable AST rules (IO001,
+  MEM001, SCAN001, API001) run by the
+  :class:`~repro.analysis_static.engine.Analyzer` and the
+  ``repro-scc lint`` CLI subcommand;
+* :mod:`~repro.analysis_static.contracts` — the
+  ``REPRO_CHECK_INVARIANTS``-gated runtime layer used by
+  :class:`~repro.spanning.brtree.BRPlusTree`.
+
+See ``docs/contracts.md`` for the rule catalogue and the
+``# repro: allow[RULE]`` suppression pragma.
+"""
+
+from __future__ import annotations
+
+from repro.analysis_static.contracts import (
+    ENV_VAR,
+    invariant,
+    invariants_enabled,
+    require,
+)
+from repro.analysis_static.engine import (
+    Analyzer,
+    Violation,
+    analyze_paths,
+    module_relpath,
+    pragma_allowances,
+)
+from repro.analysis_static.rules import (
+    ALL_RULES,
+    DEFAULT_ALLOWLIST,
+    CoreAPIRule,
+    EdgeMaterializationRule,
+    RawIORule,
+    Rule,
+    SequentialScanRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Analyzer",
+    "CoreAPIRule",
+    "DEFAULT_ALLOWLIST",
+    "ENV_VAR",
+    "EdgeMaterializationRule",
+    "RawIORule",
+    "Rule",
+    "SequentialScanRule",
+    "Violation",
+    "analyze_paths",
+    "invariant",
+    "invariants_enabled",
+    "module_relpath",
+    "pragma_allowances",
+    "require",
+]

@@ -1,0 +1,157 @@
+"""Analyzer engine: file discovery, pragma handling, and allowlists.
+
+The engine is rule-agnostic: it parses each module once, asks every
+registered :class:`~repro.analysis_static.rules.Rule` that *applies* to
+the module for its violations, and then filters out anything excused by
+
+* an inline pragma — ``# repro: allow[IO001]`` (or a comma-separated
+  list, or ``allow[*]``) on the flagged line, or
+* an allowlist entry — a mapping from a ``repro/...``-rooted module
+  path to the rule ids excused for that whole module.
+
+Paths are normalised so that rules can scope themselves by package
+(``repro/io/``, ``repro/core/`` ...) regardless of where the source
+tree lives on disk.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One contract violation anchored at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def module_relpath(path: str) -> str:
+    """Normalise ``path`` to a ``repro/...``-rooted posix relative path.
+
+    Falls back to the normalised input when the path does not contain a
+    ``repro`` package component (e.g. lint fixtures in a temp dir) — rule
+    scoping then works off whatever directory names the path does have.
+    """
+    norm = os.path.normpath(str(path)).replace(os.sep, "/")
+    parts = [part for part in norm.split("/") if part]
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return "/".join(parts)
+
+
+def pragma_allowances(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids excused on that line.
+
+    The pragma form is ``# repro: allow[RULE]`` with an optional
+    comma-separated rule list; ``*`` excuses every rule on the line.
+    """
+    allowances: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if rules:
+                allowances[lineno] = rules
+    return allowances
+
+
+class Analyzer:
+    """Run contract rules over source files with pragma/allowlist filtering.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run; the full registry
+        (:data:`~repro.analysis_static.rules.ALL_RULES`) when omitted.
+    allowlist:
+        Mapping of ``repro/...``-rooted module paths to excused rule ids;
+        :data:`~repro.analysis_static.rules.DEFAULT_ALLOWLIST` when
+        omitted.  Pass ``{}`` to disable all module-level exceptions.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[object]] = None,
+        allowlist: Optional[Mapping[str, FrozenSet[str]]] = None,
+    ) -> None:
+        from repro.analysis_static.rules import ALL_RULES, DEFAULT_ALLOWLIST
+
+        self.rules = list(rules) if rules is not None else [cls() for cls in ALL_RULES]
+        self.allowlist: Dict[str, FrozenSet[str]] = dict(
+            DEFAULT_ALLOWLIST if allowlist is None else allowlist
+        )
+        #: Number of files inspected by the last :meth:`analyze_paths` call.
+        self.files_checked = 0
+
+    # ------------------------------------------------------------------
+    def _allowed_for(self, relpath: str) -> FrozenSet[str]:
+        allowed: set = set()
+        for suffix, rules in self.allowlist.items():
+            if relpath == suffix or relpath.endswith("/" + suffix):
+                allowed.update(rules)
+        return frozenset(allowed)
+
+    def analyze_source(self, source: str, relpath: str) -> List[Violation]:
+        """Check one module given as source text; returns sorted violations."""
+        tree = ast.parse(source, filename=relpath)
+        pragmas = pragma_allowances(source)
+        module_allowed = self._allowed_for(relpath)
+        violations: List[Violation] = []
+        for rule in self.rules:
+            if rule.rule_id in module_allowed:
+                continue
+            if not rule.applies_to(relpath):
+                continue
+            for violation in rule.check(tree, relpath):
+                line_allowed = pragmas.get(violation.line, frozenset())
+                if violation.rule in line_allowed or "*" in line_allowed:
+                    continue
+                violations.append(violation)
+        return sorted(violations)
+
+    def analyze_file(self, path: str) -> List[Violation]:
+        """Check one module on disk; returns sorted violations."""
+        # The analyzer reads source text, not graph data, so this is not
+        # a counted disk transfer.
+        with open(path, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
+            source = handle.read()
+        return self.analyze_source(source, module_relpath(path))
+
+    def analyze_paths(self, paths: Iterable[str]) -> List[Violation]:
+        """Check every ``*.py`` file under ``paths`` (files or directories)."""
+        files: List[str] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for dirpath, dirnames, filenames in os.walk(path):
+                    dirnames.sort()
+                    for filename in sorted(filenames):
+                        if filename.endswith(".py"):
+                            files.append(os.path.join(dirpath, filename))
+            else:
+                files.append(path)
+        self.files_checked = len(files)
+        violations: List[Violation] = []
+        for filename in files:
+            violations.extend(self.analyze_file(filename))
+        return sorted(violations)
+
+
+def analyze_paths(paths: Iterable[str]) -> List[Violation]:
+    """Convenience wrapper: run the default rule set over ``paths``."""
+    return Analyzer().analyze_paths(paths)

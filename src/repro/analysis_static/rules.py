@@ -1,0 +1,475 @@
+"""The contract rules enforcing the paper's I/O and memory discipline.
+
+Each rule is an AST pass scoped to the packages whose discipline it
+guards (scoping is by directory name, so lint fixtures in temporary
+trees behave like the real packages they imitate):
+
+* **IO001** — no raw file I/O (``open``, ``os.read``, ``np.loadtxt``,
+  ``mmap`` ...) outside ``repro/io/``: every disk transfer must flow
+  through the :class:`~repro.io.counter.IOCounter`-accounted devices,
+  or the ``# of I/Os`` columns of the evaluation silently stop meaning
+  anything.
+* **MEM001** — no O(|E|) materialization inside ``repro/core/`` and
+  ``repro/spanning/``: the semi-external claim is that algorithms hold
+  only O(|V|) state (BR⁺-Tree = 3|V|, BR-Tree = 2|V|).
+* **SCAN001** — edge files are consumed by forward block iteration
+  only; computed-offset ``seek`` lives solely in ``repro/io/blocks.py``.
+* **API001** — public functions in ``repro/core/`` consume
+  ``DiskGraph``/``EdgeFile`` objects, never raw paths, so nothing can
+  open a side channel around the counted devices.
+
+New rules subclass :class:`Rule` and register in :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Tuple, Type
+
+from repro.analysis_static.engine import Violation
+
+#: Module-level exceptions to the rules, keyed by ``repro/...``-rooted
+#: path.  Keep this list short, and justify every entry:
+DEFAULT_ALLOWLIST: Dict[str, FrozenSet[str]] = {
+    # The SNAP text-interchange boundary: converting text dumps to and
+    # from the binary layout is this module's entire purpose, and it
+    # runs once at import/export time, outside any counted
+    # semi-external run.
+    "repro/graph/io_text.py": frozenset({"IO001"}),
+}
+
+
+def _path_parts(relpath: str) -> Tuple[str, ...]:
+    return tuple(part for part in relpath.split("/") if part)
+
+
+def _dir_parts(relpath: str) -> Tuple[str, ...]:
+    return _path_parts(relpath)[:-1]
+
+
+def _terminal_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class Rule:
+    """One pluggable contract rule: a scoped AST pass.
+
+    Subclasses set :attr:`rule_id`, :attr:`title` and :attr:`rationale`
+    and implement :meth:`applies_to` and :meth:`check`.
+    """
+
+    #: Stable identifier named in lint output and ``allow[...]`` pragmas.
+    rule_id: str = "RULE000"
+    #: One-line human description.
+    title: str = ""
+    #: Why the rule preserves the paper's model (shown by ``--list-rules``).
+    rationale: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule checks the module at ``relpath``."""
+        raise NotImplementedError
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Return this rule's violations in the parsed module."""
+        raise NotImplementedError
+
+    def violation(self, node: ast.AST, relpath: str, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            path=relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# IO001
+# ----------------------------------------------------------------------
+
+_RAW_OS_CALLS = frozenset(
+    {"open", "fdopen", "read", "write", "pread", "pwrite", "lseek", "sendfile"}
+)
+_RAW_NUMPY_CALLS = frozenset(
+    {"loadtxt", "savetxt", "genfromtxt", "fromfile", "memmap"}
+)
+_RAW_PATH_METHODS = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+
+class RawIORule(Rule):
+    """IO001: raw file I/O outside ``repro/io/``."""
+
+    rule_id = "IO001"
+    title = "raw file I/O outside repro/io/"
+    rationale = (
+        "every disk transfer must flow through the IOCounter-accounted "
+        "BlockDevice/EdgeFile so the reported # of I/Os stays faithful"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Everywhere except inside the ``io`` package itself."""
+        return "io" not in _dir_parts(relpath)
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag calls that move bytes to or from disk behind the counter."""
+        remedy = "; route the transfer through repro.io (IOCounter-accounted)"
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                out.append(
+                    self.violation(node, relpath, "raw open() call" + remedy)
+                )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = _terminal_name(func.value)
+            if base == "os" and func.attr in _RAW_OS_CALLS:
+                out.append(
+                    self.violation(node, relpath, f"raw os.{func.attr}() call" + remedy)
+                )
+            elif base in ("np", "numpy") and func.attr in _RAW_NUMPY_CALLS:
+                out.append(
+                    self.violation(
+                        node, relpath, f"raw numpy {func.attr}() file access" + remedy
+                    )
+                )
+            elif base == "io" and func.attr == "open":
+                out.append(
+                    self.violation(node, relpath, "raw io.open() call" + remedy)
+                )
+            elif base == "mmap" and func.attr == "mmap":
+                out.append(
+                    self.violation(
+                        node,
+                        relpath,
+                        "mmap bypasses block-granular accounting" + remedy,
+                    )
+                )
+            elif func.attr == "tofile":
+                out.append(
+                    self.violation(node, relpath, "raw ndarray.tofile() call" + remedy)
+                )
+            elif func.attr in _RAW_PATH_METHODS:
+                out.append(
+                    self.violation(
+                        node, relpath, f"raw Path.{func.attr}() call" + remedy
+                    )
+                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# MEM001
+# ----------------------------------------------------------------------
+
+_EDGE_NAME_RE = re.compile(r"(^|_)edges?($|_)")
+_SCAN_METHODS = frozenset({"scan", "scan_edges", "iter_edges"})
+_CONTAINER_FACTORIES = frozenset(
+    {"list", "set", "dict", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+_ACCUMULATE_METHODS = frozenset(
+    {"add", "append", "extend", "update", "setdefault", "insert", "appendleft"}
+)
+
+
+def _is_scan_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _SCAN_METHODS
+    )
+
+
+def _is_edge_expr(node: ast.AST) -> bool:
+    if _is_scan_call(node):
+        return True
+    name = _terminal_name(node)
+    return bool(name) and _EDGE_NAME_RE.search(name) is not None
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Yield the nodes of one scope, skipping nested function/class bodies."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class EdgeMaterializationRule(Rule):
+    """MEM001: O(|E|) materialization inside the algorithm packages."""
+
+    rule_id = "MEM001"
+    title = "O(|E|) materialization in repro/core/ or repro/spanning/"
+    rationale = (
+        "semi-external algorithms may hold only O(|V|) state; the edge "
+        "set is streamed block-by-block, never resident"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Only the algorithm packages carry the O(|V|) memory contract."""
+        dirs = _dir_parts(relpath)
+        return "core" in dirs or "spanning" in dirs
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag whole-edge-list materialization and per-edge accumulation."""
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "sorted", "tuple")
+                and node.args
+                and _is_edge_expr(node.args[0])
+            ):
+                out.append(
+                    self.violation(
+                        node,
+                        relpath,
+                        f"{func.id}() over an edge iterator materializes "
+                        "O(|E|) state; stream per-block batches instead",
+                    )
+                )
+            elif isinstance(func, ast.Attribute) and func.attr == "read_all":
+                out.append(
+                    self.violation(
+                        node,
+                        relpath,
+                        "read_all() loads the whole edge list into memory; "
+                        "consume edges with scan()",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "tolist"
+                and _is_edge_expr(func.value)
+            ):
+                out.append(
+                    self.violation(
+                        node,
+                        relpath,
+                        "tolist() on an edge array materializes O(|E|) "
+                        "Python objects; keep edges in per-block batches",
+                    )
+                )
+        out.extend(self._scan_loop_accumulation(tree, relpath))
+        return out
+
+    # ------------------------------------------------------------------
+    def _scan_loop_accumulation(
+        self, tree: ast.AST, relpath: str
+    ) -> List[Violation]:
+        """Flag containers grown across a full edge scan (per-edge keyed)."""
+        out: List[Violation] = []
+        scopes = [tree] if isinstance(tree, ast.Module) else []
+        scopes.extend(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            scan_loops = [
+                node
+                for node in _scope_walk(scope)
+                if isinstance(node, ast.For) and _is_scan_call(node.iter)
+            ]
+            if not scan_loops:
+                continue
+            inside: set = set()
+            for loop in scan_loops:
+                for node in ast.walk(loop):
+                    inside.add(id(node))
+            containers: set = set()
+            for node in _scope_walk(scope):
+                if id(node) in inside:
+                    continue
+                targets: List[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                if value is None:
+                    continue
+                is_container = isinstance(
+                    value,
+                    (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp),
+                ) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in _CONTAINER_FACTORIES
+                )
+                if not is_container:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        containers.add(target.id)
+            if not containers:
+                continue
+            for loop in scan_loops:
+                for node in ast.walk(loop):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _ACCUMULATE_METHODS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in containers
+                    ):
+                        out.append(
+                            self.violation(
+                                node,
+                                relpath,
+                                f"'{node.func.value.id}' accumulates per-edge "
+                                "state across a full edge scan (O(|E|) "
+                                "growth); keep only O(|V|) state",
+                            )
+                        )
+                    elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                        assign_targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        for target in assign_targets:
+                            if (
+                                isinstance(target, ast.Subscript)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id in containers
+                            ):
+                                out.append(
+                                    self.violation(
+                                        node,
+                                        relpath,
+                                        f"'{target.value.id}' is keyed "
+                                        "per-edge inside a full edge scan "
+                                        "(O(|E|) growth); keep only O(|V|) "
+                                        "state",
+                                    )
+                                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# SCAN001
+# ----------------------------------------------------------------------
+
+
+class SequentialScanRule(Rule):
+    """SCAN001: computed-offset seeks outside ``repro/io/blocks.py``."""
+
+    rule_id = "SCAN001"
+    title = "seek-based access outside repro/io/blocks.py"
+    rationale = (
+        "the I/O model charges sequential block scans; arbitrary seeks "
+        "are the random accesses the paper's algorithms exist to avoid"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Everywhere except the one block device that legitimately seeks."""
+        parts = _path_parts(relpath)
+        return not (parts and parts[-1] == "blocks.py" and "io" in parts[:-1])
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag ``.seek()`` calls — edge files are forward-iterated only."""
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "seek"
+            ):
+                out.append(
+                    self.violation(
+                        node,
+                        relpath,
+                        "seek() breaks the forward-scan discipline; consume "
+                        "edge files via block iteration (EdgeFile.scan)",
+                    )
+                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# API001
+# ----------------------------------------------------------------------
+
+_PATH_PARAM_RE = re.compile(
+    r"^(path|paths|filename|file_name|filepath|file_path|fname|pathname)$"
+    r"|(^path_)|(_path$)|(_filename$)"
+)
+_GRAPH_TYPES = ("DiskGraph", "EdgeFile", "BlockDevice", "Digraph")
+
+
+class CoreAPIRule(Rule):
+    """API001: public ``repro/core/`` functions must not take raw paths."""
+
+    rule_id = "API001"
+    title = "public core API accepting a raw file path"
+    rationale = (
+        "core entry points consume DiskGraph/EdgeFile so every byte they "
+        "touch is counted; a raw path invites uncounted side channels"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Only the ``core`` package exposes the counted public API."""
+        return "core" in _dir_parts(relpath)
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag path-like parameters on public functions and methods."""
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            arguments = node.args
+            params = list(arguments.posonlyargs) + list(arguments.args)
+            params += list(arguments.kwonlyargs)
+            for param in params:
+                if param.arg in ("self", "cls"):
+                    continue
+                annotation = (
+                    ast.unparse(param.annotation) if param.annotation else ""
+                )
+                if any(graph_type in annotation for graph_type in _GRAPH_TYPES):
+                    continue
+                path_like = bool(_PATH_PARAM_RE.search(param.arg))
+                path_like = path_like or "PathLike" in annotation
+                path_like = path_like or re.search(r"\bPath\b", annotation)
+                if path_like:
+                    out.append(
+                        self.violation(
+                            node,
+                            relpath,
+                            f"public function '{node.name}' takes raw path "
+                            f"parameter '{param.arg}'; accept a DiskGraph/"
+                            "EdgeFile so I/O stays counted",
+                        )
+                    )
+        return out
+
+
+#: Every registered rule, in reporting order.
+ALL_RULES: List[Type[Rule]] = [
+    RawIORule,
+    EdgeMaterializationRule,
+    SequentialScanRule,
+    CoreAPIRule,
+]

@@ -85,7 +85,8 @@ class SuiteResult:
         os.makedirs(outdir, exist_ok=True)
         for experiment, records in self.records.items():
             write_csv(records, os.path.join(outdir, f"{experiment}.csv"))
-        with open(os.path.join(outdir, "report.txt"), "w") as handle:
+        # Report text, written after the measured runs end.
+        with open(os.path.join(outdir, "report.txt"), "w") as handle:  # repro: allow[IO001]
             handle.write(self.report() + "\n")
 
 

@@ -6,6 +6,7 @@ Installed as the ``repro-scc`` console script::
     repro-scc info web.rgr
     repro-scc compute web.rgr --algorithm 1PB-SCC --labels-out labels.npy
     repro-scc compare web.rgr --time-limit 60
+    repro-scc lint src/
 
 Graphs are stored in the :mod:`repro.graph.storage` layout (binary
 edges + ``.meta`` sidecar); ``compute`` runs semi-externally on the
@@ -127,6 +128,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--time-limit", type=float, default=30.0)
     bench.add_argument("--outdir", default=None,
                        help="write per-experiment CSVs and report.txt here")
+
+    lint = sub.add_parser(
+        "lint", help="statically check the I/O and memory contracts"
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every rule and exit")
+    lint.add_argument("--no-default-allowlist", action="store_true",
+                      help="drop the built-in module-level exceptions")
     return parser
 
 
@@ -271,6 +282,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the contract analyzer; exit 1 when any violation survives."""
+    from repro.analysis_static import ALL_RULES, Analyzer
+
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.rule_id}  {rule_cls.title}")
+            print(f"       {rule_cls.rationale}")
+        return 0
+    analyzer = Analyzer(allowlist={} if args.no_default_allowlist else None)
+    try:
+        violations = analyzer.analyze_paths(args.paths or ["src"])
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} contract violation(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {analyzer.files_checked} file(s) contract-clean")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "import": _cmd_import,
@@ -280,6 +319,7 @@ _COMMANDS = {
     "condense": _cmd_condense,
     "toposort": _cmd_toposort,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

@@ -192,7 +192,7 @@ class DFSSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
-    ):
+    ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(3)
         if n == 0:

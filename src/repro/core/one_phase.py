@@ -23,7 +23,7 @@ Algorithm 7).
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -93,7 +93,7 @@ class OnePhaseSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
-    ):
+    ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(2)  # BR-Tree: parent + depth
         if n == 0:

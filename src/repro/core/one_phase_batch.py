@@ -26,7 +26,7 @@ the Section 7.4 feedback loop.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -80,7 +80,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
-    ):
+    ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(2)  # BR-Tree: parent + depth
         if n == 0:

@@ -16,7 +16,7 @@ SCCs.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -135,7 +135,7 @@ class TwoPhaseSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
-    ):
+    ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(3)  # BR+-Tree: parent, depth, blink
         if n == 0:

@@ -49,3 +49,12 @@ class NonTermination(ReproError):
 
 class ValidationError(ReproError):
     """A computed SCC partition failed cross-validation."""
+
+
+class ContractViolation(ReproError):
+    """A runtime invariant of the semi-external model was broken.
+
+    Raised by the ``REPRO_CHECK_INVARIANTS``-gated checkers of
+    :mod:`repro.analysis_static.contracts` — the runtime half of the
+    contract analyzer (the static half is ``repro-scc lint``).
+    """

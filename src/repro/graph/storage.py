@@ -45,7 +45,8 @@ def write_metadata(
         "num_edges": num_edges,
         "attributes": attributes or {},
     }
-    with open(_meta_path(path), "w", encoding="ascii") as handle:
+    # Metadata sidecar, O(1) bytes — not graph payload, never counted.
+    with open(_meta_path(path), "w", encoding="ascii") as handle:  # repro: allow[IO001]
         json.dump(meta, handle, indent=2)
 
 
@@ -66,7 +67,8 @@ def read_metadata(path: str) -> Dict[str, Any]:
     meta_path = _meta_path(path)
     if not os.path.exists(meta_path):
         raise GraphFormatError(f"missing metadata sidecar {meta_path}")
-    with open(meta_path, "r", encoding="ascii") as handle:
+    # Metadata sidecar, O(1) bytes — not graph payload, never counted.
+    with open(meta_path, "r", encoding="ascii") as handle:  # repro: allow[IO001]
         meta = json.load(handle)
     if meta.get("format") != _FORMAT:
         raise GraphFormatError(

@@ -15,13 +15,21 @@ A BR+-Tree (paper Section 5/6) is a spanning tree in which every node
 tree traversals, using the identity
 ``Rset(u) = subtree(u) ∪ Rset(a)`` where ``a`` is the shallowest
 ancestor reachable by one backward jump out of ``u``'s subtree.
+
+With ``REPRO_CHECK_INVARIANTS=1`` the mutating entry points re-verify
+the structure contracts after every call (see ``docs/contracts.md``):
+parent/depth consistency, a single strictly-shallower backward link per
+node, and — right after :meth:`~BRPlusTree.update_drank` — ancestor
+validity of every link plus drank/dlink coherence and monotonicity.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis_static.contracts import invariant, invariants_enabled, require
 from repro.constants import VIRTUAL_ROOT
+from repro.exceptions import ContractViolation
 from repro.spanning.tree import ContractibleTree
 
 
@@ -44,6 +52,7 @@ class BRPlusTree(ContractibleTree):
     # ------------------------------------------------------------------
     # backward links
     # ------------------------------------------------------------------
+    @invariant("check_blink_shape")
     def offer_blink(self, u: int, target: int) -> bool:
         """Record backward link ``(u, target)`` if it beats the stored one.
 
@@ -53,12 +62,22 @@ class BRPlusTree(ContractibleTree):
         current = int(self.blink[u])
         if current != VIRTUAL_ROOT and self.depth[current] <= self.depth[target]:
             return False
+        if invariants_enabled():
+            # Precise check of the offered pair, valid exactly at offer
+            # time (links may go stale later until update_drank drops
+            # them, so the decorator only re-checks the weaker shape).
+            require(
+                target != u and self.is_ancestor(target, u),
+                f"offered backward link ({u}, {target}) does not target "
+                "a proper ancestor",
+            )
         self.blink[u] = target
         return True
 
     # ------------------------------------------------------------------
     # drank / dlink closure
     # ------------------------------------------------------------------
+    @invariant("check_structure", "check_blink_shape", "check_drank_contract")
     def update_drank(self) -> None:
         """Recompute ``drank``/``dlink`` for every node (two traversals).
 
@@ -151,3 +170,92 @@ class BRPlusTree(ContractibleTree):
         if self.drank[u] >= self.drank[v]:
             return "up"
         return "down"
+
+    # ------------------------------------------------------------------
+    # runtime contracts (REPRO_CHECK_INVARIANTS=1; see docs/contracts.md)
+    # ------------------------------------------------------------------
+    def check_structure(self) -> None:
+        """Parent/depth/children consistency of the live tree.
+
+        Re-raises the assert-based :meth:`ContractibleTree.check_invariants`
+        as a :class:`~repro.exceptions.ContractViolation`.
+        """
+        try:
+            self.check_invariants()
+        except AssertionError as exc:
+            raise ContractViolation(f"tree structure: {exc}") from exc
+
+    def check_blink_shape(self) -> None:
+        """Each node stores at most one backward link, never to itself.
+
+        This is the time-invariant half of the backward-link contract;
+        ancestor validity and strict shallowness can go stale between
+        scans (pushdowns reshape the tree) and are re-established — and
+        checked — by :meth:`update_drank`.
+        """
+        for u in np.flatnonzero(self.blink != VIRTUAL_ROOT).tolist():
+            b = int(self.blink[u])
+            require(
+                0 <= b < self.n,
+                f"backward link of {u} targets out-of-range node {b}",
+            )
+            require(b != u, f"node {u} stores a backward link to itself")
+
+    def check_drank_contract(self) -> None:
+        """Full drank/dlink/blink coherence, valid right after update_drank.
+
+        For every live node reachable from a live root: the stored
+        backward link targets a strictly shallower ancestor; ``drank``
+        lies in ``[1, depth]``; ``dlink`` is the ancestor-or-self
+        sitting exactly at depth ``drank``; and drank is monotonically
+        non-decreasing down every tree path (``Rset(child) ⊆ Rset(u)``).
+        """
+        for root in self.roots():
+            path: list[int] = []
+            stack: list[tuple[int, bool]] = [(root, False)]
+            while stack:
+                node, processed = stack.pop()
+                if processed:
+                    path.pop()
+                    continue
+                path.append(node)
+                depth_u = int(self.depth[node])
+                require(
+                    depth_u == len(path),
+                    f"depth({node})={depth_u} disagrees with its tree path "
+                    f"length {len(path)}",
+                )
+                b = int(self.blink[node])
+                if b != VIRTUAL_ROOT:
+                    bd = int(self.depth[b])
+                    require(
+                        b != node and bd < depth_u,
+                        f"backward link ({node}, {b}) is not strictly "
+                        "shallower after update_drank",
+                    )
+                    require(
+                        1 <= bd and path[bd - 1] == b,
+                        f"backward link ({node}, {b}) does not target an "
+                        "ancestor after update_drank",
+                    )
+                dr = int(self.drank[node])
+                dl = int(self.dlink[node])
+                require(
+                    1 <= dr <= depth_u,
+                    f"drank({node})={dr} outside [1, depth={depth_u}]",
+                )
+                require(
+                    path[dr - 1] == dl,
+                    f"dlink({node})={dl} is not the ancestor at depth "
+                    f"drank({node})={dr}",
+                )
+                parent = int(self.parent[node])
+                if parent != VIRTUAL_ROOT:
+                    require(
+                        int(self.drank[parent]) <= dr,
+                        f"drank not monotone: drank({parent})="
+                        f"{int(self.drank[parent])} > drank({node})={dr}",
+                    )
+                stack.append((node, True))
+                for child in self.children[node]:
+                    stack.append((child, False))

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.validate import (
     canonical_partition,
+    certify_scc_partition,
     partitions_equal,
     validate_against_tarjan,
 )
@@ -34,6 +35,52 @@ class TestPartitionsEqual:
 
     def test_finer_partition_not_equal(self):
         assert not partitions_equal(np.array([0, 0, 0]), np.array([0, 0, 1]))
+
+
+class TestCertifyEdgeCases:
+    """Degenerate inputs for the certifying checker."""
+
+    def test_empty_graph(self):
+        certify_scc_partition(Digraph(0, np.empty((0, 2), dtype=np.int64)), np.array([]))
+
+    def test_single_node_no_edges(self):
+        certify_scc_partition(
+            Digraph(1, np.empty((0, 2), dtype=np.int64)), np.array([0])
+        )
+
+    def test_single_node_self_loop(self):
+        certify_scc_partition(Digraph(1, np.array([[0, 0]])), np.array([0]))
+
+    def test_all_singleton_partition_on_dag(self):
+        g = Digraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        certify_scc_partition(g, np.array([0, 1, 2, 3]))
+
+    def test_rejects_wrong_partition_with_same_group_count(self):
+        # Two 2-cycles: 0↔1 and 2↔3.  The labeling [0, 1, 0, 1] also has
+        # two groups, but {0, 2} and {1, 3} are not strongly connected —
+        # group-count agreement alone must not certify.
+        g = Digraph(4, np.array([[0, 1], [1, 0], [2, 3], [3, 2]]))
+        certify_scc_partition(g, np.array([0, 0, 1, 1]))
+        with pytest.raises(ValidationError):
+            certify_scc_partition(g, np.array([0, 1, 0, 1]))
+
+    def test_rejects_merged_groups(self):
+        # Merging two mutually unreachable cycles into one group breaks
+        # the strong-connectivity condition.
+        g = Digraph(4, np.array([[0, 1], [1, 0], [2, 3], [3, 2]]))
+        with pytest.raises(ValidationError):
+            certify_scc_partition(g, np.array([0, 0, 0, 0]))
+
+    def test_rejects_split_cycle(self):
+        # Splitting a 3-cycle makes the quotient graph cyclic.
+        g = Digraph(3, np.array([[0, 1], [1, 2], [2, 0]]))
+        with pytest.raises(ValidationError):
+            certify_scc_partition(g, np.array([0, 0, 1]))
+
+    def test_rejects_wrong_length_labels(self):
+        g = Digraph(3, np.array([[0, 1]]))
+        with pytest.raises(ValidationError, match="every node"):
+            certify_scc_partition(g, np.array([0, 1]))
 
 
 class TestValidateAgainstTarjan:

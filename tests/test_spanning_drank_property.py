@@ -8,12 +8,34 @@ passes; here it is checked against a literal BFS over the
 "tree-edges + backward-links" graph on randomly built trees.
 """
 
+import os
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis_static.contracts import ENV_VAR
 from repro.constants import VIRTUAL_ROOT
 from repro.spanning.brtree import BRPlusTree
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _invariants_on():
+    """Run every random tree with the runtime contracts enabled.
+
+    Module-scoped (not monkeypatch) so hypothesis' function-scoped
+    fixture health check stays quiet across @given examples.
+    """
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
 
 
 def random_brplus_tree(rng: np.random.Generator, n: int) -> BRPlusTree:
