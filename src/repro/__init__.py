@@ -49,6 +49,7 @@ from repro.exceptions import (
 from repro.graph import Digraph, DiskGraph
 from repro.inmemory import kosaraju_scc, tarjan_scc
 from repro.io import EdgeFile, IOCounter, IOStats, MemoryModel
+from repro.obs import NullTracer, Tracer, TraceWriter
 
 __version__ = "1.0.0"
 
@@ -67,6 +68,9 @@ __all__ = [
     "OnePhaseSCC",
     "OnePhaseBatchSCC",
     "ALGORITHMS",
+    "Tracer",
+    "NullTracer",
+    "TraceWriter",
     "compute_sccs",
     "certify_scc_partition",
     "tarjan_scc",
@@ -90,6 +94,7 @@ def compute_sccs(
     time_limit: Optional[float] = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     workdir: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SCCResult:
     """Compute all SCCs with one of the paper's algorithms.
 
@@ -107,6 +112,9 @@ def compute_sccs(
         :class:`SCCAlgorithm` instance.
     memory / time_limit / block_size / workdir:
         Run configuration; the paper's defaults when omitted.
+    tracer:
+        Optional :class:`Tracer` for structured run tracing (phase
+        spans, per-scan I/O deltas); untraced runs are unaffected.
     """
     if isinstance(algorithm, str):
         if algorithm not in ALGORITHMS:
@@ -116,7 +124,9 @@ def compute_sccs(
         algorithm = ALGORITHMS[algorithm]()
 
     if isinstance(graph, DiskGraph):
-        return algorithm.run(graph, memory=memory, time_limit=time_limit)
+        return algorithm.run(
+            graph, memory=memory, time_limit=time_limit, tracer=tracer
+        )
 
     if isinstance(graph, np.ndarray):
         if num_nodes is None:
@@ -134,7 +144,9 @@ def compute_sccs(
             block_size=block_size,
         )
         try:
-            return algorithm.run(disk, memory=memory, time_limit=time_limit)
+            return algorithm.run(
+                disk, memory=memory, time_limit=time_limit, tracer=tracer
+            )
         finally:
             disk.unlink()
     finally:

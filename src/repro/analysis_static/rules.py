@@ -37,6 +37,11 @@ DEFAULT_ALLOWLIST: Dict[str, FrozenSet[str]] = {
     # runs once at import/export time, outside any counted
     # semi-external run.
     "repro/graph/io_text.py": frozenset({"IO001"}),
+    # The trace writer persists observability records (JSONL spans and
+    # the summary sidecar).  These are diagnostics about a run, not part
+    # of it — charging them to the block counter would corrupt the very
+    # I/O tallies the trace exists to report.
+    "repro/obs/trace.py": frozenset({"IO001"}),
 }
 
 

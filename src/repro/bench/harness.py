@@ -19,6 +19,7 @@ from repro.exceptions import AlgorithmTimeout, NonTermination
 from repro.graph.digraph import Digraph
 from repro.graph.diskgraph import DiskGraph
 from repro.io.memory import MemoryModel
+from repro.obs import Tracer, TraceWriter
 
 
 @dataclass
@@ -34,6 +35,8 @@ class BenchRecord:
     num_sccs: Optional[int] = None
     params: Dict[str, object] = field(default_factory=dict)
     result: Optional[SCCResult] = None
+    #: Where this run's JSONL trace was written, when tracing was on.
+    trace_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -69,11 +72,15 @@ def run_one(
     workdir: Optional[str] = None,
     keep_result: bool = False,
     params: Optional[Dict[str, object]] = None,
+    trace_path: Optional[str] = None,
 ) -> BenchRecord:
     """Run one algorithm on one in-memory workload graph.
 
     The graph is materialised to disk inside ``workdir`` (a temporary
-    directory when omitted) so the run's I/O pattern is real.
+    directory when omitted) so the run's I/O pattern is real.  When
+    ``trace_path`` is given the run is traced to that JSONL file (kept
+    even on INF/DNF runs — partial traces are how timeouts are
+    diagnosed) and recorded on the returned record.
     """
     algo = _resolve(algorithm)
     record = BenchRecord(
@@ -89,8 +96,19 @@ def run_one(
             os.path.join(workdir, f"{workload}-{algo.name}.bin".replace("/", "_")),
             block_size=block_size,
         )
+        tracer = None
+        writer = None
+        if trace_path is not None:
+            writer = TraceWriter(
+                trace_path,
+                metadata={"algorithm": algo.name, "workload": workload},
+            )
+            tracer = Tracer(sink=writer)
+            record.trace_path = trace_path
         try:
-            result = algo.run(disk, memory=memory, time_limit=time_limit)
+            result = algo.run(
+                disk, memory=memory, time_limit=time_limit, tracer=tracer
+            )
             record.seconds = result.stats.wall_seconds
             record.ios = result.stats.io.total
             record.iterations = result.stats.iterations
@@ -102,6 +120,8 @@ def run_one(
         except NonTermination:
             record.status = "DNF"
         finally:
+            if writer is not None:
+                writer.close()
             disk.unlink()
     finally:
         if cleanup is not None:

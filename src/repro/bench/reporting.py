@@ -21,6 +21,8 @@ def records_to_rows(records: Iterable[BenchRecord]) -> List[Dict[str, object]]:
             "iterations": record.iterations,
             "num_sccs": record.num_sccs,
         }
+        if record.trace_path is not None:
+            row["trace_path"] = record.trace_path
         row.update(record.params)
         rows.append(row)
     return rows

@@ -5,17 +5,25 @@ Installed as the ``repro-scc`` console script::
     repro-scc generate --kind webspam --scale 1e-4 --out web.rgr
     repro-scc info web.rgr
     repro-scc compute web.rgr --algorithm 1PB-SCC --labels-out labels.npy
+    repro-scc compute web.rgr --algorithm 2P-SCC --trace run.jsonl
+    repro-scc report run.jsonl
     repro-scc compare web.rgr --time-limit 60
     repro-scc lint src/
 
 Graphs are stored in the :mod:`repro.graph.storage` layout (binary
 edges + ``.meta`` sidecar); ``compute`` runs semi-externally on the
 stored file itself, so the reported block I/Os are real.
+
+Diagnostics: ``-v`` enables INFO logging, ``-vv`` DEBUG; the
+``REPRO_LOG`` environment variable (e.g. ``REPRO_LOG=debug``) sets the
+same levels without touching the command line.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -59,10 +67,40 @@ GENERATORS = {
 }
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Set up stderr logging from ``-v`` flags and ``REPRO_LOG``.
+
+    ``-v`` means INFO, ``-vv`` (or more) DEBUG; the ``REPRO_LOG``
+    environment variable (``debug``/``info``/``warning``/...) provides a
+    floor, so ``REPRO_LOG=debug repro-scc ...`` is equivalent to
+    ``-vv`` without editing the command line.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    env = os.environ.get("REPRO_LOG", "").strip().upper()
+    if env:
+        env_level = logging.getLevelName(env)
+        if isinstance(env_level, int):
+            level = min(level, env_level)
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    logging.getLogger("repro").setLevel(level)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-scc",
         description="Semi-external SCC computation (SIGMOD'13 reproduction)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v for INFO logging, -vv for DEBUG (see also REPRO_LOG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -93,6 +131,8 @@ def _build_parser() -> argparse.ArgumentParser:
     compute.add_argument("--block-size", type=int, default=64 * 1024)
     compute.add_argument("--labels-out", default=None,
                          help="write per-node SCC labels as .npy")
+    compute.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a JSONL run trace (see 'report')")
 
     compare = sub.add_parser("compare", help="run several algorithms")
     compare.add_argument("graph")
@@ -128,6 +168,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--time-limit", type=float, default=30.0)
     bench.add_argument("--outdir", default=None,
                        help="write per-experiment CSVs and report.txt here")
+
+    report = sub.add_parser(
+        "report", help="render a run trace written by 'compute --trace'"
+    )
+    report.add_argument("trace", help="JSONL trace path")
+    report.add_argument("--max-depth", type=int, default=None,
+                        help="prune the span tree below this depth")
+    report.add_argument("--check", action="store_true",
+                        help="validate trace invariants and exit non-zero "
+                             "on any problem")
 
     lint = sub.add_parser(
         "lint", help="statically check the I/O and memory contracts"
@@ -188,8 +238,20 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         block_size=args.block_size,
     )
     algorithm = ALGORITHMS[args.algorithm]()
+    tracer = None
+    writer = None
+    if args.trace:
+        from repro.obs import Tracer, TraceWriter
+
+        writer = TraceWriter(
+            args.trace,
+            metadata={"algorithm": args.algorithm, "graph": args.graph},
+        )
+        tracer = Tracer(sink=writer)
     try:
-        result = algorithm.run(disk, memory=memory, time_limit=args.time_limit)
+        result = algorithm.run(
+            disk, memory=memory, time_limit=args.time_limit, tracer=tracer
+        )
     except AlgorithmTimeout:
         print("INF: time limit exceeded", file=sys.stderr)
         return 2
@@ -197,6 +259,8 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         print(f"DNF: {exc}", file=sys.stderr)
         return 3
     finally:
+        if writer is not None:
+            writer.close()
         disk.close()
     sizes = result.scc_sizes
     print(f"algorithm:   {args.algorithm}")
@@ -209,6 +273,8 @@ def _cmd_compute(args: argparse.Namespace) -> int:
     if args.labels_out:
         np.save(args.labels_out, result.labels)
         print(f"labels:      {args.labels_out}")
+    if writer is not None:
+        print(f"trace:       {args.trace}")
     return 0
 
 
@@ -282,6 +348,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render (or, with ``--check``, validate) a JSONL run trace."""
+    from repro.obs import load_trace, render_report, validate_trace
+
+    try:
+        trace = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        problems = validate_trace(trace)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if problems:
+            print(f"{len(problems)} trace invariant violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: {len(trace.spans)} span(s), schema "
+              f"v{trace.schema_version}")
+        return 0
+    print(render_report(trace, max_depth=args.max_depth))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the contract analyzer; exit 1 when any violation survives."""
     from repro.analysis_static import ALL_RULES, Analyzer
@@ -319,6 +409,7 @@ _COMMANDS = {
     "condense": _cmd_condense,
     "toposort": _cmd_toposort,
     "bench": _cmd_bench,
+    "report": _cmd_report,
     "lint": _cmd_lint,
 }
 
@@ -326,6 +417,7 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

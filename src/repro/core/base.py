@@ -22,6 +22,7 @@ from repro.exceptions import AlgorithmTimeout
 from repro.graph.diskgraph import DiskGraph
 from repro.io.counter import IOStats
 from repro.io.memory import MemoryModel
+from repro.obs.tracer import NULL_TRACER, Tracer, iteration_io
 
 logger = logging.getLogger("repro.core")
 
@@ -47,13 +48,32 @@ class Deadline:
 
 @dataclass
 class IterationStats:
-    """Per-iteration graph reduction record (the paper's Table 1)."""
+    """Per-iteration graph reduction record (the paper's Table 1).
+
+    ``io`` is this iteration's block-transfer delta, populated from the
+    tracer's iteration spans when a run is traced (``None`` on untraced
+    runs — measuring it for free requires the span snapshots).
+    """
 
     iteration: int
     nodes_reduced: int
     edges_reduced: int
     live_nodes: int
     live_edges: int
+    io: Optional[IOStats] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for reports, CSV export and trace summaries."""
+        payload: Dict[str, object] = {
+            "iteration": self.iteration,
+            "nodes_reduced": self.nodes_reduced,
+            "edges_reduced": self.edges_reduced,
+            "live_nodes": self.live_nodes,
+            "live_edges": self.live_edges,
+        }
+        if self.io is not None:
+            payload["io"] = self.io.to_dict()
+        return payload
 
 
 @dataclass
@@ -66,6 +86,17 @@ class RunStats:
     wall_seconds: float
     per_iteration: List[IterationStats] = field(default_factory=list)
     extras: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the full run record (per-iteration rows included)."""
+        return {
+            "algorithm": self.algorithm,
+            "iterations": self.iterations,
+            "io": self.io.to_dict(),
+            "wall_seconds": self.wall_seconds,
+            "per_iteration": [entry.to_dict() for entry in self.per_iteration],
+            "extras": dict(self.extras),
+        }
 
 
 @dataclass
@@ -108,6 +139,7 @@ class SCCAlgorithm(ABC):
         graph: DiskGraph,
         memory: Optional[MemoryModel] = None,
         time_limit: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> SCCResult:
         """Compute all SCCs of ``graph``.
 
@@ -122,9 +154,18 @@ class SCCAlgorithm(ABC):
         time_limit:
             Wall-clock limit in seconds; :class:`AlgorithmTimeout` is
             raised when exceeded (the paper's ``INF`` entries).
+        tracer:
+            Optional :class:`~repro.obs.tracer.Tracer`; when given, the
+            run is wrapped in a root ``run`` span, the tracer is
+            attached to the graph's I/O counter for per-file
+            attribution, and each :class:`IterationStats` entry gains
+            its I/O delta from the iteration spans.  The default no-op
+            tracer leaves behavior byte-identical to an untraced run.
         """
         if memory is None:
             memory = MemoryModel(graph.num_nodes, block_size=graph.block_size)
+        if tracer is None:
+            tracer = NULL_TRACER
         deadline = Deadline(self.name, time_limit)
         logger.debug(
             "%s: starting on %d nodes / %d edges (M=%d, B=%d)",
@@ -132,8 +173,23 @@ class SCCAlgorithm(ABC):
             memory.capacity, memory.block_size,
         )
         io_before = graph.counter.snapshot()
-        labels, iterations, per_iteration, extras = self._run(graph, memory, deadline)
+        spans_before = len(tracer.spans)
+        with tracer.attach(graph.counter):
+            with tracer.span(
+                "run",
+                algorithm=self.name,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+            ):
+                labels, iterations, per_iteration, extras = self._run(
+                    graph, memory, deadline, tracer
+                )
         labels, num_sccs = canonicalize_labels(labels)
+        if tracer.enabled:
+            per_iteration_io = iteration_io(tracer.spans[spans_before:])
+            for entry in per_iteration:
+                if entry.io is None:
+                    entry.io = per_iteration_io.get(entry.iteration)
         stats = RunStats(
             algorithm=self.name,
             iterations=iterations,
@@ -154,5 +210,6 @@ class SCCAlgorithm(ABC):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
+        tracer: Tracer,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         """Algorithm body: return ``(labels, iterations, per_iter, extras)``."""

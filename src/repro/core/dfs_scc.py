@@ -25,6 +25,7 @@ from repro.exceptions import NonTermination
 from repro.graph.diskgraph import DiskGraph
 from repro.io.extsort import reverse_edges
 from repro.io.memory import MemoryModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class _DFSTree:
@@ -140,10 +141,15 @@ def build_dfs_tree(
     order: np.ndarray,
     deadline: Deadline,
     max_iterations: int | None = None,
+    tracer: Tracer = NULL_TRACER,
+    iteration_offset: int = 0,
 ) -> Tuple[_DFSTree, int]:
     """Paper Algorithm 1: DFS tree by forward-cross-edge elimination.
 
-    Returns the tree and the number of full edge scans used.
+    Returns the tree and the number of full edge scans used.  Each scan
+    is traced as a ``dfs-scan`` span (numbered from ``iteration_offset``
+    so the two passes of DFS-SCC do not collide) carrying a
+    ``reparents`` counter.
     """
     tree = _DFSTree(order)
     if max_iterations is None:
@@ -156,29 +162,35 @@ def build_dfs_tree(
             raise NonTermination("DFS-Tree", iterations)
         updated = False
         iterations += 1
-        for batch in graph.scan_edges():
-            deadline.check()
-            for u, v in batch.tolist():
-                if u == v or tree.parent[v] == u:
-                    continue
-                if tree.depth[u] < tree.depth[v]:
-                    if tree.is_ancestor(u, v):
-                        continue  # forward edge
-                elif tree.is_ancestor(v, u):
-                    continue  # backward edge
-                if tree.pre[u] < tree.pre[v]:
-                    # Forward-cross-edge: re-hang v under u, then redo
-                    # the preorder immediately — the per-update
-                    # renumbering the paper identifies as DFS-SCC's
-                    # Cost-3 (Fig. 3).  Ranks before pre(u) are
-                    # unaffected, so the renumbering skips them.
-                    tree.reparent(v, u)
-                    tree.assign_preorder(pivot=int(tree.pre[u]))
-                    updated = True
-                    # Each move renumbers up to O(n) ranks, so the
-                    # wall-clock budget is re-checked per move.
-                    deadline.check()
-                # backward-cross-edges are ignored.
+        reparents = 0
+        with tracer.span(
+            "dfs-scan", iteration=iterations + iteration_offset
+        ):
+            for batch in graph.scan_edges():
+                deadline.check()
+                for u, v in batch.tolist():
+                    if u == v or tree.parent[v] == u:
+                        continue
+                    if tree.depth[u] < tree.depth[v]:
+                        if tree.is_ancestor(u, v):
+                            continue  # forward edge
+                    elif tree.is_ancestor(v, u):
+                        continue  # backward edge
+                    if tree.pre[u] < tree.pre[v]:
+                        # Forward-cross-edge: re-hang v under u, then redo
+                        # the preorder immediately — the per-update
+                        # renumbering the paper identifies as DFS-SCC's
+                        # Cost-3 (Fig. 3).  Ranks before pre(u) are
+                        # unaffected, so the renumbering skips them.
+                        tree.reparent(v, u)
+                        tree.assign_preorder(pivot=int(tree.pre[u]))
+                        updated = True
+                        reparents += 1
+                        # Each move renumbers up to O(n) ranks, so the
+                        # wall-clock budget is re-checked per move.
+                        deadline.check()
+                    # backward-cross-edges are ignored.
+            tracer.add("reparents", reparents)
     return tree, iterations
 
 
@@ -192,6 +204,7 @@ class DFSSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
+        tracer: Tracer,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(3)
@@ -199,17 +212,24 @@ class DFSSCC(SCCAlgorithm):
             return np.empty(0, dtype=np.int64), 0, [], {}
 
         natural = np.arange(n, dtype=np.int64)
-        first_tree, first_scans = build_dfs_tree(graph, natural, deadline)
+        with tracer.span("first-pass"):
+            first_tree, first_scans = build_dfs_tree(
+                graph, natural, deadline, tracer=tracer
+            )
         decreasing_post = first_tree.postorder()[::-1]
 
-        reversed_file = reverse_edges(
-            graph.edge_file, out_path=graph.scratch_path("rev")
-        )
+        with tracer.span("transpose"):
+            deadline.check()
+            reversed_file = reverse_edges(
+                graph.edge_file, out_path=graph.scratch_path("rev")
+            )
         try:
             reversed_graph = DiskGraph(n, reversed_file)
-            second_tree, second_scans = build_dfs_tree(
-                reversed_graph, decreasing_post, deadline
-            )
+            with tracer.span("second-pass"):
+                second_tree, second_scans = build_dfs_tree(
+                    reversed_graph, decreasing_post, deadline,
+                    tracer=tracer, iteration_offset=first_scans,
+                )
             labels = second_tree.root_subtree_labels()
         finally:
             reversed_file.unlink()

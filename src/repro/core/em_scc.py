@@ -15,7 +15,7 @@ progress while the graph still exceeds memory.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.graph.diskgraph import DiskGraph
 from repro.inmemory.kosaraju import kosaraju_scc
 from repro.io.edgefile import EdgeFile
 from repro.io.memory import MemoryModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spanning.unionfind import DisjointSet
 
 
@@ -54,6 +55,7 @@ class EMSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
+        tracer: Tracer,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         if n == 0:
@@ -78,7 +80,8 @@ class EMSCC(SCCAlgorithm):
                     live_count * memory.node_bytes + current.num_edges * EDGE_BYTES
                 )
                 if in_memory_bytes <= memory.capacity:
-                    self._finish_in_memory(current, ds, live)
+                    with tracer.span("finish-in-memory"):
+                        self._finish_in_memory(current, ds, live)
                     break
                 if iteration >= self.max_iterations:
                     raise NonTermination(self.name, iteration)
@@ -88,14 +91,28 @@ class EMSCC(SCCAlgorithm):
                 edges_before = current.num_edges
 
                 progress = False
-                for batch in current.scan(batch_blocks=partition_blocks):
-                    deadline.check()
-                    if self._contract_partition(batch, ds, live):
-                        progress = True
+                with tracer.span("iteration", iteration=iteration):
+                    partitions = 0
+                    contracted = 0
+                    with tracer.span("partition-scan", iteration=iteration):
+                        for batch in current.scan(
+                            batch_blocks=partition_blocks
+                        ):
+                            deadline.check()
+                            partitions += 1
+                            if self._contract_partition(batch, ds, live):
+                                progress = True
+                                contracted += 1
+                        tracer.add("partitions", partitions)
+                        tracer.add("partitions-contracted", contracted)
 
-                current, owns_current = self._rewrite(
-                    graph, ds, live, current, owns_current, iteration
-                )
+                    current, owns_current = self._rewrite(
+                        graph, ds, live, current, owns_current, iteration,
+                        deadline, tracer,
+                    )
+                    tracer.add(
+                        "edges-eliminated", edges_before - current.num_edges
+                    )
                 live_after = int(np.count_nonzero(live))
                 per_iteration.append(
                     IterationStats(
@@ -200,11 +217,15 @@ class EMSCC(SCCAlgorithm):
         current: EdgeFile,
         owns_current: bool,
         iteration: int,
+        deadline: Optional[Deadline] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[EdgeFile, bool]:
         """Compress the on-disk graph after a contraction pass."""
 
         def batches() -> Iterator[np.ndarray]:
             for batch in current.scan():
+                if deadline is not None:
+                    deadline.check()
                 us = ds.find_many(batch[:, 0].astype(np.int64))
                 vs = ds.find_many(batch[:, 1].astype(np.int64))
                 keep = us != vs
@@ -216,9 +237,10 @@ class EMSCC(SCCAlgorithm):
             counter=graph.counter,
             block_size=graph.block_size,
         )
-        for batch in batches():
-            reduced.append(batch)
-        reduced.flush()
+        with tracer.span("rewrite-scan", iteration=iteration):
+            for batch in batches():
+                reduced.append(batch)
+            reduced.flush()
         if owns_current:
             current.unlink()
         return reduced, True

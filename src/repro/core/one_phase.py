@@ -23,7 +23,7 @@ Algorithm 7).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.exceptions import NonTermination
 from repro.graph.diskgraph import DiskGraph
 from repro.io.edgefile import EdgeFile
 from repro.io.memory import MemoryModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spanning.tree import ContractibleTree
 
 
@@ -93,6 +94,7 @@ class OnePhaseSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
+        tracer: Tracer,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(2)  # BR-Tree: parent + depth
@@ -118,43 +120,57 @@ class OnePhaseSCC(SCCAlgorithm):
                 live_before = tree.num_live()
                 edges_before = current.num_edges
                 largest_supernode = 0
+                with tracer.span("iteration", iteration=iteration):
+                    early_accepts = 0
+                    pushdowns = 0
+                    with tracer.span("edge-scan", iteration=iteration):
+                        for batch in current.scan():
+                            deadline.check()
+                            for u, v in self._candidates(tree, batch):
+                                ru = tree.find(u)
+                                rv = tree.find(v)
+                                if ru == rv or not (
+                                    tree.live[ru] and tree.live[rv]
+                                ):
+                                    continue
+                                if tree.depth[ru] < tree.depth[rv]:
+                                    continue  # reshaped since the prefilter
+                                if tree.is_ancestor(rv, ru):
+                                    rep = tree.contract_path(ru, rv)
+                                    size = tree.ds.set_size(rep)
+                                    if size > largest_supernode:
+                                        largest_supernode = size
+                                    updated = True
+                                    early_accepts += 1
+                                else:
+                                    tree.pushdown(ru, rv)
+                                    updated = True
+                                    pushdowns += 1
+                        tracer.add("early-accepts", early_accepts)
+                        tracer.add("pushdowns", pushdowns)
 
-                for batch in current.scan():
-                    deadline.check()
-                    for u, v in self._candidates(tree, batch):
-                        ru = tree.find(u)
-                        rv = tree.find(v)
-                        if ru == rv or not (tree.live[ru] and tree.live[rv]):
-                            continue
-                        if tree.depth[ru] < tree.depth[rv]:
-                            continue  # reshaped since the prefilter
-                        if tree.is_ancestor(rv, ru):
-                            rep = tree.contract_path(ru, rv)
-                            size = tree.ds.set_size(rep)
-                            if size > largest_supernode:
-                                largest_supernode = size
-                            updated = True
-                        else:
-                            tree.pushdown(ru, rv)
-                            updated = True
-
-                # The drank window of Section 7.2 is only sound when
-                # candidacy and depths are read against one consistent
-                # tree, so it is measured during the rewrite scan below
-                # (the tree is frozen there); rejection then applies it.
-                rejecting = (
-                    self.enable_rejection
-                    and iteration % self.rejection_period == 0
-                )
-                rejected_now = 0
-                if rejecting or (
-                    self.enable_acceptance and largest_supernode >= tau
-                ):
-                    current, owns_current, window = self._reduce_graph(
-                        graph, tree, current, owns_current, iteration
+                    # The drank window of Section 7.2 is only sound when
+                    # candidacy and depths are read against one consistent
+                    # tree, so it is measured during the rewrite scan below
+                    # (the tree is frozen there); rejection then applies it.
+                    rejecting = (
+                        self.enable_rejection
+                        and iteration % self.rejection_period == 0
                     )
-                    if rejecting:
-                        rejected_now = self._early_rejection(tree, window)
+                    rejected_now = 0
+                    if rejecting or (
+                        self.enable_acceptance and largest_supernode >= tau
+                    ):
+                        current, owns_current, window = self._reduce_graph(
+                            graph, tree, current, owns_current, iteration,
+                            deadline, tracer,
+                        )
+                        if rejecting:
+                            rejected_now = self._early_rejection(tree, window)
+                    tracer.add("early-rejects", rejected_now)
+                    tracer.add(
+                        "edges-eliminated", edges_before - current.num_edges
+                    )
 
                 live_after = tree.num_live()
                 logger.debug(
@@ -232,6 +248,8 @@ class OnePhaseSCC(SCCAlgorithm):
         current: EdgeFile,
         owns_current: bool,
         iteration: int,
+        deadline: Optional[Deadline] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[EdgeFile, bool, Tuple[int, int]]:
         """Rewrite ``G'``: map endpoints to supernodes, drop dead edges.
 
@@ -251,24 +269,27 @@ class OnePhaseSCC(SCCAlgorithm):
             block_size=graph.block_size,
         )
         depth = tree.depth
-        for batch in current.scan():
-            us = tree.find_many(batch[:, 0].astype(np.int64))
-            vs = tree.find_many(batch[:, 1].astype(np.int64))
-            keep = (us != vs) & tree.live[us] & tree.live[vs]
-            if not keep.any():
-                continue
-            us = us[keep]
-            vs = vs[keep]
-            candidate = depth[us] >= depth[vs]
-            if candidate.any():
-                lo = int(depth[vs[candidate]].min())
-                hi = int(depth[us[candidate]].max())
-                if lo < drank_min:
-                    drank_min = lo
-                if hi > drank_max:
-                    drank_max = hi
-            reduced.append(np.column_stack((us, vs)).astype(NODE_DTYPE))
-        reduced.flush()
+        with tracer.span("reduce-scan", iteration=iteration):
+            for batch in current.scan():
+                if deadline is not None:
+                    deadline.check()
+                us = tree.find_many(batch[:, 0].astype(np.int64))
+                vs = tree.find_many(batch[:, 1].astype(np.int64))
+                keep = (us != vs) & tree.live[us] & tree.live[vs]
+                if not keep.any():
+                    continue
+                us = us[keep]
+                vs = vs[keep]
+                candidate = depth[us] >= depth[vs]
+                if candidate.any():
+                    lo = int(depth[vs[candidate]].min())
+                    hi = int(depth[us[candidate]].max())
+                    if lo < drank_min:
+                        drank_min = lo
+                    if hi > drank_max:
+                        drank_max = hi
+                reduced.append(np.column_stack((us, vs)).astype(NODE_DTYPE))
+            reduced.flush()
         if owns_current:
             current.unlink()
         return reduced, True, (drank_min, drank_max)

@@ -43,6 +43,7 @@ from repro.graph.diskgraph import DiskGraph
 from repro.inmemory.kosaraju import kosaraju_scc
 from repro.io.edgefile import EdgeFile
 from repro.io.memory import MemoryModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spanning.unionfind import DisjointSet
 
 
@@ -80,6 +81,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
+        tracer: Tracer,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(2)  # BR-Tree: parent + depth
@@ -117,48 +119,60 @@ class OnePhaseBatchSCC(SCCAlgorithm):
                 batch_blocks = self.batch_blocks or memory.blocks_per_batch(
                     2, live_count
                 )
-                for batch in current.scan(batch_blocks=batch_blocks):
-                    deadline.check()
-                    total_batches += 1
-                    changed, biggest = self._process_batch(
-                        batch, parent, depth, parent_real, live, ds
-                    )
-                    updated = updated or changed
-                    if biggest > largest_supernode:
-                        largest_supernode = biggest
+                with tracer.span("iteration", iteration=iteration):
+                    with tracer.span(
+                        "batch-scan", iteration=iteration,
+                        batch_blocks=batch_blocks,
+                    ):
+                        for batch in current.scan(batch_blocks=batch_blocks):
+                            deadline.check()
+                            total_batches += 1
+                            tracer.add("batches", 1)
+                            changed, biggest = self._process_batch(
+                                batch, parent, depth, parent_real, live, ds,
+                                tracer,
+                            )
+                            updated = updated or changed
+                            if biggest > largest_supernode:
+                                largest_supernode = biggest
 
-                # The Section 7.2 drank window is only sound when
-                # candidacy and depths are read against one consistent
-                # tree; the rewrite scan below is that frozen snapshot
-                # (same reasoning as in 1P-SCC), so rejection happens
-                # right after it.
-                rejecting = (
-                    self.enable_rejection
-                    and iteration % self.rejection_period == 0
-                )
-                rejected_now = 0
-                if rejecting or (
-                    self.enable_acceptance and largest_supernode >= tau
-                ):
-                    current, owns_current, window = self._reduce_graph(
-                        graph, ds, live, depth, current, owns_current, iteration
+                    # The Section 7.2 drank window is only sound when
+                    # candidacy and depths are read against one consistent
+                    # tree; the rewrite scan below is that frozen snapshot
+                    # (same reasoning as in 1P-SCC), so rejection happens
+                    # right after it.
+                    rejecting = (
+                        self.enable_rejection
+                        and iteration % self.rejection_period == 0
                     )
-                    drank_min, drank_max = window
-                    if rejecting:
-                        live_ids = np.flatnonzero(live)
-                        if drank_min > drank_max:
-                            # No cycle-candidate edges: no cycles remain,
-                            # every live supernode is final.
-                            outside = live_ids
-                        else:
-                            outside = live_ids[
-                                (depth[live_ids] < drank_min)
-                                | (depth[live_ids] > drank_max)
-                            ]
-                        for node in outside.tolist():
-                            live[node] = False
-                            rejected.append(node)
-                        rejected_now = int(outside.size)
+                    rejected_now = 0
+                    if rejecting or (
+                        self.enable_acceptance and largest_supernode >= tau
+                    ):
+                        current, owns_current, window = self._reduce_graph(
+                            graph, ds, live, depth, current, owns_current,
+                            iteration, deadline, tracer,
+                        )
+                        drank_min, drank_max = window
+                        if rejecting:
+                            live_ids = np.flatnonzero(live)
+                            if drank_min > drank_max:
+                                # No cycle-candidate edges: no cycles remain,
+                                # every live supernode is final.
+                                outside = live_ids
+                            else:
+                                outside = live_ids[
+                                    (depth[live_ids] < drank_min)
+                                    | (depth[live_ids] > drank_max)
+                                ]
+                            for node in outside.tolist():
+                                live[node] = False
+                                rejected.append(node)
+                            rejected_now = int(outside.size)
+                    tracer.add("early-rejects", rejected_now)
+                    tracer.add(
+                        "edges-eliminated", edges_before - current.num_edges
+                    )
 
                 live_after = int(np.count_nonzero(live))
                 logger.debug(
@@ -195,10 +209,13 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         parent_real: np.ndarray,
         live: np.ndarray,
         ds: DisjointSet,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[bool, int]:
         """Lines 6-12 of Algorithm 8 for one batch.
 
-        Returns ``(changed, largest_supernode)``.
+        Returns ``(changed, largest_supernode)``.  Emits ``merges`` (nodes
+        absorbed into supernodes) and ``batch-rebuilds`` (tree rebuild
+        passes that moved anything) counters on the enclosing span.
         """
         n = parent.shape[0]
         changed = False
@@ -249,16 +266,19 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         sorted_members = live_ids[order]
         boundaries = np.searchsorted(labels2[order], np.arange(count2 + 1))
         group_reps = sorted_members[boundaries[:-1]]
+        merges = 0
         for label in np.flatnonzero(sizes2 >= 2).tolist():
             members = sorted_members[boundaries[label] : boundaries[label + 1]]
             rep = int(members[0])
             for member in members[1:].tolist():
                 ds.union_into(member, rep)
                 live[member] = False
+                merges += 1
             changed = True
             size = ds.set_size(rep)
             if size > largest:
                 largest = size
+        tracer.add("merges", merges)
 
         # --- lines 9-12: rebuild T over the condensation by DP.
         # Kosaraju assigns SCC labels in topological order of the
@@ -270,6 +290,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         dag_depth = depth[group_reps].tolist()
         dag_parent = np.full(count2, -1, dtype=np.int64)
 
+        rebuilt = 0
         rev = dag.reverse()
         rev_indptr = rev.indptr.tolist()
         rev_indices = rev.indices.tolist()
@@ -290,6 +311,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
                 dag_depth[v] = best + 1
                 dag_parent[v] = best_u
                 changed = True
+                rebuilt += 1
 
         # Write the rebuilt tree back onto the representatives.
         reps = group_reps
@@ -298,6 +320,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         target = reps[has_new_parent]
         parent[target] = reps[dag_parent[has_new_parent]]
         parent_real[target] = True
+        tracer.add("batch-rebuilds", rebuilt)
 
         return changed, largest
 
@@ -311,6 +334,8 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         current: EdgeFile,
         owns_current: bool,
         iteration: int,
+        deadline: Optional[Deadline] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[EdgeFile, bool, Tuple[int, int]]:
         """Early-acceptance graph rewrite (shared semantics with 1P-SCC).
 
@@ -326,24 +351,27 @@ class OnePhaseBatchSCC(SCCAlgorithm):
             counter=graph.counter,
             block_size=graph.block_size,
         )
-        for batch in current.scan():
-            us = ds.find_many(batch[:, 0].astype(np.int64))
-            vs = ds.find_many(batch[:, 1].astype(np.int64))
-            keep = (us != vs) & live[us] & live[vs]
-            if not keep.any():
-                continue
-            us = us[keep]
-            vs = vs[keep]
-            candidate = depth[us] >= depth[vs]
-            if candidate.any():
-                lo = int(depth[vs[candidate]].min())
-                hi = int(depth[us[candidate]].max())
-                if lo < drank_min:
-                    drank_min = lo
-                if hi > drank_max:
-                    drank_max = hi
-            reduced.append(np.column_stack((us, vs)).astype(NODE_DTYPE))
-        reduced.flush()
+        with tracer.span("reduce-scan", iteration=iteration):
+            for batch in current.scan():
+                if deadline is not None:
+                    deadline.check()
+                us = ds.find_many(batch[:, 0].astype(np.int64))
+                vs = ds.find_many(batch[:, 1].astype(np.int64))
+                keep = (us != vs) & live[us] & live[vs]
+                if not keep.any():
+                    continue
+                us = us[keep]
+                vs = vs[keep]
+                candidate = depth[us] >= depth[vs]
+                if candidate.any():
+                    lo = int(depth[vs[candidate]].min())
+                    hi = int(depth[us[candidate]].max())
+                    if lo < drank_min:
+                        drank_min = lo
+                    if hi > drank_max:
+                        drank_max = hi
+                reduced.append(np.column_stack((us, vs)).astype(NODE_DTYPE))
+            reduced.flush()
         if owns_current:
             current.unlink()
         return reduced, True, (drank_min, drank_max)

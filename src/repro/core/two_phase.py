@@ -25,6 +25,7 @@ from repro.core.base import Deadline, IterationStats, SCCAlgorithm
 from repro.exceptions import NonTermination
 from repro.graph.diskgraph import DiskGraph
 from repro.io.memory import MemoryModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spanning.brtree import BRPlusTree
 
 
@@ -32,10 +33,13 @@ def tree_construction(
     graph: DiskGraph,
     deadline: Deadline,
     max_iterations: int | None = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[BRPlusTree, int]:
     """Paper Algorithm 4: build a BR+-Tree free of up-edges.
 
-    Returns the tree and the number of full edge scans performed.
+    Returns the tree and the number of full edge scans performed.  Each
+    scan is traced as a ``pushdown-scan`` span (with ``pushdowns`` and
+    ``backward-links`` counters) under one ``tree-construction`` span.
     """
     n = graph.num_nodes
     tree = BRPlusTree(n)
@@ -44,53 +48,62 @@ def tree_construction(
         max_iterations = n + 2
     scans = 0
     updated = True
-    while updated:
-        deadline.check()
-        if scans >= max_iterations:
-            raise NonTermination("Tree-Construction", scans)
-        updated = False
-        scans += 1
-        for batch in graph.scan_edges():
+    with tracer.span("tree-construction"):
+        while updated:
             deadline.check()
-            us = batch[:, 0].astype(np.int64)
-            vs = batch[:, 1].astype(np.int64)
-            # Vectorised skip: tree edges, self-loops, and edges that can
-            # be neither backward (needs depth(v) < depth(u)) nor up-edges
-            # (needs drank(u) >= drank(v)).
-            depth = tree.depth
-            drank = tree.drank
-            keep = (us != vs) & (tree.parent[vs] != us)
-            keep &= (drank[us] >= drank[vs]) | (depth[vs] < depth[us])
-            for u, v in np.column_stack((us[keep], vs[keep])).tolist():
-                if tree.depth[u] < tree.depth[v]:
-                    if tree.is_ancestor(u, v):
-                        continue  # forward edge
-                elif tree.is_ancestor(v, u):
-                    # Backward edge: update-drank bookkeeping keeps the
-                    # shallowest backward target per node.
-                    tree.offer_blink(u, v)
-                    continue
-                # No ancestor/descendant relationship: up-edge test.
-                if tree.drank[u] >= tree.drank[v]:
-                    # dlink(v) is where v's supernode would sit had its
-                    # cycle-chain been contracted (1P-SCC's view).
-                    w = int(tree.dlink[v])
-                    if tree.is_ancestor(w, u):
-                        # u is on a cycle through v's chain: replace the
-                        # up-edge by the backward link (u, dlink(v)) —
-                        # Fig. 5's move.
-                        if tree.offer_blink(u, w):
-                            updated = True
-                    elif tree.depth[u] >= tree.depth[w]:
-                        # Eliminate the up-edge by pushing down the whole
-                        # chain top: depth(w) strictly increases, which
-                        # is what bounds the construction by depth(G)
-                        # iterations (Lemma 6.1).  (The depth guard only
-                        # skips moves based on stale drank values; they
-                        # are retried next scan.)
-                        tree.pushdown(u, w)
-                        updated = True
-        tree.update_drank()
+            if scans >= max_iterations:
+                raise NonTermination("Tree-Construction", scans)
+            updated = False
+            scans += 1
+            pushdowns = 0
+            backward_links = 0
+            with tracer.span("pushdown-scan", iteration=scans):
+                for batch in graph.scan_edges():
+                    deadline.check()
+                    us = batch[:, 0].astype(np.int64)
+                    vs = batch[:, 1].astype(np.int64)
+                    # Vectorised skip: tree edges, self-loops, and edges that can
+                    # be neither backward (needs depth(v) < depth(u)) nor up-edges
+                    # (needs drank(u) >= drank(v)).
+                    depth = tree.depth
+                    drank = tree.drank
+                    keep = (us != vs) & (tree.parent[vs] != us)
+                    keep &= (drank[us] >= drank[vs]) | (depth[vs] < depth[us])
+                    for u, v in np.column_stack((us[keep], vs[keep])).tolist():
+                        if tree.depth[u] < tree.depth[v]:
+                            if tree.is_ancestor(u, v):
+                                continue  # forward edge
+                        elif tree.is_ancestor(v, u):
+                            # Backward edge: update-drank bookkeeping keeps the
+                            # shallowest backward target per node.
+                            if tree.offer_blink(u, v):
+                                backward_links += 1
+                            continue
+                        # No ancestor/descendant relationship: up-edge test.
+                        if tree.drank[u] >= tree.drank[v]:
+                            # dlink(v) is where v's supernode would sit had its
+                            # cycle-chain been contracted (1P-SCC's view).
+                            w = int(tree.dlink[v])
+                            if tree.is_ancestor(w, u):
+                                # u is on a cycle through v's chain: replace the
+                                # up-edge by the backward link (u, dlink(v)) —
+                                # Fig. 5's move.
+                                if tree.offer_blink(u, w):
+                                    updated = True
+                                    backward_links += 1
+                            elif tree.depth[u] >= tree.depth[w]:
+                                # Eliminate the up-edge by pushing down the whole
+                                # chain top: depth(w) strictly increases, which
+                                # is what bounds the construction by depth(G)
+                                # iterations (Lemma 6.1).  (The depth guard only
+                                # skips moves based on stale drank values; they
+                                # are retried next scan.)
+                                tree.pushdown(u, w)
+                                updated = True
+                                pushdowns += 1
+                tracer.add("pushdowns", pushdowns)
+                tracer.add("backward-links", backward_links)
+            tree.update_drank()
     return tree, scans
 
 
@@ -98,30 +111,44 @@ def tree_search(
     graph: DiskGraph,
     tree: BRPlusTree,
     deadline: Deadline,
+    tracer: Tracer = NULL_TRACER,
+    scan_index: int = 1,
 ) -> int:
     """Paper Algorithm 5: contract backward-edge paths in one scan.
 
     Contracts in-place on ``tree``; returns the number of scans (1).
     The backward links stored in the BR+-Tree are contracted first —
-    they stand in for the up-edges deleted during construction.
+    they stand in for the up-edges deleted during construction.  The
+    single edge scan is traced as a ``search-scan`` span (numbered
+    ``scan_index`` so it lines up with the run's iteration record)
+    under one ``tree-search`` span.
     """
-    for u in np.flatnonzero(tree.blink != VIRTUAL_ROOT).tolist():
-        target = int(tree.blink[u])
-        ru = tree.find(u)
-        rb = tree.find(target)
-        if ru != rb and tree.is_ancestor(rb, ru):
-            tree.contract_path(ru, rb)
-
-    for batch in graph.scan_edges():
-        deadline.check()
-        us = tree.find_many(batch[:, 0].astype(np.int64))
-        vs = tree.find_many(batch[:, 1].astype(np.int64))
-        keep = (us != vs) & (tree.depth[vs] < tree.depth[us])
-        for u, v in np.column_stack((us[keep], vs[keep])).tolist():
+    with tracer.span("tree-search"):
+        blink_contractions = 0
+        for u in np.flatnonzero(tree.blink != VIRTUAL_ROOT).tolist():
+            deadline.check()
+            target = int(tree.blink[u])
             ru = tree.find(u)
-            rv = tree.find(v)
-            if ru != rv and tree.is_ancestor(rv, ru):
-                tree.contract_path(ru, rv)
+            rb = tree.find(target)
+            if ru != rb and tree.is_ancestor(rb, ru):
+                tree.contract_path(ru, rb)
+                blink_contractions += 1
+        tracer.add("blink-contractions", blink_contractions)
+
+        contractions = 0
+        with tracer.span("search-scan", iteration=scan_index):
+            for batch in graph.scan_edges():
+                deadline.check()
+                us = tree.find_many(batch[:, 0].astype(np.int64))
+                vs = tree.find_many(batch[:, 1].astype(np.int64))
+                keep = (us != vs) & (tree.depth[vs] < tree.depth[us])
+                for u, v in np.column_stack((us[keep], vs[keep])).tolist():
+                    ru = tree.find(u)
+                    rv = tree.find(v)
+                    if ru != rv and tree.is_ancestor(rv, ru):
+                        tree.contract_path(ru, rv)
+                        contractions += 1
+            tracer.add("contractions", contractions)
     return 1
 
 
@@ -135,14 +162,18 @@ class TwoPhaseSCC(SCCAlgorithm):
         graph: DiskGraph,
         memory: MemoryModel,
         deadline: Deadline,
+        tracer: Tracer,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         n = graph.num_nodes
         memory.require_node_arrays(3)  # BR+-Tree: parent, depth, blink
         if n == 0:
             return np.empty(0, dtype=np.int64), 0, [], {}
 
-        tree, construction_scans = tree_construction(graph, deadline)
-        search_scans = tree_search(graph, tree, deadline)
+        tree, construction_scans = tree_construction(graph, deadline, tracer=tracer)
+        search_scans = tree_search(
+            graph, tree, deadline, tracer=tracer,
+            scan_index=construction_scans + 1,
+        )
         labels, _ = tree.scc_labels()
 
         iterations = construction_scans + search_scans

@@ -96,7 +96,7 @@ class BlockDevice:
         self._file.seek(index * self.block_size)
         data = self._file.read(self.block_size)
         self._last_read_block = index
-        self.counter.record_read(1, len(data), sequential=sequential)
+        self.counter.record_read(1, len(data), sequential=sequential, origin=self.path)
         return data
 
     def write_block(self, index: int, data: bytes) -> None:
@@ -111,7 +111,7 @@ class BlockDevice:
         self._file.write(data)
         self._last_write_block = index
         self._size = max(self._size, offset + len(data))
-        self.counter.record_write(1, len(data), sequential=sequential)
+        self.counter.record_write(1, len(data), sequential=sequential, origin=self.path)
 
     def append_block(self, data: bytes) -> int:
         """Append ``data`` as the next block; return its index."""

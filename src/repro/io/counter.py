@@ -9,6 +9,13 @@ block accesses because the paper's central argument is that bounded
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+#: Signature of an :attr:`IOCounter.observer` callback:
+#: ``(kind, blocks, nbytes, sequential, origin)`` where ``kind`` is
+#: ``"read"`` or ``"write"`` and ``origin`` is the backing file's path
+#: (``None`` when the caller did not attribute the transfer).
+IOObserver = Callable[[str, int, int, bool, Optional[str]], None]
 
 
 @dataclass
@@ -72,6 +79,29 @@ class IOStats:
             bytes_written=self.bytes_written,
         )
 
+    def to_dict(self) -> Dict[str, int]:
+        """Serialize the six raw fields (trace schema / run reports)."""
+        return {
+            "seq_reads": self.seq_reads,
+            "seq_writes": self.seq_writes,
+            "rand_reads": self.rand_reads,
+            "rand_writes": self.rand_writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "IOStats":
+        """Rebuild an :class:`IOStats` from :meth:`to_dict` output."""
+        return cls(
+            seq_reads=int(payload.get("seq_reads", 0)),
+            seq_writes=int(payload.get("seq_writes", 0)),
+            rand_reads=int(payload.get("rand_reads", 0)),
+            rand_writes=int(payload.get("rand_writes", 0)),
+            bytes_read=int(payload.get("bytes_read", 0)),
+            bytes_written=int(payload.get("bytes_written", 0)),
+        )
+
 
 @dataclass
 class IOCounter:
@@ -84,9 +114,24 @@ class IOCounter:
     """
 
     stats: IOStats = field(default_factory=IOStats)
+    #: Optional tap notified after every tallied transfer.  The tracing
+    #: layer (:mod:`repro.obs`) installs itself here to attribute I/O to
+    #: spans and files; the default ``None`` keeps the counting hot path
+    #: a single predictable branch.
+    observer: Optional[IOObserver] = field(default=None, repr=False, compare=False)
 
-    def record_read(self, blocks: int, nbytes: int, sequential: bool = True) -> None:
-        """Tally ``blocks`` block reads moving ``nbytes`` payload bytes."""
+    def record_read(
+        self,
+        blocks: int,
+        nbytes: int,
+        sequential: bool = True,
+        origin: Optional[str] = None,
+    ) -> None:
+        """Tally ``blocks`` block reads moving ``nbytes`` payload bytes.
+
+        ``origin`` names the backing file for per-file attribution by an
+        installed :attr:`observer`; it does not affect the tallies.
+        """
         if blocks < 0 or nbytes < 0:
             raise ValueError("I/O quantities must be non-negative")
         if sequential:
@@ -94,9 +139,21 @@ class IOCounter:
         else:
             self.stats.rand_reads += blocks
         self.stats.bytes_read += nbytes
+        if self.observer is not None:
+            self.observer("read", blocks, nbytes, sequential, origin)
 
-    def record_write(self, blocks: int, nbytes: int, sequential: bool = True) -> None:
-        """Tally ``blocks`` block writes moving ``nbytes`` payload bytes."""
+    def record_write(
+        self,
+        blocks: int,
+        nbytes: int,
+        sequential: bool = True,
+        origin: Optional[str] = None,
+    ) -> None:
+        """Tally ``blocks`` block writes moving ``nbytes`` payload bytes.
+
+        ``origin`` names the backing file for per-file attribution by an
+        installed :attr:`observer`; it does not affect the tallies.
+        """
         if blocks < 0 or nbytes < 0:
             raise ValueError("I/O quantities must be non-negative")
         if sequential:
@@ -104,6 +161,8 @@ class IOCounter:
         else:
             self.stats.rand_writes += blocks
         self.stats.bytes_written += nbytes
+        if self.observer is not None:
+            self.observer("write", blocks, nbytes, sequential, origin)
 
     def snapshot(self) -> IOStats:
         """Return a copy of the current counts for later diffing."""

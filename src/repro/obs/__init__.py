@@ -1,0 +1,49 @@
+"""Observability for semi-external runs: spans, traces, reports.
+
+The :mod:`repro.obs` subsystem makes the paper's per-phase accounting
+claims measurable from real runs:
+
+* :class:`Tracer` / :class:`NullTracer` — nestable named spans that
+  snapshot the shared I/O counter, so every phase, iteration and edge
+  scan carries its own :class:`~repro.io.counter.IOStats` delta, wall
+  time, event counters and per-file breakdown (``tracer.py``);
+* :class:`TraceWriter` / :func:`load_trace` / :func:`validate_trace` —
+  the schema-versioned JSONL trace format plus its summary sidecar and
+  invariant checker (``trace.py``);
+* :func:`render_report` — the ``repro-scc report`` span-tree renderer
+  (``report.py``).
+
+Tracing is opt-in: algorithms default to the no-op :data:`NULL_TRACER`,
+whose disabled path costs nothing and leaves run behavior (labels and
+I/O tallies) byte-identical.
+"""
+
+from repro.obs.report import render_report
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceData,
+    TraceWriter,
+    load_trace,
+    validate_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    iteration_io,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "iteration_io",
+    "TraceWriter",
+    "TraceData",
+    "TRACE_SCHEMA_VERSION",
+    "load_trace",
+    "validate_trace",
+    "render_report",
+]

@@ -1,0 +1,304 @@
+"""Schema-versioned JSONL traces: writer, loader, and validator.
+
+A trace file is newline-delimited JSON with three record types:
+
+``header``
+    First record.  Carries ``schema_version`` (see
+    :data:`TRACE_SCHEMA_VERSION`) and free-form run ``metadata``
+    (algorithm, graph path, block size ...).
+``span``
+    One finished :class:`~repro.obs.tracer.Span`, written in exit order
+    (children before their parent).  Fields: ``id``, ``parent``,
+    ``name``, ``depth``, ``attrs``, ``start``, ``wall``, ``io`` (the six
+    raw :class:`~repro.io.counter.IOStats` fields), ``counters`` and
+    ``files``.
+``summary``
+    Last record: span count plus the aggregate I/O and wall time of the
+    root spans.  The same payload is mirrored into a
+    ``<trace>.summary.json`` sidecar for tools that only want totals.
+
+This module is the one place :mod:`repro.obs` touches the filesystem.
+It deliberately bypasses the counted :class:`~repro.io.blocks.BlockDevice`
+path: the trace is an *observability sidecar* (like the ``.meta`` graph
+metadata), recording a run's I/O without being part of it, which is why
+it carries an ``IO001`` allowlist entry in the contract analyzer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.io.counter import IOStats
+from repro.obs.tracer import Span
+
+#: Version stamped into every trace header; bump on incompatible change.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _json_default(value: object) -> object:
+    """Coerce numpy scalars (and other oddballs) into JSON-able values."""
+    for attribute in ("item",):  # numpy scalars expose .item()
+        method = getattr(value, attribute, None)
+        if callable(method):
+            return method()
+    return str(value)
+
+
+def span_to_record(span: Span) -> Dict[str, object]:
+    """Serialize a finished span to its schema-v1 JSONL record."""
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "depth": span.depth,
+        "attrs": dict(span.attributes),
+        "start": span.start_seconds,
+        "wall": span.wall_seconds,
+        "io": span.io.to_dict(),
+        "counters": dict(span.counters),
+        "files": {path: stats.to_dict() for path, stats in span.files.items()},
+    }
+
+
+def record_to_span(record: Dict[str, object]) -> Span:
+    """Rebuild a :class:`Span` from a parsed JSONL span record."""
+    return Span(
+        name=str(record["name"]),
+        span_id=int(record["id"]),  # type: ignore[arg-type]
+        parent_id=None if record.get("parent") is None else int(record["parent"]),  # type: ignore[arg-type]
+        depth=int(record.get("depth", 0)),  # type: ignore[arg-type]
+        attributes=dict(record.get("attrs", {})),  # type: ignore[arg-type]
+        start_seconds=float(record.get("start", 0.0)),  # type: ignore[arg-type]
+        wall_seconds=float(record.get("wall", 0.0)),  # type: ignore[arg-type]
+        io=IOStats.from_dict(record.get("io", {})),  # type: ignore[arg-type]
+        counters={k: int(v) for k, v in dict(record.get("counters", {})).items()},  # type: ignore[arg-type]
+        files={
+            path: IOStats.from_dict(payload)
+            for path, payload in dict(record.get("files", {})).items()  # type: ignore[arg-type]
+        },
+    )
+
+
+class TraceWriter:
+    """Stream spans to a JSONL trace plus a ``.summary.json`` sidecar.
+
+    Designed to be passed as a :class:`~repro.obs.tracer.Tracer` sink::
+
+        writer = TraceWriter("run.jsonl", metadata={"algorithm": "2P-SCC"})
+        tracer = Tracer(sink=writer)
+        ...
+        writer.close()
+
+    The header record is written eagerly so even a run that dies
+    mid-flight leaves a parseable prefix; :meth:`close` appends the
+    summary record and writes the sidecar.
+    """
+
+    def __init__(
+        self, path: str, metadata: Optional[Dict[str, object]] = None
+    ) -> None:
+        self.path = path
+        # Observability sidecar output, not part of the measured run
+        # (see module docstring); IO001-allowlisted.
+        self._handle = open(  # repro: allow[IO001]
+            path, "w", encoding="utf-8"
+        )
+        self._spans = 0
+        self._root_io = IOStats()
+        self._root_wall = 0.0
+        self._closed = False
+        self._write(
+            {
+                "type": "header",
+                "schema_version": TRACE_SCHEMA_VERSION,
+                "metadata": metadata or {},
+            }
+        )
+
+    def __call__(self, span: Span) -> None:
+        """Append one finished span (the tracer-sink entry point)."""
+        if self._closed:
+            raise ReproError(f"trace writer for {self.path} is closed")
+        self._spans += 1
+        if span.parent_id is None:
+            self._root_io = self._root_io + span.io
+            self._root_wall += span.wall_seconds
+        self._write(span_to_record(span))
+
+    def close(self) -> None:
+        """Seal the trace: summary record, sidecar JSON, file handles."""
+        if self._closed:
+            return
+        summary = {
+            "type": "summary",
+            "spans": self._spans,
+            "io": self._root_io.to_dict(),
+            "wall_seconds": self._root_wall,
+        }
+        self._write(summary)
+        self._handle.close()
+        self._closed = True
+        sidecar = dict(summary)
+        sidecar["type"] = "trace-summary"
+        sidecar["schema_version"] = TRACE_SCHEMA_VERSION
+        sidecar["trace"] = os.path.basename(self.path)
+        # Sidecar summary, same uncounted-observability footing as above.
+        with open(  # repro: allow[IO001]
+            self.summary_path, "w", encoding="utf-8"
+        ) as handle:
+            json.dump(sidecar, handle, indent=2, default=_json_default)
+            handle.write("\n")
+
+    @property
+    def summary_path(self) -> str:
+        """Path of the sidecar summary JSON (``<trace>.summary.json``)."""
+        return self.path + ".summary.json"
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _write(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record, default=_json_default))
+        self._handle.write("\n")
+
+
+@dataclass
+class TraceData:
+    """A parsed trace: header, spans in exit order, optional summary."""
+
+    header: Dict[str, object]
+    spans: List[Span]
+    summary: Optional[Dict[str, object]]
+
+    @property
+    def schema_version(self) -> int:
+        """The trace's declared schema version."""
+        return int(self.header.get("schema_version", 0))  # type: ignore[arg-type]
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        """Free-form run metadata recorded in the header."""
+        return dict(self.header.get("metadata", {}))  # type: ignore[arg-type]
+
+
+def load_trace(path: str) -> TraceData:
+    """Parse a JSONL trace file written by :class:`TraceWriter`.
+
+    Unknown record types are skipped (forward compatibility); a missing
+    or malformed header is a :class:`~repro.exceptions.ReproError`.
+    """
+    header: Optional[Dict[str, object]] = None
+    spans: List[Span] = []
+    summary: Optional[Dict[str, object]] = None
+    # Trace input is outside the counted I/O model (module docstring).
+    with open(path, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{lineno}: not valid JSONL ({exc.msg})")
+            if not isinstance(record, dict):
+                raise ReproError(f"{path}:{lineno}: trace records must be objects")
+            kind = record.get("type")
+            if kind == "header":
+                if header is None:
+                    header = record
+            elif kind == "span":
+                spans.append(record_to_span(record))
+            elif kind == "summary":
+                summary = record
+    if header is None:
+        raise ReproError(f"{path}: not a trace file (no header record)")
+    return TraceData(header=header, spans=spans, summary=summary)
+
+
+def validate_trace(trace: TraceData) -> List[str]:
+    """Check a trace against the schema and its accounting invariants.
+
+    Returns a list of human-readable problems (empty when the trace is
+    valid).  Checked invariants:
+
+    * the header's schema version is supported;
+    * span ids are unique and every parent reference resolves, with
+      ``child.depth == parent.depth + 1``;
+    * the summary record is present, counts every span, and its I/O
+      equals the sum of the root spans' deltas;
+    * I/O is conserved down the tree: for every span, the summed deltas
+      of its direct children never exceed its own (a parent's delta is
+      inclusive).
+    """
+    problems: List[str] = []
+    if trace.schema_version != TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"unsupported schema_version {trace.schema_version} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    by_id: Dict[int, Span] = {}
+    for span in trace.spans:
+        if span.span_id in by_id:
+            problems.append(f"duplicate span id {span.span_id}")
+        by_id[span.span_id] = span
+    roots: List[Span] = []
+    children_io: Dict[int, IOStats] = {}
+    for span in trace.spans:
+        if span.parent_id is None:
+            roots.append(span)
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            problems.append(
+                f"span {span.span_id} ({span.name}) references unknown "
+                f"parent {span.parent_id}"
+            )
+            continue
+        if span.depth != parent.depth + 1:
+            problems.append(
+                f"span {span.span_id} ({span.name}) has depth {span.depth}, "
+                f"expected {parent.depth + 1}"
+            )
+        accumulated = children_io.get(span.parent_id)
+        children_io[span.parent_id] = (
+            span.io.copy() if accumulated is None else accumulated + span.io
+        )
+    if trace.spans and not roots:
+        problems.append("no root span (every span has a parent)")
+    for parent_id, accumulated in children_io.items():
+        parent = by_id[parent_id]
+        for fld in ("seq_reads", "seq_writes", "rand_reads", "rand_writes",
+                    "bytes_read", "bytes_written"):
+            if getattr(accumulated, fld) > getattr(parent.io, fld):
+                problems.append(
+                    f"span {parent_id} ({parent.name}): children's {fld} "
+                    f"({getattr(accumulated, fld)}) exceeds the span's own "
+                    f"({getattr(parent.io, fld)})"
+                )
+    if trace.summary is None:
+        problems.append("no summary record (trace was not closed)")
+    else:
+        declared = trace.summary.get("spans")
+        if declared != len(trace.spans):
+            problems.append(
+                f"summary declares {declared} spans, file holds {len(trace.spans)}"
+            )
+        summary_io = IOStats.from_dict(trace.summary.get("io", {}))  # type: ignore[arg-type]
+        root_io = IOStats()
+        for span in roots:
+            root_io = root_io + span.io
+        if summary_io != root_io:
+            problems.append(
+                f"summary io {summary_io.to_dict()} != sum of root spans "
+                f"{root_io.to_dict()}"
+            )
+    return problems

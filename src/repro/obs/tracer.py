@@ -1,0 +1,285 @@
+"""Nestable, I/O-attributed run spans — the tracing core.
+
+The paper's headline results are *accounting* claims: 2P-SCC spends at
+most ``depth(G)`` sequential edge scans in Tree-Construction plus one
+scan in Tree-Search, and 1P/1PB-SCC win by shrinking the on-disk graph
+between iterations.  A :class:`Tracer` makes those claims observable
+from a real run: every ``with tracer.span("pushdown-scan", iteration=3)``
+region snapshots the shared :class:`~repro.io.counter.IOCounter` on
+entry and exit, so each span carries its own
+:class:`~repro.io.counter.IOStats` delta alongside wall time, named
+event counters (pushdowns applied, edges eliminated, ...) and a
+per-file breakdown of the blocks it moved.
+
+The default tracer is the :data:`NULL_TRACER` singleton, whose hooks
+are all no-ops returning shared objects — the disabled path allocates
+nothing and never touches the I/O counter, so untraced runs behave
+byte-identically to the pre-tracing code.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.io.counter import IOCounter, IOStats
+
+
+@dataclass
+class Span:
+    """One named, timed, I/O-attributed region of a traced run.
+
+    ``io`` is the delta of the bound counter between entry and exit, so
+    a parent's delta includes its children's.  ``files`` maps backing
+    file paths to the portion of ``io`` each file received (again
+    inclusive of children).  ``counters`` holds algorithm-specific event
+    tallies local to this span (not propagated to the parent).
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    attributes: Dict[str, object] = field(default_factory=dict)
+    start_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    io: IOStats = field(default_factory=IOStats)
+    counters: Dict[str, int] = field(default_factory=dict)
+    files: Dict[str, IOStats] = field(default_factory=dict)
+
+
+class _SpanHandle:
+    """Context manager opening one span on enter and sealing it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._start(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._finish()
+        return False
+
+
+class _NullHandle:
+    """Reusable no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class Tracer:
+    """Collects nestable spans with I/O deltas, wall time and counters.
+
+    Parameters
+    ----------
+    sink:
+        Optional callable invoked with every finished :class:`Span`
+        (children before parents, i.e. exit order).  The JSONL
+        :class:`~repro.obs.trace.TraceWriter` is designed to be used
+        here; completed spans are also retained in :attr:`spans`.
+    """
+
+    #: Whether spans actually measure anything (``False`` on the null
+    #: tracer, letting callers skip optional bookkeeping entirely).
+    enabled: bool = True
+
+    def __init__(self, sink: Optional[Callable[[Span], None]] = None) -> None:
+        self.sink = sink
+        #: Completed spans in exit order (children before parents).
+        self.spans: List[Span] = []
+        self._stack: List[Tuple[Span, Optional[IOStats], float]] = []
+        self._counter: Optional[IOCounter] = None
+        self._next_id = 0
+        self._origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    @contextmanager
+    def attach(self, counter: IOCounter) -> Iterator["Tracer"]:
+        """Bind to ``counter`` for the duration of the ``with`` block.
+
+        While attached, spans diff this counter for their I/O deltas and
+        the tracer installs itself as the counter's observer so every
+        block transfer is attributed to the innermost open span's
+        per-file breakdown.  The previous observer (and binding) is
+        restored on exit, so nested or sequential runs compose.
+        """
+        previous_counter = self._counter
+        previous_observer = counter.observer
+        self._counter = counter
+        counter.observer = self._observe
+        try:
+            yield self
+        finally:
+            counter.observer = previous_observer
+            self._counter = previous_counter
+
+    # ------------------------------------------------------------------
+    # the span API
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: object) -> _SpanHandle:
+        """Open a named child span of the innermost open span.
+
+        Returns a context manager yielding the live :class:`Span`; the
+        span's I/O delta and wall time are sealed when the ``with``
+        block exits (including via an exception, so timed-out runs still
+        produce well-formed traces).
+        """
+        return _SpanHandle(self, name, dict(attributes))
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to event counter ``name`` on the innermost span.
+
+        Silently ignored when no span is open (or ``value`` is zero) so
+        instrumented library code never needs to guard its event hooks.
+        """
+        if not self._stack or value == 0:
+            return
+        counters = self._stack[-1][0].counters
+        counters[name] = counters.get(name, 0) + int(value)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _start(self, name: str, attributes: Dict[str, object]) -> Span:
+        parent = self._stack[-1][0] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            depth=0 if parent is None else parent.depth + 1,
+            attributes=attributes,
+        )
+        self._next_id += 1
+        now = time.perf_counter()
+        span.start_seconds = now - self._origin
+        snapshot = None if self._counter is None else self._counter.snapshot()
+        self._stack.append((span, snapshot, now))
+        return span
+
+    def _finish(self) -> None:
+        span, snapshot, started = self._stack.pop()
+        span.wall_seconds = time.perf_counter() - started
+        if snapshot is not None and self._counter is not None:
+            span.io = self._counter.since(snapshot)
+        if self._stack:
+            # Roll the per-file attribution up so every span's file map
+            # covers its whole subtree, mirroring the inclusive io delta.
+            parent_files = self._stack[-1][0].files
+            for path, stats in span.files.items():
+                existing = parent_files.get(path)
+                parent_files[path] = (
+                    stats.copy() if existing is None else existing + stats
+                )
+        self.spans.append(span)
+        if self.sink is not None:
+            self.sink(span)
+
+    def _observe(
+        self,
+        kind: str,
+        blocks: int,
+        nbytes: int,
+        sequential: bool,
+        origin: Optional[str],
+    ) -> None:
+        if not self._stack:
+            return
+        files = self._stack[-1][0].files
+        key = origin if origin is not None else "<unattributed>"
+        stats = files.get(key)
+        if stats is None:
+            stats = IOStats()
+            files[key] = stats
+        if kind == "read":
+            if sequential:
+                stats.seq_reads += blocks
+            else:
+                stats.rand_reads += blocks
+            stats.bytes_read += nbytes
+        else:
+            if sequential:
+                stats.seq_writes += blocks
+            else:
+                stats.rand_writes += blocks
+            stats.bytes_written += nbytes
+
+
+class NullTracer(Tracer):
+    """The zero-cost default tracer: every hook is a no-op.
+
+    ``span``/``attach`` return one shared do-nothing context manager and
+    ``add`` returns immediately, so instrumented code pays a single
+    attribute lookup plus a call on the disabled path and the I/O
+    counter never gains an observer.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attributes: object) -> _NullHandle:  # type: ignore[override]
+        """Return the shared no-op context manager (yields ``None``)."""
+        return _NULL_HANDLE
+
+    def attach(self, counter: IOCounter) -> _NullHandle:  # type: ignore[override]
+        """Return the shared no-op context manager; nothing is bound."""
+        return _NULL_HANDLE
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Discard the event."""
+        return None
+
+
+#: Shared no-op tracer used whenever no tracer is supplied.
+NULL_TRACER = NullTracer()
+
+
+def iteration_io(spans: List[Span]) -> Dict[int, IOStats]:
+    """Aggregate span I/O deltas per ``iteration`` attribute.
+
+    Only *outermost* iteration-tagged spans contribute (a span whose
+    ancestor also carries an ``iteration`` attribute is a refinement of
+    the same iteration, and its delta is already included in the
+    ancestor's), so the result is exactly one :class:`IOStats` per
+    iteration number — what
+    :class:`~repro.core.base.IterationStats` records.
+    """
+    by_id = {span.span_id: span for span in spans}
+    out: Dict[int, IOStats] = {}
+    for span in spans:
+        iteration = span.attributes.get("iteration")
+        if not isinstance(iteration, int):
+            continue
+        parent_id = span.parent_id
+        nested = False
+        while parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                break
+            if isinstance(parent.attributes.get("iteration"), int):
+                nested = True
+                break
+            parent_id = parent.parent_id
+        if nested:
+            continue
+        current = out.get(iteration)
+        out[iteration] = span.io.copy() if current is None else current + span.io
+    return out

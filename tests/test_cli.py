@@ -100,6 +100,83 @@ class TestCompute:
         assert "DNF" in capsys.readouterr().err
 
 
+class TestTraceAndReport:
+    def test_compute_trace_writes_valid_trace(
+        self, stored_graph, tmp_path, capsys
+    ):
+        from repro.obs import load_trace, validate_trace
+
+        path, _ = stored_graph
+        trace_path = str(tmp_path / "run.jsonl")
+        code = main(["compute", path, "--algorithm", "2P-SCC",
+                     "--trace", trace_path])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        trace = load_trace(trace_path)
+        assert validate_trace(trace) == []
+        assert trace.metadata["algorithm"] == "2P-SCC"
+        assert (tmp_path / "run.jsonl.summary.json").exists()
+
+    def test_report_renders_phase_summary(self, stored_graph, tmp_path, capsys):
+        path, _ = stored_graph
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["compute", path, "--algorithm", "2P-SCC",
+                     "--trace", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["report", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "tree-search: 1 sequential edge scan," in out
+        assert "phases:" in out and "files:" in out
+
+    def test_report_check_passes_on_valid_trace(
+        self, stored_graph, tmp_path, capsys
+    ):
+        path, _ = stored_graph
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["compute", path, "--algorithm", "1P-SCC",
+                     "--trace", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["report", trace_path, "--check"]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_report_check_fails_on_truncated_trace(self, tmp_path, capsys):
+        import json
+
+        trace_path = str(tmp_path / "cut.jsonl")
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "header", "schema_version": 1,
+                                     "metadata": {}}) + "\n")
+        assert main(["report", trace_path, "--check"]) == 1
+        assert "summary" in capsys.readouterr().err
+
+    def test_report_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "none.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_verbose_flag_enables_logging(self, stored_graph, capsys):
+        import logging
+
+        path, _ = stored_graph
+        previous = logging.getLogger("repro").level
+        try:
+            assert main(["-vv", "info", path]) == 0
+            assert logging.getLogger("repro").level == logging.DEBUG
+        finally:
+            logging.getLogger("repro").setLevel(previous)
+
+    def test_repro_log_env_sets_level(self, stored_graph, monkeypatch):
+        import logging
+
+        path, _ = stored_graph
+        previous = logging.getLogger("repro").level
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        try:
+            assert main(["info", path]) == 0
+            assert logging.getLogger("repro").level == logging.DEBUG
+        finally:
+            logging.getLogger("repro").setLevel(previous)
+
+
 class TestCompare:
     def test_compare_table(self, stored_graph, capsys):
         path, _ = stored_graph

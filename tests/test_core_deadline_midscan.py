@@ -1,0 +1,141 @@
+"""Deadlines interrupt mid-scan, including the rewrite passes.
+
+Regression tests for the deadline audit: every edge scan — including
+the graph-reduction rewrites of 1P/1PB-SCC, EM-SCC's compression pass,
+and Tree-Search's backward-link preamble — must poll the wall-clock
+budget at least once per batch, so a stuck or oversized scan cannot
+outlive its ``time_limit`` by a whole pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import Deadline
+from repro.core.em_scc import EMSCC
+from repro.core.one_phase import OnePhaseSCC
+from repro.core.one_phase_batch import OnePhaseBatchSCC
+from repro.core.two_phase import tree_construction, tree_search
+from repro.exceptions import AlgorithmTimeout
+from repro.graph.diskgraph import DiskGraph
+from repro.spanning.tree import ContractibleTree
+from repro.spanning.unionfind import DisjointSet
+
+from tests.conftest import SMALL_BLOCK
+
+
+class CountingDeadline(Deadline):
+    """An unlimited deadline that tallies how often it is polled."""
+
+    def __init__(self) -> None:
+        super().__init__("test", None)
+        self.checks = 0
+
+    def check(self) -> None:
+        self.checks += 1
+        super().check()
+
+
+def _expired() -> Deadline:
+    """A deadline that is already over budget."""
+    deadline = Deadline("test", 0.0)
+    deadline._start -= 1.0
+    return deadline
+
+
+@pytest.fixture
+def disk(tmp_path, figure1_graph) -> DiskGraph:
+    graph = DiskGraph.from_digraph(
+        figure1_graph, str(tmp_path / "fig1.bin"), block_size=SMALL_BLOCK
+    )
+    yield graph
+    graph.close()
+
+
+class TestExpiredDeadlineInterruptsRewrites:
+    def test_one_phase_reduce_graph(self, disk):
+        algo = OnePhaseSCC()
+        tree = ContractibleTree(disk.num_nodes)
+        with pytest.raises(AlgorithmTimeout):
+            algo._reduce_graph(
+                disk, tree, disk.edge_file, False, 1, deadline=_expired()
+            )
+
+    def test_one_phase_batch_reduce_graph(self, disk):
+        n = disk.num_nodes
+        with pytest.raises(AlgorithmTimeout):
+            OnePhaseBatchSCC._reduce_graph(
+                disk,
+                DisjointSet(n),
+                np.ones(n, dtype=bool),
+                np.ones(n, dtype=np.int64),
+                disk.edge_file,
+                False,
+                1,
+                deadline=_expired(),
+            )
+
+    def test_em_scc_rewrite(self, disk):
+        n = disk.num_nodes
+        with pytest.raises(AlgorithmTimeout):
+            EMSCC._rewrite(
+                disk,
+                DisjointSet(n),
+                np.ones(n, dtype=bool),
+                disk.edge_file,
+                False,
+                1,
+                deadline=_expired(),
+            )
+
+    def test_tree_search_blink_preamble(self, disk):
+        tree, _ = tree_construction(disk, Deadline("test", None))
+        assert (tree.blink != -1).any() or disk.num_edges > 0
+        with pytest.raises(AlgorithmTimeout):
+            tree_search(disk, tree, _expired())
+
+
+class TestChecksHappenPerBatch:
+    def test_one_phase_reduce_checks_every_batch(self, disk):
+        algo = OnePhaseSCC()
+        tree = ContractibleTree(disk.num_nodes)
+        deadline = CountingDeadline()
+        reduced, owns, _ = algo._reduce_graph(
+            disk, tree, disk.edge_file, False, 1, deadline=deadline
+        )
+        assert owns
+        batches = disk.edge_file.device.num_blocks
+        assert deadline.checks >= batches
+        reduced.unlink()
+
+    def test_em_rewrite_checks_every_batch(self, disk):
+        n = disk.num_nodes
+        deadline = CountingDeadline()
+        reduced, owns = EMSCC._rewrite(
+            disk,
+            DisjointSet(n),
+            np.ones(n, dtype=bool),
+            disk.edge_file,
+            False,
+            1,
+            deadline=deadline,
+        )
+        assert owns
+        assert deadline.checks >= disk.edge_file.device.num_blocks
+        reduced.unlink()
+
+    def test_full_runs_honour_tiny_budget(self, disk):
+        for algo in (OnePhaseSCC(), OnePhaseBatchSCC(), EMSCC()):
+            with pytest.raises(AlgorithmTimeout):
+                algo.run(disk, time_limit=-1.0)
+
+    def test_rewrites_still_optional_without_deadline(self, disk):
+        """Library callers without a budget keep the old signature."""
+        algo = OnePhaseSCC()
+        tree = ContractibleTree(disk.num_nodes)
+        reduced, owns, _ = algo._reduce_graph(
+            disk, tree, disk.edge_file, False, 1
+        )
+        assert owns
+        reduced.unlink()

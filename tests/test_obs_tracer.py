@@ -1,0 +1,261 @@
+"""Tracer core: span nesting, I/O deltas, counters, attribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.counter import IOCounter, IOStats
+from repro.io.edgefile import EdgeFile
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, iteration_io
+
+from tests.conftest import SMALL_BLOCK
+
+
+def _read_all(edge_file):
+    for _ in edge_file.scan():
+        pass
+
+
+class TestSpanNesting:
+    def test_spans_record_parentage_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            with tracer.span("phase"):
+                with tracer.span("scan", iteration=1):
+                    pass
+            with tracer.span("phase2"):
+                pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["run"].parent_id is None
+        assert by_name["run"].depth == 0
+        assert by_name["phase"].parent_id == by_name["run"].span_id
+        assert by_name["phase"].depth == 1
+        assert by_name["scan"].parent_id == by_name["phase"].span_id
+        assert by_name["scan"].depth == 2
+        assert by_name["phase2"].parent_id == by_name["run"].span_id
+
+    def test_spans_emitted_in_exit_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [span.span_id for span in tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_attributes_are_kept(self):
+        tracer = Tracer()
+        with tracer.span("scan", iteration=3, kind="edge"):
+            pass
+        assert tracer.spans[0].attributes == {"iteration": 3, "kind": "edge"}
+
+    def test_exception_still_seals_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].name == "doomed"
+
+    def test_sink_receives_every_span(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [span.name for span in seen] == ["b", "a"]
+
+
+class TestIODeltas:
+    def test_span_io_is_counter_delta(self, tmp_path, counter):
+        edges = np.arange(40, dtype=np.int64).reshape(-1, 2)
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "e.bin"), edges, counter=counter,
+            block_size=SMALL_BLOCK,
+        )
+        tracer = Tracer()
+        with tracer.attach(counter):
+            with tracer.span("scan"):
+                _read_all(edge_file)
+        span = tracer.spans[0]
+        assert span.io.total == edge_file.device.num_blocks
+        assert span.io.bytes_read > 0
+
+    def test_parent_io_includes_children(self, tmp_path, counter):
+        edges = np.arange(40, dtype=np.int64).reshape(-1, 2)
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "e.bin"), edges, counter=counter,
+            block_size=SMALL_BLOCK,
+        )
+        tracer = Tracer()
+        with tracer.attach(counter):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    _read_all(edge_file)
+                _read_all(edge_file)
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["outer"].io.total == 2 * by_name["inner"].io.total
+
+    def test_unattached_tracer_records_zero_io(self, tmp_path, counter):
+        edges = np.arange(20, dtype=np.int64).reshape(-1, 2)
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "e.bin"), edges, counter=counter,
+            block_size=SMALL_BLOCK,
+        )
+        tracer = Tracer()
+        with tracer.span("scan"):
+            _read_all(edge_file)
+        assert tracer.spans[0].io == IOStats()
+
+    def test_attach_restores_previous_observer(self, counter):
+        events = []
+        counter.observer = lambda *args: events.append(args)
+        tracer = Tracer()
+        with tracer.attach(counter):
+            assert counter.observer == tracer._observe
+        assert counter.observer is not None
+        counter.record_read(1, 10, sequential=True)
+        assert len(events) == 1
+
+
+class TestFileAttribution:
+    def test_files_keyed_by_device_path(self, tmp_path, counter):
+        edges = np.arange(40, dtype=np.int64).reshape(-1, 2)
+        path = str(tmp_path / "attrib.bin")
+        edge_file = EdgeFile.from_array(
+            path, edges, counter=counter, block_size=SMALL_BLOCK
+        )
+        tracer = Tracer()
+        with tracer.attach(counter):
+            with tracer.span("scan"):
+                _read_all(edge_file)
+        files = tracer.spans[0].files
+        assert list(files) == [path]
+        assert files[path].total == tracer.spans[0].io.total
+
+    def test_files_roll_up_to_parent(self, tmp_path, counter):
+        edges = np.arange(40, dtype=np.int64).reshape(-1, 2)
+        a = EdgeFile.from_array(
+            str(tmp_path / "a.bin"), edges, counter=counter,
+            block_size=SMALL_BLOCK,
+        )
+        b = EdgeFile.from_array(
+            str(tmp_path / "b.bin"), edges, counter=counter,
+            block_size=SMALL_BLOCK,
+        )
+        tracer = Tracer()
+        with tracer.attach(counter):
+            with tracer.span("outer"):
+                with tracer.span("first"):
+                    _read_all(a)
+                with tracer.span("second"):
+                    _read_all(b)
+        outer = [s for s in tracer.spans if s.name == "outer"][0]
+        assert set(outer.files) == {a.device.path, b.device.path}
+        total = sum(stats.total for stats in outer.files.values())
+        assert total == outer.io.total
+
+    def test_unattributed_io_gets_placeholder_key(self, counter):
+        tracer = Tracer()
+        with tracer.attach(counter):
+            with tracer.span("s"):
+                counter.record_read(1, 64, sequential=True)
+        assert list(tracer.spans[0].files) == ["<unattributed>"]
+
+
+class TestCounters:
+    def test_add_accumulates_on_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.add("events", 2)
+            with tracer.span("inner"):
+                tracer.add("events", 5)
+            tracer.add("events")
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["inner"].counters == {"events": 5}
+        assert by_name["outer"].counters == {"events": 3}
+
+    def test_add_without_open_span_is_ignored(self):
+        tracer = Tracer()
+        tracer.add("orphan", 7)
+        assert tracer.spans == []
+
+    def test_zero_valued_add_leaves_no_counter(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.add("nothing", 0)
+        assert tracer.spans[0].counters == {}
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+        assert Tracer.enabled is True
+
+    def test_span_yields_none_and_records_nothing(self):
+        with NULL_TRACER.span("s", iteration=1) as span:
+            assert span is None
+        assert NULL_TRACER.spans == []
+
+    def test_attach_never_installs_observer(self, counter):
+        with NULL_TRACER.attach(counter):
+            assert counter.observer is None
+
+    def test_add_is_noop(self):
+        NULL_TRACER.add("x", 10)
+        assert NULL_TRACER.spans == []
+
+    def test_span_handles_are_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestIterationIO:
+    def test_outermost_iteration_span_wins(self):
+        tracer = Tracer()
+        with tracer.span("iteration", iteration=1):
+            with tracer.span("edge-scan", iteration=1):
+                pass
+        spans = tracer.spans
+        inner = spans[0]
+        outer = spans[1]
+        inner.io = IOStats(seq_reads=5, bytes_read=320)
+        outer.io = IOStats(seq_reads=9, bytes_read=576)
+        per_iter = iteration_io(spans)
+        assert per_iter == {1: outer.io}
+
+    def test_sibling_iteration_spans_sum(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            with tracer.span("scan", iteration=2):
+                pass
+            with tracer.span("rewrite", iteration=2):
+                pass
+        scan, rewrite, _run = tracer.spans
+        scan.io = IOStats(seq_reads=3)
+        rewrite.io = IOStats(seq_writes=4)
+        per_iter = iteration_io(tracer.spans)
+        assert per_iter[2].seq_reads == 3
+        assert per_iter[2].seq_writes == 4
+
+    def test_untagged_spans_do_not_contribute(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        assert iteration_io(tracer.spans) == {}
+
+    def test_result_is_a_copy(self):
+        tracer = Tracer()
+        with tracer.span("scan", iteration=1):
+            pass
+        tracer.spans[0].io = IOStats(seq_reads=1)
+        per_iter = iteration_io(tracer.spans)
+        per_iter[1].seq_reads = 99
+        assert tracer.spans[0].io.seq_reads == 1
