@@ -1,4 +1,5 @@
-.PHONY: install test lint bench examples suite clean
+.PHONY: install test lint bench bench-smoke bench-golden bench-prefetch \
+	examples suite clean
 
 PYTHON ?= python
 
@@ -25,6 +26,22 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Mirrors the CI bench-regression job: counted I/O and SCC partitions
+# of the small-scale Table 1 / Fig. 12 variants vs the checked-in
+# goldens, plus the prefetch-transparency re-runs.
+bench-smoke:
+	$(PYTHON) -m benchmarks.regression --check \
+		--out bench-regression-results.json \
+		--trace-dir bench-regression-traces
+
+# Regenerate the goldens after an *intentional* I/O-count change.
+bench-golden:
+	$(PYTHON) -m benchmarks.regression --write-golden
+
+# Wall-clock benefit of cache + prefetch -> BENCH_prefetch.json.
+bench-prefetch:
+	$(PYTHON) -m benchmarks.bench_prefetch
+
 # full paper evaluation with CSV + report output
 suite:
 	$(PYTHON) -m repro.cli bench --outdir suite_results
@@ -38,5 +55,5 @@ examples:
 # bench_results/ holds measured records -- clean must never delete them.
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache .benchmarks \
-		suite_results
+		suite_results bench-regression-results.json bench-regression-traces
 	find . -name '__pycache__' -type d -exec rm -rf {} +

@@ -1,0 +1,240 @@
+"""Wall-clock benefit of the counted page cache + block prefetcher.
+
+This is the headline measurement for the prefetch/cache work: 1P-SCC
+and 1PB-SCC re-scan the shrinking edge file every iteration, so a page
+cache sized to hold the (already-reduced) file turns iterations 2..k
+into pure in-memory passes, and the prefetcher overlaps the cold scan's
+block latency with the consumer's CPU work.  The claim gated here:
+**at least 20% faster wall-clock with the policy on**, with identical
+SCC partitions — while the *counted* block I/O stays byte-for-byte
+identical when only prefetching is enabled (the transparency contract,
+checked by ``benchmarks/regression.py`` and ``tests/test_io_prefetch.py``).
+
+Measurement regime: the paper's machines were I/O-bound — this Python
+reproduction is not, because the CPU side runs ~100x slower than C++
+while the "disk" is served from the OS page cache in microseconds.  To
+measure the policy where it matters, the benchmark enables the I/O
+model's **simulated disk** (`REPRO_SIM_SEEK_MS` / `REPRO_SIM_TRANSFER_MS`,
+see docs/io_model.md): each counted block transfer sleeps for its
+modeled time, scaled by the same factor Python inflates the CPU side,
+restoring the paper's CPU-to-I/O balance.  The profile and both sides
+of every comparison are recorded in the output JSON so the regime is
+auditable.  Counted I/O with the cache ON legitimately drops (hits are
+served from memory; the modeled disk head never moves).
+
+Run standalone (pytest-benchmark not required)::
+
+    python -m benchmarks.bench_prefetch               # default output
+    python -m benchmarks.bench_prefetch --out BENCH_prefetch.json
+
+Environment: ``REPRO_BENCH_SCALE`` scales the webspam stand-in (same
+knob as the regression gate), ``REPRO_BENCH_ROUNDS`` the timing rounds
+(median is reported).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from typing import Dict, List, Optional
+
+#: Simulated disk profile: a 2013-era laptop disk (~8 ms seek, ~60 MB/s
+#: sustained) with both numbers scaled by the factor Python slows the
+#: CPU side relative to the paper's C++ — so the benchmark runs at the
+#: paper's CPU-to-I/O balance.  Must be exported BEFORE repro.io is
+#: used (devices read the env at construction).
+SIM_SEEK_MS = float(os.environ.get("REPRO_SIM_SEEK_MS", "0") or 0) or 100.0
+SIM_TRANSFER_MS = float(os.environ.get("REPRO_SIM_TRANSFER_MS", "0") or 0) or 5.0
+os.environ["REPRO_SIM_SEEK_MS"] = str(SIM_SEEK_MS)
+os.environ["REPRO_SIM_TRANSFER_MS"] = str(SIM_TRANSFER_MS)
+
+from repro.bench.harness import run_one  # noqa: E402
+from repro.core.validate import partitions_equal  # noqa: E402
+from repro.graph.digraph import Digraph  # noqa: E402
+from repro.workloads.realworld import webspam_like  # noqa: E402
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2.5e-4"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+
+ALGORITHMS = ("1P-SCC", "1PB-SCC")
+
+#: 8 KiB blocks: small enough that the gate-scale workload spans
+#: hundreds of blocks (so pipelining has something to pipeline), large
+#: enough that decoding stays vectorised.
+BLOCK_SIZE = 8192
+
+#: Cache sized to hold the whole (reduced) edge file of the gate-scale
+#: workload; capacity is counted in blocks so memory stays auditable.
+CACHE_BLOCKS = 4096
+
+#: Deeper than DEFAULT_PREFETCH_DEPTH: 1P-SCC's per-block CPU is bursty
+#: (a few ancestor-walk-heavy blocks, then fast drains), so a deep queue
+#: is what lets the reader run ahead through the cheap stretches.
+PREFETCH_DEPTH = 64
+
+#: The acceptance bar: policy-on must be at least this much faster.
+MIN_IMPROVEMENT = 0.20
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_prefetch.json",
+)
+
+
+def _workload() -> Digraph:
+    return webspam_like(scale=0.4 * SCALE, seed=0, avg_degree=12.0).graph
+
+
+def _time_config(
+    graph: Digraph,
+    algorithm: str,
+    prefetch_depth: int,
+    cache_blocks: int,
+    rounds: int,
+) -> Dict[str, object]:
+    """Median-of-``rounds`` algorithm wall-clock for one policy cell.
+
+    Times ``result.stats.wall_seconds`` (the algorithm only — graph
+    materialisation is setup, not the measured run).
+    """
+    seconds: List[float] = []
+    ios: Optional[int] = None
+    cache_hits = 0
+    prefetched = 0
+    stalls = 0
+    labels = None
+    for _ in range(rounds):
+        record = run_one(
+            graph,
+            algorithm,
+            workload="webspam-prefetch-bench",
+            block_size=BLOCK_SIZE,
+            keep_result=True,
+            prefetch_depth=prefetch_depth,
+            cache_blocks=cache_blocks,
+        )
+        if not record.ok:
+            raise RuntimeError(f"{algorithm} did not complete: {record.status}")
+        assert record.result is not None and record.seconds is not None
+        seconds.append(record.seconds)
+        ios = record.ios
+        cache_hits = record.result.stats.io.cache_hits
+        prefetched = record.result.stats.io.prefetched
+        stalls = record.result.stats.io.prefetch_stalls
+        labels = record.result.labels
+    return {
+        "prefetch_depth": prefetch_depth,
+        "cache_blocks": cache_blocks,
+        "rounds": rounds,
+        "seconds_median": statistics.median(seconds),
+        "seconds_best": min(seconds),
+        "seconds_all": seconds,
+        "block_ios": ios,
+        "cache_hits": cache_hits,
+        "prefetched": prefetched,
+        "prefetch_stalls": stalls,
+        "_labels": labels,  # stripped before serialization
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_prefetch",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, metavar="PATH",
+        help=f"result JSON path (default: {os.path.relpath(DEFAULT_OUT)})",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=ROUNDS,
+        help="timing rounds per cell (median reported)",
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true",
+        help="record results without enforcing the 20%% bar",
+    )
+    args = parser.parse_args(argv)
+
+    graph = _workload()
+    print(
+        f"workload: webspam-like scale={0.4 * SCALE:g} "
+        f"({graph.num_nodes:,} nodes, {graph.num_edges:,} edges), "
+        f"B={BLOCK_SIZE}, simulated disk seek={SIM_SEEK_MS:g}ms "
+        f"transfer={SIM_TRANSFER_MS:g}ms, {args.rounds} rounds per cell"
+    )
+
+    results: Dict[str, Dict[str, object]] = {}
+    failures: List[str] = []
+    for algorithm in ALGORITHMS:
+        baseline = _time_config(graph, algorithm, 0, 0, args.rounds)
+        tuned = _time_config(
+            graph, algorithm, PREFETCH_DEPTH, CACHE_BLOCKS, args.rounds
+        )
+        if not partitions_equal(baseline.pop("_labels"), tuned.pop("_labels")):
+            raise RuntimeError(f"{algorithm}: policy changed the SCC partition")
+        base_s = float(baseline["seconds_median"])  # type: ignore[arg-type]
+        tuned_s = float(tuned["seconds_median"])  # type: ignore[arg-type]
+        improvement = (base_s - tuned_s) / base_s if base_s > 0 else 0.0
+        results[algorithm] = {
+            "baseline": baseline,
+            "prefetch_cache": tuned,
+            "improvement": improvement,
+        }
+        print(
+            f"  {algorithm}: baseline {base_s:.3f}s "
+            f"({baseline['block_ios']:,} block I/Os) -> "
+            f"cache+prefetch {tuned_s:.3f}s "
+            f"({tuned['block_ios']:,} block I/Os, "
+            f"{tuned['cache_hits']:,} cache hits, "
+            f"{tuned['prefetched']:,} prefetched): "
+            f"{improvement:+.1%}"
+        )
+        if improvement < MIN_IMPROVEMENT:
+            failures.append(
+                f"{algorithm}: {improvement:+.1%} < +{MIN_IMPROVEMENT:.0%} bar"
+            )
+
+    payload = {
+        "schema": 1,
+        "workload": {
+            "generator": "webspam_like",
+            "scale": 0.4 * SCALE,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "block_size": BLOCK_SIZE,
+        },
+        "simulated_disk": {
+            "seek_ms": SIM_SEEK_MS,
+            "transfer_ms": SIM_TRANSFER_MS,
+            "note": (
+                "per-block sleep on counted transfers; restores the "
+                "paper's CPU-to-I/O balance which Python's ~100x CPU "
+                "slowdown otherwise distorts (docs/io_model.md)"
+            ),
+        },
+        "policy": {
+            "prefetch_depth": PREFETCH_DEPTH,
+            "cache_blocks": CACHE_BLOCKS,
+        },
+        "min_improvement": MIN_IMPROVEMENT,
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures and not args.no_assert:
+        print("\nbelow the improvement bar:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,332 @@
+"""The benchmark-regression gate: golden I/O counts and SCC partitions.
+
+This runner executes small-scale, fully deterministic variants of the
+two headline benchmarks (``bench_table1_reduction.py`` — 1PB-SCC's
+reduction on the webspam stand-in — and ``bench_fig12_webspam_size.py``
+— the induced-subgraph size sweep) and compares what the I/O model
+*counted* against golden JSON checked into ``benchmarks/golden/``:
+
+* the six counted :class:`~repro.io.counter.IOStats` fields per case
+  (block reads are the paper's ``# of I/Os`` — any drift is a
+  regression, and an *improvement* must be acknowledged by regenerating
+  the golden with ``--write-golden``);
+* the SCC partition, fingerprinted as a SHA-256 over the canonicalised
+  label array (wrong answers can't hide behind matching I/O);
+* iteration counts and SCC totals.
+
+The same cases are then re-run with prefetching enabled (cache off) and
+must count *identical* I/O — the transparency contract of
+``repro.io.prefetch`` enforced in CI on every push.
+
+Wall-clock is deliberately NOT gated here (CI machines are noisy); the
+counted block transfers are exact and machine-independent, which is the
+point of measuring I/O in-model.
+
+Usage::
+
+    python -m benchmarks.regression --write-golden       # refresh goldens
+    python -m benchmarks.regression --check              # CI gate
+    python -m benchmarks.regression --check --out results.json \
+        --trace-dir traces/                              # keep artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.harness import run_one
+from repro.core.base import canonicalize_labels
+from repro.graph.builders import induced_subgraph
+from repro.graph.digraph import Digraph
+from repro.workloads.realworld import webspam_like
+
+#: Reproduction scale for the gate, relative to the paper's webspam
+#: graph.  Small enough for CI, big enough that every algorithm touches
+#: multiple blocks per scan.  Overridable for local experimentation —
+#: but goldens record the scale they were generated at, and --check
+#: refuses to compare across scales.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2.5e-4"))
+
+#: Per-run wall-clock limit (a hang should fail the gate, not stall CI).
+TIME_LIMIT = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "300"))
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+GOLDEN_PATH = os.path.join(GOLDEN_DIR, "regression.json")
+
+#: The six counted transfer fields every case is pinned on.
+IO_FIELDS = (
+    "seq_reads", "seq_writes", "rand_reads", "rand_writes",
+    "bytes_read", "bytes_written",
+)
+
+#: Lookahead depth used for the prefetch-transparency re-runs.
+PREFETCH_DEPTH = 8
+
+#: Fig. 12 sweep, mirroring bench_fig12_webspam_size.py (including its
+#: skip rule: 2P-SCC and DFS-SCC only survive the small subgraphs).
+FIG12_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+FIG12_ALGORITHMS = ("1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC")
+
+
+def _webspam() -> Digraph:
+    """The deterministic webspam stand-in at gate scale (Table 1's graph)."""
+    return webspam_like(scale=0.4 * SCALE, seed=0, avg_degree=12.0).graph
+
+
+def _subgraph_at(fraction: float) -> Digraph:
+    """Fig. 12's induced subgraph at ``fraction`` of the node set."""
+    graph = _webspam()
+    if fraction >= 1.0:
+        return graph
+    rng = np.random.default_rng(int(fraction * 100))
+    nodes = rng.choice(
+        graph.num_nodes,
+        size=int(round(graph.num_nodes * fraction)),
+        replace=False,
+    )
+    sub, _ = induced_subgraph(graph, nodes)
+    return sub
+
+
+def _cases() -> List[Tuple[str, str, Callable[[], Digraph]]]:
+    """(case_id, algorithm, graph factory) for every gated run."""
+    cases: List[Tuple[str, str, Callable[[], Digraph]]] = [
+        ("table1/webspam/1PB-SCC", "1PB-SCC", _webspam),
+    ]
+    for fraction in FIG12_FRACTIONS:
+        for algorithm in FIG12_ALGORITHMS:
+            if algorithm == "2P-SCC" and fraction > 0.4:
+                continue  # bench_fig12's skip rule
+            if algorithm == "DFS-SCC" and fraction > 0.2:
+                # Tighter than bench_fig12: at 40% DFS-SCC straddles the
+                # time limit, and a timeout status is machine-dependent —
+                # the gate pins only deterministic outcomes.
+                continue
+            cases.append(
+                (
+                    f"fig12/webspam-{int(fraction * 100)}pct/{algorithm}",
+                    algorithm,
+                    lambda fraction=fraction: _subgraph_at(fraction),
+                )
+            )
+    return cases
+
+
+def _partition_fingerprint(labels: np.ndarray) -> str:
+    """SHA-256 over the canonicalised (order-independent) SCC labels."""
+    canonical, _ = canonicalize_labels(labels)
+    return hashlib.sha256(
+        np.ascontiguousarray(canonical, dtype="<i8").tobytes()
+    ).hexdigest()
+
+
+def _run_case(
+    case_id: str,
+    algorithm: str,
+    graph: Digraph,
+    trace_dir: Optional[str],
+    prefetch_depth: int = 0,
+) -> Dict[str, object]:
+    trace_path = None
+    if trace_dir is not None:
+        suffix = "-prefetch" if prefetch_depth else ""
+        trace_path = os.path.join(
+            trace_dir, case_id.replace("/", "_") + suffix + ".jsonl"
+        )
+    record = run_one(
+        graph,
+        algorithm,
+        workload=case_id,
+        time_limit=TIME_LIMIT,
+        keep_result=True,
+        trace_path=trace_path,
+        prefetch_depth=prefetch_depth,
+    )
+    entry: Dict[str, object] = {
+        "algorithm": algorithm,
+        "status": record.status,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+    }
+    if record.ok:
+        assert record.result is not None
+        io = record.result.stats.io
+        entry["io"] = {fld: getattr(io, fld) for fld in IO_FIELDS}
+        entry["iterations"] = record.iterations
+        entry["num_sccs"] = record.num_sccs
+        entry["partition_sha256"] = _partition_fingerprint(record.result.labels)
+    if trace_path is not None:
+        entry["trace"] = os.path.basename(trace_path)
+    return entry
+
+
+def _compare_case(case_id: str, golden: Dict, current: Dict) -> List[str]:
+    """Human-readable mismatches between one golden and current entry."""
+    problems: List[str] = []
+    if golden.get("status") != current.get("status"):
+        problems.append(
+            f"{case_id}: status {current.get('status')!r} != "
+            f"golden {golden.get('status')!r}"
+        )
+        return problems
+    golden_io = golden.get("io", {})
+    current_io = current.get("io", {})
+    for fld in IO_FIELDS:
+        if golden_io.get(fld) != current_io.get(fld):
+            problems.append(
+                f"{case_id}: I/O-count regression in {fld}: "
+                f"{current_io.get(fld)} != golden {golden_io.get(fld)}"
+            )
+    for key in ("iterations", "num_sccs", "partition_sha256", "nodes", "edges"):
+        if golden.get(key) != current.get(key):
+            problems.append(
+                f"{case_id}: {key} {current.get(key)!r} != "
+                f"golden {golden.get(key)!r}"
+            )
+    return problems
+
+
+def run_gate(
+    write_golden: bool,
+    out_path: Optional[str],
+    trace_dir: Optional[str],
+    skip_prefetch_check: bool = False,
+) -> int:
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    results: Dict[str, Dict[str, object]] = {}
+    problems: List[str] = []
+
+    for case_id, algorithm, factory in _cases():
+        graph = factory()
+        entry = _run_case(case_id, algorithm, graph, trace_dir)
+        results[case_id] = entry
+        io = entry.get("io", {})
+        print(
+            f"  {case_id}: status={entry['status']} "
+            f"reads={io.get('seq_reads', 0) + io.get('rand_reads', 0)} "
+            f"writes={io.get('seq_writes', 0) + io.get('rand_writes', 0)} "
+            f"sccs={entry.get('num_sccs')}"
+        )
+        if not skip_prefetch_check and entry["status"] == "ok":
+            pf_entry = _run_case(
+                case_id, algorithm, graph, trace_dir,
+                prefetch_depth=PREFETCH_DEPTH,
+            )
+            for fld in IO_FIELDS:
+                base_value = entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                pf_value = pf_entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                if base_value != pf_value:
+                    problems.append(
+                        f"{case_id}: prefetching changed counted {fld}: "
+                        f"{pf_value} != {base_value} (transparency broken)"
+                    )
+            if entry.get("partition_sha256") != pf_entry.get("partition_sha256"):
+                problems.append(
+                    f"{case_id}: prefetching changed the SCC partition"
+                )
+
+    payload = {
+        "schema": 1,
+        "scale": SCALE,
+        "cases": results,
+    }
+
+    if write_golden:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {GOLDEN_PATH} ({len(results)} cases)")
+    else:
+        if not os.path.exists(GOLDEN_PATH):
+            problems.append(
+                f"no golden file at {GOLDEN_PATH}; run --write-golden first"
+            )
+        else:
+            with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+                golden = json.load(handle)
+            if golden.get("scale") != SCALE:
+                problems.append(
+                    f"golden was generated at scale {golden.get('scale')}, "
+                    f"this run used {SCALE}; set REPRO_BENCH_SCALE to match"
+                )
+            else:
+                golden_cases = golden.get("cases", {})
+                for case_id in sorted(set(golden_cases) | set(results)):
+                    if case_id not in results:
+                        problems.append(f"{case_id}: in golden but not run")
+                        continue
+                    if case_id not in golden_cases:
+                        problems.append(
+                            f"{case_id}: not in golden; run --write-golden"
+                        )
+                        continue
+                    problems.extend(
+                        _compare_case(
+                            case_id, golden_cases[case_id], results[case_id]
+                        )
+                    )
+
+    if out_path is not None:
+        report = dict(payload)
+        report["problems"] = problems
+        report["golden"] = os.path.relpath(GOLDEN_PATH)
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out_path}")
+
+    if problems:
+        print(f"\n{len(problems)} regression(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("\nbench-regression gate: all cases match golden" if not write_golden
+          else "bench-regression goldens refreshed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.regression", description=__doc__.splitlines()[0]
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check", action="store_true",
+        help="compare against benchmarks/golden/regression.json (CI gate)",
+    )
+    mode.add_argument(
+        "--write-golden", action="store_true",
+        help="run all cases and (re)write the golden file",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the full result JSON here (CI artifact)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a JSONL run trace per case here (CI artifact)",
+    )
+    parser.add_argument(
+        "--skip-prefetch-check", action="store_true",
+        help="skip the prefetch-transparency re-runs (halves runtime)",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(
+        write_golden=args.write_golden,
+        out_path=args.out,
+        trace_dir=args.trace_dir,
+        skip_prefetch_check=args.skip_prefetch_check,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

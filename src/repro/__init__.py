@@ -95,6 +95,8 @@ def compute_sccs(
     block_size: int = DEFAULT_BLOCK_SIZE,
     workdir: Optional[str] = None,
     tracer: Optional[Tracer] = None,
+    prefetch_depth: int = 0,
+    cache_blocks: int = 0,
 ) -> SCCResult:
     """Compute all SCCs with one of the paper's algorithms.
 
@@ -115,6 +117,11 @@ def compute_sccs(
     tracer:
         Optional :class:`Tracer` for structured run tracing (phase
         spans, per-scan I/O deltas); untraced runs are unaffected.
+    prefetch_depth / cache_blocks:
+        Optional I/O policy: background block prefetch lookahead and a
+        counted LRU page cache over decoded blocks (see
+        :meth:`SCCAlgorithm.run`).  Both default to off, preserving the
+        paper-faithful direct-read path.
     """
     if isinstance(algorithm, str):
         if algorithm not in ALGORITHMS:
@@ -125,7 +132,8 @@ def compute_sccs(
 
     if isinstance(graph, DiskGraph):
         return algorithm.run(
-            graph, memory=memory, time_limit=time_limit, tracer=tracer
+            graph, memory=memory, time_limit=time_limit, tracer=tracer,
+            prefetch_depth=prefetch_depth, cache_blocks=cache_blocks,
         )
 
     if isinstance(graph, np.ndarray):
@@ -145,7 +153,8 @@ def compute_sccs(
         )
         try:
             return algorithm.run(
-                disk, memory=memory, time_limit=time_limit, tracer=tracer
+                disk, memory=memory, time_limit=time_limit, tracer=tracer,
+                prefetch_depth=prefetch_depth, cache_blocks=cache_blocks,
             )
         finally:
             disk.unlink()

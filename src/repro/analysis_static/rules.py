@@ -42,6 +42,12 @@ DEFAULT_ALLOWLIST: Dict[str, FrozenSet[str]] = {
     # of it — charging them to the block counter would corrupt the very
     # I/O tallies the trace exists to report.
     "repro/obs/trace.py": frozenset({"IO001"}),
+    # The one sanctioned lookahead reader: the background prefetcher
+    # seeks once to position its private handle and runs the repo's only
+    # permitted reader thread.  Its reads are deferred-accounted by the
+    # consumer at dequeue time (BlockDevice.account_prefetched_read), so
+    # the counted I/O stays identical to a synchronous scan.
+    "repro/io/prefetch.py": frozenset({"SCAN001"}),
 }
 
 
@@ -377,13 +383,23 @@ class EdgeMaterializationRule(Rule):
 
 
 class SequentialScanRule(Rule):
-    """SCAN001: computed-offset seeks outside ``repro/io/blocks.py``."""
+    """SCAN001: seeks and lookahead readers outside their sanctioned homes.
+
+    Two access patterns can silently break the "forward block scans
+    only" discipline the tallies rely on: computed-offset ``seek``
+    (random access), and a concurrent reader thread (a lookahead side
+    channel whose reads nothing accounts for).  Seeks belong solely to
+    ``repro/io/blocks.py``; the one sanctioned reader thread lives in
+    ``repro/io/prefetch.py`` (allowlisted), whose reads are
+    deferred-accounted by the consuming scan.
+    """
 
     rule_id = "SCAN001"
-    title = "seek-based access outside repro/io/blocks.py"
+    title = "seek/lookahead access outside repro/io/{blocks,prefetch}.py"
     rationale = (
         "the I/O model charges sequential block scans; arbitrary seeks "
-        "are the random accesses the paper's algorithms exist to avoid"
+        "and unaccounted reader threads are the random/side-channel "
+        "accesses the paper's algorithms exist to avoid"
     )
 
     def applies_to(self, relpath: str) -> bool:
@@ -392,20 +408,29 @@ class SequentialScanRule(Rule):
         return not (parts and parts[-1] == "blocks.py" and "io" in parts[:-1])
 
     def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
-        """Flag ``.seek()`` calls — edge files are forward-iterated only."""
+        """Flag ``.seek()`` calls and reader-thread construction."""
         out: List[Violation] = []
         for node in ast.walk(tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "seek"
-            ):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "seek":
                 out.append(
                     self.violation(
                         node,
                         relpath,
                         "seek() breaks the forward-scan discipline; consume "
                         "edge files via block iteration (EdgeFile.scan)",
+                    )
+                )
+            elif _terminal_name(func) == "Thread":
+                out.append(
+                    self.violation(
+                        node,
+                        relpath,
+                        "spawning a thread opens an unaccounted lookahead "
+                        "side channel; repro/io/prefetch.py hosts the one "
+                        "sanctioned (consumer-accounted) reader thread",
                     )
                 )
         return out

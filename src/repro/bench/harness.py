@@ -73,6 +73,8 @@ def run_one(
     keep_result: bool = False,
     params: Optional[Dict[str, object]] = None,
     trace_path: Optional[str] = None,
+    prefetch_depth: int = 0,
+    cache_blocks: int = 0,
 ) -> BenchRecord:
     """Run one algorithm on one in-memory workload graph.
 
@@ -81,10 +83,19 @@ def run_one(
     ``trace_path`` is given the run is traced to that JSONL file (kept
     even on INF/DNF runs — partial traces are how timeouts are
     diagnosed) and recorded on the returned record.
+    ``prefetch_depth``/``cache_blocks`` install the corresponding I/O
+    policy on the run (see :meth:`SCCAlgorithm.run`) and are echoed into
+    the record's ``params`` when nonzero, so result JSON rows are
+    self-describing.
     """
     algo = _resolve(algorithm)
+    run_params = dict(params or {})
+    if prefetch_depth:
+        run_params.setdefault("prefetch_depth", prefetch_depth)
+    if cache_blocks:
+        run_params.setdefault("cache_blocks", cache_blocks)
     record = BenchRecord(
-        algorithm=algo.name, workload=workload, status="ok", params=params or {}
+        algorithm=algo.name, workload=workload, status="ok", params=run_params
     )
     cleanup: Optional[tempfile.TemporaryDirectory] = None
     if workdir is None:
@@ -107,7 +118,12 @@ def run_one(
             record.trace_path = trace_path
         try:
             result = algo.run(
-                disk, memory=memory, time_limit=time_limit, tracer=tracer
+                disk,
+                memory=memory,
+                time_limit=time_limit,
+                tracer=tracer,
+                prefetch_depth=prefetch_depth,
+                cache_blocks=cache_blocks,
             )
             record.seconds = result.stats.wall_seconds
             record.ios = result.stats.io.total

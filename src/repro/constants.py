@@ -39,3 +39,13 @@ DEFAULT_TAU_FRACTION: float = 0.005
 #: Default early-rejection period in iterations (paper Section 8:
 #: "early rejection is processed in every 5 iterations").
 DEFAULT_REJECTION_PERIOD: int = 5
+
+#: Default lookahead depth (in blocks) of the background prefetcher
+#: when prefetching is enabled without an explicit depth.
+DEFAULT_PREFETCH_DEPTH: int = 8
+
+#: Default page-cache capacity in blocks.  Zero disables the cache, the
+#: conservative default: a run then counts exactly the block reads the
+#: paper's model predicts, with no resident-payload memory beyond the
+#: scan buffer.
+DEFAULT_CACHE_BLOCKS: int = 0

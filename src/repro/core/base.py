@@ -22,6 +22,7 @@ from repro.exceptions import AlgorithmTimeout
 from repro.graph.diskgraph import DiskGraph
 from repro.io.counter import IOStats
 from repro.io.memory import MemoryModel
+from repro.io.prefetch import PageCache
 from repro.obs.tracer import NULL_TRACER, Tracer, iteration_io
 
 logger = logging.getLogger("repro.core")
@@ -140,6 +141,8 @@ class SCCAlgorithm(ABC):
         memory: Optional[MemoryModel] = None,
         time_limit: Optional[float] = None,
         tracer: Optional[Tracer] = None,
+        prefetch_depth: int = 0,
+        cache_blocks: int = 0,
     ) -> SCCResult:
         """Compute all SCCs of ``graph``.
 
@@ -161,11 +164,30 @@ class SCCAlgorithm(ABC):
             attribution, and each :class:`IterationStats` entry gains
             its I/O delta from the iteration spans.  The default no-op
             tracer leaves behavior byte-identical to an untraced run.
+        prefetch_depth:
+            When positive, edge scans pipeline their block reads
+            through a background prefetcher of this depth.  Counted
+            block reads are identical to a synchronous run; only wall
+            time (and the ``prefetched``/``prefetch_stalls`` tallies)
+            change.
+        cache_blocks:
+            When positive, install a :class:`~repro.io.prefetch.PageCache`
+            of this many blocks shared by the graph's edge file and
+            every scratch file derived from it.  Cache hits skip disk
+            and are tallied as ``cache_hits``, never as block reads, so
+            a cached run's read tally is the cacheless tally minus the
+            avoided transfers.
+
+        Both policies are installed on the graph's edge file for the
+        duration of the run and restored afterwards, so sequential runs
+        on a shared graph don't leak policy into each other.
         """
         if memory is None:
             memory = MemoryModel(graph.num_nodes, block_size=graph.block_size)
         if tracer is None:
             tracer = NULL_TRACER
+        if prefetch_depth < 0 or cache_blocks < 0:
+            raise ValueError("prefetch_depth and cache_blocks must be non-negative")
         deadline = Deadline(self.name, time_limit)
         logger.debug(
             "%s: starting on %d nodes / %d edges (M=%d, B=%d)",
@@ -174,16 +196,33 @@ class SCCAlgorithm(ABC):
         )
         io_before = graph.counter.snapshot()
         spans_before = len(tracer.spans)
-        with tracer.attach(graph.counter):
-            with tracer.span(
-                "run",
-                algorithm=self.name,
-                num_nodes=graph.num_nodes,
-                num_edges=graph.num_edges,
-            ):
-                labels, iterations, per_iteration, extras = self._run(
-                    graph, memory, deadline, tracer
-                )
+        previous_cache = graph.edge_file.cache
+        previous_depth = graph.edge_file.prefetch_depth
+        if cache_blocks > 0:
+            graph.edge_file.cache = PageCache(
+                cache_blocks, block_size=graph.block_size
+            )
+        graph.edge_file.prefetch_depth = prefetch_depth
+        run_attributes: Dict[str, object] = {
+            "algorithm": self.name,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+        }
+        # Additive schema: policy attributes appear only when a policy is
+        # active, so policy-off traces match pre-prefetch goldens exactly.
+        if prefetch_depth:
+            run_attributes["prefetch_depth"] = prefetch_depth
+        if cache_blocks:
+            run_attributes["cache_blocks"] = cache_blocks
+        try:
+            with tracer.attach(graph.counter):
+                with tracer.span("run", **run_attributes):
+                    labels, iterations, per_iteration, extras = self._run(
+                        graph, memory, deadline, tracer
+                    )
+        finally:
+            graph.edge_file.cache = previous_cache
+            graph.edge_file.prefetch_depth = previous_depth
         labels, num_sccs = canonicalize_labels(labels)
         if tracer.enabled:
             per_iteration_io = iteration_io(tracer.spans[spans_before:])

@@ -232,11 +232,7 @@ class EMSCC(SCCAlgorithm):
                 if keep.any():
                     yield np.column_stack((us[keep], vs[keep])).astype(NODE_DTYPE)
 
-        reduced = EdgeFile.create(
-            graph.scratch_path(f"em{iteration}"),
-            counter=graph.counter,
-            block_size=graph.block_size,
-        )
+        reduced = graph.derive_edge_file(f"em{iteration}")
         with tracer.span("rewrite-scan", iteration=iteration):
             for batch in batches():
                 reduced.append(batch)

@@ -263,11 +263,7 @@ class OnePhaseSCC(SCCAlgorithm):
         drank_min = np.iinfo(np.int64).max
         drank_max = np.iinfo(np.int64).min
 
-        reduced = EdgeFile.create(
-            graph.scratch_path(f"work{iteration}"),
-            counter=graph.counter,
-            block_size=graph.block_size,
-        )
+        reduced = graph.derive_edge_file(f"work{iteration}")
         depth = tree.depth
         with tracer.span("reduce-scan", iteration=iteration):
             for batch in current.scan():

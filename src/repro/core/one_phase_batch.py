@@ -346,11 +346,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         drank_min = np.iinfo(np.int64).max
         drank_max = np.iinfo(np.int64).min
 
-        reduced = EdgeFile.create(
-            graph.scratch_path(f"bwork{iteration}"),
-            counter=graph.counter,
-            block_size=graph.block_size,
-        )
+        reduced = graph.derive_edge_file(f"bwork{iteration}")
         with tracer.span("reduce-scan", iteration=iteration):
             for batch in current.scan():
                 if deadline is not None:

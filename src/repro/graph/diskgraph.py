@@ -113,6 +113,22 @@ class DiskGraph:
         """A sibling path for temporary files derived from this graph."""
         return self.edge_file.path + "." + suffix
 
+    def derive_edge_file(self, suffix: str) -> EdgeFile:
+        """Create an empty scratch :class:`EdgeFile` next to this graph.
+
+        The scratch file inherits the graph's counter, block size and
+        I/O policy (page cache and prefetch depth), so the shrinking
+        working files built by the reduction algorithms are cached and
+        pipelined exactly like the input they were derived from.
+        """
+        return EdgeFile.create(
+            self.scratch_path(suffix),
+            counter=self.counter,
+            block_size=self.block_size,
+            cache=self.edge_file.cache,
+            prefetch_depth=self.edge_file.prefetch_depth,
+        )
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -16,6 +16,8 @@ provides that model as a library:
   semi-external invariant ``c|V| <= M << ||G||``.
 * :mod:`~repro.io.extsort` — external k-way merge sort with I/O
   accounting, used to reverse and regroup edge files.
+* :mod:`~repro.io.prefetch` — the background block prefetcher and the
+  counted page cache (hits tallied, never charged as block reads).
 """
 
 from repro.io.blocks import BlockDevice
@@ -23,12 +25,15 @@ from repro.io.counter import IOCounter, IOStats
 from repro.io.edgefile import EdgeFile
 from repro.io.extsort import external_sort_edges
 from repro.io.memory import MemoryModel
+from repro.io.prefetch import BlockPrefetcher, PageCache
 
 __all__ = [
     "BlockDevice",
+    "BlockPrefetcher",
     "IOCounter",
     "IOStats",
     "EdgeFile",
     "MemoryModel",
+    "PageCache",
     "external_sort_edges",
 ]

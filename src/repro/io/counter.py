@@ -13,8 +13,10 @@ from typing import Callable, Dict, Optional
 
 #: Signature of an :attr:`IOCounter.observer` callback:
 #: ``(kind, blocks, nbytes, sequential, origin)`` where ``kind`` is
-#: ``"read"`` or ``"write"`` and ``origin`` is the backing file's path
-#: (``None`` when the caller did not attribute the transfer).
+#: ``"read"``, ``"write"``, ``"cache_hit"``, ``"cache_miss"`` or
+#: ``"prefetch"`` and ``origin`` is the backing file's path (``None``
+#: when the caller did not attribute the transfer).  Only ``"read"``
+#: and ``"write"`` carry charged block transfers.
 IOObserver = Callable[[str, int, int, bool, Optional[str]], None]
 
 
@@ -32,6 +34,20 @@ class IOStats:
     rand_writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    #: Page-cache hits: block payloads served from memory.  Deliberately
+    #: *not* part of :attr:`reads` — no bytes moved between disk and
+    #: memory, so the model charges nothing.
+    cache_hits: int = 0
+    #: Page-cache misses: lookups that fell through to a (charged) disk
+    #: read.  ``cache_hits + cache_misses`` is the lookup volume.
+    cache_misses: int = 0
+    #: Blocks delivered through the prefetch pipeline.  Each of these is
+    #: *also* tallied as a normal block read at dequeue time; this field
+    #: only measures how much of the read traffic was pipelined.
+    prefetched: int = 0
+    #: Prefetched dequeues where the consumer had to wait for the reader
+    #: thread (the pipeline failed to hide that block's latency).
+    prefetch_stalls: int = 0
 
     @property
     def reads(self) -> int:
@@ -56,6 +72,10 @@ class IOStats:
             rand_writes=self.rand_writes - other.rand_writes,
             bytes_read=self.bytes_read - other.bytes_read,
             bytes_written=self.bytes_written - other.bytes_written,
+            cache_hits=self.cache_hits - other.cache_hits,
+            cache_misses=self.cache_misses - other.cache_misses,
+            prefetched=self.prefetched - other.prefetched,
+            prefetch_stalls=self.prefetch_stalls - other.prefetch_stalls,
         )
 
     def __add__(self, other: "IOStats") -> "IOStats":
@@ -66,6 +86,10 @@ class IOStats:
             rand_writes=self.rand_writes + other.rand_writes,
             bytes_read=self.bytes_read + other.bytes_read,
             bytes_written=self.bytes_written + other.bytes_written,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            prefetched=self.prefetched + other.prefetched,
+            prefetch_stalls=self.prefetch_stalls + other.prefetch_stalls,
         )
 
     def copy(self) -> "IOStats":
@@ -77,11 +101,21 @@ class IOStats:
             rand_writes=self.rand_writes,
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            prefetched=self.prefetched,
+            prefetch_stalls=self.prefetch_stalls,
         )
 
     def to_dict(self) -> Dict[str, int]:
-        """Serialize the six raw fields (trace schema / run reports)."""
-        return {
+        """Serialize the raw fields (trace schema / run reports).
+
+        The six block-transfer fields are always present — they *are*
+        the v1 trace schema.  The cache/prefetch tallies are additive
+        schema: emitted only when nonzero, so traces from runs without
+        caching or prefetching are byte-identical to pre-cache traces.
+        """
+        payload = {
             "seq_reads": self.seq_reads,
             "seq_writes": self.seq_writes,
             "rand_reads": self.rand_reads,
@@ -89,6 +123,15 @@ class IOStats:
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }
+        if self.cache_hits:
+            payload["cache_hits"] = self.cache_hits
+        if self.cache_misses:
+            payload["cache_misses"] = self.cache_misses
+        if self.prefetched:
+            payload["prefetched"] = self.prefetched
+        if self.prefetch_stalls:
+            payload["prefetch_stalls"] = self.prefetch_stalls
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, int]) -> "IOStats":
@@ -100,6 +143,10 @@ class IOStats:
             rand_writes=int(payload.get("rand_writes", 0)),
             bytes_read=int(payload.get("bytes_read", 0)),
             bytes_written=int(payload.get("bytes_written", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
+            prefetched=int(payload.get("prefetched", 0)),
+            prefetch_stalls=int(payload.get("prefetch_stalls", 0)),
         )
 
 
@@ -163,6 +210,52 @@ class IOCounter:
         self.stats.bytes_written += nbytes
         if self.observer is not None:
             self.observer("write", blocks, nbytes, sequential, origin)
+
+    def record_cache_hit(
+        self, blocks: int, nbytes: int, origin: Optional[str] = None
+    ) -> None:
+        """Tally ``blocks`` block lookups served from the page cache.
+
+        Hits move no bytes between disk and memory, so they are *not*
+        charged as block reads — the model's read tallies stay exactly
+        what a cacheless run would count minus the skipped transfers.
+        """
+        if blocks < 0 or nbytes < 0:
+            raise ValueError("I/O quantities must be non-negative")
+        self.stats.cache_hits += blocks
+        if self.observer is not None:
+            self.observer("cache_hit", blocks, nbytes, True, origin)
+
+    def record_cache_miss(self, blocks: int, origin: Optional[str] = None) -> None:
+        """Tally ``blocks`` cache lookups that fell through to disk.
+
+        The disk read that satisfies the miss is charged separately via
+        :meth:`record_read`; this tally only sizes the lookup traffic.
+        """
+        if blocks < 0:
+            raise ValueError("I/O quantities must be non-negative")
+        self.stats.cache_misses += blocks
+        if self.observer is not None:
+            self.observer("cache_miss", blocks, 0, True, origin)
+
+    def record_prefetch(
+        self, blocks: int, stalled: bool = False, origin: Optional[str] = None
+    ) -> None:
+        """Tally ``blocks`` block reads delivered through the prefetcher.
+
+        Pipelined blocks are *also* charged as ordinary reads when the
+        consumer dequeues them; this tally measures pipeline coverage,
+        and ``stalled`` marks dequeues where the pipeline was empty.
+        """
+        if blocks < 0:
+            raise ValueError("I/O quantities must be non-negative")
+        self.stats.prefetched += blocks
+        if stalled:
+            self.stats.prefetch_stalls += 1
+        if self.observer is not None:
+            # The ``sequential`` slot doubles as ``not stalled`` so the
+            # observer can attribute stalls per-file without a wider API.
+            self.observer("prefetch", blocks, 0, not stalled, origin)
 
     def snapshot(self) -> IOStats:
         """Return a copy of the current counts for later diffing."""

@@ -11,7 +11,7 @@ of the paper's algorithms interact with the edge set exclusively through
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.constants import DEFAULT_BLOCK_SIZE, EDGE_BYTES, NODE_DTYPE
 from repro.exceptions import GraphFormatError
 from repro.io.blocks import BlockDevice
 from repro.io.counter import IOCounter
+from repro.io.prefetch import BlockPrefetcher, PageCache
 
 
 class EdgeFile:
@@ -32,6 +33,17 @@ class EdgeFile:
         Shared I/O counter; a private one is created when omitted.
     block_size:
         Block size ``B``; must be a multiple of the 8-byte edge record.
+    cache:
+        Optional shared :class:`~repro.io.prefetch.PageCache`.  When
+        set, scans look decoded blocks up before touching disk (hits
+        tallied as ``cache_hits``, never as block reads) and populate
+        the cache with the blocks they do read.
+    prefetch_depth:
+        When positive, scans pipeline their block reads through a
+        background :class:`~repro.io.prefetch.BlockPrefetcher` of this
+        depth; every delivered block is still charged as a normal read
+        at dequeue time, so the counted I/O is identical to a
+        synchronous scan.
     """
 
     def __init__(
@@ -39,13 +51,19 @@ class EdgeFile:
         path: str,
         counter: Optional[IOCounter] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        cache: Optional[PageCache] = None,
+        prefetch_depth: int = 0,
     ) -> None:
         if block_size % EDGE_BYTES != 0:
             raise ValueError("block_size must be a multiple of the edge record size")
+        if prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be non-negative")
         self.device = BlockDevice(path, counter=counter, block_size=block_size)
         if self.device.size_bytes % EDGE_BYTES != 0:
             raise GraphFormatError(f"{path} is not a whole number of edge records")
         self._write_buffer = bytearray()
+        self.cache = cache
+        self.prefetch_depth = prefetch_depth
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -56,11 +74,21 @@ class EdgeFile:
         path: str,
         counter: Optional[IOCounter] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        cache: Optional[PageCache] = None,
+        prefetch_depth: int = 0,
     ) -> "EdgeFile":
         """Create an empty edge file, discarding any existing contents."""
         if os.path.exists(path):
             os.remove(path)
-        return cls(path, counter=counter, block_size=block_size)
+        if cache is not None:
+            cache.invalidate(path)
+        return cls(
+            path,
+            counter=counter,
+            block_size=block_size,
+            cache=cache,
+            prefetch_depth=prefetch_depth,
+        )
 
     @classmethod
     def from_array(
@@ -69,9 +97,17 @@ class EdgeFile:
         edges: np.ndarray,
         counter: Optional[IOCounter] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        cache: Optional[PageCache] = None,
+        prefetch_depth: int = 0,
     ) -> "EdgeFile":
         """Create an edge file holding ``edges`` (an ``(m, 2)`` array)."""
-        edge_file = cls.create(path, counter=counter, block_size=block_size)
+        edge_file = cls.create(
+            path,
+            counter=counter,
+            block_size=block_size,
+            cache=cache,
+            prefetch_depth=prefetch_depth,
+        )
         edge_file.append(edges)
         edge_file.flush()
         return edge_file
@@ -151,10 +187,78 @@ class EdgeFile:
         data = self.device.read_block(last)
         self.device.truncate_to(last * self.device.block_size)
         self._write_buffer[:0] = data
+        if self.cache is not None:
+            # The tail block is about to be rewritten with more records.
+            self.cache.invalidate(self.path, last)
 
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_block(data: bytes) -> np.ndarray:
+        """Decode one raw block into an ``(m, 2)`` edge array (zero-copy)."""
+        return np.frombuffer(data, dtype=NODE_DTYPE).reshape(-1, 2)
+
+    def _block_arrays(self, total: int) -> Iterator[np.ndarray]:
+        """Yield one decoded ``(m, 2)`` array per block, in file order.
+
+        Serves each block from the page cache when possible (tallying a
+        ``cache_hit`` instead of a block read); on the first miss with
+        prefetching enabled, hands the remaining range to a background
+        :class:`BlockPrefetcher` — from that point the cache is no
+        longer consulted for this scan (the pipeline has committed to
+        reading ahead), but every block read is still pushed into the
+        cache for the next scan.
+        """
+        cache = self.cache
+        path = self.path
+        index = 0
+        while index < total:
+            if cache is not None:
+                payload = cache.get(path, index)
+                if payload is not None:
+                    self.counter.record_cache_hit(1, payload.nbytes, origin=path)
+                    yield payload
+                    index += 1
+                    continue
+                self.counter.record_cache_miss(1, origin=path)
+            if self.prefetch_depth > 0:
+                yield from self._prefetched_blocks(index, total)
+                return
+            array = self._decode_block(self.device.read_block(index))
+            if cache is not None:
+                cache.put(path, index, array)
+            yield array
+            index += 1
+
+    def _prefetched_blocks(self, start: int, stop: int) -> Iterator[np.ndarray]:
+        """Yield blocks ``[start, stop)`` through the background prefetcher.
+
+        Each dequeued block is charged as a normal read (consumer-side
+        accounting via
+        :meth:`~repro.io.blocks.BlockDevice.account_prefetched_read`),
+        so counted I/O matches a synchronous scan of the same range.
+        """
+        cache = self.cache
+        path = self.path
+        # Make buffered writes visible to the prefetcher's private handle.
+        self.device.sync()
+        with BlockPrefetcher(
+            path,
+            self.device.block_size,
+            start,
+            stop,
+            depth=self.prefetch_depth,
+            seek_latency_s=self.device.sim_seek_s,
+            transfer_latency_s=self.device.sim_transfer_s,
+        ) as prefetcher:
+            for index, data, stalled in prefetcher:
+                self.device.account_prefetched_read(index, len(data), stalled)
+                array = self._decode_block(data)
+                if cache is not None:
+                    cache.put(path, index, array)
+                yield array
+
     def scan(self, batch_blocks: int = 1) -> Iterator[np.ndarray]:
         """Yield edge batches in file order, charging one read per block.
 
@@ -165,21 +269,28 @@ class EdgeFile:
             many blocks at once (1PB-SCC's batch edge reduction) pass a
             larger value; the I/O tally is identical either way because
             every block is still read exactly once.
+
+        Blocks are decoded one at a time (each a zero-copy ``frombuffer``
+        view) and concatenated per batch, which is what lets the cache
+        store — and the prefetcher hide the latency of — individual
+        blocks while batch consumers still see one contiguous array.
         """
         if batch_blocks <= 0:
             raise ValueError("batch_blocks must be positive")
         self.flush()
         total = self.device.num_blocks
-        index = 0
-        while index < total:
-            chunks = [
-                self.device.read_block(i)
-                for i in range(index, min(index + batch_blocks, total))
-            ]
-            index += len(chunks)
-            raw = b"".join(chunks)
-            array = np.frombuffer(raw, dtype=NODE_DTYPE)
-            yield array.reshape(-1, 2)
+        blocks = self._block_arrays(total)
+        if batch_blocks == 1:
+            yield from blocks
+            return
+        batch: List[np.ndarray] = []
+        for array in blocks:
+            batch.append(array)
+            if len(batch) == batch_blocks:
+                yield batch[0] if len(batch) == 1 else np.concatenate(batch, axis=0)
+                batch = []
+        if batch:
+            yield batch[0] if len(batch) == 1 else np.concatenate(batch, axis=0)
 
     def read_all(self) -> np.ndarray:
         """Read the whole file into one ``(m, 2)`` array (one full scan)."""
@@ -208,6 +319,9 @@ class EdgeFile:
         staging.device.close()
         self.device.close()
         os.replace(staging_path, self.path)
+        if self.cache is not None:
+            # Every cached payload for this path described the old file.
+            self.cache.invalidate(self.path)
         self.device = BlockDevice(
             self.path, counter=self.counter, block_size=self.block_size
         )
@@ -225,6 +339,8 @@ class EdgeFile:
     def unlink(self) -> None:
         """Close and delete the backing file."""
         self.device.unlink()
+        if self.cache is not None:
+            self.cache.invalidate(self.path)
 
     def __enter__(self) -> "EdgeFile":
         return self

@@ -203,7 +203,11 @@ def reverse_edges(source: EdgeFile, out_path: Optional[str] = None) -> EdgeFile:
     """
     out_path = out_path or source.path + ".rev"
     reversed_file = EdgeFile.create(
-        out_path, counter=source.counter, block_size=source.block_size
+        out_path,
+        counter=source.counter,
+        block_size=source.block_size,
+        cache=source.cache,
+        prefetch_depth=source.prefetch_depth,
     )
     for batch in source.scan():
         reversed_file.append(batch[:, ::-1])

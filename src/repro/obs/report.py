@@ -64,6 +64,13 @@ def _span_line(span: Span, total_io: int) -> str:
     ]
     if span.io.rand_reads or span.io.rand_writes:
         parts.append(f"rand r/w {span.io.rand_reads:,}/{span.io.rand_writes:,}")
+    if span.io.cache_hits or span.io.cache_misses:
+        parts.append(f"cache {span.io.cache_hits:,}h/{span.io.cache_misses:,}m")
+    if span.io.prefetched:
+        parts.append(
+            f"prefetched {span.io.prefetched:,}"
+            f" ({span.io.prefetch_stalls:,} stalls)"
+        )
     if span.counters:
         counters = " ".join(
             f"{key}={value:,}" for key, value in sorted(span.counters.items())
@@ -95,6 +102,21 @@ def render_report(trace: TraceData, max_depth: Optional[int] = None) -> str:
         f"total: {total_io:,} block I/Os, {total_wall:.3f}s wall, "
         f"{len(trace.spans)} spans"
     )
+    cache_hits = sum(span.io.cache_hits for span in roots)
+    cache_misses = sum(span.io.cache_misses for span in roots)
+    prefetched = sum(span.io.prefetched for span in roots)
+    stalls = sum(span.io.prefetch_stalls for span in roots)
+    if cache_hits or cache_misses:
+        lines.append(
+            f"page cache: {cache_hits:,} hits / {cache_misses:,} misses "
+            f"({cache_hits:,} block reads avoided — hits are never "
+            "charged as block I/O)"
+        )
+    if prefetched:
+        lines.append(
+            f"prefetch: {prefetched:,} blocks pipelined, {stalls:,} stalls "
+            f"({_percent(prefetched - stalls, prefetched)} latency hidden)"
+        )
     lines.append("")
 
     # --- the span tree.

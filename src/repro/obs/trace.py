@@ -10,8 +10,10 @@ A trace file is newline-delimited JSON with three record types:
     One finished :class:`~repro.obs.tracer.Span`, written in exit order
     (children before their parent).  Fields: ``id``, ``parent``,
     ``name``, ``depth``, ``attrs``, ``start``, ``wall``, ``io`` (the six
-    raw :class:`~repro.io.counter.IOStats` fields), ``counters`` and
-    ``files``.
+    raw :class:`~repro.io.counter.IOStats` fields, plus the additive
+    ``cache_hits``/``cache_misses``/``prefetched``/``prefetch_stalls``
+    tallies when nonzero — policy-off traces stay byte-identical to
+    pre-cache traces), ``counters`` and ``files``.
 ``summary``
     Last record: span count plus the aggregate I/O and wall time of the
     root spans.  The same payload is mirrored into a
@@ -277,7 +279,8 @@ def validate_trace(trace: TraceData) -> List[str]:
     for parent_id, accumulated in children_io.items():
         parent = by_id[parent_id]
         for fld in ("seq_reads", "seq_writes", "rand_reads", "rand_writes",
-                    "bytes_read", "bytes_written"):
+                    "bytes_read", "bytes_written", "cache_hits",
+                    "cache_misses", "prefetched", "prefetch_stalls"):
             if getattr(accumulated, fld) > getattr(parent.io, fld):
                 problems.append(
                     f"span {parent_id} ({parent.name}): children's {fld} "

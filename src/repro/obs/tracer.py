@@ -216,12 +216,21 @@ class Tracer:
             else:
                 stats.rand_reads += blocks
             stats.bytes_read += nbytes
-        else:
+        elif kind == "write":
             if sequential:
                 stats.seq_writes += blocks
             else:
                 stats.rand_writes += blocks
             stats.bytes_written += nbytes
+        elif kind == "cache_hit":
+            stats.cache_hits += blocks
+        elif kind == "cache_miss":
+            stats.cache_misses += blocks
+        elif kind == "prefetch":
+            # ``sequential`` doubles as ``not stalled`` for this kind.
+            stats.prefetched += blocks
+            if not sequential:
+                stats.prefetch_stalls += 1
 
 
 class NullTracer(Tracer):

@@ -1,0 +1,354 @@
+"""Tests for the block prefetcher and the counted page cache.
+
+The two contracts under test:
+
+* **Transparency** — prefetching must be invisible to the I/O model:
+  identical SCC partitions and identical *counted* block reads (count,
+  byte volume, and sequential/random split) with the policy on vs off,
+  for every algorithm.
+* **Counted caching** — cache hits are tallied as ``cache_hits`` and
+  never increment any disk-read tally; for a cache big enough to hold
+  the file, ``reads_with_cache + cache_hits == reads_without_cache``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import compute_sccs
+from repro.core.validate import partitions_equal
+from repro.exceptions import NonTermination
+from repro.io.edgefile import EdgeFile
+from repro.io.prefetch import BlockPrefetcher, PageCache, cache_summary
+
+from tests.conftest import SMALL_BLOCK, random_digraphs
+
+ALGORITHMS = ["1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC", "EM-SCC"]
+
+COUNTED_FIELDS = (
+    "seq_reads", "seq_writes", "rand_reads", "rand_writes",
+    "bytes_read", "bytes_written",
+)
+
+
+def edges_array(m, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1000, size=(m, 2), dtype=np.int64)
+
+
+class TestPageCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+        with pytest.raises(ValueError):
+            PageCache(4, block_size=0)
+
+    def test_put_get_roundtrip(self):
+        cache = PageCache(4, block_size=64)
+        payload = np.arange(16, dtype=np.uint32).reshape(-1, 2)
+        cache.put("a.bin", 0, payload)
+        assert np.array_equal(cache.get("a.bin", 0), payload)
+        assert cache.get("a.bin", 1) is None
+        assert cache.get("b.bin", 0) is None
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(2, block_size=64)
+        block = np.zeros((4, 2), dtype=np.uint32)
+        cache.put("f", 0, block)
+        cache.put("f", 1, block)
+        cache.put("f", 2, block)  # evicts block 0
+        assert cache.get("f", 0) is None
+        assert cache.get("f", 1) is not None
+        assert cache.get("f", 2) is not None
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = PageCache(2, block_size=64)
+        block = np.zeros((4, 2), dtype=np.uint32)
+        cache.put("f", 0, block)
+        cache.put("f", 1, block)
+        cache.get("f", 0)          # 0 is now most recent
+        cache.put("f", 2, block)   # evicts 1, not 0
+        assert cache.get("f", 0) is not None
+        assert cache.get("f", 1) is None
+
+    def test_invalidate_single_block_and_whole_file(self):
+        cache = PageCache(8, block_size=64)
+        block = np.zeros((4, 2), dtype=np.uint32)
+        for index in range(3):
+            cache.put("f", index, block)
+        cache.put("g", 0, block)
+        cache.invalidate("f", 1)
+        assert cache.get("f", 1) is None
+        assert cache.get("f", 0) is not None
+        cache.invalidate("f")
+        assert len(cache) == 1
+        assert cache.get("g", 0) is not None
+
+    def test_clear_and_nbytes(self):
+        cache = PageCache(8, block_size=64)
+        payload = np.zeros((8, 2), dtype=np.uint32)
+        cache.put("f", 0, payload)
+        assert cache.nbytes == payload.nbytes
+        assert "PageCache" in repr(cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
+    def test_cache_summary(self):
+        assert cache_summary(None) == {}
+        cache = PageCache(4, block_size=64)
+        cache.put("f", 0, np.zeros((8, 2), dtype=np.uint32))
+        summary = cache_summary(cache)
+        assert summary == {
+            "capacity_blocks": 4,
+            "resident_blocks": 1,
+            "resident_bytes": 64,
+        }
+
+
+class TestBlockPrefetcher:
+    def _file(self, tmp_path, blocks, block_size=64):
+        path = str(tmp_path / "raw.bin")
+        with open(path, "wb") as handle:
+            for index in range(blocks):
+                handle.write(bytes([index % 251]) * block_size)
+        return path
+
+    def test_yields_blocks_in_order(self, tmp_path):
+        path = self._file(tmp_path, blocks=6)
+        with BlockPrefetcher(path, 64, start=0, stop=6, depth=2) as pf:
+            got = list(pf)
+        assert [index for index, _, _ in got] == list(range(6))
+        for index, data, _ in got:
+            assert data == bytes([index % 251]) * 64
+
+    def test_respects_start_stop_range(self, tmp_path):
+        path = self._file(tmp_path, blocks=6)
+        with BlockPrefetcher(path, 64, start=2, stop=5, depth=3) as pf:
+            indices = [index for index, _, _ in pf]
+        assert indices == [2, 3, 4]
+
+    def test_next_block_raises_eof_when_exhausted(self, tmp_path):
+        path = self._file(tmp_path, blocks=1)
+        with BlockPrefetcher(path, 64, start=0, stop=1, depth=1) as pf:
+            pf.next_block()
+            with pytest.raises(EOFError):
+                pf.next_block()
+
+    def test_partial_tail_block_delivered_short(self, tmp_path):
+        path = str(tmp_path / "tail.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"x" * 100)  # 1 full block of 64 + 36-byte tail
+        with BlockPrefetcher(path, 64, start=0, stop=2, depth=2) as pf:
+            got = list(pf)
+        assert [len(data) for _, data, _ in got] == [64, 36]
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        path = self._file(tmp_path, blocks=1)
+        with pytest.raises(ValueError):
+            BlockPrefetcher(path, 64, start=0, stop=1, depth=0)
+        with pytest.raises(ValueError):
+            BlockPrefetcher(path, 64, start=3, stop=1, depth=1)
+
+    def test_close_is_idempotent_and_interrupts_early(self, tmp_path):
+        path = self._file(tmp_path, blocks=50)
+        pf = BlockPrefetcher(path, 64, start=0, stop=50, depth=1)
+        pf.next_block()
+        pf.close()  # 48 blocks never consumed; must not hang
+        pf.close()
+        assert not pf._thread.is_alive()
+
+
+class TestScanTransparency:
+    """Prefetching must not change anything the I/O model counts."""
+
+    def _edge_file(self, tmp_path, counter, prefetch_depth=0, cache=None,
+                   m=100, name="edges.bin"):
+        return EdgeFile.from_array(
+            str(tmp_path / name),
+            edges_array(m),
+            counter=counter,
+            block_size=SMALL_BLOCK,
+            prefetch_depth=prefetch_depth,
+            cache=cache,
+        )
+
+    def test_prefetched_scan_same_data_and_counts(self, tmp_path, counter):
+        plain = self._edge_file(tmp_path, counter, name="plain.bin")
+        before = counter.snapshot()
+        plain_batches = list(plain.scan())
+        plain_delta = counter.since(before)
+
+        pre = self._edge_file(tmp_path, counter, prefetch_depth=4,
+                              name="prefetched.bin")
+        before = counter.snapshot()
+        pre_batches = list(pre.scan())
+        pre_delta = counter.since(before)
+
+        assert len(plain_batches) == len(pre_batches)
+        for lhs, rhs in zip(plain_batches, pre_batches):
+            assert np.array_equal(lhs, rhs)
+        for fld in COUNTED_FIELDS:
+            assert getattr(pre_delta, fld) == getattr(plain_delta, fld), fld
+        assert pre_delta.prefetched == pre.num_blocks
+        assert plain_delta.prefetched == 0
+
+    def test_prefetched_scan_is_counted_sequential(self, tmp_path, counter):
+        ef = self._edge_file(tmp_path, counter, prefetch_depth=4)
+        before = counter.snapshot()
+        list(ef.scan())
+        delta = counter.since(before)
+        # Rewind to block 0 may count as the single random read;
+        # everything after it must be sequential.
+        assert delta.rand_reads <= 1
+        assert delta.seq_reads >= ef.num_blocks - 1
+
+    def test_cache_hits_never_counted_as_reads(self, tmp_path, counter):
+        cache = PageCache(64, block_size=SMALL_BLOCK)
+        ef = self._edge_file(tmp_path, counter, cache=cache)
+        before = counter.snapshot()
+        list(ef.scan())
+        cold = counter.since(before)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == ef.num_blocks
+
+        before = counter.snapshot()
+        warm_batches = list(ef.scan())
+        warm = counter.since(before)
+        assert warm.reads == 0
+        assert warm.bytes_read == 0
+        assert warm.cache_hits == ef.num_blocks
+        assert np.array_equal(
+            np.concatenate(warm_batches), edges_array(100).astype(np.uint32)
+        )
+
+    def test_cache_plus_prefetch_conserves_total_reads(self, tmp_path, counter):
+        plain = self._edge_file(tmp_path, counter, name="plain.bin")
+        before = counter.snapshot()
+        list(plain.scan())
+        list(plain.scan())
+        base = counter.since(before)
+
+        cache = PageCache(64, block_size=SMALL_BLOCK)
+        cached = self._edge_file(tmp_path, counter, prefetch_depth=4,
+                                 cache=cache, name="cached.bin")
+        before = counter.snapshot()
+        list(cached.scan())
+        list(cached.scan())
+        delta = counter.since(before)
+        assert delta.reads + delta.cache_hits == base.reads
+        assert delta.reads == cached.num_blocks  # second scan fully cached
+
+    def test_append_invalidates_stale_tail(self, tmp_path, counter):
+        cache = PageCache(64, block_size=SMALL_BLOCK)
+        ef = self._edge_file(tmp_path, counter, cache=cache, m=12)
+        list(ef.scan())  # warm the cache (12 edges -> partial tail block)
+        extra = edges_array(5, seed=9)
+        ef.append(extra)
+        ef.flush()
+        got = np.concatenate(list(ef.scan()))
+        expected = np.concatenate(
+            [edges_array(12), extra]
+        ).astype(np.uint32)
+        assert np.array_equal(got, expected)
+
+    def test_rewrite_invalidates_whole_file(self, tmp_path, counter):
+        cache = PageCache(64, block_size=SMALL_BLOCK)
+        ef = self._edge_file(tmp_path, counter, cache=cache)
+        list(ef.scan())
+        assert len(cache) > 0
+        replacement = edges_array(20, seed=3)
+        ef.rewrite([replacement])
+        got = np.concatenate(list(ef.scan()))
+        assert np.array_equal(got, replacement.astype(np.uint32))
+
+
+class TestSimulatedDisk:
+    """The opt-in latency knob slows transfers but never the tallies."""
+
+    def _device(self, tmp_path, counter, monkeypatch, seek_ms, transfer_ms):
+        from repro.io.blocks import BlockDevice
+        monkeypatch.setenv("REPRO_SIM_SEEK_MS", str(seek_ms))
+        monkeypatch.setenv("REPRO_SIM_TRANSFER_MS", str(transfer_ms))
+        device = BlockDevice(
+            str(tmp_path / "sim.bin"), counter=counter, block_size=64
+        )
+        for _ in range(4):
+            device.append_block(b"x" * 64)
+        return device
+
+    def test_off_by_default(self, tmp_path, counter):
+        from repro.io.blocks import BlockDevice
+        device = BlockDevice(str(tmp_path / "d.bin"), counter=counter,
+                             block_size=64)
+        assert device.sim_seek_s == 0.0
+        assert device.sim_transfer_s == 0.0
+
+    def test_read_block_sleeps_counted_time(self, tmp_path, counter,
+                                            monkeypatch):
+        import time as time_mod
+        device = self._device(tmp_path, counter, monkeypatch,
+                              seek_ms=0, transfer_ms=20)
+        before = counter.snapshot()
+        start = time_mod.perf_counter()
+        for index in range(4):
+            device.read_block(index)
+        elapsed = time_mod.perf_counter() - start
+        assert elapsed >= 4 * 0.020
+        # Latency never changes what is counted.
+        assert counter.since(before).reads == 4
+
+    def test_prefetched_read_accounting_does_not_sleep(self, tmp_path,
+                                                       counter, monkeypatch):
+        import time as time_mod
+        device = self._device(tmp_path, counter, monkeypatch,
+                              seek_ms=100, transfer_ms=100)
+        start = time_mod.perf_counter()
+        for index in range(4):
+            device.account_prefetched_read(index, 64, stalled=False)
+        elapsed = time_mod.perf_counter() - start
+        assert elapsed < 0.1  # the prefetch thread pays it, not the consumer
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@settings(max_examples=8, deadline=None)
+@given(graph=random_digraphs(max_nodes=25))
+def test_property_prefetch_is_transparent(algorithm, graph):
+    """Same partition, same counted I/O, with prefetching on vs off."""
+    try:
+        base = compute_sccs(graph, algorithm=algorithm, block_size=64)
+    except NonTermination:
+        # EM-SCC is the paper's DNF-prone baseline; transparency then
+        # means the prefetched run fails identically.
+        with pytest.raises(NonTermination):
+            compute_sccs(graph, algorithm=algorithm, block_size=64,
+                         prefetch_depth=4)
+        return
+    pre = compute_sccs(
+        graph, algorithm=algorithm, block_size=64, prefetch_depth=4
+    )
+    assert partitions_equal(base.labels, pre.labels)
+    for fld in COUNTED_FIELDS:
+        assert getattr(pre.stats.io, fld) == getattr(base.stats.io, fld), fld
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@settings(max_examples=8, deadline=None)
+@given(graph=random_digraphs(max_nodes=25))
+def test_property_cache_hits_replace_reads_one_for_one(algorithm, graph):
+    """With a file-sized cache, every avoided read shows up as a hit."""
+    try:
+        base = compute_sccs(graph, algorithm=algorithm, block_size=64)
+    except NonTermination:
+        with pytest.raises(NonTermination):
+            compute_sccs(graph, algorithm=algorithm, block_size=64,
+                         prefetch_depth=4, cache_blocks=256)
+        return
+    cached = compute_sccs(
+        graph, algorithm=algorithm, block_size=64,
+        prefetch_depth=4, cache_blocks=256,
+    )
+    assert partitions_equal(base.labels, cached.labels)
+    assert cached.stats.io.reads + cached.stats.io.cache_hits == base.stats.io.reads
+    assert cached.stats.io.reads <= base.stats.io.reads
