@@ -1,5 +1,5 @@
 .PHONY: install test lint bench bench-smoke bench-golden bench-prefetch \
-	examples suite clean
+	bench-kernels examples suite clean
 
 PYTHON ?= python
 
@@ -41,6 +41,11 @@ bench-golden:
 # Wall-clock benefit of cache + prefetch -> BENCH_prefetch.json.
 bench-prefetch:
 	$(PYTHON) -m benchmarks.bench_prefetch
+
+# Edge-scan CPU throughput of the vector kernels -> BENCH_kernels.json
+# (simulated disk forced off; gates 1P-SCC at >= 2x over scalar).
+bench-kernels:
+	$(PYTHON) -m benchmarks.bench_kernels
 
 # full paper evaluation with CSV + report output
 suite:

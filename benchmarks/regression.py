@@ -16,7 +16,13 @@ reduction on the webspam stand-in — and ``bench_fig12_webspam_size.py``
 
 The same cases are then re-run with prefetching enabled (cache off) and
 must count *identical* I/O — the transparency contract of
-``repro.io.prefetch`` enforced in CI on every push.
+``repro.io.prefetch`` enforced in CI on every push.  Each case is also
+re-run with the *other* scan-kernel backend (``--kernels`` picks the
+primary; default vector) and must produce identical counted I/O,
+iteration counts and partition fingerprints — the decision-equivalence
+contract of ``repro.kernels``.  The goldens were generated with the
+scalar (paper-literal) semantics, so a passing gate proves both
+backends still reproduce the seed trajectories exactly.
 
 Wall-clock is deliberately NOT gated here (CI machines are noisy); the
 counted block transfers are exact and machine-independent, which is the
@@ -133,10 +139,12 @@ def _run_case(
     graph: Digraph,
     trace_dir: Optional[str],
     prefetch_depth: int = 0,
+    kernels: str = "vector",
+    trace_suffix: str = "",
 ) -> Dict[str, object]:
     trace_path = None
     if trace_dir is not None:
-        suffix = "-prefetch" if prefetch_depth else ""
+        suffix = ("-prefetch" if prefetch_depth else "") + trace_suffix
         trace_path = os.path.join(
             trace_dir, case_id.replace("/", "_") + suffix + ".jsonl"
         )
@@ -148,6 +156,7 @@ def _run_case(
         keep_result=True,
         trace_path=trace_path,
         prefetch_depth=prefetch_depth,
+        kernels=kernels,
     )
     entry: Dict[str, object] = {
         "algorithm": algorithm,
@@ -198,15 +207,18 @@ def run_gate(
     out_path: Optional[str],
     trace_dir: Optional[str],
     skip_prefetch_check: bool = False,
+    skip_kernel_check: bool = False,
+    kernels: str = "vector",
 ) -> int:
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
     results: Dict[str, Dict[str, object]] = {}
     problems: List[str] = []
+    other_kernels = "scalar" if kernels == "vector" else "vector"
 
     for case_id, algorithm, factory in _cases():
         graph = factory()
-        entry = _run_case(case_id, algorithm, graph, trace_dir)
+        entry = _run_case(case_id, algorithm, graph, trace_dir, kernels=kernels)
         results[case_id] = entry
         io = entry.get("io", {})
         print(
@@ -218,7 +230,7 @@ def run_gate(
         if not skip_prefetch_check and entry["status"] == "ok":
             pf_entry = _run_case(
                 case_id, algorithm, graph, trace_dir,
-                prefetch_depth=PREFETCH_DEPTH,
+                prefetch_depth=PREFETCH_DEPTH, kernels=kernels,
             )
             for fld in IO_FIELDS:
                 base_value = entry.get("io", {}).get(fld)  # type: ignore[union-attr]
@@ -232,6 +244,28 @@ def run_gate(
                 problems.append(
                     f"{case_id}: prefetching changed the SCC partition"
                 )
+        if not skip_kernel_check and entry["status"] == "ok":
+            # Kernel transparency: the other backend must retrace the
+            # run exactly — same counted I/O, iterations and partition.
+            ok_entry = _run_case(
+                case_id, algorithm, graph, trace_dir,
+                kernels=other_kernels, trace_suffix=f"-{other_kernels}",
+            )
+            for fld in IO_FIELDS:
+                base_value = entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                ok_value = ok_entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                if base_value != ok_value:
+                    problems.append(
+                        f"{case_id}: {other_kernels} kernels changed counted "
+                        f"{fld}: {ok_value} != {base_value} "
+                        f"(decision equivalence broken)"
+                    )
+            for key in ("iterations", "partition_sha256"):
+                if entry.get(key) != ok_entry.get(key):
+                    problems.append(
+                        f"{case_id}: {other_kernels} kernels changed {key}: "
+                        f"{ok_entry.get(key)!r} != {entry.get(key)!r}"
+                    )
 
     payload = {
         "schema": 1,
@@ -319,12 +353,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--skip-prefetch-check", action="store_true",
         help="skip the prefetch-transparency re-runs (halves runtime)",
     )
+    parser.add_argument(
+        "--skip-kernel-check", action="store_true",
+        help="skip the other-kernel transparency re-runs",
+    )
+    parser.add_argument(
+        "--kernels", choices=["vector", "scalar"], default="vector",
+        help="scan-kernel backend for the primary runs; the transparency "
+             "re-run uses the other backend unless --skip-kernel-check",
+    )
     args = parser.parse_args(argv)
     return run_gate(
         write_golden=args.write_golden,
         out_path=args.out,
         trace_dir=args.trace_dir,
         skip_prefetch_check=args.skip_prefetch_check,
+        skip_kernel_check=args.skip_kernel_check,
+        kernels=args.kernels,
     )
 
 

@@ -97,6 +97,7 @@ def compute_sccs(
     tracer: Optional[Tracer] = None,
     prefetch_depth: int = 0,
     cache_blocks: int = 0,
+    kernels: Optional[str] = None,
 ) -> SCCResult:
     """Compute all SCCs with one of the paper's algorithms.
 
@@ -122,6 +123,12 @@ def compute_sccs(
         counted LRU page cache over decoded blocks (see
         :meth:`SCCAlgorithm.run`).  Both default to off, preserving the
         paper-faithful direct-read path.
+    kernels:
+        Scan-kernel backend: ``"vector"`` (default) classifies edge
+        batches against an Euler-tour snapshot of the spanning tree;
+        ``"scalar"`` runs the paper-literal per-edge loops.  The choice
+        changes CPU time only — labels, iterations and counted I/O are
+        identical either way (see :meth:`SCCAlgorithm.run`).
     """
     if isinstance(algorithm, str):
         if algorithm not in ALGORITHMS:
@@ -134,6 +141,7 @@ def compute_sccs(
         return algorithm.run(
             graph, memory=memory, time_limit=time_limit, tracer=tracer,
             prefetch_depth=prefetch_depth, cache_blocks=cache_blocks,
+            kernels=kernels,
         )
 
     if isinstance(graph, np.ndarray):
@@ -155,6 +163,7 @@ def compute_sccs(
             return algorithm.run(
                 disk, memory=memory, time_limit=time_limit, tracer=tracer,
                 prefetch_depth=prefetch_depth, cache_blocks=cache_blocks,
+                kernels=kernels,
             )
         finally:
             disk.unlink()

@@ -6,7 +6,7 @@ counted sequential block scan through :mod:`repro.io`.  This package
 makes that discipline checkable:
 
 * :mod:`~repro.analysis_static.rules` — pluggable AST rules (IO001,
-  MEM001, SCAN001, API001) run by the
+  MEM001, SCAN001, API001, CPU001) run by the
   :class:`~repro.analysis_static.engine.Analyzer` and the
   ``repro-scc lint`` CLI subcommand;
 * :mod:`~repro.analysis_static.contracts` — the
@@ -37,6 +37,7 @@ from repro.analysis_static.rules import (
     DEFAULT_ALLOWLIST,
     CoreAPIRule,
     EdgeMaterializationRule,
+    PerEdgeBoxingRule,
     RawIORule,
     Rule,
     SequentialScanRule,
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_ALLOWLIST",
     "ENV_VAR",
     "EdgeMaterializationRule",
+    "PerEdgeBoxingRule",
     "RawIORule",
     "Rule",
     "SequentialScanRule",

@@ -17,6 +17,11 @@ trees behave like the real packages they imitate):
 * **API001** — public functions in ``repro/core/`` consume
   ``DiskGraph``/``EdgeFile`` objects, never raw paths, so nothing can
   open a side channel around the counted devices.
+* **CPU001** — no per-edge ``int()``/``.tolist()`` boxing inside
+  ``repro/core/`` edge-scan loops: batches go to a
+  ``repro.kernels`` backend as arrays (the one sanctioned per-edge
+  loop set lives in ``repro/kernels/scalar.py``, outside this rule's
+  scope).
 
 New rules subclass :class:`Rule` and register in :data:`ALL_RULES`.
 """
@@ -496,10 +501,81 @@ class CoreAPIRule(Rule):
         return out
 
 
+# ----------------------------------------------------------------------
+# CPU001
+# ----------------------------------------------------------------------
+
+
+class PerEdgeBoxingRule(Rule):
+    """CPU001: per-edge Python boxing inside core edge-scan loops.
+
+    The scan loops are the CPU hot path — every counted block funnels
+    through them.  ``int(...)`` and ``.tolist()`` inside a
+    ``for ... in <file>.scan(...)`` body box ndarray lanes into Python
+    objects one edge at a time, which is the cost the vectorized
+    kernels (``repro/kernels/``) exist to remove.  Core loops hand the
+    whole batch to a :class:`~repro.kernels.base.ScanKernels` backend
+    instead; the one sanctioned per-edge loop set is
+    ``repro/kernels/scalar.py``, which this rule does not scope.
+    Per-*batch* reductions that box a handful of scalars per block are
+    excused line-by-line with ``# repro: allow[CPU001]``.
+    """
+
+    rule_id = "CPU001"
+    title = "per-edge int()/.tolist() boxing inside a core edge-scan loop"
+    rationale = (
+        "edge batches must reach the repro.kernels backends as arrays; "
+        "boxing each edge into Python ints inside the scan loop "
+        "re-creates the per-edge CPU cost the vector kernels remove"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Only the ``core`` scan loops carry the batched-kernel contract."""
+        return "core" in _dir_parts(relpath)
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag int()/.tolist() calls lexically inside edge-scan loops."""
+        remedy = (
+            "; hand the batch to a repro.kernels backend (the sanctioned "
+            "per-edge loops live in repro/kernels/scalar.py)"
+        )
+        out: List[Violation] = []
+        seen: set = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.For) and _is_scan_call(node.iter)):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call) or id(inner) in seen:
+                    continue
+                func = inner.func
+                if isinstance(func, ast.Name) and func.id == "int":
+                    seen.add(id(inner))
+                    out.append(
+                        self.violation(
+                            inner,
+                            relpath,
+                            "per-edge int() boxing inside an edge-scan loop"
+                            + remedy,
+                        )
+                    )
+                elif isinstance(func, ast.Attribute) and func.attr == "tolist":
+                    seen.add(id(inner))
+                    out.append(
+                        self.violation(
+                            inner,
+                            relpath,
+                            "per-edge .tolist() boxing inside an edge-scan "
+                            "loop" + remedy,
+                        )
+                    )
+        return out
+
+
 #: Every registered rule, in reporting order.
 ALL_RULES: List[Type[Rule]] = [
     RawIORule,
     EdgeMaterializationRule,
     SequentialScanRule,
     CoreAPIRule,
+    PerEdgeBoxingRule,
 ]

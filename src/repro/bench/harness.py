@@ -75,6 +75,7 @@ def run_one(
     trace_path: Optional[str] = None,
     prefetch_depth: int = 0,
     cache_blocks: int = 0,
+    kernels: str = "vector",
 ) -> BenchRecord:
     """Run one algorithm on one in-memory workload graph.
 
@@ -86,7 +87,9 @@ def run_one(
     ``prefetch_depth``/``cache_blocks`` install the corresponding I/O
     policy on the run (see :meth:`SCCAlgorithm.run`) and are echoed into
     the record's ``params`` when nonzero, so result JSON rows are
-    self-describing.
+    self-describing.  ``kernels`` picks the scan-kernel backend
+    (``"vector"``/``"scalar"``) and is echoed the same way when it is
+    not the default.
     """
     algo = _resolve(algorithm)
     run_params = dict(params or {})
@@ -94,6 +97,8 @@ def run_one(
         run_params.setdefault("prefetch_depth", prefetch_depth)
     if cache_blocks:
         run_params.setdefault("cache_blocks", cache_blocks)
+    if kernels != "vector":
+        run_params.setdefault("kernels", kernels)
     record = BenchRecord(
         algorithm=algo.name, workload=workload, status="ok", params=run_params
     )
@@ -124,6 +129,7 @@ def run_one(
                 tracer=tracer,
                 prefetch_depth=prefetch_depth,
                 cache_blocks=cache_blocks,
+                kernels=kernels,
             )
             record.seconds = result.stats.wall_seconds
             record.ios = result.stats.io.total

@@ -141,6 +141,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="LRU page cache over N decoded blocks; hits "
                               "skip disk and are tallied as cache_hits, "
                               "never as block reads (0 disables)")
+    compute.add_argument("--kernels", choices=["vector", "scalar"],
+                         default="vector",
+                         help="scan-kernel backend: 'vector' classifies "
+                              "edge batches against an Euler-tour tree "
+                              "snapshot, 'scalar' runs the paper-literal "
+                              "per-edge loops; results and counted I/O "
+                              "are identical either way")
+    compute.add_argument("--profile", default=None, metavar="PATH",
+                         help="profile the run with cProfile and dump "
+                              "pstats data to PATH (inspect with "
+                              "'python -m pstats PATH')")
 
     compare = sub.add_parser("compare", help="run several algorithms")
     compare.add_argument("graph")
@@ -256,15 +267,28 @@ def _cmd_compute(args: argparse.Namespace) -> int:
             metadata={"algorithm": args.algorithm, "graph": args.graph},
         )
         tracer = Tracer(sink=writer)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
-        result = algorithm.run(
-            disk,
-            memory=memory,
-            time_limit=args.time_limit,
-            tracer=tracer,
-            prefetch_depth=args.prefetch_depth,
-            cache_blocks=args.cache_blocks,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = algorithm.run(
+                disk,
+                memory=memory,
+                time_limit=args.time_limit,
+                tracer=tracer,
+                prefetch_depth=args.prefetch_depth,
+                cache_blocks=args.cache_blocks,
+                kernels=args.kernels,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                profiler.dump_stats(args.profile)
     except AlgorithmTimeout:
         print("INF: time limit exceeded", file=sys.stderr)
         return 2
@@ -295,6 +319,8 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         print(f"labels:      {args.labels_out}")
     if writer is not None:
         print(f"trace:       {args.trace}")
+    if args.profile:
+        print(f"profile:     {args.profile}")
     return 0
 
 

@@ -14,7 +14,7 @@ import logging
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.graph.diskgraph import DiskGraph
 from repro.io.counter import IOStats
 from repro.io.memory import MemoryModel
 from repro.io.prefetch import PageCache
+from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer, iteration_io
 
 logger = logging.getLogger("repro.core")
@@ -143,6 +144,7 @@ class SCCAlgorithm(ABC):
         tracer: Optional[Tracer] = None,
         prefetch_depth: int = 0,
         cache_blocks: int = 0,
+        kernels: Union[str, ScanKernels, None] = None,
     ) -> SCCResult:
         """Compute all SCCs of ``graph``.
 
@@ -178,6 +180,16 @@ class SCCAlgorithm(ABC):
             a cached run's read tally is the cacheless tally minus the
             avoided transfers.
 
+        kernels:
+            Scan-kernel backend for the per-batch edge classification:
+            ``"vector"`` (default; snapshot-vectorised with an
+            Euler-tour ancestor oracle) or ``"scalar"`` (the
+            paper-literal per-edge loops).  Both backends make
+            identical decisions, so labels, iteration counts and
+            counted I/O do not depend on the choice — only CPU time
+            does.  A :class:`~repro.kernels.ScanKernels` instance is
+            also accepted (tests use this to inspect counters).
+
         Both policies are installed on the graph's edge file for the
         duration of the run and restored afterwards, so sequential runs
         on a shared graph don't leak policy into each other.
@@ -188,6 +200,7 @@ class SCCAlgorithm(ABC):
             tracer = NULL_TRACER
         if prefetch_depth < 0 or cache_blocks < 0:
             raise ValueError("prefetch_depth and cache_blocks must be non-negative")
+        kernel = resolve_kernels(kernels)
         deadline = Deadline(self.name, time_limit)
         logger.debug(
             "%s: starting on %d nodes / %d edges (M=%d, B=%d)",
@@ -207,6 +220,7 @@ class SCCAlgorithm(ABC):
             "algorithm": self.name,
             "num_nodes": graph.num_nodes,
             "num_edges": graph.num_edges,
+            "kernels": kernel.name,
         }
         # Additive schema: policy attributes appear only when a policy is
         # active, so policy-off traces match pre-prefetch goldens exactly.
@@ -218,7 +232,7 @@ class SCCAlgorithm(ABC):
             with tracer.attach(graph.counter):
                 with tracer.span("run", **run_attributes):
                     labels, iterations, per_iteration, extras = self._run(
-                        graph, memory, deadline, tracer
+                        graph, memory, deadline, tracer, kernel
                     )
         finally:
             graph.edge_file.cache = previous_cache
@@ -250,5 +264,6 @@ class SCCAlgorithm(ABC):
         memory: MemoryModel,
         deadline: Deadline,
         tracer: Tracer,
+        kernel: ScanKernels,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         """Algorithm body: return ``(labels, iterations, per_iter, extras)``."""

@@ -15,7 +15,7 @@ exactly the SCCs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.exceptions import NonTermination
 from repro.graph.diskgraph import DiskGraph
 from repro.io.extsort import reverse_edges
 from repro.io.memory import MemoryModel
+from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 
@@ -45,6 +46,17 @@ class _DFSTree:
         self.children: List[Dict[int, None]] = [dict() for _ in range(n)]
         self.roots: Dict[int, None] = {int(v): None for v in order}
         self.pre[order] = np.arange(n, dtype=np.int64)
+        #: Snapshot support for the Euler-tour ancestor oracle (same
+        #: contract as :class:`~repro.spanning.tree.ContractibleTree`):
+        #: ``epoch`` versions the structure, ``dirty`` marks nodes whose
+        #: root path or depth changed since the last oracle rebuild.
+        self.epoch = 0
+        self.dirty = np.zeros(n, dtype=bool)
+        self.track_dirty = False
+
+    def oracle_roots(self) -> Iterator[int]:
+        """Roots of the forest, for oracle rebuild traversals."""
+        return iter(self.roots)
 
     # ------------------------------------------------------------------
     def is_ancestor(self, a: int, d: int) -> bool:
@@ -81,6 +93,16 @@ class _DFSTree:
             while stack:
                 node = stack.pop()
                 self.depth[node] += delta
+                stack.extend(self.children[node])
+        # Only the moved subtree's root paths changed; ``u`` keeps its
+        # own path and depth, so it stays clean for the oracle.
+        self.epoch += 1
+        if self.track_dirty:
+            dirty = self.dirty
+            stack = [v]
+            while stack:
+                node = stack.pop()
+                dirty[node] = True
                 stack.extend(self.children[node])
 
     def assign_preorder(self, pivot: int = 0) -> None:
@@ -143,6 +165,7 @@ def build_dfs_tree(
     max_iterations: int | None = None,
     tracer: Tracer = NULL_TRACER,
     iteration_offset: int = 0,
+    kernel: Optional[ScanKernels] = None,
 ) -> Tuple[_DFSTree, int]:
     """Paper Algorithm 1: DFS tree by forward-cross-edge elimination.
 
@@ -151,6 +174,7 @@ def build_dfs_tree(
     so the two passes of DFS-SCC do not collide) carrying a
     ``reparents`` counter.
     """
+    kernel = kernel if kernel is not None else resolve_kernels()
     tree = _DFSTree(order)
     if max_iterations is None:
         max_iterations = 2 * graph.num_nodes + 4
@@ -166,31 +190,18 @@ def build_dfs_tree(
         with tracer.span(
             "dfs-scan", iteration=iterations + iteration_offset
         ):
+            edges_classified = 0
             for batch in graph.scan_edges():
                 deadline.check()
-                for u, v in batch.tolist():
-                    if u == v or tree.parent[v] == u:
-                        continue
-                    if tree.depth[u] < tree.depth[v]:
-                        if tree.is_ancestor(u, v):
-                            continue  # forward edge
-                    elif tree.is_ancestor(v, u):
-                        continue  # backward edge
-                    if tree.pre[u] < tree.pre[v]:
-                        # Forward-cross-edge: re-hang v under u, then redo
-                        # the preorder immediately — the per-update
-                        # renumbering the paper identifies as DFS-SCC's
-                        # Cost-3 (Fig. 3).  Ranks before pre(u) are
-                        # unaffected, so the renumbering skips them.
-                        tree.reparent(v, u)
-                        tree.assign_preorder(pivot=int(tree.pre[u]))
-                        updated = True
-                        reparents += 1
-                        # Each move renumbers up to O(n) ranks, so the
-                        # wall-clock budget is re-checked per move.
-                        deadline.check()
-                    # backward-cross-edges are ignored.
+                edges_classified += batch.shape[0]
+                moved = kernel.dfs_scan(tree, batch, deadline)
+                if moved:
+                    updated = True
+                    reparents += moved
             tracer.add("reparents", reparents)
+            tracer.add("edges-classified", edges_classified)
+            for key, value in kernel.drain_counters().items():
+                tracer.add(key, value)
     return tree, iterations
 
 
@@ -205,7 +216,9 @@ class DFSSCC(SCCAlgorithm):
         memory: MemoryModel,
         deadline: Deadline,
         tracer: Tracer,
+        kernel: Optional[ScanKernels] = None,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
+        kernel = kernel if kernel is not None else resolve_kernels()
         n = graph.num_nodes
         memory.require_node_arrays(3)
         if n == 0:
@@ -214,7 +227,7 @@ class DFSSCC(SCCAlgorithm):
         natural = np.arange(n, dtype=np.int64)
         with tracer.span("first-pass"):
             first_tree, first_scans = build_dfs_tree(
-                graph, natural, deadline, tracer=tracer
+                graph, natural, deadline, tracer=tracer, kernel=kernel
             )
         decreasing_post = first_tree.postorder()[::-1]
 
@@ -229,6 +242,7 @@ class DFSSCC(SCCAlgorithm):
                 second_tree, second_scans = build_dfs_tree(
                     reversed_graph, decreasing_post, deadline,
                     tracer=tracer, iteration_offset=first_scans,
+                    kernel=kernel,
                 )
             labels = second_tree.root_subtree_labels()
         finally:

@@ -27,6 +27,7 @@ from repro.graph.diskgraph import DiskGraph
 from repro.inmemory.kosaraju import kosaraju_scc
 from repro.io.edgefile import EdgeFile
 from repro.io.memory import MemoryModel
+from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spanning.unionfind import DisjointSet
 
@@ -56,7 +57,9 @@ class EMSCC(SCCAlgorithm):
         memory: MemoryModel,
         deadline: Deadline,
         tracer: Tracer,
+        kernel: Optional[ScanKernels] = None,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
+        kernel = kernel if kernel is not None else resolve_kernels()
         n = graph.num_nodes
         if n == 0:
             return np.empty(0, dtype=np.int64), 0, [], {}
@@ -81,7 +84,7 @@ class EMSCC(SCCAlgorithm):
                 )
                 if in_memory_bytes <= memory.capacity:
                     with tracer.span("finish-in-memory"):
-                        self._finish_in_memory(current, ds, live)
+                        self._finish_in_memory(current, ds, live, kernel)
                     break
                 if iteration >= self.max_iterations:
                     raise NonTermination(self.name, iteration)
@@ -95,16 +98,23 @@ class EMSCC(SCCAlgorithm):
                     partitions = 0
                     contracted = 0
                     with tracer.span("partition-scan", iteration=iteration):
+                        edges_classified = 0
                         for batch in current.scan(
                             batch_blocks=partition_blocks
                         ):
                             deadline.check()
                             partitions += 1
-                            if self._contract_partition(batch, ds, live):
+                            edges_classified += batch.shape[0]
+                            if self._contract_partition(
+                                batch, ds, live, kernel
+                            ):
                                 progress = True
                                 contracted += 1
                         tracer.add("partitions", partitions)
                         tracer.add("partitions-contracted", contracted)
+                        tracer.add("edges-classified", edges_classified)
+                        for key, value in kernel.drain_counters().items():
+                            tracer.add(key, value)
 
                     current, owns_current = self._rewrite(
                         graph, ds, live, current, owns_current, iteration,
@@ -136,9 +146,13 @@ class EMSCC(SCCAlgorithm):
     # ------------------------------------------------------------------
     @staticmethod
     def _contract_partition(
-        batch: np.ndarray, ds: DisjointSet, live: np.ndarray
+        batch: np.ndarray,
+        ds: DisjointSet,
+        live: np.ndarray,
+        kernel: Optional[ScanKernels] = None,
     ) -> bool:
         """Contract the SCCs of one memory-sized partition."""
+        kernel = kernel if kernel is not None else resolve_kernels()
         us = ds.find_many(batch[:, 0].astype(np.int64))
         vs = ds.find_many(batch[:, 1].astype(np.int64))
         keep = us != vs
@@ -146,14 +160,7 @@ class EMSCC(SCCAlgorithm):
         vs = vs[keep]
         if us.size == 0:
             return False
-        nodes = np.unique(np.concatenate([us, vs]))
-        comp = {int(node): index for index, node in enumerate(nodes.tolist())}
-        comp_edges = np.column_stack(
-            (
-                [comp[int(u)] for u in us.tolist()],
-                [comp[int(v)] for v in vs.tolist()],
-            )
-        )
+        nodes, comp_edges = kernel.compact_pairs(us, vs)
         local = Digraph(int(nodes.size), comp_edges)
         labels, count = kosaraju_scc(local)
         if count == nodes.size:
@@ -166,17 +173,19 @@ class EMSCC(SCCAlgorithm):
             if members.size < 2:
                 continue
             rep = int(members[0])
-            for member in members[1:].tolist():
-                ds.union_into(int(member), rep)
-                live[int(member)] = False
+            kernel.absorb_members(ds, live, members[1:], rep)
             progress = True
         return progress
 
     @staticmethod
     def _finish_in_memory(
-        current: EdgeFile, ds: DisjointSet, live: np.ndarray
+        current: EdgeFile,
+        ds: DisjointSet,
+        live: np.ndarray,
+        kernel: Optional[ScanKernels] = None,
     ) -> None:
         """Load the remaining graph and finish with in-memory Kosaraju."""
+        kernel = kernel if kernel is not None else resolve_kernels()
         # Sound here only: the caller's budget check proved the remaining
         # graph fits in M before finishing in-memory.
         edges = current.read_all()  # repro: allow[MEM001]
@@ -188,14 +197,7 @@ class EMSCC(SCCAlgorithm):
         us, vs = us[keep], vs[keep]
         if us.size == 0:
             return
-        nodes = np.unique(np.concatenate([us, vs]))
-        comp = {int(node): index for index, node in enumerate(nodes.tolist())}
-        comp_edges = np.column_stack(
-            (
-                [comp[int(u)] for u in us.tolist()],
-                [comp[int(v)] for v in vs.tolist()],
-            )
-        )
+        nodes, comp_edges = kernel.compact_pairs(us, vs)
         local = Digraph(int(nodes.size), comp_edges)
         labels, count = kosaraju_scc(local)
         order = np.argsort(labels, kind="stable")
@@ -205,9 +207,7 @@ class EMSCC(SCCAlgorithm):
             if members.size < 2:
                 continue
             rep = int(members[0])
-            for member in members[1:].tolist():
-                ds.union_into(int(member), rep)
-                live[int(member)] = False
+            kernel.absorb_members(ds, live, members[1:], rep)
 
     @staticmethod
     def _rewrite(

@@ -43,6 +43,7 @@ from repro.graph.diskgraph import DiskGraph
 from repro.inmemory.kosaraju import kosaraju_scc
 from repro.io.edgefile import EdgeFile
 from repro.io.memory import MemoryModel
+from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spanning.unionfind import DisjointSet
 
@@ -82,7 +83,9 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         memory: MemoryModel,
         deadline: Deadline,
         tracer: Tracer,
+        kernel: Optional[ScanKernels] = None,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
+        kernel = kernel if kernel is not None else resolve_kernels()
         n = graph.num_nodes
         memory.require_node_arrays(2)  # BR-Tree: parent + depth
         if n == 0:
@@ -124,17 +127,22 @@ class OnePhaseBatchSCC(SCCAlgorithm):
                         "batch-scan", iteration=iteration,
                         batch_blocks=batch_blocks,
                     ):
+                        edges_classified = 0
                         for batch in current.scan(batch_blocks=batch_blocks):
                             deadline.check()
                             total_batches += 1
                             tracer.add("batches", 1)
+                            edges_classified += batch.shape[0]
                             changed, biggest = self._process_batch(
                                 batch, parent, depth, parent_real, live, ds,
-                                tracer,
+                                tracer, kernel,
                             )
                             updated = updated or changed
                             if biggest > largest_supernode:
                                 largest_supernode = biggest
+                        tracer.add("edges-classified", edges_classified)
+                        for key, value in kernel.drain_counters().items():
+                            tracer.add(key, value)
 
                     # The Section 7.2 drank window is only sound when
                     # candidacy and depths are read against one consistent
@@ -210,6 +218,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         live: np.ndarray,
         ds: DisjointSet,
         tracer: Tracer = NULL_TRACER,
+        kernel: Optional[ScanKernels] = None,
     ) -> Tuple[bool, int]:
         """Lines 6-12 of Algorithm 8 for one batch.
 
@@ -217,6 +226,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         absorbed into supernodes) and ``batch-rebuilds`` (tree rebuild
         passes that moved anything) counters on the enclosing span.
         """
+        kernel = kernel if kernel is not None else resolve_kernels()
         n = parent.shape[0]
         changed = False
         largest = 0
@@ -270,10 +280,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         for label in np.flatnonzero(sizes2 >= 2).tolist():
             members = sorted_members[boundaries[label] : boundaries[label + 1]]
             rep = int(members[0])
-            for member in members[1:].tolist():
-                ds.union_into(member, rep)
-                live[member] = False
-                merges += 1
+            merges += kernel.absorb_members(ds, live, members[1:], rep)
             changed = True
             size = ds.set_size(rep)
             if size > largest:
@@ -360,8 +367,9 @@ class OnePhaseBatchSCC(SCCAlgorithm):
                 vs = vs[keep]
                 candidate = depth[us] >= depth[vs]
                 if candidate.any():
-                    lo = int(depth[vs[candidate]].min())
-                    hi = int(depth[us[candidate]].max())
+                    # Per-batch (not per-edge) reductions of the window.
+                    lo = int(depth[vs[candidate]].min())  # repro: allow[CPU001]
+                    hi = int(depth[us[candidate]].max())  # repro: allow[CPU001]
                     if lo < drank_min:
                         drank_min = lo
                     if hi > drank_max:

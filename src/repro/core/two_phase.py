@@ -16,7 +16,7 @@ SCCs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.core.base import Deadline, IterationStats, SCCAlgorithm
 from repro.exceptions import NonTermination
 from repro.graph.diskgraph import DiskGraph
 from repro.io.memory import MemoryModel
+from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.spanning.brtree import BRPlusTree
 
@@ -34,6 +35,7 @@ def tree_construction(
     deadline: Deadline,
     max_iterations: int | None = None,
     tracer: Tracer = NULL_TRACER,
+    kernel: Optional[ScanKernels] = None,
 ) -> Tuple[BRPlusTree, int]:
     """Paper Algorithm 4: build a BR+-Tree free of up-edges.
 
@@ -41,6 +43,7 @@ def tree_construction(
     scan is traced as a ``pushdown-scan`` span (with ``pushdowns`` and
     ``backward-links`` counters) under one ``tree-construction`` span.
     """
+    kernel = kernel if kernel is not None else resolve_kernels()
     n = graph.num_nodes
     tree = BRPlusTree(n)
     tree.update_drank()
@@ -58,6 +61,7 @@ def tree_construction(
             pushdowns = 0
             backward_links = 0
             with tracer.span("pushdown-scan", iteration=scans):
+                edges_classified = 0
                 for batch in graph.scan_edges():
                     deadline.check()
                     us = batch[:, 0].astype(np.int64)
@@ -69,40 +73,23 @@ def tree_construction(
                     drank = tree.drank
                     keep = (us != vs) & (tree.parent[vs] != us)
                     keep &= (drank[us] >= drank[vs]) | (depth[vs] < depth[us])
-                    for u, v in np.column_stack((us[keep], vs[keep])).tolist():
-                        if tree.depth[u] < tree.depth[v]:
-                            if tree.is_ancestor(u, v):
-                                continue  # forward edge
-                        elif tree.is_ancestor(v, u):
-                            # Backward edge: update-drank bookkeeping keeps the
-                            # shallowest backward target per node.
-                            if tree.offer_blink(u, v):
-                                backward_links += 1
-                            continue
-                        # No ancestor/descendant relationship: up-edge test.
-                        if tree.drank[u] >= tree.drank[v]:
-                            # dlink(v) is where v's supernode would sit had its
-                            # cycle-chain been contracted (1P-SCC's view).
-                            w = int(tree.dlink[v])
-                            if tree.is_ancestor(w, u):
-                                # u is on a cycle through v's chain: replace the
-                                # up-edge by the backward link (u, dlink(v)) —
-                                # Fig. 5's move.
-                                if tree.offer_blink(u, w):
-                                    updated = True
-                                    backward_links += 1
-                            elif tree.depth[u] >= tree.depth[w]:
-                                # Eliminate the up-edge by pushing down the whole
-                                # chain top: depth(w) strictly increases, which
-                                # is what bounds the construction by depth(G)
-                                # iterations (Lemma 6.1).  (The depth guard only
-                                # skips moves based on stale drank values; they
-                                # are retried next scan.)
-                                tree.pushdown(u, w)
-                                updated = True
-                                pushdowns += 1
+                    if not keep.any():
+                        continue
+                    us = us[keep]
+                    vs = vs[keep]
+                    edges_classified += us.shape[0]
+                    changed, pushed, blinked = kernel.construction_scan(
+                        tree, us, vs
+                    )
+                    if changed:
+                        updated = True
+                    pushdowns += pushed
+                    backward_links += blinked
                 tracer.add("pushdowns", pushdowns)
                 tracer.add("backward-links", backward_links)
+                tracer.add("edges-classified", edges_classified)
+                for key, value in kernel.drain_counters().items():
+                    tracer.add(key, value)
             tree.update_drank()
     return tree, scans
 
@@ -113,6 +100,7 @@ def tree_search(
     deadline: Deadline,
     tracer: Tracer = NULL_TRACER,
     scan_index: int = 1,
+    kernel: Optional[ScanKernels] = None,
 ) -> int:
     """Paper Algorithm 5: contract backward-edge paths in one scan.
 
@@ -123,6 +111,7 @@ def tree_search(
     ``scan_index`` so it lines up with the run's iteration record)
     under one ``tree-search`` span.
     """
+    kernel = kernel if kernel is not None else resolve_kernels()
     with tracer.span("tree-search"):
         blink_contractions = 0
         for u in np.flatnonzero(tree.blink != VIRTUAL_ROOT).tolist():
@@ -137,18 +126,21 @@ def tree_search(
 
         contractions = 0
         with tracer.span("search-scan", iteration=scan_index):
+            edges_classified = 0
             for batch in graph.scan_edges():
                 deadline.check()
                 us = tree.find_many(batch[:, 0].astype(np.int64))
                 vs = tree.find_many(batch[:, 1].astype(np.int64))
                 keep = (us != vs) & (tree.depth[vs] < tree.depth[us])
-                for u, v in np.column_stack((us[keep], vs[keep])).tolist():
-                    ru = tree.find(u)
-                    rv = tree.find(v)
-                    if ru != rv and tree.is_ancestor(rv, ru):
-                        tree.contract_path(ru, rv)
-                        contractions += 1
+                if not keep.any():
+                    continue
+                pairs = np.column_stack((us[keep], vs[keep]))
+                edges_classified += pairs.shape[0]
+                contractions += kernel.search_scan(tree, pairs)
             tracer.add("contractions", contractions)
+            tracer.add("edges-classified", edges_classified)
+            for key, value in kernel.drain_counters().items():
+                tracer.add(key, value)
     return 1
 
 
@@ -163,16 +155,20 @@ class TwoPhaseSCC(SCCAlgorithm):
         memory: MemoryModel,
         deadline: Deadline,
         tracer: Tracer,
+        kernel: Optional[ScanKernels] = None,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
+        kernel = kernel if kernel is not None else resolve_kernels()
         n = graph.num_nodes
         memory.require_node_arrays(3)  # BR+-Tree: parent, depth, blink
         if n == 0:
             return np.empty(0, dtype=np.int64), 0, [], {}
 
-        tree, construction_scans = tree_construction(graph, deadline, tracer=tracer)
+        tree, construction_scans = tree_construction(
+            graph, deadline, tracer=tracer, kernel=kernel
+        )
         search_scans = tree_search(
             graph, tree, deadline, tracer=tracer,
-            scan_index=construction_scans + 1,
+            scan_index=construction_scans + 1, kernel=kernel,
         )
         labels, _ = tree.scc_labels()
 

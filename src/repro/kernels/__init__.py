@@ -1,0 +1,57 @@
+"""Scan kernels: interchangeable per-batch edge-classification engines.
+
+See :mod:`repro.kernels.base` for the contract.  ``resolve_kernels``
+is the single entry point the algorithms/CLI/harness use to map the
+user-facing ``--kernels {vector,scalar}`` choice to a backend instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type, Union
+
+from repro.kernels.base import ScanKernels
+from repro.kernels.oracle import AncestorOracle
+from repro.kernels.scalar import ScalarKernels
+from repro.kernels.vector import VectorKernels
+
+#: Registry of selectable backends, keyed by their CLI names.
+KERNELS: Dict[str, Type[ScanKernels]] = {
+    ScalarKernels.name: ScalarKernels,
+    VectorKernels.name: VectorKernels,
+}
+
+#: Backend used when the caller does not choose one.
+DEFAULT_KERNELS = VectorKernels.name
+
+
+def resolve_kernels(
+    kernels: Union[str, ScanKernels, None] = None,
+) -> ScanKernels:
+    """Resolve a kernels choice to a fresh (or caller-owned) backend.
+
+    Accepts a registry name (``"vector"``/``"scalar"``), ``None`` (the
+    default backend), or an already-constructed :class:`ScanKernels`
+    instance (passed through, for tests that want to inspect counters).
+    """
+    if kernels is None:
+        kernels = DEFAULT_KERNELS
+    if isinstance(kernels, ScanKernels):
+        return kernels
+    try:
+        factory = KERNELS[kernels]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernels {kernels!r}; expected one of {sorted(KERNELS)}"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "AncestorOracle",
+    "DEFAULT_KERNELS",
+    "KERNELS",
+    "ScalarKernels",
+    "ScanKernels",
+    "VectorKernels",
+    "resolve_kernels",
+]

@@ -1,0 +1,160 @@
+"""The scalar scan-kernel backend: the paper-literal per-edge loops.
+
+These are the seed implementations' inner loops, moved here unchanged.
+They define the reference semantics the vector backend must reproduce
+decision-for-decision, and they are the one sanctioned home for
+per-edge ``int()``/``.tolist()`` boxing inside scan loops (static rule
+CPU001 exempts this module).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import Deadline
+    from repro.spanning.brtree import BRPlusTree
+    from repro.spanning.tree import ContractibleTree
+    from repro.spanning.unionfind import DisjointSet
+
+from repro.kernels.base import ScanKernels
+
+
+class ScalarKernels(ScanKernels):
+    """Per-edge reference loops with O(depth) ancestor walks."""
+
+    name = "scalar"
+
+    def one_phase_scan(
+        self, tree: "ContractibleTree", pairs: np.ndarray
+    ) -> Tuple[int, int, int]:
+        early_accepts = 0
+        pushdowns = 0
+        largest = 0
+        for u, v in pairs.tolist():
+            ru = tree.find(u)
+            rv = tree.find(v)
+            if ru == rv or not (tree.live[ru] and tree.live[rv]):
+                continue
+            if tree.depth[ru] < tree.depth[rv]:
+                continue  # reshaped since the prefilter
+            if tree.is_ancestor(rv, ru):
+                rep = tree.contract_path(ru, rv)
+                size = tree.ds.set_size(rep)
+                if size > largest:
+                    largest = size
+                early_accepts += 1
+            else:
+                tree.pushdown(ru, rv)
+                pushdowns += 1
+        self.bump("kernel-scalar-edges", int(pairs.shape[0]))
+        return early_accepts, pushdowns, largest
+
+    def construction_scan(
+        self, tree: "BRPlusTree", us: np.ndarray, vs: np.ndarray
+    ) -> Tuple[bool, int, int]:
+        updated = False
+        pushdowns = 0
+        backward_links = 0
+        for u, v in np.column_stack((us, vs)).tolist():
+            if tree.depth[u] < tree.depth[v]:
+                if tree.is_ancestor(u, v):
+                    continue  # forward edge
+            elif tree.is_ancestor(v, u):
+                # Backward edge: update-drank bookkeeping keeps the
+                # shallowest backward target per node.
+                if tree.offer_blink(u, v):
+                    backward_links += 1
+                continue
+            # No ancestor/descendant relationship: up-edge test.
+            if tree.drank[u] >= tree.drank[v]:
+                # dlink(v) is where v's supernode would sit had its
+                # cycle-chain been contracted (1P-SCC's view).
+                w = int(tree.dlink[v])
+                if tree.is_ancestor(w, u):
+                    # u is on a cycle through v's chain: replace the
+                    # up-edge by the backward link (u, dlink(v)) —
+                    # Fig. 5's move.
+                    if tree.offer_blink(u, w):
+                        updated = True
+                        backward_links += 1
+                elif tree.depth[u] >= tree.depth[w]:
+                    # Eliminate the up-edge by pushing down the whole
+                    # chain top: depth(w) strictly increases, which
+                    # is what bounds the construction by depth(G)
+                    # iterations (Lemma 6.1).  (The depth guard only
+                    # skips moves based on stale drank values; they
+                    # are retried next scan.)
+                    tree.pushdown(u, w)
+                    updated = True
+                    pushdowns += 1
+        self.bump("kernel-scalar-edges", int(us.shape[0]))
+        return updated, pushdowns, backward_links
+
+    def search_scan(self, tree: "BRPlusTree", pairs: np.ndarray) -> int:
+        contractions = 0
+        for u, v in pairs.tolist():
+            ru = tree.find(u)
+            rv = tree.find(v)
+            if ru != rv and tree.is_ancestor(rv, ru):
+                tree.contract_path(ru, rv)
+                contractions += 1
+        self.bump("kernel-scalar-edges", int(pairs.shape[0]))
+        return contractions
+
+    def dfs_scan(
+        self, tree: Any, batch: np.ndarray, deadline: "Deadline"
+    ) -> int:
+        reparents = 0
+        for u, v in batch.tolist():
+            if u == v or tree.parent[v] == u:
+                continue
+            if tree.depth[u] < tree.depth[v]:
+                if tree.is_ancestor(u, v):
+                    continue  # forward edge
+            elif tree.is_ancestor(v, u):
+                continue  # backward edge
+            if tree.pre[u] < tree.pre[v]:
+                # Forward-cross-edge: re-hang v under u, then redo
+                # the preorder immediately — the per-update
+                # renumbering the paper identifies as DFS-SCC's
+                # Cost-3 (Fig. 3).  Ranks before pre(u) are
+                # unaffected, so the renumbering skips them.
+                tree.reparent(v, u)
+                tree.assign_preorder(pivot=int(tree.pre[u]))
+                reparents += 1
+                # Each move renumbers up to O(n) ranks, so the
+                # wall-clock budget is re-checked per move.
+                deadline.check()
+            # backward-cross-edges are ignored.
+        self.bump("kernel-scalar-edges", int(batch.shape[0]))
+        return reparents
+
+    def absorb_members(
+        self,
+        ds: "DisjointSet",
+        live: np.ndarray,
+        members: np.ndarray,
+        rep: int,
+    ) -> int:
+        count = 0
+        for member in members.tolist():
+            ds.union_into(int(member), rep)
+            live[int(member)] = False
+            count += 1
+        return count
+
+    def compact_pairs(
+        self, us: np.ndarray, vs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        nodes = np.unique(np.concatenate([us, vs]))
+        comp = {int(node): index for index, node in enumerate(nodes.tolist())}
+        comp_edges = np.column_stack(
+            (
+                [comp[int(u)] for u in us.tolist()],
+                [comp[int(v)] for v in vs.tolist()],
+            )
+        )
+        return nodes, comp_edges

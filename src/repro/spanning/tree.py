@@ -57,6 +57,20 @@ class ContractibleTree:
         self.children: List[set] = [set() for _ in range(n)]
         #: Nodes finalised by early rejection, in emission order.
         self.rejected: List[int] = []
+        #: Structural version: bumped by every mutation that can change
+        #: an ancestor relationship, a depth, or liveness.  Snapshot
+        #: consumers (the Euler-tour ancestor oracle) compare it against
+        #: the epoch they were built at.
+        self.epoch = 0
+        #: dirty[x] — x's root path, depth or liveness may have changed
+        #: since the last oracle snapshot.  Only maintained once a
+        #: snapshot consumer turns :attr:`track_dirty` on; a node left
+        #: clean is guaranteed unchanged in all three respects, so
+        #: snapshot-time answers about clean pairs remain valid.
+        self.dirty = np.zeros(n, dtype=bool)
+        #: Switched on by the first oracle rebuild; scalar-only runs
+        #: never pay the subtree-marking cost.
+        self.track_dirty = False
 
     # ------------------------------------------------------------------
     # queries
@@ -121,9 +135,19 @@ class ContractibleTree:
             if self.parent[v] == VIRTUAL_ROOT:
                 yield int(v)
 
+    def oracle_roots(self) -> Iterator[int]:
+        """Roots of the live forest, for oracle rebuild traversals."""
+        return self.roots()
+
     # ------------------------------------------------------------------
     # structural edits
     # ------------------------------------------------------------------
+    def _mark_dirty_subtree(self, v: int) -> None:
+        """Mark ``v`` and its whole subtree dirty (post-mutation)."""
+        dirty = self.dirty
+        for node in self.subtree(v):
+            dirty[node] = True
+
     def _shift_subtree_depth(self, v: int, delta: int) -> None:
         if delta == 0:
             return
@@ -151,6 +175,11 @@ class ContractibleTree:
         self.parent[v] = new_parent
         self.parent_is_real[v] = real and new_parent != VIRTUAL_ROOT
         self._shift_subtree_depth(v, new_depth - int(self.depth[v]))
+        # The moved subtree's root paths (and depths) changed; the rest
+        # of the tree — including the new parent — is untouched.
+        self.epoch += 1
+        if self.track_dirty:
+            self._mark_dirty_subtree(v)
 
     def pushdown(self, u: int, v: int) -> None:
         """The paper's ``T ⇓ (u, v)`` operation for an up-edge ``(u, v)``.
@@ -177,18 +206,26 @@ class ContractibleTree:
         on_path = set(path)
         rep = v
         rep_depth = int(self.depth[rep])
+        mark = self.track_dirty
         for node in path[:-1]:  # everything except v itself
             self.ds.union_into(node, rep)
             self.live[node] = False
+            if mark:
+                self.dirty[node] = True
             for child in list(self.children[node]):
                 if child in on_path:
                     continue
                 self.children[rep].add(child)
                 self.parent[child] = rep
                 self._shift_subtree_depth(child, rep_depth + 1 - int(self.depth[child]))
+                if mark:
+                    self._mark_dirty_subtree(child)
             self.children[node].clear()
         # Drop absorbed path members from the representative's children.
+        # ``rep`` keeps its parent, depth and liveness, so it stays clean:
+        # only the absorbed path and the re-hung subtrees are marked.
         self.children[rep] -= on_path
+        self.epoch += 1
         return rep
 
     def reject(self, v: int) -> None:
@@ -203,6 +240,9 @@ class ContractibleTree:
         self._detach(v)
         self.parent[v] = VIRTUAL_ROOT
         self.live[v] = False
+        self.epoch += 1
+        if self.track_dirty:
+            self.dirty[v] = True
         self.rejected.append(v)
 
     # ------------------------------------------------------------------

@@ -41,14 +41,21 @@ class DisjointSet:
         return root
 
     def find_many(self, xs: np.ndarray) -> np.ndarray:
-        """Vectorised find over an array of elements."""
+        """Vectorised find over an array of elements.
+
+        Convergence iterates only the not-yet-converged lanes: on hot
+        batches where most queried elements are already (or point one
+        hop from) their roots — the common case right after a previous
+        ``find_many`` compressed them — each extra pass touches just the
+        shrinking pending set instead of re-scanning the whole array.
+        """
         parent = self.parent
         roots = parent[xs]
-        while True:
-            nxt = parent[roots]
-            if np.array_equal(nxt, roots):
-                break
-            roots = nxt
+        pending = np.flatnonzero(parent[roots] != roots)
+        while pending.size:
+            lane_roots = parent[roots[pending]]
+            roots[pending] = lane_roots
+            pending = pending[parent[lane_roots] != lane_roots]
         # One-shot compression for the queried elements.
         parent[xs] = roots
         return roots
@@ -67,6 +74,30 @@ class DisjointSet:
             return representative
         self.parent[absorbed] = representative
         self.size[representative] += self.size[absorbed]
+        return representative
+
+    def union_many_into(self, absorbed: np.ndarray, representative: int) -> int:
+        """Merge many sets into ``representative``'s set in one shot.
+
+        Every element of ``absorbed`` must currently be a set
+        representative distinct from ``representative`` (the batch
+        analogue of :meth:`union_into`'s precondition) — the contraction
+        call sites guarantee this because they absorb whole groups of
+        live supernode representatives.  Returns the representative.
+        """
+        if self.parent[representative] != representative:
+            raise ValueError("representative must be a set representative")
+        if absorbed.size == 0:
+            return representative
+        if (self.parent[absorbed] != absorbed).any() or (
+            absorbed == representative
+        ).any():
+            raise ValueError(
+                "absorbed elements must be representatives distinct from "
+                "the surviving representative"
+            )
+        self.parent[absorbed] = representative
+        self.size[representative] += int(self.size[absorbed].sum())
         return representative
 
     def same(self, a: int, b: int) -> bool:

@@ -81,6 +81,49 @@ class TestCompute:
         labels = np.load(labels_out)
         assert labels.shape == (graph.num_nodes,)
 
+    def test_compute_kernels_flag_scalar_matches_vector(
+        self, stored_graph, tmp_path, capsys
+    ):
+        path, _ = stored_graph
+        outputs = {}
+        for kernels in ("vector", "scalar"):
+            labels_out = str(tmp_path / f"labels-{kernels}.npy")
+            assert main(["compute", path, "--algorithm", "1P-SCC",
+                         "--kernels", kernels,
+                         "--labels-out", labels_out]) == 0
+            outputs[kernels] = np.load(labels_out)
+            capsys.readouterr()
+        assert np.array_equal(outputs["vector"], outputs["scalar"])
+
+    def test_compute_rejects_unknown_kernels(self, stored_graph, capsys):
+        path, _ = stored_graph
+        with pytest.raises(SystemExit):
+            main(["compute", path, "--kernels", "simd"])
+
+    def test_compute_profile_writes_pstats_dump(
+        self, stored_graph, tmp_path, capsys
+    ):
+        import pstats
+
+        path, _ = stored_graph
+        profile_out = str(tmp_path / "compute.pstats")
+        assert main(["compute", path, "--algorithm", "1PB-SCC",
+                     "--profile", profile_out]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out and profile_out in out
+        stats = pstats.Stats(profile_out)
+        assert stats.total_calls > 0
+
+    def test_compute_profile_kept_on_timeout(self, stored_graph, tmp_path, capsys):
+        path, _ = stored_graph
+        profile_out = str(tmp_path / "timeout.pstats")
+        code = main(["compute", path, "--algorithm", "DFS-SCC",
+                     "--time-limit", "0", "--profile", profile_out])
+        assert code == 2
+        import pstats
+
+        assert pstats.Stats(profile_out).total_calls > 0
+
     def test_compute_timeout_exit_code(self, stored_graph, capsys):
         path, _ = stored_graph
         code = main(["compute", path, "--algorithm", "DFS-SCC",

@@ -21,7 +21,9 @@ class TestCandidatePrefilter:
             [[0, 2], [2, 0], [2, 3], [3, 2], [1, 1]], dtype=np.uint32
         )
         candidates = OnePhaseSCC._candidates(tree, batch)
-        pairs = {tuple(c) for c in candidates}
+        assert isinstance(candidates, np.ndarray)
+        assert candidates.dtype == np.int64
+        pairs = {tuple(c) for c in candidates.tolist()}
         # (0,2): depth 1 < 3 -> dropped.  (2,0): 3 >= 1 -> kept.
         # (2,3): 3 >= 1 -> kept.  (3,2): 1 < 3 -> dropped.  (1,1): self.
         assert pairs == {(2, 0), (2, 3)}
@@ -31,14 +33,14 @@ class TestCandidatePrefilter:
         tree.reject(1)
         batch = np.array([[0, 1], [1, 2], [2, 0]], dtype=np.uint32)
         candidates = OnePhaseSCC._candidates(tree, batch)
-        flat = {node for pair in candidates for node in pair}
-        assert 1 not in flat
+        assert 1 not in set(candidates.ravel().tolist())
 
     def test_down_edges_yield_no_candidates(self):
         tree = ContractibleTree(2)
         tree.reparent(1, 0)
         batch = np.array([[0, 1]], dtype=np.uint32)  # down edge only
-        assert OnePhaseSCC._candidates(tree, batch) == []
+        candidates = OnePhaseSCC._candidates(tree, batch)
+        assert candidates.shape == (0, 2)
 
 
 class TestNaiveVariant:

@@ -1,0 +1,201 @@
+"""Property tests for the epoch-cached Euler-tour ancestor oracle.
+
+The oracle's contract has two halves, both exercised here against the
+walk-based ``is_ancestor`` as ground truth:
+
+* **after a rebuild** the interval test agrees with the walk on every
+  live pair (and is deterministically False for dead nodes);
+* **between rebuilds** the snapshot stays valid for every pair of nodes
+  the host tree left *clean* — that is the invariant the vector kernels
+  rely on when they serve stale-but-clean verdicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import VIRTUAL_ROOT
+from repro.core.dfs_scc import _DFSTree
+from repro.kernels import AncestorOracle
+from repro.spanning.tree import ContractibleTree
+
+
+def exhaustive_check(oracle: AncestorOracle, tree: ContractibleTree) -> None:
+    """Oracle == walk on every ordered live pair; dead pairs are False."""
+    nodes = list(range(tree.n))
+    live = tree.live
+    for a in nodes:
+        for d in nodes:
+            got = oracle.is_ancestor(a, d)
+            if live[a] and live[d]:
+                assert got == tree.is_ancestor(a, d), (a, d)
+            else:
+                assert not got, f"dead pair ({a}, {d}) answered True"
+
+
+def random_mutation(rng: np.random.Generator, tree: ContractibleTree) -> None:
+    """Apply one random structural edit drawn from the kernel op set."""
+    live = np.flatnonzero(tree.live)
+    if live.shape[0] < 2:
+        return
+    op = rng.integers(0, 3)
+    u, v = (int(x) for x in rng.choice(live, size=2, replace=False))
+    if op == 0:
+        # contract_path needs an ancestor pair; promote v to an ancestor
+        # of u when it is one, else fall through to a pushdown shape.
+        if tree.is_ancestor(v, u):
+            tree.contract_path(u, v)
+        elif not tree.is_ancestor(u, v):
+            tree.pushdown(u, v)
+    elif op == 1:
+        if not tree.is_ancestor(u, v) and not tree.is_ancestor(v, u):
+            tree.pushdown(u, v)
+    else:
+        tree.reject(u)
+
+
+class TestRebuildAgreement:
+    """After a rebuild the interval test is exact."""
+
+    def test_initial_star(self):
+        tree = ContractibleTree(8)
+        oracle = AncestorOracle(tree.n)
+        assert oracle.refresh(tree)  # first refresh always rebuilds
+        exhaustive_check(oracle, tree)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_after_random_mutations(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = ContractibleTree(24)
+        oracle = AncestorOracle(tree.n)
+        for _ in range(40):
+            random_mutation(rng, tree)
+        oracle._rebuild(tree)  # bypass the amortisation policy
+        exhaustive_check(oracle, tree)
+
+    def test_ancestor_or_equal_semantics(self):
+        tree = ContractibleTree(4)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)
+        oracle = AncestorOracle(tree.n)
+        oracle.refresh(tree)
+        assert oracle.is_ancestor(1, 1)  # equal counts, like the walk
+        assert oracle.is_ancestor(0, 2)
+        assert not oracle.is_ancestor(2, 0)
+        many = oracle.is_ancestor_many(
+            np.array([0, 2, 3]), np.array([2, 0, 3])
+        )
+        assert many.tolist() == [True, False, True]
+
+
+class TestCleanPairValidity:
+    """Stale snapshots stay exact on pairs the tree left clean."""
+
+    @pytest.mark.parametrize("seed", [10, 11, 12, 13, 14])
+    def test_clean_pairs_survive_mutations(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = ContractibleTree(24)
+        oracle = AncestorOracle(tree.n)
+        oracle.refresh(tree)
+        snapshot = {
+            (a, d): oracle.is_ancestor(a, d)
+            for a in range(tree.n)
+            for d in range(tree.n)
+        }
+        for _ in range(25):
+            random_mutation(rng, tree)
+        assert tree.track_dirty
+        for (a, d), verdict in snapshot.items():
+            if tree.dirty[a] or tree.dirty[d]:
+                continue  # the kernels fall back to the walk here
+            assert verdict == oracle.is_ancestor(a, d)  # labels untouched
+            if tree.live[a] and tree.live[d]:
+                assert verdict == tree.is_ancestor(a, d), (a, d)
+            else:
+                # Liveness changes mark a node dirty, so a clean node
+                # that was live at snapshot time is live now.
+                assert not verdict
+
+    def test_contract_path_keeps_representative_clean(self):
+        tree = ContractibleTree(6)
+        tree.reparent(1, 0)
+        tree.reparent(2, 1)
+        oracle = AncestorOracle(tree.n)
+        oracle.refresh(tree)
+        tree.contract_path(2, 0)  # absorb 1, 2 into 0
+        assert not tree.dirty[0]
+        assert tree.dirty[1] and tree.dirty[2]
+
+
+class TestRefreshPolicy:
+    """Epoch fast path and the dirty-population rebuild threshold."""
+
+    def test_same_epoch_is_a_noop(self):
+        tree = ContractibleTree(4)
+        oracle = AncestorOracle(tree.n)
+        assert oracle.refresh(tree)
+        assert not oracle.refresh(tree)
+        assert oracle.rebuilds == 1
+
+    def test_first_refresh_enables_dirty_tracking(self):
+        tree = ContractibleTree(4)
+        assert not tree.track_dirty
+        AncestorOracle(tree.n).refresh(tree)
+        assert tree.track_dirty
+        assert not tree.dirty.any()
+
+    def test_small_dirt_defers_rebuild(self):
+        tree = ContractibleTree(8)
+        oracle = AncestorOracle(tree.n)
+        oracle.refresh(tree)
+        tree.pushdown(1, 2)  # one dirty node << rebuild_min_dirty
+        assert not oracle.refresh(tree)
+        assert oracle.rebuilds == 1
+        assert oracle.built_epoch != tree.epoch  # stale by design
+
+    def test_large_dirt_triggers_rebuild(self):
+        tree = ContractibleTree(8)
+        oracle = AncestorOracle(tree.n)
+        oracle.rebuild_min_dirty = 1
+        oracle.rebuild_fraction = 0.0
+        oracle.refresh(tree)
+        tree.pushdown(1, 2)
+        tree.pushdown(3, 4)
+        assert oracle.refresh(tree)
+        assert oracle.rebuilds == 2
+        assert not tree.dirty.any()  # rebuild resets the bitmap
+        exhaustive_check(oracle, tree)
+
+
+class TestDFSTreeOracle:
+    """The DFS forest exposes the same snapshot contract."""
+
+    def test_oracle_matches_walk_after_reparents(self):
+        order = np.arange(10)
+        tree = _DFSTree(order)
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            u, v = (int(x) for x in rng.choice(10, size=2, replace=False))
+            if not tree.is_ancestor(v, u) and not tree.is_ancestor(u, v):
+                tree.reparent(v, u)
+        oracle = AncestorOracle(tree.n)
+        oracle._rebuild(tree)
+        for a in range(tree.n):
+            for d in range(tree.n):
+                assert oracle.is_ancestor(a, d) == tree.is_ancestor(a, d)
+
+    def test_reparent_leaves_new_parent_clean(self):
+        tree = _DFSTree(np.arange(5))
+        AncestorOracle(tree.n).refresh(tree)
+        tree.reparent(3, 1)
+        assert tree.dirty[3]
+        assert not tree.dirty[1]
+        assert tree.epoch == 1
+
+
+class TestVirtualRootEncoding:
+    def test_virtual_root_never_queried(self):
+        # The oracle indexes arrays by node id; VIRTUAL_ROOT (-1) must
+        # never reach it.  Guard the constant the encoding relies on.
+        assert VIRTUAL_ROOT == -1

@@ -76,6 +76,54 @@ class TestVectorised:
         labels, count = DisjointSet(0).labels()
         assert count == 0 and labels.shape == (0,)
 
+    def test_find_many_compresses_queried_elements(self):
+        # Build a chain 4 -> 3 -> 2 -> 1 -> 0 so finds have depth.
+        ds = DisjointSet(5)
+        for child in (1, 2, 3, 4):
+            ds.parent[child] = child - 1
+        ds.find_many(np.array([4, 3], dtype=np.int64))
+        # The write-back points every queried element at its root ...
+        assert ds.parent[4] == 0 and ds.parent[3] == 0
+        # ... and leaves unqueried chain members untouched.
+        assert ds.parent[2] == 1
+
+    def test_find_many_second_pass_is_single_hop(self):
+        ds = DisjointSet(6)
+        for child in (1, 2, 3, 4, 5):
+            ds.parent[child] = child - 1
+        xs = np.arange(6, dtype=np.int64)
+        first = ds.find_many(xs)
+        assert (ds.parent[xs] == 0).all()
+        assert np.array_equal(ds.find_many(xs), first)
+
+    def test_union_many_into_matches_sequential(self):
+        batch = DisjointSet(8)
+        sequential = DisjointSet(8)
+        absorbed = np.array([2, 5, 7], dtype=np.int64)
+        batch.union_many_into(absorbed, 1)
+        for member in absorbed.tolist():
+            sequential.union_into(member, 1)
+        assert np.array_equal(
+            batch.find_many(np.arange(8, dtype=np.int64)),
+            sequential.find_many(np.arange(8, dtype=np.int64)),
+        )
+        assert batch.set_size(1) == sequential.set_size(1) == 4
+
+    def test_union_many_into_empty_is_noop(self):
+        ds = DisjointSet(3)
+        ds.union_many_into(np.empty(0, dtype=np.int64), 2)
+        assert ds.set_size(2) == 1
+
+    def test_union_many_into_rejects_non_representatives(self):
+        ds = DisjointSet(4)
+        ds.union_into(1, 0)
+        with pytest.raises(ValueError):
+            ds.union_many_into(np.array([1], dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            ds.union_many_into(np.array([2], dtype=np.int64), 1)
+        with pytest.raises(ValueError):
+            ds.union_many_into(np.array([2], dtype=np.int64), 2)
+
 
 class TestProperties:
     @settings(max_examples=40, deadline=None)

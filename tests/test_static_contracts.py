@@ -19,6 +19,7 @@ from repro.analysis_static import (
     CoreAPIRule,
     DEFAULT_ALLOWLIST,
     EdgeMaterializationRule,
+    PerEdgeBoxingRule,
     RawIORule,
     SequentialScanRule,
     Violation,
@@ -305,6 +306,55 @@ class TestCoreAPIRule:
     def test_does_not_apply_outside_core(self):
         source = "def load(path: str):\n    pass\n"
         assert analyze(CoreAPIRule, source, "repro/graph/fake.py") == []
+
+
+class TestPerEdgeBoxingRule:
+    """CPU001: per-edge boxing inside core edge-scan loops."""
+
+    def test_flags_int_inside_scan_loop(self):
+        source = (
+            "def run(current, tree):\n"
+            "    for batch in current.scan():\n"
+            "        for u, v in batch.tolist():\n"
+            "            a = int(tree.parent[u])\n"
+        )
+        violations = analyze(PerEdgeBoxingRule, source, "repro/core/fake.py")
+        assert sorted(v.rule for v in violations) == ["CPU001", "CPU001"]
+        messages = " ".join(v.message for v in violations)
+        assert "int()" in messages and ".tolist()" in messages
+
+    def test_pragma_excuses_per_batch_reduction(self):
+        source = (
+            "def run(current):\n"
+            "    for batch in current.scan():\n"
+            "        lo = int(batch.min())  # repro: allow[CPU001]\n"
+        )
+        assert analyze(PerEdgeBoxingRule, source, "repro/core/fake.py") == []
+
+    def test_boxing_outside_scan_loop_is_clean(self):
+        source = (
+            "def summarize(tree):\n"
+            "    depths = tree.depth.tolist()\n"
+            "    return int(max(depths))\n"
+        )
+        assert analyze(PerEdgeBoxingRule, source, "repro/core/fake.py") == []
+
+    def test_kernels_package_is_out_of_scope(self):
+        source = (
+            "def scalar_scan(current):\n"
+            "    for batch in current.scan():\n"
+            "        for u, v in batch.tolist():\n"
+            "            yield int(u), int(v)\n"
+        )
+        assert analyze(PerEdgeBoxingRule, source, "repro/kernels/scalar.py") == []
+
+    def test_kernel_dispatch_loop_is_clean(self):
+        source = (
+            "def run(current, tree, kernel):\n"
+            "    for batch in current.scan():\n"
+            "        accepts, pushed, big = kernel.one_phase_scan(tree, batch)\n"
+        )
+        assert analyze(PerEdgeBoxingRule, source, "repro/core/fake.py") == []
 
 
 class TestLintCLI:
