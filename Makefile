@@ -1,5 +1,5 @@
 .PHONY: install test lint bench bench-smoke bench-golden bench-prefetch \
-	bench-kernels examples suite clean
+	bench-kernels chaos examples suite clean
 
 PYTHON ?= python
 
@@ -47,6 +47,25 @@ bench-prefetch:
 bench-kernels:
 	$(PYTHON) -m benchmarks.bench_kernels
 
+# Chaos gate: the fault-injection / crash-consistency / checkpoint-resume
+# test files, plus an end-to-end crash -> resume through the CLI (exit
+# code 4 marks a simulated crash; the resumed run must succeed).
+chaos:
+	$(PYTHON) -m pytest -q tests/test_io_faults.py tests/test_io_atomic.py \
+		tests/test_checkpoint_resume.py
+	rm -rf chaos-workdir && mkdir -p chaos-workdir
+	$(PYTHON) -m repro.cli generate --kind small --scale 2e-3 \
+		--out chaos-workdir/g.rgr
+	$(PYTHON) -m repro.cli compute chaos-workdir/g.rgr \
+		--algorithm 1P-SCC --block-size 4096 \
+		--fault-plan "seed=1;crash@scan:1" \
+		--checkpoint-dir chaos-workdir/ckpt; \
+		test $$? -eq 4 || { echo "expected exit 4 (simulated crash)"; exit 1; }
+	$(PYTHON) -m repro.cli compute chaos-workdir/g.rgr \
+		--algorithm 1P-SCC --block-size 4096 \
+		--checkpoint-dir chaos-workdir/ckpt --resume
+	rm -rf chaos-workdir
+
 # full paper evaluation with CSV + report output
 suite:
 	$(PYTHON) -m repro.cli bench --outdir suite_results
@@ -60,5 +79,6 @@ examples:
 # bench_results/ holds measured records -- clean must never delete them.
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache .benchmarks \
-		suite_results bench-regression-results.json bench-regression-traces
+		suite_results bench-regression-results.json bench-regression-traces \
+		chaos-workdir
 	find . -name '__pycache__' -type d -exec rm -rf {} +

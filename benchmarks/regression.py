@@ -24,6 +24,14 @@ contract of ``repro.kernels``.  The goldens were generated with the
 scalar (paper-literal) semantics, so a passing gate proves both
 backends still reproduce the seed trajectories exactly.
 
+Finally each case is re-run under a fixed fault plan of transient read
+errors (``FAULT_PLAN``) and must count the *same* I/O as the clean run
+— failed attempts are retried, never charged — with ``io_retries``
+equal to exactly the plan's :meth:`FaultPlan.planned_retries` and an
+unchanged partition fingerprint.  That is the retry-transparency
+contract of ``repro.io.faults``: a disk that misbehaves transiently
+costs retries, not correctness and not counted I/O.
+
 Wall-clock is deliberately NOT gated here (CI machines are noisy); the
 counted block transfers are exact and machine-independent, which is the
 point of measuring I/O in-model.
@@ -49,6 +57,7 @@ import numpy as np
 
 from repro.bench.harness import run_one
 from repro.core.base import canonicalize_labels
+from repro.io.faults import FaultPlan
 from repro.graph.builders import induced_subgraph
 from repro.graph.digraph import Digraph
 from repro.workloads.realworld import webspam_like
@@ -74,6 +83,13 @@ IO_FIELDS = (
 
 #: Lookahead depth used for the prefetch-transparency re-runs.
 PREFETCH_DEPTH = 8
+
+#: Fault plan for the retry-transparency re-runs: the first three block
+#: reads fail transiently (the first one twice).  The smallest gated
+#: case performs exactly 3 block reads, so ordinals 0-2 are the largest
+#: set guaranteed to fire everywhere — which keeps ``io_retries`` equal
+#: to ``planned_retries()`` for every case.
+FAULT_PLAN = "seed=1;read-error@0x2;read-error@1;read-error@2"
 
 #: Fig. 12 sweep, mirroring bench_fig12_webspam_size.py (including its
 #: skip rule: 2P-SCC and DFS-SCC only survive the small subgraphs).
@@ -141,6 +157,7 @@ def _run_case(
     prefetch_depth: int = 0,
     kernels: str = "vector",
     trace_suffix: str = "",
+    fault_plan: Optional[str] = None,
 ) -> Dict[str, object]:
     trace_path = None
     if trace_dir is not None:
@@ -157,6 +174,7 @@ def _run_case(
         trace_path=trace_path,
         prefetch_depth=prefetch_depth,
         kernels=kernels,
+        fault_plan=fault_plan,
     )
     entry: Dict[str, object] = {
         "algorithm": algorithm,
@@ -171,6 +189,9 @@ def _run_case(
         entry["iterations"] = record.iterations
         entry["num_sccs"] = record.num_sccs
         entry["partition_sha256"] = _partition_fingerprint(record.result.labels)
+        if fault_plan is not None:
+            entry["io_retries"] = io.io_retries
+            entry["faults_injected"] = io.faults_injected
     if trace_path is not None:
         entry["trace"] = os.path.basename(trace_path)
     return entry
@@ -208,6 +229,7 @@ def run_gate(
     trace_dir: Optional[str],
     skip_prefetch_check: bool = False,
     skip_kernel_check: bool = False,
+    skip_fault_check: bool = False,
     kernels: str = "vector",
 ) -> int:
     if trace_dir is not None:
@@ -265,6 +287,44 @@ def run_gate(
                     problems.append(
                         f"{case_id}: {other_kernels} kernels changed {key}: "
                         f"{ok_entry.get(key)!r} != {entry.get(key)!r}"
+                    )
+        if not skip_fault_check and entry["status"] == "ok":
+            # Retry transparency: transient read errors must cost
+            # retries only — same counted I/O, same partition, and
+            # io_retries equal to exactly the planned failure count.
+            plan = FaultPlan.parse(FAULT_PLAN)
+            fault_entry = _run_case(
+                case_id, algorithm, graph, trace_dir,
+                kernels=kernels, trace_suffix="-faulted",
+                fault_plan=FAULT_PLAN,
+            )
+            if fault_entry["status"] != "ok":
+                problems.append(
+                    f"{case_id}: faulted re-run failed with status "
+                    f"{fault_entry['status']!r} (retries should recover)"
+                )
+            else:
+                for fld in IO_FIELDS:
+                    base_value = entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                    f_value = fault_entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                    if base_value != f_value:
+                        problems.append(
+                            f"{case_id}: transient faults changed counted "
+                            f"{fld}: {f_value} != {base_value} "
+                            f"(retries must not be charged)"
+                        )
+                if fault_entry.get("io_retries") != plan.planned_retries():
+                    problems.append(
+                        f"{case_id}: io_retries "
+                        f"{fault_entry.get('io_retries')} != planned "
+                        f"{plan.planned_retries()}"
+                    )
+                if entry.get("partition_sha256") != fault_entry.get(
+                    "partition_sha256"
+                ):
+                    problems.append(
+                        f"{case_id}: transient faults changed the SCC "
+                        f"partition"
                     )
 
     payload = {
@@ -358,6 +418,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the other-kernel transparency re-runs",
     )
     parser.add_argument(
+        "--skip-fault-check", action="store_true",
+        help="skip the retry-transparency (fault-injection) re-runs",
+    )
+    parser.add_argument(
         "--kernels", choices=["vector", "scalar"], default="vector",
         help="scan-kernel backend for the primary runs; the transparency "
              "re-run uses the other backend unless --skip-kernel-check",
@@ -369,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_dir=args.trace_dir,
         skip_prefetch_check=args.skip_prefetch_check,
         skip_kernel_check=args.skip_kernel_check,
+        skip_fault_check=args.skip_fault_check,
         kernels=args.kernels,
     )
 

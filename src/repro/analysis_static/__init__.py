@@ -6,7 +6,7 @@ counted sequential block scan through :mod:`repro.io`.  This package
 makes that discipline checkable:
 
 * :mod:`~repro.analysis_static.rules` — pluggable AST rules (IO001,
-  MEM001, SCAN001, API001, CPU001) run by the
+  IO002, MEM001, SCAN001, API001, CPU001) run by the
   :class:`~repro.analysis_static.engine.Analyzer` and the
   ``repro-scc lint`` CLI subcommand;
 * :mod:`~repro.analysis_static.contracts` — the
@@ -35,6 +35,7 @@ from repro.analysis_static.engine import (
 from repro.analysis_static.rules import (
     ALL_RULES,
     DEFAULT_ALLOWLIST,
+    BareRenameRule,
     CoreAPIRule,
     EdgeMaterializationRule,
     PerEdgeBoxingRule,
@@ -46,6 +47,7 @@ from repro.analysis_static.rules import (
 __all__ = [
     "ALL_RULES",
     "Analyzer",
+    "BareRenameRule",
     "CoreAPIRule",
     "DEFAULT_ALLOWLIST",
     "ENV_VAR",

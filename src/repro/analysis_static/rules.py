@@ -12,6 +12,10 @@ trees behave like the real packages they imitate):
 * **MEM001** — no O(|E|) materialization inside ``repro/core/`` and
   ``repro/spanning/``: the semi-external claim is that algorithms hold
   only O(|V|) state (BR⁺-Tree = 3|V|, BR-Tree = 2|V|).
+* **IO002** — no bare ``os.replace``/``os.rename`` (or ``shutil.move``)
+  outside ``repro/io/atomic.py``: file swaps must go through the
+  staged-fsync-replace protocol, or a crash between rename and fsync
+  can leave a file the durability story no longer covers.
 * **SCAN001** — edge files are consumed by forward block iteration
   only; computed-offset ``seek`` lives solely in ``repro/io/blocks.py``.
 * **API001** — public functions in ``repro/core/`` consume
@@ -180,6 +184,69 @@ class RawIORule(Rule):
                 out.append(
                     self.violation(
                         node, relpath, f"raw Path.{func.attr}() call" + remedy
+                    )
+                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# IO002
+# ----------------------------------------------------------------------
+
+_RENAME_OS_CALLS = frozenset({"replace", "rename", "renames"})
+
+
+class BareRenameRule(Rule):
+    """IO002: bare file renames outside the atomic-rewrite module.
+
+    ``os.replace`` alone is not crash-safe: the staged bytes may still
+    sit in the page cache when power is lost, and the directory entry
+    swap itself needs a directory fsync to be durable.
+    :mod:`repro.io.atomic` wraps the full stage -> fsync -> replace ->
+    dir-fsync protocol (plus the sidecar manifest that
+    ``recover_staging`` cleans up), so every rename in the tree must go
+    through it.  Deliberate exceptions are excused line-by-line with
+    ``# repro: allow[IO002]`` or a :data:`DEFAULT_ALLOWLIST` entry.
+    """
+
+    rule_id = "IO002"
+    title = "bare os.replace/os.rename outside repro/io/atomic.py"
+    rationale = (
+        "file swaps must use the staged fsync+replace protocol of "
+        "repro.io.atomic; a bare rename can lose data on power failure "
+        "and bypasses torn-write recovery"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Everywhere except the one module that implements the protocol."""
+        parts = _path_parts(relpath)
+        return not (parts and parts[-1] == "atomic.py" and "io" in parts[:-1])
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag ``os.replace``/``os.rename``/``shutil.move`` calls."""
+        remedy = (
+            "; swap files via repro.io.atomic.replace_file (staged "
+            "fsync + atomic replace + directory fsync)"
+        )
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = _terminal_name(func.value)
+            if base == "os" and func.attr in _RENAME_OS_CALLS:
+                out.append(
+                    self.violation(
+                        node, relpath,
+                        f"bare os.{func.attr}() call" + remedy,
+                    )
+                )
+            elif base == "shutil" and func.attr == "move":
+                out.append(
+                    self.violation(
+                        node, relpath, "bare shutil.move() call" + remedy
                     )
                 )
         return out
@@ -574,6 +641,7 @@ class PerEdgeBoxingRule(Rule):
 #: Every registered rule, in reporting order.
 ALL_RULES: List[Type[Rule]] = [
     RawIORule,
+    BareRenameRule,
     EdgeMaterializationRule,
     SequentialScanRule,
     CoreAPIRule,

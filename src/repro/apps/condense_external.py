@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.constants import NODE_DTYPE
 from repro.graph.diskgraph import DiskGraph
+from repro.io.atomic import replace_file
 from repro.io.edgefile import EdgeFile
 from repro.io.extsort import external_sort_edges
 from repro.io.memory import MemoryModel
@@ -84,9 +85,7 @@ def condense_to_disk(
 
     if not deduplicate:
         mapped.close()
-        import os
-
-        os.replace(mapped.path, out_path)
+        replace_file(mapped.path, out_path)
         condensed_file = EdgeFile(
             out_path, counter=graph.counter, block_size=graph.block_size
         )

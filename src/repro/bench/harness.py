@@ -76,6 +76,7 @@ def run_one(
     prefetch_depth: int = 0,
     cache_blocks: int = 0,
     kernels: str = "vector",
+    fault_plan: Optional[str] = None,
 ) -> BenchRecord:
     """Run one algorithm on one in-memory workload graph.
 
@@ -89,7 +90,10 @@ def run_one(
     the record's ``params`` when nonzero, so result JSON rows are
     self-describing.  ``kernels`` picks the scan-kernel backend
     (``"vector"``/``"scalar"``) and is echoed the same way when it is
-    not the default.
+    not the default.  ``fault_plan`` injects deterministic I/O faults
+    from a spec string (see :class:`repro.io.faults.FaultPlan`); the
+    retried blocks are never charged as block I/O, so a faulted record's
+    ``ios`` is comparable to a clean run's.
     """
     algo = _resolve(algorithm)
     run_params = dict(params or {})
@@ -99,6 +103,8 @@ def run_one(
         run_params.setdefault("cache_blocks", cache_blocks)
     if kernels != "vector":
         run_params.setdefault("kernels", kernels)
+    if fault_plan:
+        run_params.setdefault("fault_plan", fault_plan)
     record = BenchRecord(
         algorithm=algo.name, workload=workload, status="ok", params=run_params
     )
@@ -130,6 +136,7 @@ def run_one(
                 prefetch_depth=prefetch_depth,
                 cache_blocks=cache_blocks,
                 kernels=kernels,
+                fault_plan=fault_plan,
             )
             record.seconds = result.stats.wall_seconds
             record.ios = result.stats.io.total

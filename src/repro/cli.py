@@ -33,6 +33,7 @@ from repro.bench.harness import run_one
 from repro.bench.reporting import format_table
 from repro.core import ALGORITHMS
 from repro.exceptions import AlgorithmTimeout, NonTermination, ReproError
+from repro.io.faults import SimulatedCrash
 from repro.graph.io_text import read_edge_list
 from repro.graph.storage import (
     load_graph,
@@ -152,6 +153,18 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="profile the run with cProfile and dump "
                               "pstats data to PATH (inspect with "
                               "'python -m pstats PATH')")
+    compute.add_argument("--fault-plan", default=None, metavar="SPEC",
+                         help="inject deterministic I/O faults, e.g. "
+                              "'seed=7;read-error@3x2;crash@scan:1' "
+                              "(falls back to REPRO_FAULT_PLAN; a "
+                              "simulated crash exits with code 4)")
+    compute.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="save an O(|V|) resume snapshot to "
+                              "DIR/checkpoint.npz at every edge-scan "
+                              "boundary (removed on success)")
+    compute.add_argument("--resume", action="store_true",
+                         help="resume from an existing checkpoint in "
+                              "--checkpoint-dir instead of starting over")
 
     compare = sub.add_parser("compare", help="run several algorithms")
     compare.add_argument("graph")
@@ -284,6 +297,9 @@ def _cmd_compute(args: argparse.Namespace) -> int:
                 prefetch_depth=args.prefetch_depth,
                 cache_blocks=args.cache_blocks,
                 kernels=args.kernels,
+                fault_plan=args.fault_plan,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
             )
         finally:
             if profiler is not None:
@@ -295,6 +311,12 @@ def _cmd_compute(args: argparse.Namespace) -> int:
     except NonTermination as exc:
         print(f"DNF: {exc}", file=sys.stderr)
         return 3
+    except SimulatedCrash as exc:
+        print(f"CRASH: {exc}", file=sys.stderr)
+        if args.checkpoint_dir:
+            print(f"resume with: --checkpoint-dir {args.checkpoint_dir} "
+                  f"--resume", file=sys.stderr)
+        return 4
     finally:
         if writer is not None:
             writer.close()
@@ -313,6 +335,16 @@ def _cmd_compute(args: argparse.Namespace) -> int:
     if result.stats.io.prefetched:
         print(f"prefetch:    {result.stats.io.prefetched:,} blocks pipelined, "
               f"{result.stats.io.prefetch_stalls:,} stalls")
+    if result.stats.io.io_retries or result.stats.io.faults_injected:
+        print(f"faults:      {result.stats.io.faults_injected:,} injected, "
+              f"{result.stats.io.io_retries:,} blocks retried "
+              f"(retries not charged as block I/O)")
+    if "resumed_from_boundary" in result.stats.extras:
+        print(f"resumed:     from scan boundary "
+              f"{result.stats.extras['resumed_from_boundary']}")
+    if "checkpoint_boundaries" in result.stats.extras:
+        print(f"checkpoints: {result.stats.extras['checkpoint_boundaries']} "
+              f"boundary snapshot(s) saved")
     print(f"time:        {result.stats.wall_seconds:.2f}s")
     if args.labels_out:
         np.save(args.labels_out, result.labels)

@@ -11,6 +11,7 @@ the number of block I/Os — alongside per-iteration reduction stats
 from __future__ import annotations
 
 import logging
+import os
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -18,9 +19,12 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import AlgorithmTimeout
+from repro.exceptions import AlgorithmTimeout, CheckpointError
 from repro.graph.diskgraph import DiskGraph
-from repro.io.counter import IOStats
+from repro.io.checkpoint import CheckpointSession, LoadedCheckpoint
+from repro.io.counter import IOCounter, IOStats
+from repro.io.edgefile import EdgeFile
+from repro.io.faults import FaultInjector, FaultPlan, SimulatedCrash
 from repro.io.memory import MemoryModel
 from repro.io.prefetch import PageCache
 from repro.kernels import ScanKernels, resolve_kernels
@@ -76,6 +80,19 @@ class IterationStats:
         if self.io is not None:
             payload["io"] = self.io.to_dict()
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "IterationStats":
+        """Rebuild a row from :meth:`to_dict` output (checkpoint resume)."""
+        io_payload = payload.get("io")
+        return cls(
+            iteration=int(payload["iteration"]),  # type: ignore[arg-type]
+            nodes_reduced=int(payload["nodes_reduced"]),  # type: ignore[arg-type]
+            edges_reduced=int(payload["edges_reduced"]),  # type: ignore[arg-type]
+            live_nodes=int(payload["live_nodes"]),  # type: ignore[arg-type]
+            live_edges=int(payload["live_edges"]),  # type: ignore[arg-type]
+            io=IOStats.from_dict(io_payload) if isinstance(io_payload, dict) else None,
+        )
 
 
 @dataclass
@@ -136,6 +153,14 @@ class SCCAlgorithm(ABC):
     #: Short name used in reports (e.g. ``"1PB-SCC"``).
     name: str = "abstract"
 
+    # Per-run robustness context, installed by :meth:`run` before
+    # :meth:`_run` and cleared afterwards.  Class-level defaults keep
+    # direct ``_run`` calls (tests) working without any setup.
+    _checkpoint: Optional[CheckpointSession] = None
+    _injector: Optional[FaultInjector] = None
+    _resume_payload: Optional[LoadedCheckpoint] = None
+    _run_counter: Optional[IOCounter] = None
+
     def run(
         self,
         graph: DiskGraph,
@@ -145,6 +170,9 @@ class SCCAlgorithm(ABC):
         prefetch_depth: int = 0,
         cache_blocks: int = 0,
         kernels: Union[str, ScanKernels, None] = None,
+        fault_plan: Union[str, FaultPlan, None] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> SCCResult:
         """Compute all SCCs of ``graph``.
 
@@ -190,6 +218,27 @@ class SCCAlgorithm(ABC):
             does.  A :class:`~repro.kernels.ScanKernels` instance is
             also accepted (tests use this to inspect counters).
 
+        fault_plan:
+            Optional deterministic fault schedule (a
+            :class:`~repro.io.faults.FaultPlan` or its spec string, e.g.
+            ``"seed=7;read-error@12x2;crash@scan:1"``).  When omitted,
+            the ``REPRO_FAULT_PLAN`` environment variable is consulted,
+            so whole test suites can run under injected faults without
+            touching call sites.  The injector is installed on the
+            graph's I/O counter for the duration of the run only.
+        checkpoint_dir:
+            When given, the algorithm snapshots its O(|V|) state to
+            ``<dir>/checkpoint.npz`` after every completed edge scan;
+            a crashed run can then restart from that boundary.  The
+            checkpoint is removed on successful completion.
+        resume:
+            With ``checkpoint_dir``, restore the saved state and
+            continue from the last completed scan instead of starting
+            over.  The saved I/O tally is added to the resumed run's
+            stats so the totals cover the whole logical run.  Missing
+            checkpoint → fresh start; mismatched checkpoint →
+            :class:`~repro.exceptions.CheckpointError`.
+
         Both policies are installed on the graph's edge file for the
         duration of the run and restored afterwards, so sequential runs
         on a shared graph don't leak policy into each other.
@@ -202,12 +251,41 @@ class SCCAlgorithm(ABC):
             raise ValueError("prefetch_depth and cache_blocks must be non-negative")
         kernel = resolve_kernels(kernels)
         deadline = Deadline(self.name, time_limit)
+        plan = FaultPlan.parse(fault_plan) if isinstance(fault_plan, str) else fault_plan
+        if plan is None:
+            plan = FaultPlan.from_env()
+        injector = FaultInjector(plan) if plan is not None else None
+        session: Optional[CheckpointSession] = None
+        loaded: Optional[LoadedCheckpoint] = None
+        if checkpoint_dir is not None:
+            session = CheckpointSession.for_graph(
+                checkpoint_dir,
+                self.name,
+                graph.num_nodes,
+                graph.num_edges,
+                graph.block_size,
+                graph.edge_file.path,
+            )
+            if resume:
+                loaded = session.load()
+                if loaded is not None:
+                    logger.debug(
+                        "%s: resuming from scan boundary %d",
+                        self.name, loaded.boundary,
+                    )
         logger.debug(
             "%s: starting on %d nodes / %d edges (M=%d, B=%d)",
             self.name, graph.num_nodes, graph.num_edges,
             memory.capacity, memory.block_size,
         )
         io_before = graph.counter.snapshot()
+        restored_io = loaded.io if loaded is not None else None
+        if session is not None:
+            session.bind_io(
+                lambda: graph.counter.since(io_before) + restored_io
+                if restored_io is not None
+                else graph.counter.since(io_before)
+            )
         spans_before = len(tracer.spans)
         previous_cache = graph.edge_file.cache
         previous_depth = graph.edge_file.prefetch_depth
@@ -228,25 +306,48 @@ class SCCAlgorithm(ABC):
             run_attributes["prefetch_depth"] = prefetch_depth
         if cache_blocks:
             run_attributes["cache_blocks"] = cache_blocks
+        if plan is not None:
+            run_attributes["fault_plan"] = plan.to_spec()
+        if loaded is not None:
+            run_attributes["resumed_from_boundary"] = loaded.boundary
+        previous_injector = graph.counter.fault_injector
+        self._checkpoint = session
+        self._injector = injector
+        self._resume_payload = loaded
+        self._run_counter = graph.counter
         try:
+            if injector is not None:
+                graph.counter.fault_injector = injector
             with tracer.attach(graph.counter):
                 with tracer.span("run", **run_attributes):
                     labels, iterations, per_iteration, extras = self._run(
                         graph, memory, deadline, tracer, kernel
                     )
         finally:
+            graph.counter.fault_injector = previous_injector
             graph.edge_file.cache = previous_cache
             graph.edge_file.prefetch_depth = previous_depth
+            self._checkpoint = None
+            self._injector = None
+            self._resume_payload = None
+            self._run_counter = None
         labels, num_sccs = canonicalize_labels(labels)
         if tracer.enabled:
             per_iteration_io = iteration_io(tracer.spans[spans_before:])
             for entry in per_iteration:
                 if entry.io is None:
                     entry.io = per_iteration_io.get(entry.iteration)
+        run_io = graph.counter.since(io_before)
+        if loaded is not None:
+            run_io = run_io + loaded.io
+            extras.setdefault("resumed_from_boundary", loaded.boundary)
+        if session is not None:
+            extras.setdefault("checkpoint_boundaries", session.boundaries_saved)
+            session.complete()
         stats = RunStats(
             algorithm=self.name,
             iterations=iterations,
-            io=graph.counter.since(io_before),
+            io=run_io,
             wall_seconds=deadline.elapsed,
             per_iteration=per_iteration,
             extras=extras,
@@ -267,3 +368,88 @@ class SCCAlgorithm(ABC):
         kernel: ScanKernels,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         """Algorithm body: return ``(labels, iterations, per_iter, extras)``."""
+
+    # ------------------------------------------------------------------
+    # robustness hooks for subclasses
+    # ------------------------------------------------------------------
+    @property
+    def _boundary_active(self) -> bool:
+        """Whether scan boundaries need any work (cheap hot-loop guard).
+
+        Subclasses test this before materialising their state dicts, so
+        runs without a checkpoint directory or fault plan pay nothing.
+        """
+        return self._checkpoint is not None or self._injector is not None
+
+    def _scan_boundary(
+        self,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Mark one completed edge scan: checkpoint, then maybe crash.
+
+        Called by subclasses after every completed scan.  Ordering is
+        the crash-consistency contract: the checkpoint is made durable
+        *first*, so a :class:`~repro.io.faults.SimulatedCrash` planned
+        at this boundary is survivable — resume restarts from this very
+        snapshot.  A no-op when neither a checkpoint directory nor a
+        fault plan is active.
+        """
+        if self._checkpoint is not None and arrays is not None:
+            self._checkpoint.save(arrays, meta or {})
+        if self._injector is not None:
+            try:
+                self._injector.maybe_crash()
+            except SimulatedCrash:
+                if self._run_counter is not None:
+                    self._run_counter.record_fault(1)
+                raise
+
+    def _take_resume(self) -> Optional[LoadedCheckpoint]:
+        """Claim the resume payload (once); ``None`` on a fresh run."""
+        payload = self._resume_payload
+        self._resume_payload = None
+        return payload
+
+    def _resume_edge_file(
+        self, graph: DiskGraph, meta: Dict[str, object]
+    ) -> Tuple[EdgeFile, bool]:
+        """Reopen the working edge file a checkpoint references.
+
+        Returns ``(edge_file, owns_current)``.  When the checkpointed
+        run had already replaced the input with a reduced scratch file,
+        that file must still exist — a missing scratch means the
+        checkpoint outlived its working set and resuming is impossible.
+        """
+        owns = bool(meta.get("owns_current", False))
+        if not owns:
+            return graph.edge_file, False
+        path = str(meta["current_path"])
+        if not os.path.exists(path):
+            raise CheckpointError(
+                f"checkpoint references missing working file {path}"
+            )
+        edge_file = EdgeFile(
+            path,
+            counter=graph.counter,
+            block_size=graph.block_size,
+            cache=graph.edge_file.cache,
+            prefetch_depth=graph.edge_file.prefetch_depth,
+        )
+        return edge_file, True
+
+    def _retire_scratch(self, edge_file: EdgeFile) -> None:
+        """Dispose of a replaced working file, checkpoint-safely.
+
+        Without a checkpoint session this is a plain unlink.  With one,
+        the most recent durable checkpoint may still reference the
+        file, so deletion is deferred until the next checkpoint save
+        (see :meth:`~repro.io.checkpoint.CheckpointSession.retire`).
+        """
+        if self._checkpoint is None:
+            edge_file.unlink()
+            return
+        if edge_file.cache is not None:
+            edge_file.cache.invalidate(edge_file.path)
+        edge_file.close()
+        self._checkpoint.retire(edge_file.path)

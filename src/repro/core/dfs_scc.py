@@ -15,7 +15,8 @@ exactly the SCCs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import os
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +24,9 @@ from repro.constants import VIRTUAL_ROOT
 from repro.core.base import Deadline, IterationStats, SCCAlgorithm
 from repro.exceptions import NonTermination
 from repro.graph.diskgraph import DiskGraph
+from repro.io.edgefile import EdgeFile
 from repro.io.extsort import reverse_edges
+from repro.io.faults import SimulatedCrash
 from repro.io.memory import MemoryModel
 from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -146,6 +149,51 @@ class _DFSTree:
                     stack.append((child, False))
         return out
 
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The tree's checkpoint state, children/roots order included.
+
+        Unlike :class:`~repro.spanning.tree.ContractibleTree`, children
+        *order* is semantic here (preorder and postorder depend on it),
+        so the ordered adjacency is flattened into a
+        ``children_flat``/``children_offsets`` pair and the root dict
+        into an ordered ``roots`` array.
+        """
+        flat: List[int] = []
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        for v in range(self.n):
+            flat.extend(self.children[v])
+            offsets[v + 1] = len(flat)
+        return {
+            "parent": self.parent,
+            "depth": self.depth,
+            "pre": self.pre,
+            "size": self.size,
+            "children_flat": np.asarray(flat, dtype=np.int64),
+            "children_offsets": offsets,
+            "roots": np.fromiter(
+                self.roots, dtype=np.int64, count=len(self.roots)
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, arrays: Dict[str, np.ndarray]) -> "_DFSTree":
+        """Rebuild a tree from :meth:`state_arrays` output."""
+        n = int(arrays["parent"].shape[0])
+        tree = cls(np.arange(n, dtype=np.int64))
+        tree.parent[:] = arrays["parent"]
+        tree.depth[:] = arrays["depth"]
+        tree.pre[:] = arrays["pre"]
+        tree.size[:] = arrays["size"]
+        offsets = arrays["children_offsets"]
+        flat = arrays["children_flat"]
+        tree.children = [
+            {int(c): None for c in flat[int(offsets[v]) : int(offsets[v + 1])]}
+            for v in range(n)
+        ]
+        tree.roots = {int(v): None for v in arrays["roots"]}
+        return tree
+
     def root_subtree_labels(self) -> np.ndarray:
         """Label every node by the root of its tree (Algorithm 2, line 5)."""
         labels = np.empty(self.n, dtype=np.int64)
@@ -166,6 +214,8 @@ def build_dfs_tree(
     tracer: Tracer = NULL_TRACER,
     iteration_offset: int = 0,
     kernel: Optional[ScanKernels] = None,
+    boundary: Optional[Callable[[_DFSTree, int, bool], None]] = None,
+    resume: Optional[Tuple[_DFSTree, int, bool]] = None,
 ) -> Tuple[_DFSTree, int]:
     """Paper Algorithm 1: DFS tree by forward-cross-edge elimination.
 
@@ -173,13 +223,22 @@ def build_dfs_tree(
     is traced as a ``dfs-scan`` span (numbered from ``iteration_offset``
     so the two passes of DFS-SCC do not collide) carrying a
     ``reparents`` counter.
+
+    ``boundary``, when given, is invoked after every completed scan
+    with ``(tree, iterations, updated)`` — the checkpoint/crash hook.
+    ``resume`` restarts the loop from a restored
+    ``(tree, iterations, updated)`` snapshot (``order`` is then ignored:
+    the snapshot embeds the root and children order).
     """
     kernel = kernel if kernel is not None else resolve_kernels()
-    tree = _DFSTree(order)
+    if resume is not None:
+        tree, iterations, updated = resume
+    else:
+        tree = _DFSTree(order)
+        iterations = 0
+        updated = True
     if max_iterations is None:
         max_iterations = 2 * graph.num_nodes + 4
-    iterations = 0
-    updated = True
     while updated:
         deadline.check()
         if iterations >= max_iterations:
@@ -202,6 +261,8 @@ def build_dfs_tree(
             tracer.add("edges-classified", edges_classified)
             for key, value in kernel.drain_counters().items():
                 tracer.add(key, value)
+        if boundary is not None:
+            boundary(tree, iterations, updated)
     return tree, iterations
 
 
@@ -225,17 +286,67 @@ class DFSSCC(SCCAlgorithm):
             return np.empty(0, dtype=np.int64), 0, [], {}
 
         natural = np.arange(n, dtype=np.int64)
-        with tracer.span("first-pass"):
-            first_tree, first_scans = build_dfs_tree(
-                graph, natural, deadline, tracer=tracer, kernel=kernel
+        resume = self._take_resume()
+        phase = "first"
+        pass_resume: Optional[Tuple[_DFSTree, int, bool]] = None
+        first_scans = 0
+        if resume is not None:
+            phase = str(resume.meta["phase"])
+            pass_resume = (
+                _DFSTree.from_state(resume.arrays),
+                int(resume.meta["scans"]),  # type: ignore[arg-type]
+                bool(resume.meta["updated"]),
             )
-        decreasing_post = first_tree.postorder()[::-1]
+            if phase == "second":
+                first_scans = int(resume.meta["first_scans"])  # type: ignore[arg-type]
 
-        with tracer.span("transpose"):
-            deadline.check()
-            reversed_file = reverse_edges(
-                graph.edge_file, out_path=graph.scratch_path("rev")
+        def pass_boundary(
+            phase_name: str, extra: Dict[str, object]
+        ) -> Callable[[_DFSTree, int, bool], None]:
+            def callback(t: _DFSTree, scans: int, updated: bool) -> None:
+                meta: Dict[str, object] = {
+                    "phase": phase_name, "scans": scans, "updated": updated,
+                }
+                meta.update(extra)
+                self._scan_boundary(arrays=t.state_arrays(), meta=meta)
+
+            return callback
+
+        if phase == "first":
+            with tracer.span("first-pass"):
+                first_tree, first_scans = build_dfs_tree(
+                    graph, natural, deadline, tracer=tracer, kernel=kernel,
+                    boundary=(
+                        pass_boundary("first", {})
+                        if self._boundary_active else None
+                    ),
+                    resume=pass_resume,
+                )
+            decreasing_post = first_tree.postorder()[::-1]
+            second_resume: Optional[Tuple[_DFSTree, int, bool]] = None
+        else:
+            # The restored second tree embeds its own root/children
+            # order, so the first pass (and its postorder) is not redone.
+            decreasing_post = natural
+            second_resume = pass_resume
+
+        rev_path = graph.scratch_path("rev")
+        if second_resume is not None and os.path.exists(rev_path):
+            # The transpose survived the crash; reuse it instead of
+            # paying the reversal scan again.
+            reversed_file = EdgeFile(
+                rev_path,
+                counter=graph.counter,
+                block_size=graph.block_size,
+                cache=graph.edge_file.cache,
+                prefetch_depth=graph.edge_file.prefetch_depth,
             )
+        else:
+            with tracer.span("transpose"):
+                deadline.check()
+                reversed_file = reverse_edges(
+                    graph.edge_file, out_path=rev_path
+                )
         try:
             reversed_graph = DiskGraph(n, reversed_file)
             with tracer.span("second-pass"):
@@ -243,10 +354,21 @@ class DFSSCC(SCCAlgorithm):
                     reversed_graph, decreasing_post, deadline,
                     tracer=tracer, iteration_offset=first_scans,
                     kernel=kernel,
+                    boundary=(
+                        pass_boundary("second", {"first_scans": first_scans})
+                        if self._boundary_active else None
+                    ),
+                    resume=second_resume,
                 )
             labels = second_tree.root_subtree_labels()
-        finally:
+        except SimulatedCrash:
+            # A simulated power loss: keep the transposed file on disk —
+            # the resumed second pass reuses it.
+            raise
+        except BaseException:
             reversed_file.unlink()
+            raise
+        reversed_file.unlink()
 
         iterations = first_scans + second_scans
         per_iteration = [

@@ -26,6 +26,7 @@ from repro.graph.digraph import Digraph
 from repro.graph.diskgraph import DiskGraph
 from repro.inmemory.kosaraju import kosaraju_scc
 from repro.io.edgefile import EdgeFile
+from repro.io.faults import SimulatedCrash
 from repro.io.memory import MemoryModel
 from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -64,12 +65,25 @@ class EMSCC(SCCAlgorithm):
         if n == 0:
             return np.empty(0, dtype=np.int64), 0, [], {}
 
-        ds = DisjointSet(n)
-        live = np.ones(n, dtype=bool)
-        current = graph.edge_file
-        owns_current = False
-        per_iteration: List[IterationStats] = []
-        iteration = 0
+        resume = self._take_resume()
+        if resume is not None:
+            ds = DisjointSet.from_arrays(
+                resume.arrays["ds_parent"], resume.arrays["ds_size"]
+            )
+            live = resume.arrays["live"].astype(bool)
+            iteration = int(resume.meta["iteration"])  # type: ignore[arg-type]
+            current, owns_current = self._resume_edge_file(graph, resume.meta)
+            per_iteration = [
+                IterationStats.from_dict(row)
+                for row in resume.meta.get("per_iteration", [])  # type: ignore[union-attr]
+            ]
+        else:
+            ds = DisjointSet(n)
+            live = np.ones(n, dtype=bool)
+            current = graph.edge_file
+            owns_current = False
+            per_iteration = []
+            iteration = 0
 
         # Edges a partition may hold: the memory left after one node
         # array (the contraction map).
@@ -136,9 +150,32 @@ class EMSCC(SCCAlgorithm):
                 if not progress:
                     # Case-1/Case-2 of Section 4: stuck while too large.
                     raise NonTermination(self.name, iteration)
-        finally:
+                if self._boundary_active:
+                    self._scan_boundary(
+                        arrays={
+                            "ds_parent": ds.parent,
+                            "ds_size": ds.size,
+                            "live": live,
+                        },
+                        meta={
+                            "iteration": iteration,
+                            "current_path": current.path,
+                            "owns_current": owns_current,
+                            "per_iteration": [
+                                row.to_dict() for row in per_iteration
+                            ],
+                        },
+                    )
+        except SimulatedCrash:
+            # A simulated power loss: the working file stays on disk —
+            # the last durable checkpoint references it for resume.
+            raise
+        except BaseException:
             if owns_current:
                 current.unlink()
+            raise
+        if owns_current:
+            current.unlink()
 
         labels, _ = ds.labels()
         return labels, iteration, per_iteration, {}
@@ -209,8 +246,8 @@ class EMSCC(SCCAlgorithm):
             rep = int(members[0])
             kernel.absorb_members(ds, live, members[1:], rep)
 
-    @staticmethod
     def _rewrite(
+        self,
         graph: DiskGraph,
         ds: DisjointSet,
         live: np.ndarray,
@@ -238,5 +275,7 @@ class EMSCC(SCCAlgorithm):
                 reduced.append(batch)
             reduced.flush()
         if owns_current:
-            current.unlink()
+            # Checkpoint-safe disposal: the last durable checkpoint may
+            # still reference this file (see _retire_scratch).
+            self._retire_scratch(current)
         return reduced, True

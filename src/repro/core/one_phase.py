@@ -36,6 +36,7 @@ from repro.core.base import Deadline, IterationStats, SCCAlgorithm, logger
 from repro.exceptions import NonTermination
 from repro.graph.diskgraph import DiskGraph
 from repro.io.edgefile import EdgeFile
+from repro.io.faults import SimulatedCrash
 from repro.io.memory import MemoryModel
 from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -104,14 +105,25 @@ class OnePhaseSCC(SCCAlgorithm):
         if n == 0:
             return np.empty(0, dtype=np.int64), 0, [], {}
 
-        tree = ContractibleTree(n)
         tau = max(2, int(math.ceil(self.tau_fraction * n)))
-        current = graph.edge_file
-        owns_current = False  # never rewrite the caller's input file
-        per_iteration: List[IterationStats] = []
-        iteration = 0
         max_iterations = 4 * n + 16
-        updated = True
+        resume = self._take_resume()
+        if resume is not None:
+            tree = ContractibleTree.from_state(resume.arrays)
+            iteration = int(resume.meta["iteration"])  # type: ignore[arg-type]
+            updated = bool(resume.meta["updated"])
+            current, owns_current = self._resume_edge_file(graph, resume.meta)
+            per_iteration = [
+                IterationStats.from_dict(row)
+                for row in resume.meta.get("per_iteration", [])  # type: ignore[union-attr]
+            ]
+        else:
+            tree = ContractibleTree(n)
+            current = graph.edge_file
+            owns_current = False  # never rewrite the caller's input file
+            per_iteration = []
+            iteration = 0
+            updated = True
 
         try:
             while updated:
@@ -186,9 +198,29 @@ class OnePhaseSCC(SCCAlgorithm):
                         live_edges=current.num_edges,
                     )
                 )
-        finally:
+                if self._boundary_active:
+                    self._scan_boundary(
+                        arrays=tree.state_arrays(),
+                        meta={
+                            "iteration": iteration,
+                            "updated": updated,
+                            "current_path": current.path,
+                            "owns_current": owns_current,
+                            "per_iteration": [
+                                row.to_dict() for row in per_iteration
+                            ],
+                        },
+                    )
+        except SimulatedCrash:
+            # A simulated power loss: the working file stays on disk —
+            # the last durable checkpoint references it for resume.
+            raise
+        except BaseException:
             if owns_current:
                 current.unlink()
+            raise
+        if owns_current:
+            current.unlink()
 
         labels, _ = tree.scc_labels()
         extras = {
@@ -290,5 +322,7 @@ class OnePhaseSCC(SCCAlgorithm):
                 reduced.append(np.column_stack((us, vs)).astype(NODE_DTYPE))
             reduced.flush()
         if owns_current:
-            current.unlink()
+            # Checkpoint-safe disposal: the last durable checkpoint may
+            # still reference this file (see _retire_scratch).
+            self._retire_scratch(current)
         return reduced, True, (drank_min, drank_max)

@@ -42,6 +42,7 @@ from repro.graph.digraph import Digraph
 from repro.graph.diskgraph import DiskGraph
 from repro.inmemory.kosaraju import kosaraju_scc
 from repro.io.edgefile import EdgeFile
+from repro.io.faults import SimulatedCrash
 from repro.io.memory import MemoryModel
 from repro.kernels import ScanKernels, resolve_kernels
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -91,21 +92,39 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         if n == 0:
             return np.empty(0, dtype=np.int64), 0, [], {}
 
-        parent = np.full(n, VIRTUAL_ROOT, dtype=np.int64)
-        depth = np.ones(n, dtype=np.int64)
-        parent_real = np.zeros(n, dtype=bool)
-        live = np.ones(n, dtype=bool)
-        ds = DisjointSet(n)
-        rejected: List[int] = []
-
         tau = max(2, int(math.ceil(self.tau_fraction * n)))
-        current = graph.edge_file
-        owns_current = False
-        per_iteration: List[IterationStats] = []
-        iteration = 0
         max_iterations = 4 * n + 16
-        updated = True
-        total_batches = 0
+        resume = self._take_resume()
+        if resume is not None:
+            parent = resume.arrays["parent"].astype(np.int64)
+            depth = resume.arrays["depth"].astype(np.int64)
+            parent_real = resume.arrays["parent_real"].astype(bool)
+            live = resume.arrays["live"].astype(bool)
+            ds = DisjointSet.from_arrays(
+                resume.arrays["ds_parent"], resume.arrays["ds_size"]
+            )
+            rejected = [int(v) for v in resume.arrays["rejected"]]
+            iteration = int(resume.meta["iteration"])  # type: ignore[arg-type]
+            updated = bool(resume.meta["updated"])
+            total_batches = int(resume.meta["total_batches"])  # type: ignore[arg-type]
+            current, owns_current = self._resume_edge_file(graph, resume.meta)
+            per_iteration = [
+                IterationStats.from_dict(row)
+                for row in resume.meta.get("per_iteration", [])  # type: ignore[union-attr]
+            ]
+        else:
+            parent = np.full(n, VIRTUAL_ROOT, dtype=np.int64)
+            depth = np.ones(n, dtype=np.int64)
+            parent_real = np.zeros(n, dtype=bool)
+            live = np.ones(n, dtype=bool)
+            ds = DisjointSet(n)
+            rejected = []
+            current = graph.edge_file
+            owns_current = False
+            per_iteration = []
+            iteration = 0
+            updated = True
+            total_batches = 0
 
         try:
             while updated:
@@ -196,9 +215,38 @@ class OnePhaseBatchSCC(SCCAlgorithm):
                         live_edges=current.num_edges,
                     )
                 )
-        finally:
+                if self._boundary_active:
+                    self._scan_boundary(
+                        arrays={
+                            "parent": parent,
+                            "depth": depth,
+                            "parent_real": parent_real,
+                            "live": live,
+                            "ds_parent": ds.parent,
+                            "ds_size": ds.size,
+                            "rejected": np.asarray(rejected, dtype=np.int64),
+                        },
+                        meta={
+                            "iteration": iteration,
+                            "updated": updated,
+                            "total_batches": total_batches,
+                            "current_path": current.path,
+                            "owns_current": owns_current,
+                            "per_iteration": [
+                                row.to_dict() for row in per_iteration
+                            ],
+                        },
+                    )
+        except SimulatedCrash:
+            # A simulated power loss: the working file stays on disk —
+            # the last durable checkpoint references it for resume.
+            raise
+        except BaseException:
             if owns_current:
                 current.unlink()
+            raise
+        if owns_current:
+            current.unlink()
 
         labels, _ = ds.labels()
         extras = {
@@ -332,8 +380,8 @@ class OnePhaseBatchSCC(SCCAlgorithm):
         return changed, largest
 
     # ------------------------------------------------------------------
-    @staticmethod
     def _reduce_graph(
+        self,
         graph: DiskGraph,
         ds: DisjointSet,
         live: np.ndarray,
@@ -377,5 +425,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
                 reduced.append(np.column_stack((us, vs)).astype(NODE_DTYPE))
             reduced.flush()
         if owns_current:
-            current.unlink()
+            # Checkpoint-safe disposal: the last durable checkpoint may
+            # still reference this file (see _retire_scratch).
+            self._retire_scratch(current)
         return reduced, True, (drank_min, drank_max)

@@ -16,7 +16,7 @@ SCCs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,21 +36,33 @@ def tree_construction(
     max_iterations: int | None = None,
     tracer: Tracer = NULL_TRACER,
     kernel: Optional[ScanKernels] = None,
+    boundary: Optional[Callable[[BRPlusTree, int, bool], None]] = None,
+    resume: Optional[Tuple[BRPlusTree, int, bool]] = None,
 ) -> Tuple[BRPlusTree, int]:
     """Paper Algorithm 4: build a BR+-Tree free of up-edges.
 
     Returns the tree and the number of full edge scans performed.  Each
     scan is traced as a ``pushdown-scan`` span (with ``pushdowns`` and
     ``backward-links`` counters) under one ``tree-construction`` span.
+
+    ``boundary``, when given, is invoked after every completed scan
+    (post ``update_drank``) with ``(tree, scans, updated)`` — the
+    checkpoint/crash hook.  ``resume`` restarts the loop from a
+    restored ``(tree, scans, updated)`` snapshot instead of the initial
+    star (the tree's drank/dlink are part of the snapshot, so no
+    refresh is needed).
     """
     kernel = kernel if kernel is not None else resolve_kernels()
     n = graph.num_nodes
-    tree = BRPlusTree(n)
-    tree.update_drank()
+    if resume is not None:
+        tree, scans, updated = resume
+    else:
+        tree = BRPlusTree(n)
+        tree.update_drank()
+        scans = 0
+        updated = True
     if max_iterations is None:
         max_iterations = n + 2
-    scans = 0
-    updated = True
     with tracer.span("tree-construction"):
         while updated:
             deadline.check()
@@ -91,6 +103,8 @@ def tree_construction(
                 for key, value in kernel.drain_counters().items():
                     tracer.add(key, value)
             tree.update_drank()
+            if boundary is not None:
+                boundary(tree, scans, updated)
     return tree, scans
 
 
@@ -163,13 +177,57 @@ class TwoPhaseSCC(SCCAlgorithm):
         if n == 0:
             return np.empty(0, dtype=np.int64), 0, [], {}
 
-        tree, construction_scans = tree_construction(
-            graph, deadline, tracer=tracer, kernel=kernel
-        )
-        search_scans = tree_search(
-            graph, tree, deadline, tracer=tracer,
-            scan_index=construction_scans + 1, kernel=kernel,
-        )
+        resume = self._take_resume()
+        construction_resume: Optional[Tuple[BRPlusTree, int, bool]] = None
+        phase = "construction"
+        construction_scans = 0
+        search_scans = 0
+        tree: Optional[BRPlusTree] = None
+        if resume is not None:
+            tree = BRPlusTree.from_state(resume.arrays)
+            phase = str(resume.meta["phase"])
+            construction_scans = int(resume.meta["scans"])  # type: ignore[arg-type]
+            if phase == "construction":
+                construction_resume = (
+                    tree, construction_scans, bool(resume.meta["updated"])
+                )
+
+        if phase == "search-done":
+            # The crash hit after the search scan completed: the
+            # restored tree already holds the final contraction.
+            assert tree is not None
+            search_scans = int(resume.meta["search_scans"])  # type: ignore[arg-type,union-attr]
+        else:
+            def construction_boundary(
+                t: BRPlusTree, scans: int, updated: bool
+            ) -> None:
+                self._scan_boundary(
+                    arrays=t.state_arrays(),
+                    meta={
+                        "phase": "construction",
+                        "scans": scans,
+                        "updated": updated,
+                    },
+                )
+
+            tree, construction_scans = tree_construction(
+                graph, deadline, tracer=tracer, kernel=kernel,
+                boundary=construction_boundary if self._boundary_active else None,
+                resume=construction_resume,
+            )
+            search_scans = tree_search(
+                graph, tree, deadline, tracer=tracer,
+                scan_index=construction_scans + 1, kernel=kernel,
+            )
+            if self._boundary_active:
+                self._scan_boundary(
+                    arrays=tree.state_arrays(),
+                    meta={
+                        "phase": "search-done",
+                        "scans": construction_scans,
+                        "search_scans": search_scans,
+                    },
+                )
         labels, _ = tree.scc_labels()
 
         iterations = construction_scans + search_scans

@@ -51,6 +51,16 @@ class ValidationError(ReproError):
     """A computed SCC partition failed cross-validation."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint is unreadable or does not match this (graph, algorithm).
+
+    Raised by :class:`~repro.io.checkpoint.CheckpointSession` when a
+    resume is requested against a checkpoint written for a different
+    input graph, block size, algorithm, or layout version — resuming it
+    would silently produce a wrong partition, so the mismatch is fatal.
+    """
+
+
 class ContractViolation(ReproError):
     """A runtime invariant of the semi-external model was broken.
 

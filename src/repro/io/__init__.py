@@ -18,22 +18,43 @@ provides that model as a library:
   accounting, used to reverse and regroup edge files.
 * :mod:`~repro.io.prefetch` — the background block prefetcher and the
   counted page cache (hits tallied, never charged as block reads).
+* :mod:`~repro.io.atomic` — crash-consistent file replacement (stage,
+  fsync, rename, directory fsync) behind every graph rewrite.
+* :mod:`~repro.io.faults` — the deterministic fault-injection harness
+  (transient read errors, torn writes, simulated crashes) and the
+  bounded :class:`~repro.io.faults.RetryPolicy`.
+* :mod:`~repro.io.checkpoint` — O(|V|) scan-boundary snapshots that
+  let a killed run resume from its last completed scan.
 """
 
 from repro.io.blocks import BlockDevice
 from repro.io.counter import IOCounter, IOStats
 from repro.io.edgefile import EdgeFile
 from repro.io.extsort import external_sort_edges
+from repro.io.faults import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SimulatedCrash,
+    TornWriteError,
+    TransientIOError,
+)
 from repro.io.memory import MemoryModel
 from repro.io.prefetch import BlockPrefetcher, PageCache
 
 __all__ = [
     "BlockDevice",
     "BlockPrefetcher",
+    "FaultInjector",
+    "FaultPlan",
     "IOCounter",
     "IOStats",
     "EdgeFile",
     "MemoryModel",
     "PageCache",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "TornWriteError",
+    "TransientIOError",
     "external_sort_edges",
 ]

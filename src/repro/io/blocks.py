@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 
 from repro.constants import DEFAULT_BLOCK_SIZE
 from repro.io.counter import IOCounter
+from repro.io.faults import FaultInjector, TornWriteError, TransientIOError
 
 
 def simulated_disk_latencies() -> Tuple[float, float]:
@@ -116,9 +117,17 @@ class BlockDevice:
         """Read block ``index`` and tally one block read.
 
         The final block of the file may be shorter than ``block_size``.
+        When a :class:`~repro.io.faults.FaultInjector` is installed on
+        the counter, planned transient failures strike here and are
+        retried under the injector's policy; failed attempts are
+        tallied as ``io_retries``, never as block reads, so only the
+        successful attempt is charged.
         """
         if index < 0 or index >= self.num_blocks:
             raise IndexError(f"block {index} out of range (have {self.num_blocks})")
+        injector = self.counter.fault_injector
+        if injector is not None:
+            self._pass_read_faults(injector)
         sequential = index == self._last_read_block + 1
         self._file.seek(index * self.block_size)
         data = self._file.read(self.block_size)
@@ -126,6 +135,30 @@ class BlockDevice:
         self.counter.record_read(1, len(data), sequential=sequential, origin=self.path)
         self._simulate_latency(sequential)
         return data
+
+    def _pass_read_faults(self, injector: FaultInjector) -> None:
+        """Clear this counted read's planned faults, retrying as allowed.
+
+        Claims the next device-wide read ordinal, then loops: each
+        planned :class:`TransientIOError` is tallied as a fired fault
+        and — while the :class:`~repro.io.faults.RetryPolicy` has
+        budget — backed off and retried (one ``io_retries`` tick per
+        re-attempt).  Exhausting the budget lets the error escape to
+        the caller, exactly as a persistent ``EIO`` would.
+        """
+        ordinal = injector.next_read_ordinal()
+        attempt = 0
+        while True:
+            try:
+                injector.check_read(ordinal, self.path)
+                return
+            except TransientIOError:
+                self.counter.record_fault(1, origin=self.path)
+                if attempt >= injector.policy.max_retries:
+                    raise
+                injector.policy.sleep(attempt)
+                self.counter.record_retry(1, origin=self.path)
+                attempt += 1
 
     def account_prefetched_read(self, index: int, nbytes: int, stalled: bool) -> None:
         """Tally a block read whose bytes arrived via a prefetch thread.
@@ -140,19 +173,47 @@ class BlockDevice:
         charged here: the prefetch thread already paid it while the
         consumer computed — that overlap is the whole point.
         """
+        injector = self.counter.fault_injector
+        if injector is not None:
+            # Faults strike at *counted*-read time so plans stay aligned
+            # with ordinals regardless of the prefetch configuration; the
+            # payload already arrived on the reader thread, so a "retry"
+            # simply re-serves it after the same tallies and backoff.
+            self._pass_read_faults(injector)
         sequential = index == self._last_read_block + 1
         self._last_read_block = index
         self.counter.record_read(1, nbytes, sequential=sequential, origin=self.path)
         self.counter.record_prefetch(1, stalled=stalled, origin=self.path)
 
     def write_block(self, index: int, data: bytes) -> None:
-        """Write ``data`` at block ``index`` and tally one block write."""
+        """Write ``data`` at block ``index`` and tally one block write.
+
+        A planned torn write persists only the planned byte prefix and
+        raises :class:`~repro.io.faults.TornWriteError` — deliberately
+        unretried, because a torn block is exactly the failure the
+        atomic-rewrite protocol (:mod:`repro.io.atomic`) exists to
+        contain.
+        """
         if index < 0:
             raise IndexError("block index must be non-negative")
         if len(data) > self.block_size:
             raise ValueError("data does not fit in one block")
-        sequential = index == self._last_write_block + 1
         offset = index * self.block_size
+        injector = self.counter.fault_injector
+        if injector is not None:
+            ordinal = injector.next_write_ordinal()
+            torn = injector.torn_offset(ordinal)
+            if torn is not None:
+                self._file.seek(offset)
+                self._file.write(data[: torn])
+                self._file.flush()
+                self._size = max(self._size, offset + min(torn, len(data)))
+                injector.record_torn_write()
+                self.counter.record_fault(1, origin=self.path)
+                raise TornWriteError(
+                    f"injected torn write at {self.path}#{ordinal} (offset {torn})"
+                )
+        sequential = index == self._last_write_block + 1
         self._file.seek(offset)
         self._file.write(data)
         self._last_write_block = index

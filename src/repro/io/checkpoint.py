@@ -1,0 +1,263 @@
+"""Scan-boundary checkpoints: O(|V|) snapshots that survive a crash.
+
+The semi-external constraint is what makes resume cheap: between edge
+scans, the *entire* live state of every algorithm in :mod:`repro.core`
+is a handful of node-sized arrays (tree parents/depths/links, the
+union-find, a few counters) — the edge data on disk is never mutated
+in place thanks to the atomic-rewrite protocol.  A
+:class:`CheckpointSession` snapshots those arrays to a single versioned
+``checkpoint.npz`` after every completed scan, so a killed multi-hour
+run restarts from its last boundary instead of from zero.
+
+Layout: one ``.npz`` holding the algorithm's state arrays plus a
+``__meta__`` JSON header::
+
+    {"version": 1, "algorithm": "1P-SCC", "fingerprint": "sha256...",
+     "boundary": 7, "io": {...IOStats...}, "meta": {...algorithm state...}}
+
+* ``fingerprint`` binds the checkpoint to one (graph, algorithm,
+  block-size) combination — resuming against a different input fails
+  loudly with :class:`~repro.exceptions.CheckpointError` rather than
+  silently producing a wrong partition.
+* ``io`` is the counted I/O spent before the crash; the resumed run
+  adds it back so the final tallies cover the whole logical run.
+* The file itself is written through :func:`repro.io.atomic.replace_file`
+  (stage → fsync → rename → directory fsync), so a crash mid-save
+  leaves the previous checkpoint intact.
+
+Checkpoint writes are *not* charged to the I/O counter: like the trace
+sidecar, they are observability/durability metadata outside the block
+model, and charging them would make checkpointed runs incomparable to
+the paper's counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+from repro.io.atomic import recover_staging, replace_file
+from repro.io.counter import IOStats
+
+#: Bump when the on-disk checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: File name of the (single, most recent) checkpoint in a directory.
+CHECKPOINT_NAME = "checkpoint.npz"
+
+
+def graph_fingerprint(algorithm: str, num_nodes: int, num_edges: int,
+                      block_size: int, path: str) -> str:
+    """Identity of one (algorithm, input graph) run for resume validation.
+
+    Derived from the quantities that must not change between the
+    crashed and the resuming process: node/edge counts, block size,
+    the algorithm name, and the input file's base name (not its full
+    path, so a moved working directory still resumes).
+    """
+    key = "|".join(
+        (
+            str(CHECKPOINT_VERSION),
+            algorithm,
+            str(num_nodes),
+            str(num_edges),
+            str(block_size),
+            os.path.basename(path),
+        )
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+def _jsonify(value: object) -> object:
+    """Coerce numpy scalars (and containers of them) to JSON-able types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
+
+
+@dataclass
+class LoadedCheckpoint:
+    """A validated checkpoint read back from disk."""
+
+    arrays: Dict[str, np.ndarray]
+    meta: Dict[str, object]
+    io: IOStats
+    boundary: int
+
+
+@dataclass
+class CheckpointSession:
+    """Manages the checkpoint file of one run inside ``directory``.
+
+    One session is created by :meth:`SCCAlgorithm.run
+    <repro.core.base.SCCAlgorithm.run>` when a checkpoint directory is
+    given.  :meth:`save` is called at every scan boundary, :meth:`load`
+    once when resuming, and :meth:`complete` on success (removing the
+    checkpoint — a finished run needs no resume point).
+
+    :meth:`retire` solves the scratch-file lifetime problem: the
+    checkpoint references the current working edge file by path, so the
+    file an *older* checkpoint referenced may only be deleted once a
+    newer checkpoint is durable.  Algorithms hand replaced working
+    files to ``retire`` instead of unlinking them; ``save`` deletes
+    them after the new checkpoint has been renamed into place.
+    """
+
+    directory: str
+    algorithm: str
+    fingerprint: str
+    #: Scan boundaries saved by *this* session (not counting the crashed
+    #: process's — the crash-matrix test reads it off an uninterrupted run).
+    boundaries_saved: int = 0
+    _io_provider: Optional[Callable[[], IOStats]] = field(
+        default=None, repr=False, compare=False
+    )
+    _retired: List[str] = field(default_factory=list, repr=False, compare=False)
+
+    @classmethod
+    def for_graph(cls, directory: str, algorithm: str, num_nodes: int,
+                  num_edges: int, block_size: int,
+                  path: str) -> "CheckpointSession":
+        """Create a session bound to one (algorithm, graph) identity."""
+        os.makedirs(directory, exist_ok=True)
+        return cls(
+            directory=directory,
+            algorithm=algorithm,
+            fingerprint=graph_fingerprint(
+                algorithm, num_nodes, num_edges, block_size, path
+            ),
+        )
+
+    @property
+    def path(self) -> str:
+        """Path of the checkpoint file this session reads and writes."""
+        return os.path.join(self.directory, CHECKPOINT_NAME)
+
+    def bind_io(self, provider: Callable[[], IOStats]) -> None:
+        """Install the callable snapshotting the run's I/O delta so far."""
+        self._io_provider = provider
+
+    def retire(self, path: str) -> None:
+        """Queue a replaced working file for deletion after the next save.
+
+        The most recent durable checkpoint may still reference ``path``;
+        deleting it now would make that checkpoint unusable after a
+        mid-iteration kill.  It is removed once :meth:`save` has made a
+        newer checkpoint durable (or at :meth:`complete`).
+        """
+        self._retired.append(path)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, arrays: Dict[str, np.ndarray],
+             meta: Dict[str, object]) -> int:
+        """Durably write the state for one completed scan boundary.
+
+        Returns the boundary ordinal (0-based) this snapshot records.
+        The write is staged and atomically renamed, so a crash during
+        ``save`` preserves the previous checkpoint.
+        """
+        boundary = self.boundaries_saved
+        io = self._io_provider() if self._io_provider is not None else IOStats()
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "algorithm": self.algorithm,
+            "fingerprint": self.fingerprint,
+            "boundary": boundary,
+            "io": io.to_dict(),
+            "meta": _jsonify(meta),
+        }
+        staging = os.path.join(self.directory, "checkpoint.staging.npz")
+        payload = dict(arrays)
+        payload["__meta__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        with open(staging, "wb") as handle:  # repro: allow[IO001]
+            np.savez(handle, **payload)
+        replace_file(staging, self.path)
+        self.boundaries_saved = boundary + 1
+        self._drain_retired(keep=str(meta.get("current_path", "")))
+        return boundary
+
+    def load(self) -> Optional[LoadedCheckpoint]:
+        """Read and validate the checkpoint; ``None`` when none exists.
+
+        Raises :class:`~repro.exceptions.CheckpointError` when a
+        checkpoint exists but belongs to a different graph, algorithm
+        or layout version — resuming it would be silently wrong.  Any
+        interrupted atomic replace of the checkpoint itself is cleaned
+        up first.
+        """
+        recover_staging(self.path)
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with np.load(self.path, allow_pickle=False) as bundle:
+                arrays = {
+                    name: bundle[name]
+                    for name in bundle.files
+                    if name != "__meta__"
+                }
+                header = json.loads(bundle["__meta__"].tobytes().decode("utf-8"))
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}")
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has layout version "
+                f"{header.get('version')}, expected {CHECKPOINT_VERSION}"
+            )
+        if header.get("algorithm") != self.algorithm:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written by "
+                f"{header.get('algorithm')!r}, not {self.algorithm!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path} does not match this graph "
+                "(fingerprint mismatch) — refusing to resume"
+            )
+        meta = dict(header.get("meta", {}))
+        # A crash may also have interrupted an atomic rewrite of the
+        # working edge file the checkpoint references; clean that up so
+        # the resumed scan sees exactly the committed file.
+        current_path = meta.get("current_path")
+        if isinstance(current_path, str) and current_path:
+            recover_staging(current_path)
+        return LoadedCheckpoint(
+            arrays=arrays,
+            meta=meta,
+            io=IOStats.from_dict(header.get("io", {})),
+            boundary=int(header.get("boundary", 0)),
+        )
+
+    def complete(self) -> None:
+        """Remove the checkpoint after a successful run (nothing to resume)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)
+        self._drain_retired(keep="")
+
+    def _drain_retired(self, keep: str) -> None:
+        """Delete queued working files, except the one still referenced."""
+        survivors: List[str] = []
+        for path in self._retired:
+            if path and path == keep:
+                survivors.append(path)
+                continue
+            if os.path.exists(path):
+                os.remove(path)
+        self._retired = survivors

@@ -9,14 +9,18 @@ block accesses because the paper's central argument is that bounded
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.io.faults import FaultInjector
 
 #: Signature of an :attr:`IOCounter.observer` callback:
 #: ``(kind, blocks, nbytes, sequential, origin)`` where ``kind`` is
-#: ``"read"``, ``"write"``, ``"cache_hit"``, ``"cache_miss"`` or
-#: ``"prefetch"`` and ``origin`` is the backing file's path (``None``
-#: when the caller did not attribute the transfer).  Only ``"read"``
-#: and ``"write"`` carry charged block transfers.
+#: ``"read"``, ``"write"``, ``"cache_hit"``, ``"cache_miss"``,
+#: ``"prefetch"``, ``"retry"`` or ``"fault"`` and ``origin`` is the
+#: backing file's path (``None`` when the caller did not attribute the
+#: transfer).  Only ``"read"`` and ``"write"`` carry charged block
+#: transfers.
 IOObserver = Callable[[str, int, int, bool, Optional[str]], None]
 
 
@@ -48,6 +52,15 @@ class IOStats:
     #: Prefetched dequeues where the consumer had to wait for the reader
     #: thread (the pipeline failed to hide that block's latency).
     prefetch_stalls: int = 0
+    #: Re-attempts of block transfers after a transient failure.  Failed
+    #: attempts are *never* charged as block reads — only the attempt
+    #: that succeeds is — so a retried run's charged counts equal the
+    #: fault-free run's plus exactly this tally.
+    io_retries: int = 0
+    #: Faults the injection harness actually fired (transient read
+    #: errors, torn writes, simulated crashes).  Zero on any run without
+    #: an active :class:`~repro.io.faults.FaultInjector`.
+    faults_injected: int = 0
 
     @property
     def reads(self) -> int:
@@ -76,6 +89,8 @@ class IOStats:
             cache_misses=self.cache_misses - other.cache_misses,
             prefetched=self.prefetched - other.prefetched,
             prefetch_stalls=self.prefetch_stalls - other.prefetch_stalls,
+            io_retries=self.io_retries - other.io_retries,
+            faults_injected=self.faults_injected - other.faults_injected,
         )
 
     def __add__(self, other: "IOStats") -> "IOStats":
@@ -90,6 +105,8 @@ class IOStats:
             cache_misses=self.cache_misses + other.cache_misses,
             prefetched=self.prefetched + other.prefetched,
             prefetch_stalls=self.prefetch_stalls + other.prefetch_stalls,
+            io_retries=self.io_retries + other.io_retries,
+            faults_injected=self.faults_injected + other.faults_injected,
         )
 
     def copy(self) -> "IOStats":
@@ -105,6 +122,8 @@ class IOStats:
             cache_misses=self.cache_misses,
             prefetched=self.prefetched,
             prefetch_stalls=self.prefetch_stalls,
+            io_retries=self.io_retries,
+            faults_injected=self.faults_injected,
         )
 
     def to_dict(self) -> Dict[str, int]:
@@ -131,6 +150,10 @@ class IOStats:
             payload["prefetched"] = self.prefetched
         if self.prefetch_stalls:
             payload["prefetch_stalls"] = self.prefetch_stalls
+        if self.io_retries:
+            payload["io_retries"] = self.io_retries
+        if self.faults_injected:
+            payload["faults_injected"] = self.faults_injected
         return payload
 
     @classmethod
@@ -147,6 +170,8 @@ class IOStats:
             cache_misses=int(payload.get("cache_misses", 0)),
             prefetched=int(payload.get("prefetched", 0)),
             prefetch_stalls=int(payload.get("prefetch_stalls", 0)),
+            io_retries=int(payload.get("io_retries", 0)),
+            faults_injected=int(payload.get("faults_injected", 0)),
         )
 
 
@@ -166,6 +191,14 @@ class IOCounter:
     #: spans and files; the default ``None`` keeps the counting hot path
     #: a single predictable branch.
     observer: Optional[IOObserver] = field(default=None, repr=False, compare=False)
+    #: Optional :class:`~repro.io.faults.FaultInjector` consulted by
+    #: every :class:`~repro.io.blocks.BlockDevice` sharing this counter.
+    #: Run-scoped rather than global so concurrent runs fault
+    #: independently; ``None`` (the default) costs one predictable
+    #: branch on the hot path.
+    fault_injector: Optional["FaultInjector"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record_read(
         self,
@@ -256,6 +289,27 @@ class IOCounter:
             # The ``sequential`` slot doubles as ``not stalled`` so the
             # observer can attribute stalls per-file without a wider API.
             self.observer("prefetch", blocks, 0, not stalled, origin)
+
+    def record_retry(self, blocks: int, origin: Optional[str] = None) -> None:
+        """Tally ``blocks`` transfer re-attempts after transient failures.
+
+        The failed attempts moved no (trusted) data, so nothing is added
+        to the read/write tallies — retried runs stay directly
+        comparable to fault-free ones via this separate counter.
+        """
+        if blocks < 0:
+            raise ValueError("I/O quantities must be non-negative")
+        self.stats.io_retries += blocks
+        if self.observer is not None:
+            self.observer("retry", blocks, 0, True, origin)
+
+    def record_fault(self, count: int, origin: Optional[str] = None) -> None:
+        """Tally ``count`` injected faults fired by the chaos harness."""
+        if count < 0:
+            raise ValueError("I/O quantities must be non-negative")
+        self.stats.faults_injected += count
+        if self.observer is not None:
+            self.observer("fault", count, 0, True, origin)
 
     def snapshot(self) -> IOStats:
         """Return a copy of the current counts for later diffing."""

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.constants import DEFAULT_BLOCK_SIZE, EDGE_BYTES, NODE_DTYPE
 from repro.exceptions import GraphFormatError
+from repro.io.atomic import abort_replace, replace_file
 from repro.io.blocks import BlockDevice
 from repro.io.counter import IOCounter
 from repro.io.prefetch import BlockPrefetcher, PageCache
@@ -306,19 +307,49 @@ class EdgeFile:
         """Replace the file's contents with the concatenation of ``batches``.
 
         The new contents are staged in a sibling file (so ``batches`` may
-        be produced by scanning this very file) and swapped in with a
-        metadata-only rename; the writes are charged as they happen.
+        be produced by scanning this very file) and swapped in through
+        the crash-consistent protocol of :mod:`repro.io.atomic` — fsync,
+        rename, directory fsync, intent manifest — so a crash leaves
+        either the old or the new edge list, never a torn one.  The
+        writes are charged as they happen.
+
+        On *any* failure while staging (a torn write, a full disk, an
+        exception from the batch producer) the staging file and
+        manifest are discarded, every cached block for both the staging
+        and target paths is invalidated, and the original file is
+        reopened untouched before the error propagates.
         """
         staging_path = self.path + ".staging"
         staging = EdgeFile.create(
             staging_path, counter=self.counter, block_size=self.block_size
         )
-        for batch in batches:
-            staging.append(batch)
-        staging.flush()
-        staging.device.close()
-        self.device.close()
-        os.replace(staging_path, self.path)
+        try:
+            for batch in batches:
+                staging.append(batch)
+            staging.flush()
+            staging.device.close()
+            self.device.close()
+            replace_file(staging_path, self.path)
+        except BaseException:
+            # The staging file may hold torn blocks and the cache may
+            # hold payloads for either path that no longer describe any
+            # committed file — drop all of it before surfacing the error.
+            # Closing the batch producer first drains and joins any
+            # BlockPrefetcher a mid-scan generator still holds open.
+            close = getattr(batches, "close", None)
+            if callable(close):
+                close()
+            staging.device.close()
+            self.device.close()
+            abort_replace(staging_path, self.path)
+            if self.cache is not None:
+                self.cache.invalidate(staging_path)
+                self.cache.invalidate(self.path)
+            self.device = BlockDevice(
+                self.path, counter=self.counter, block_size=self.block_size
+            )
+            self._write_buffer.clear()
+            raise
         if self.cache is not None:
             # Every cached payload for this path described the old file.
             self.cache.invalidate(self.path)

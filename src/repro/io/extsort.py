@@ -18,12 +18,12 @@ in-memory work fully vectorised.
 
 from __future__ import annotations
 
-import os
 from typing import Iterator, List, Optional
 
 import numpy as np
 
 from repro.constants import EDGE_BYTES
+from repro.io.atomic import replace_file
 from repro.io.edgefile import EdgeFile
 from repro.io.memory import MemoryModel
 
@@ -189,8 +189,9 @@ def external_sort_edges(
 
     final = runs[0]
     final.close()
-    if os.path.abspath(final.path) != os.path.abspath(out_path):
-        os.replace(final.path, out_path)
+    # Durable swap into place (no-op when the final run already is the
+    # output path): the sorted file survives a crash intact or not at all.
+    replace_file(final.path, out_path)
     return EdgeFile(out_path, counter=source.counter, block_size=source.block_size)
 
 

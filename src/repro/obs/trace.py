@@ -280,7 +280,8 @@ def validate_trace(trace: TraceData) -> List[str]:
         parent = by_id[parent_id]
         for fld in ("seq_reads", "seq_writes", "rand_reads", "rand_writes",
                     "bytes_read", "bytes_written", "cache_hits",
-                    "cache_misses", "prefetched", "prefetch_stalls"):
+                    "cache_misses", "prefetched", "prefetch_stalls",
+                    "io_retries", "faults_injected"):
             if getattr(accumulated, fld) > getattr(parent.io, fld):
                 problems.append(
                     f"span {parent_id} ({parent.name}): children's {fld} "

@@ -231,6 +231,10 @@ class Tracer:
             stats.prefetched += blocks
             if not sequential:
                 stats.prefetch_stalls += 1
+        elif kind == "retry":
+            stats.io_retries += blocks
+        elif kind == "fault":
+            stats.faults_injected += blocks
 
 
 class NullTracer(Tracer):

@@ -150,6 +150,23 @@ class BRPlusTree(ContractibleTree):
                     walk.append((child, False))
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> "dict[str, np.ndarray]":
+        """The base tree's arrays plus blink/drank/dlink."""
+        arrays = super().state_arrays()
+        arrays["blink"] = self.blink
+        arrays["drank"] = self.drank
+        arrays["dlink"] = self.dlink
+        return arrays
+
+    def _restore_state(self, arrays: "dict[str, np.ndarray]") -> None:
+        super()._restore_state(arrays)
+        self.blink[:] = arrays["blink"]
+        self.drank[:] = arrays["drank"]
+        self.dlink[:] = arrays["dlink"]
+
+    # ------------------------------------------------------------------
     # Definition 5.1
     # ------------------------------------------------------------------
     def classify_edge(self, u: int, v: int) -> str:

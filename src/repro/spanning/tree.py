@@ -22,7 +22,7 @@ Supported operations map one-to-one onto the paper:
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Dict, Iterator, List
 
 import numpy as np
 
@@ -244,6 +244,55 @@ class ContractibleTree:
         if self.track_dirty:
             self.dirty[v] = True
         self.rejected.append(v)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The O(|V|) arrays that fully determine this tree.
+
+        ``children`` is *not* serialised: for every live non-root node
+        ``c``, ``c ∈ children[parent[c]]`` (the invariant
+        :meth:`check_invariants` asserts), so the sets are rebuilt from
+        ``parent`` and ``live`` on restore.  The oracle-snapshot fields
+        (``epoch``/``dirty``) are deliberately dropped — a resumed run
+        starts with a fresh kernel whose oracle rebuilds lazily.
+        """
+        return {
+            "parent": self.parent,
+            "depth": self.depth,
+            "parent_is_real": self.parent_is_real,
+            "live": self.live,
+            "ds_parent": self.ds.parent,
+            "ds_size": self.ds.size,
+            "rejected": np.asarray(self.rejected, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_state(cls, arrays: Dict[str, np.ndarray]) -> "ContractibleTree":
+        """Rebuild a tree from :meth:`state_arrays` output."""
+        n = int(arrays["parent"].shape[0])
+        tree = cls(n)
+        tree._restore_state(arrays)
+        return tree
+
+    def _restore_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.parent[:] = arrays["parent"]
+        self.depth[:] = arrays["depth"]
+        self.parent_is_real[:] = arrays["parent_is_real"]
+        self.live[:] = arrays["live"]
+        self.ds.parent[:] = arrays["ds_parent"]
+        self.ds.size[:] = arrays["ds_size"]
+        self.rejected = [int(v) for v in arrays["rejected"]]
+        self._rebuild_children()
+
+    def _rebuild_children(self) -> None:
+        """Derive the children sets from ``parent`` and ``live``."""
+        self.children = [set() for _ in range(self.n)]
+        for v in np.flatnonzero(self.live):
+            p = int(self.parent[v])
+            if p != VIRTUAL_ROOT:
+                self.children[p].add(int(v))
 
     # ------------------------------------------------------------------
     # output

@@ -30,6 +30,16 @@ class DisjointSet:
     def __len__(self) -> int:
         return int(self.parent.shape[0])
 
+    @classmethod
+    def from_arrays(cls, parent: np.ndarray, size: np.ndarray) -> "DisjointSet":
+        """Rebuild a union-find from checkpointed parent/size arrays."""
+        if parent.shape != size.shape:
+            raise ValueError("parent and size arrays must have equal shape")
+        ds = cls(int(parent.shape[0]))
+        ds.parent[:] = parent
+        ds.size[:] = size
+        return ds
+
     def find(self, x: int) -> int:
         """Representative of ``x``'s set (with path compression)."""
         parent = self.parent

@@ -1,0 +1,220 @@
+"""Checkpoint/resume: the crash matrix and the session protocol.
+
+The headline guarantee: crash a run at *every* scan boundary (via the
+fault plan's ``crash@scan:K``), resume it from the checkpoint, and the
+resumed run must produce a byte-identical SCC partition *and* identical
+total counted I/O to an uninterrupted run — the resume restarts the
+logical run, it does not re-pay or skip scans.  The matrix is exercised
+for 1P-SCC and 2P-SCC per the issue; the remaining algorithms share the
+same boundary plumbing and are covered by one smoke crash each.
+
+Also covered: the :class:`~repro.io.checkpoint.CheckpointSession`
+persistence protocol (save/load/complete, retire-after-durable), and
+the fingerprint validation that refuses to resume against the wrong
+graph, algorithm or layout version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.base import canonicalize_labels
+from repro.core.dfs_scc import DFSSCC
+from repro.core.em_scc import EMSCC
+from repro.core.one_phase import OnePhaseSCC
+from repro.core.one_phase_batch import OnePhaseBatchSCC
+from repro.core.two_phase import TwoPhaseSCC
+from repro.exceptions import CheckpointError
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.io.checkpoint import (
+    CHECKPOINT_NAME,
+    CheckpointSession,
+    graph_fingerprint,
+)
+from repro.io.counter import IOStats
+from repro.io.faults import SimulatedCrash
+
+from tests.conftest import SMALL_BLOCK
+
+
+def _random_graph(n: int = 60, avg_degree: float = 3.0, seed: int = 7) -> Digraph:
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    return Digraph(n, edges)
+
+
+def _partition_sha(labels: np.ndarray) -> str:
+    canonical, _ = canonicalize_labels(labels)
+    return hashlib.sha256(
+        np.ascontiguousarray(canonical, dtype="<i8").tobytes()
+    ).hexdigest()
+
+
+@pytest.fixture
+def disk(tmp_path) -> DiskGraph:
+    graph = DiskGraph.from_digraph(
+        _random_graph(), str(tmp_path / "g.bin"), block_size=SMALL_BLOCK
+    )
+    yield graph
+    graph.close()
+
+
+def _crash_matrix(algo_factory, disk, tmp_path) -> None:
+    """Crash at every boundary; resume must match the uninterrupted run."""
+    plain = algo_factory().run(disk)
+    golden_sha = _partition_sha(plain.labels)
+    golden_io = plain.stats.io.to_dict()
+
+    ckpt_dir = str(tmp_path / "baseline-ckpt")
+    baseline = algo_factory().run(disk, checkpoint_dir=ckpt_dir)
+    boundaries = int(baseline.stats.extras["checkpoint_boundaries"])
+    assert boundaries >= 1
+    assert _partition_sha(baseline.labels) == golden_sha
+    # Checkpoint writes are durability metadata, never counted I/O.
+    assert baseline.stats.io.to_dict() == golden_io
+    # A finished run leaves nothing to resume.
+    assert not os.path.exists(os.path.join(ckpt_dir, CHECKPOINT_NAME))
+
+    for k in range(boundaries):
+        crash_dir = str(tmp_path / f"crash-{k}")
+        with pytest.raises(SimulatedCrash):
+            algo_factory().run(
+                disk,
+                fault_plan=f"crash@scan:{k}",
+                checkpoint_dir=crash_dir,
+            )
+        assert os.path.exists(os.path.join(crash_dir, CHECKPOINT_NAME))
+        resumed = algo_factory().run(disk, checkpoint_dir=crash_dir, resume=True)
+        assert resumed.stats.extras["resumed_from_boundary"] == k
+        assert _partition_sha(resumed.labels) == golden_sha, f"boundary {k}"
+        assert resumed.stats.io.to_dict() == golden_io, f"boundary {k}"
+        assert not os.path.exists(os.path.join(crash_dir, CHECKPOINT_NAME))
+
+
+class TestCrashMatrix:
+    def test_one_phase_full_matrix(self, disk, tmp_path):
+        _crash_matrix(OnePhaseSCC, disk, tmp_path)
+
+    def test_two_phase_full_matrix(self, disk, tmp_path):
+        _crash_matrix(TwoPhaseSCC, disk, tmp_path)
+
+    @pytest.mark.parametrize(
+        "algo_factory", [OnePhaseBatchSCC, EMSCC, DFSSCC],
+        ids=["1PB-SCC", "EM-SCC", "DFS-SCC"],
+    )
+    def test_other_algorithms_crash_and_resume(
+        self, algo_factory, disk, tmp_path
+    ):
+        plain = algo_factory().run(disk)
+        crash_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            algo_factory().run(
+                disk, fault_plan="crash@scan:0", checkpoint_dir=crash_dir
+            )
+        resumed = algo_factory().run(disk, checkpoint_dir=crash_dir, resume=True)
+        assert _partition_sha(resumed.labels) == _partition_sha(plain.labels)
+        assert resumed.stats.io.to_dict() == plain.stats.io.to_dict()
+
+
+class TestResumeEdgeCases:
+    def test_resume_without_checkpoint_runs_fresh(self, disk, tmp_path):
+        result = OnePhaseSCC().run(
+            disk, checkpoint_dir=str(tmp_path / "empty"), resume=True
+        )
+        assert "resumed_from_boundary" not in result.stats.extras
+        plain = OnePhaseSCC().run(disk)
+        assert _partition_sha(result.labels) == _partition_sha(plain.labels)
+
+    def test_crash_without_checkpoint_dir_still_crashes(self, disk):
+        with pytest.raises(SimulatedCrash):
+            OnePhaseSCC().run(disk, fault_plan="crash@scan:0")
+
+    def test_resume_on_wrong_graph_refuses(self, disk, tmp_path):
+        crash_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            OnePhaseSCC().run(
+                disk, fault_plan="crash@scan:0", checkpoint_dir=crash_dir
+            )
+        other = DiskGraph.from_digraph(
+            _random_graph(n=40, seed=9),
+            str(tmp_path / "other.bin"),
+            block_size=SMALL_BLOCK,
+        )
+        try:
+            with pytest.raises(CheckpointError, match="fingerprint"):
+                OnePhaseSCC().run(other, checkpoint_dir=crash_dir, resume=True)
+        finally:
+            other.close()
+
+    def test_resume_with_wrong_algorithm_refuses(self, disk, tmp_path):
+        crash_dir = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            OnePhaseSCC().run(
+                disk, fault_plan="crash@scan:0", checkpoint_dir=crash_dir
+            )
+        with pytest.raises(CheckpointError, match="1P-SCC"):
+            TwoPhaseSCC().run(disk, checkpoint_dir=crash_dir, resume=True)
+
+
+class TestCheckpointSession:
+    def _session(self, tmp_path, algorithm="1P-SCC") -> CheckpointSession:
+        return CheckpointSession.for_graph(
+            str(tmp_path / "ckpt"), algorithm,
+            num_nodes=10, num_edges=20, block_size=SMALL_BLOCK, path="g.bin",
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        session = self._session(tmp_path)
+        session.bind_io(lambda: IOStats(seq_reads=5, bytes_read=320))
+        arrays = {"parent": np.arange(10, dtype=np.int64)}
+        assert session.save(arrays, {"iteration": 3}) == 0
+        assert session.save(arrays, {"iteration": 4}) == 1
+
+        loaded = self._session(tmp_path).load()
+        assert loaded is not None
+        assert loaded.boundary == 1
+        assert loaded.meta["iteration"] == 4
+        assert loaded.io.seq_reads == 5
+        assert np.array_equal(loaded.arrays["parent"], np.arange(10))
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert self._session(tmp_path).load() is None
+
+    def test_complete_removes_checkpoint(self, tmp_path):
+        session = self._session(tmp_path)
+        session.save({"a": np.zeros(3)}, {})
+        session.complete()
+        assert self._session(tmp_path).load() is None
+
+    def test_retire_deletes_only_after_next_durable_save(self, tmp_path):
+        session = self._session(tmp_path)
+        scratch = tmp_path / "scratch.bin"
+        scratch.write_bytes(b"old working file")
+        session.retire(str(scratch))
+        assert scratch.exists()  # the last checkpoint may reference it
+        session.save({"a": np.zeros(3)}, {"current_path": "newer.bin"})
+        assert not scratch.exists()
+
+    def test_retire_keeps_the_still_referenced_file(self, tmp_path):
+        session = self._session(tmp_path)
+        scratch = tmp_path / "scratch.bin"
+        scratch.write_bytes(b"referenced by the checkpoint being saved")
+        session.retire(str(scratch))
+        session.save({"a": np.zeros(3)}, {"current_path": str(scratch)})
+        assert scratch.exists()
+        session.complete()
+        assert not scratch.exists()
+
+    def test_fingerprint_binds_graph_identity(self):
+        base = graph_fingerprint("1P-SCC", 10, 20, 64, "g.bin")
+        assert base == graph_fingerprint("1P-SCC", 10, 20, 64, "dir/g.bin")
+        assert base != graph_fingerprint("1P-SCC", 11, 20, 64, "g.bin")
+        assert base != graph_fingerprint("1P-SCC", 10, 21, 64, "g.bin")
+        assert base != graph_fingerprint("1P-SCC", 10, 20, 128, "g.bin")
+        assert base != graph_fingerprint("2P-SCC", 10, 20, 64, "g.bin")

@@ -65,7 +65,7 @@ class TestExpiredDeadlineInterruptsRewrites:
     def test_one_phase_batch_reduce_graph(self, disk):
         n = disk.num_nodes
         with pytest.raises(AlgorithmTimeout):
-            OnePhaseBatchSCC._reduce_graph(
+            OnePhaseBatchSCC()._reduce_graph(
                 disk,
                 DisjointSet(n),
                 np.ones(n, dtype=bool),
@@ -79,7 +79,7 @@ class TestExpiredDeadlineInterruptsRewrites:
     def test_em_scc_rewrite(self, disk):
         n = disk.num_nodes
         with pytest.raises(AlgorithmTimeout):
-            EMSCC._rewrite(
+            EMSCC()._rewrite(
                 disk,
                 DisjointSet(n),
                 np.ones(n, dtype=bool),
@@ -112,7 +112,7 @@ class TestChecksHappenPerBatch:
     def test_em_rewrite_checks_every_batch(self, disk):
         n = disk.num_nodes
         deadline = CountingDeadline()
-        reduced, owns = EMSCC._rewrite(
+        reduced, owns = EMSCC()._rewrite(
             disk,
             DisjointSet(n),
             np.ones(n, dtype=bool),

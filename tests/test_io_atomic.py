@@ -1,0 +1,184 @@
+"""The crash-consistent replace protocol (repro.io.atomic).
+
+Covers the manifest lifecycle of ``replace_file`` / ``abort_replace`` /
+``recover_staging``, the routing of :meth:`EdgeFile.rewrite` through
+that protocol, and the regression the page cache demands: an *aborted*
+rewrite (torn write, failing batch producer) must leave neither stale
+cached payloads nor a staging file behind — the reopened file serves
+the original bytes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.io.atomic import (
+    abort_replace,
+    manifest_path,
+    recover_staging,
+    replace_file,
+)
+from repro.io.counter import IOCounter
+from repro.io.edgefile import EdgeFile
+from repro.io.faults import FaultInjector, FaultPlan, TornWriteError
+from repro.io.prefetch import PageCache
+
+from tests.conftest import SMALL_BLOCK
+
+
+def _write(path, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+class TestReplaceProtocol:
+    def test_replace_swaps_and_removes_manifest(self, tmp_path):
+        target = str(tmp_path / "data.bin")
+        staging = target + ".staging"
+        _write(target, b"old")
+        _write(staging, b"new")
+        replace_file(staging, target)
+        with open(target, "rb") as handle:
+            assert handle.read() == b"new"
+        assert not os.path.exists(staging)
+        assert not os.path.exists(manifest_path(target))
+
+    def test_replace_onto_self_is_a_noop(self, tmp_path):
+        target = str(tmp_path / "data.bin")
+        _write(target, b"same")
+        replace_file(target, target)
+        with open(target, "rb") as handle:
+            assert handle.read() == b"same"
+
+    def test_abort_discards_staging_and_manifest(self, tmp_path):
+        target = str(tmp_path / "data.bin")
+        staging = target + ".staging"
+        _write(target, b"old")
+        _write(staging, b"half-written")
+        _write(manifest_path(target), b"{}")
+        abort_replace(staging, target)
+        assert not os.path.exists(staging)
+        assert not os.path.exists(manifest_path(target))
+        with open(target, "rb") as handle:
+            assert handle.read() == b"old"
+
+    def test_abort_tolerates_missing_files(self, tmp_path):
+        target = str(tmp_path / "data.bin")
+        abort_replace(target + ".staging", target)  # nothing exists: fine
+
+    def test_recover_staging_cleans_interrupted_swap(self, tmp_path):
+        target = str(tmp_path / "data.bin")
+        staging = target + ".staging"
+        _write(target, b"old")
+        _write(staging, b"torn")
+        # Model a crash after the manifest fsync but before the rename.
+        _write(
+            manifest_path(target),
+            ('{"staging": "%s", "target": "%s"}' % (staging, target)).encode(),
+        )
+        assert recover_staging(target) == staging
+        assert not os.path.exists(staging)
+        assert not os.path.exists(manifest_path(target))
+        with open(target, "rb") as handle:
+            assert handle.read() == b"old"
+
+    def test_recover_staging_noop_without_manifest(self, tmp_path):
+        assert recover_staging(str(tmp_path / "data.bin")) is None
+
+    def test_recover_staging_survives_corrupt_manifest(self, tmp_path):
+        target = str(tmp_path / "data.bin")
+        _write(target, b"old")
+        _write(manifest_path(target), b"not json")
+        assert recover_staging(target) is None
+        assert not os.path.exists(manifest_path(target))
+
+
+def _edges(m: int, base: int = 0) -> np.ndarray:
+    lo = np.arange(m, dtype=np.int64) + base
+    return np.column_stack((lo, lo + 1))
+
+
+class TestEdgeFileRewrite:
+    def test_successful_rewrite_replaces_contents(self, tmp_path):
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "e.bin"), _edges(32), block_size=SMALL_BLOCK
+        )
+        edge_file.rewrite(iter([_edges(8, base=100)]))
+        assert np.array_equal(edge_file.read_all(), _edges(8, base=100))
+        assert not os.path.exists(edge_file.path + ".staging")
+        assert not os.path.exists(manifest_path(edge_file.path))
+
+    def test_failing_producer_restores_original(self, tmp_path):
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "e.bin"), _edges(32), block_size=SMALL_BLOCK
+        )
+
+        def batches():
+            yield _edges(8, base=100)
+            raise RuntimeError("producer died")
+
+        with pytest.raises(RuntimeError):
+            edge_file.rewrite(batches())
+        assert np.array_equal(edge_file.read_all(), _edges(32))
+        assert not os.path.exists(edge_file.path + ".staging")
+        assert not os.path.exists(manifest_path(edge_file.path))
+
+    def test_aborted_rewrite_invalidates_cached_blocks(self, tmp_path):
+        """Regression: stale cache entries must not survive an abort.
+
+        Scan once through the cache to populate it, then fail a rewrite
+        midway: every cached payload for the target (and the staging
+        sibling) describes bytes that no committed file holds, so the
+        abort path must drop them and a fresh scan must re-read the
+        original contents from disk.
+        """
+        cache = PageCache(capacity_blocks=64, block_size=SMALL_BLOCK)
+        counter = IOCounter()
+        original = _edges(48)
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "e.bin"), original,
+            counter=counter, block_size=SMALL_BLOCK, cache=cache,
+        )
+        for _ in edge_file.scan():
+            pass
+        assert len(cache) > 0
+
+        def batches():
+            yield _edges(4, base=500)
+            raise RuntimeError("mid-rewrite failure")
+
+        with pytest.raises(RuntimeError):
+            edge_file.rewrite(batches())
+        assert len(cache) == 0
+        assert np.array_equal(edge_file.read_all(), original)
+
+    def test_torn_write_during_rewrite_aborts_cleanly(self, tmp_path):
+        """Satellite regression: a torn staged block must not leak.
+
+        The tear strikes the staging file mid-rewrite; the protocol
+        discards staging + manifest, drops affected cache entries, and
+        the reopened file still serves the pre-rewrite edge list.
+        """
+        cache = PageCache(capacity_blocks=64, block_size=SMALL_BLOCK)
+        counter = IOCounter()
+        original = _edges(48)
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "e.bin"), original,
+            counter=counter, block_size=SMALL_BLOCK, cache=cache,
+        )
+        for _ in edge_file.scan():
+            pass
+        counter.fault_injector = FaultInjector(FaultPlan.parse("tear@0:8"))
+        try:
+            with pytest.raises(TornWriteError):
+                edge_file.rewrite(iter([_edges(32, base=500)]))
+        finally:
+            counter.fault_injector = None
+        assert len(cache) == 0
+        assert not os.path.exists(edge_file.path + ".staging")
+        assert not os.path.exists(manifest_path(edge_file.path))
+        assert np.array_equal(edge_file.read_all(), original)
+        assert counter.stats.faults_injected == 1

@@ -1,0 +1,176 @@
+"""The deterministic fault-injection harness (repro.io.faults).
+
+Covers the plan language (parse / serialize / env), the retry policy's
+seeded backoff, the injector's ordinal cursors, and the behaviour at
+the block-device choke-point: transient read errors are retried and
+tallied as ``io_retries`` (never as block reads), exhausted retries
+escape like a persistent EIO, and torn writes persist only their
+planned prefix before raising.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.counter import IOCounter
+from repro.io.edgefile import EdgeFile
+from repro.io.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SimulatedCrash,
+    TornWriteError,
+    TransientIOError,
+)
+
+from tests.conftest import SMALL_BLOCK
+
+
+class TestFaultPlanSpec:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=7;read-error@5;read-error@9x2;tear@3:100;crash@scan:2"
+        )
+        assert plan.seed == 7
+        assert plan.read_errors == {5: 1, 9: 2}
+        assert [(t.ordinal, t.offset) for t in plan.tears] == [(3, 100)]
+        assert plan.crash_boundaries == [2]
+
+    def test_roundtrip_through_to_spec(self):
+        spec = "seed=3;read-error@1x2;read-error@4;tear@0:16;crash@scan:1"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.to_spec()).to_spec() == plan.to_spec()
+        assert plan.to_spec() == spec
+
+    def test_repeated_read_tokens_accumulate(self):
+        plan = FaultPlan.parse("read-error@2;read-error@2x2")
+        assert plan.read_errors == {2: 3}
+
+    def test_whitespace_and_empty_tokens_tolerated(self):
+        plan = FaultPlan.parse(" read-error@1 ; ; crash@scan:0 ")
+        assert plan.read_errors == {1: 1}
+        assert plan.crash_boundaries == [0]
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            FaultPlan.parse("write-error@3")
+
+    def test_from_env(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({FAULT_PLAN_ENV: "  "}) is None
+        plan = FaultPlan.from_env({FAULT_PLAN_ENV: "seed=1;read-error@0"})
+        assert plan is not None and plan.read_errors == {0: 1}
+
+    def test_planned_retries_caps_at_policy_budget(self):
+        plan = FaultPlan.parse("read-error@0x5;read-error@1")
+        assert plan.planned_retries(RetryPolicy(max_retries=3)) == 4
+        assert plan.planned_retries(RetryPolicy(max_retries=0)) == 0
+        # Default policy: three retries max per faulting read.
+        assert plan.planned_retries() == 4
+
+
+class TestRetryPolicy:
+    def test_backoff_is_seeded_and_bounded(self):
+        a = RetryPolicy(max_retries=3, base_delay_s=0.01, seed=42)
+        b = RetryPolicy(max_retries=3, base_delay_s=0.01, seed=42)
+        delays_a = [a.backoff_s(i) for i in range(3)]
+        delays_b = [b.backoff_s(i) for i in range(3)]
+        assert delays_a == delays_b
+        assert all(0 <= d <= a.max_delay_s for d in delays_a)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+
+class TestInjectorCursors:
+    def test_read_ordinals_are_monotone(self):
+        injector = FaultInjector(FaultPlan())
+        assert [injector.next_read_ordinal() for _ in range(3)] == [0, 1, 2]
+        assert [injector.next_write_ordinal() for _ in range(2)] == [0, 1]
+
+    def test_check_read_fires_planned_times_then_clears(self):
+        injector = FaultInjector(FaultPlan.parse("read-error@1x2"))
+        injector.check_read(0, "f")  # unplanned ordinal: silent
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                injector.check_read(1, "f")
+        injector.check_read(1, "f")  # plan exhausted
+        assert injector.faults_fired == 2
+
+    def test_maybe_crash_fires_only_planned_boundary(self):
+        injector = FaultInjector(FaultPlan.parse("crash@scan:1"))
+        injector.maybe_crash()  # boundary 0
+        with pytest.raises(SimulatedCrash) as exc:
+            injector.maybe_crash()  # boundary 1
+        assert exc.value.boundary == 1
+        injector.maybe_crash()  # boundary 2
+
+
+def _edges(m: int) -> np.ndarray:
+    return np.column_stack(
+        (np.arange(m, dtype=np.int64), np.arange(m, dtype=np.int64) + 1)
+    )
+
+
+class TestDeviceIntegration:
+    def test_transient_read_errors_cost_retries_not_reads(self, tmp_path):
+        edges = _edges(64)
+        clean_counter = IOCounter()
+        clean = EdgeFile.from_array(
+            str(tmp_path / "clean.bin"), edges,
+            counter=clean_counter, block_size=SMALL_BLOCK,
+        )
+        for _ in clean.scan():
+            pass
+
+        plan = FaultPlan.parse("seed=1;read-error@0x2;read-error@3")
+        faulted_counter = IOCounter()
+        faulted_counter.fault_injector = FaultInjector(plan)
+        faulted = EdgeFile.from_array(
+            str(tmp_path / "faulted.bin"), edges,
+            counter=faulted_counter, block_size=SMALL_BLOCK,
+        )
+        batches = [batch.copy() for batch in faulted.scan()]
+
+        assert np.array_equal(np.concatenate(batches), edges)
+        clean_io = clean_counter.stats
+        faulted_io = faulted_counter.stats
+        assert faulted_io.seq_reads == clean_io.seq_reads
+        assert faulted_io.rand_reads == clean_io.rand_reads
+        assert faulted_io.bytes_read == clean_io.bytes_read
+        assert faulted_io.io_retries == plan.planned_retries()
+        assert faulted_io.faults_injected == 3
+
+    def test_exhausted_retries_escape(self, tmp_path):
+        counter = IOCounter()
+        counter.fault_injector = FaultInjector(
+            FaultPlan.parse("read-error@0x9"),
+            policy=RetryPolicy(max_retries=2),
+        )
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "edges.bin"), _edges(16),
+            counter=counter, block_size=SMALL_BLOCK,
+        )
+        with pytest.raises(TransientIOError):
+            for _ in edge_file.scan():
+                pass
+        # Budget-bounded: two retries were attempted, three faults fired.
+        assert counter.stats.io_retries == 2
+        assert counter.stats.faults_injected == 3
+
+    def test_torn_write_persists_prefix_and_raises(self, tmp_path):
+        counter = IOCounter()
+        counter.fault_injector = FaultInjector(FaultPlan.parse("tear@0:8"))
+        edge_file = EdgeFile.create(
+            str(tmp_path / "torn.bin"), counter=counter, block_size=SMALL_BLOCK
+        )
+        with pytest.raises(TornWriteError):
+            edge_file.append(_edges(SMALL_BLOCK // 8))  # exactly one block
+        edge_file.device.close()
+        assert (tmp_path / "torn.bin").stat().st_size == 8
+        # The torn attempt is a fault, never a charged block write.
+        assert counter.stats.seq_writes + counter.stats.rand_writes == 0
+        assert counter.stats.faults_injected == 1

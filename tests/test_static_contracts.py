@@ -16,6 +16,7 @@ import pytest
 from repro.analysis_static import (
     ALL_RULES,
     Analyzer,
+    BareRenameRule,
     CoreAPIRule,
     DEFAULT_ALLOWLIST,
     EdgeMaterializationRule,
@@ -219,6 +220,50 @@ class TestEdgeMaterializationRule:
     def test_does_not_apply_outside_algorithm_packages(self):
         source = "edges = edge_file.read_all()\n"
         assert analyze(EdgeMaterializationRule, source, "repro/io/fake.py") == []
+
+
+class TestBareRenameRule:
+    """IO002: bare renames outside the atomic-rewrite module."""
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import os\nos.replace('a.staging', 'a.bin')\n",
+            "import os\nos.rename('a.staging', 'a.bin')\n",
+            "import os\nos.renames('a.staging', 'a.bin')\n",
+            "import shutil\nshutil.move('a.staging', 'a.bin')\n",
+        ],
+    )
+    def test_flags_bare_renames(self, snippet):
+        violations = analyze(BareRenameRule, snippet, "repro/io/edgefile.py")
+        assert [v.rule for v in violations] == ["IO002"], snippet
+        assert "repro.io.atomic" in violations[0].message
+
+    def test_atomic_module_is_exempt(self):
+        source = "import os\nos.replace(staging, target)\n"
+        assert analyze(BareRenameRule, source, "repro/io/atomic.py") == []
+
+    def test_pragma_excuses_a_deliberate_rename(self):
+        source = (
+            "import os\n"
+            "os.replace(a, b)  # repro: allow[IO002]\n"
+        )
+        assert analyze(BareRenameRule, source, "repro/io/checkpoint.py") == []
+
+    def test_string_replace_is_clean(self):
+        source = "name = workload.replace('/', '_')\n"
+        assert analyze(BareRenameRule, source, "repro/bench/harness.py") == []
+
+    def test_os_path_helpers_are_clean(self):
+        source = "import os\nparent = os.path.dirname(os.path.abspath(p))\n"
+        assert analyze(BareRenameRule, source, "repro/io/checkpoint.py") == []
+
+    def test_real_atomic_module_is_the_only_rename_site(self):
+        # The protocol module itself must pass via scoping, not pragmas.
+        source = (SRC / "repro" / "io" / "atomic.py").read_text()
+        assert Analyzer(
+            rules=[BareRenameRule()], allowlist={}
+        ).analyze_source(source, "repro/io/atomic.py") == []
 
 
 class TestSequentialScanRule:
