@@ -9,6 +9,18 @@ makes that discipline checkable:
   IO002, MEM001, SCAN001, API001, CPU001) run by the
   :class:`~repro.analysis_static.engine.Analyzer` and the
   ``repro-scc lint`` CLI subcommand;
+* :mod:`~repro.analysis_static.cfg` /
+  :mod:`~repro.analysis_static.dataflow` — function-level control-flow
+  graphs with reaching definitions, must-hold locksets, and call-graph
+  scan summaries, powering the whole-program passes:
+  :mod:`~repro.analysis_static.iocost` (SCAN002/SCAN003 I/O-complexity
+  inference plus the ``--cost-report``),
+  :mod:`~repro.analysis_static.locks` (THR001/THR002 lock-discipline
+  race detection), and :mod:`~repro.analysis_static.atomicity` (IO003
+  crash-window analysis of the staged-replace protocol);
+* :mod:`~repro.analysis_static.sarif` /
+  :mod:`~repro.analysis_static.baseline` — SARIF 2.1.0 emission for CI
+  code scanning and the committed accepted-findings baseline;
 * :mod:`~repro.analysis_static.contracts` — the
   ``REPRO_CHECK_INVARIANTS``-gated runtime layer used by
   :class:`~repro.spanning.brtree.BRPlusTree`.
@@ -27,6 +39,7 @@ from repro.analysis_static.contracts import (
 )
 from repro.analysis_static.engine import (
     Analyzer,
+    ModuleSource,
     Violation,
     analyze_paths,
     module_relpath,
@@ -38,10 +51,16 @@ from repro.analysis_static.rules import (
     BareRenameRule,
     CoreAPIRule,
     EdgeMaterializationRule,
+    NestedScanRule,
     PerEdgeBoxingRule,
+    ProgramRule,
     RawIORule,
     Rule,
     SequentialScanRule,
+    StagingProtocolRule,
+    UnboundedScanLoopRule,
+    UnguardedReadRule,
+    UnguardedWriteRule,
 )
 
 __all__ = [
@@ -52,10 +71,17 @@ __all__ = [
     "DEFAULT_ALLOWLIST",
     "ENV_VAR",
     "EdgeMaterializationRule",
+    "ModuleSource",
+    "NestedScanRule",
     "PerEdgeBoxingRule",
+    "ProgramRule",
     "RawIORule",
     "Rule",
     "SequentialScanRule",
+    "StagingProtocolRule",
+    "UnboundedScanLoopRule",
+    "UnguardedReadRule",
+    "UnguardedWriteRule",
     "Violation",
     "analyze_paths",
     "invariant",

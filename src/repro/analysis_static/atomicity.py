@@ -1,0 +1,194 @@
+"""Exception-safety analysis for the staged-replace protocol (IO003).
+
+``repro.io.atomic`` defines the crash-consistent swap: write a staging
+file, fsync it, ``replace_file`` it over the target (rename +
+directory fsync), or ``abort_replace`` on failure.  The protocol's
+contract is that *no path strands a staging file*: once a function
+starts staging, every continuation — normal completion, early return,
+or an exception — must reach a commit barrier.
+
+The pass runs on each function's CFG:
+
+* **Anchors** are assignments that start a stage: an ``Assign`` whose
+  target name contains ``staging`` or whose right-hand side embeds a
+  ``"staging"`` string constant.  Restricting anchors to assignments
+  keeps cleanup code (globs over ``*.staging``, recovery helpers) out
+  of scope.
+* **Commit barriers** are blocks containing a call to
+  ``replace_file``, ``abort_replace`` or ``recover_staging``.  When a
+  barrier sits inside an ``except`` handler, the handler's whole block
+  region counts as committed — the handler is the recovery path, and
+  intra-handler ordering is forgiven the same way intra-block ordering
+  is.
+* A violation (**IO003**) is an anchor from which the function exit is
+  reachable — following normal edges and exception edges out of
+  call-bearing blocks — without traversing a commit barrier.  The
+  anchor block's own exception edge is exempt: within that block the
+  staging file may not exist yet, which mirrors the CFG's block-level
+  granularity.
+
+Functions that merely *receive* staging paths (a staging-named
+parameter) implement the protocol rather than use it and are skipped;
+``repro/io/atomic.py`` itself is excluded the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.analysis_static.cfg import ControlFlowGraph
+from repro.analysis_static.dataflow import FunctionInfo, _walk_functions
+from repro.analysis_static.engine import Violation
+from repro.analysis_static.rules import Rule, _path_parts
+
+__all__ = ["StagingProtocolRule"]
+
+_STAGING_NAME = re.compile(r"staging", re.IGNORECASE)
+
+#: Calls that end a staging window (commit or roll back).
+_COMMIT_CALLS = frozenset({"replace_file", "abort_replace", "recover_staging"})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_staging_anchor(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` is an assignment that starts a staging window."""
+    if not isinstance(stmt, ast.Assign):
+        return False
+    for target in stmt.targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name) and _STAGING_NAME.search(node.id):
+                return True
+            if isinstance(node, ast.Attribute) and _STAGING_NAME.search(
+                node.attr
+            ):
+                return True
+    for node in ast.walk(stmt.value):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and _STAGING_NAME.search(node.value)
+        ):
+            return True
+    return False
+
+
+def _has_staging_parameter(func: ast.AST) -> bool:
+    args = getattr(func, "args", None)
+    if args is None:
+        return False
+    every = (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    )
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            every.append(extra)
+    return any(_STAGING_NAME.search(arg.arg) for arg in every)
+
+
+def _commit_blocks(cfg: ControlFlowGraph) -> Set[int]:
+    """Blocks ending a staging window, handler regions expanded whole."""
+    direct = {
+        block.index
+        for block in cfg.blocks
+        if any(
+            isinstance(node, ast.Call) and _call_name(node) in _COMMIT_CALLS
+            for node in block.walk()
+        )
+    }
+    expanded = set(direct)
+    for region in cfg.handler_regions:
+        if region & direct:
+            expanded |= region
+    return expanded
+
+
+class StagingProtocolRule(Rule):
+    """IO003: a staging file strandable by an uncovered path."""
+
+    rule_id = "IO003"
+    title = "staging path can strand without replace/abort"
+    rationale = (
+        "the atomic-swap contract requires every path from staging a "
+        "file to reach replace_file or abort_replace; a strandable "
+        "path leaks staging files and defeats crash recovery"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Everywhere except the module that implements the protocol."""
+        return _path_parts(relpath)[-2:] != ("io", "atomic.py")
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag staging anchors from which the exit escapes uncommitted."""
+        out: List[Violation] = []
+        for info in _walk_functions(relpath, tree):
+            out.extend(self._check_function(info, relpath))
+        return out
+
+    def _check_function(
+        self, info: FunctionInfo, relpath: str
+    ) -> Iterator[Violation]:
+        node = info.node
+        if _has_staging_parameter(node):
+            return
+        has_anchor = any(
+            _is_staging_anchor(stmt)
+            for stmt in ast.walk(node)
+            if isinstance(stmt, ast.Assign)
+        )
+        if not has_anchor:
+            return
+        cfg = info.cfg
+        commits = _commit_blocks(cfg)
+        reported: Set[int] = set()
+        for block in cfg.blocks:
+            anchor = self._block_anchor(block.statements)
+            if anchor is None or block.index in reported:
+                continue
+            if block.index in commits:
+                continue  # staged and committed within one block
+            if self._escapes(cfg, block.index, commits):
+                reported.add(block.index)
+                yield self.violation(
+                    anchor, relpath,
+                    f"staging window opened in {info.qualname} can reach "
+                    "the function exit without replace_file or "
+                    "abort_replace; wrap the stage in try/except "
+                    "BaseException with abort_replace, and commit on "
+                    "every return path",
+                )
+
+    @staticmethod
+    def _block_anchor(statements: Sequence[ast.stmt]) -> Optional[ast.stmt]:
+        for stmt in statements:
+            if _is_staging_anchor(stmt):
+                return stmt
+        return None
+
+    @staticmethod
+    def _escapes(
+        cfg: ControlFlowGraph, anchor: int, commits: Set[int]
+    ) -> bool:
+        """Whether the exit is reachable from ``anchor`` avoiding commits.
+
+        Traversal starts at the anchor block's *normal* successors: the
+        anchor block's own exception edge is forgiven (the staging file
+        may not exist yet when that block raises), matching the CFG's
+        intra-block tolerance.
+        """
+        for start in cfg.blocks[anchor].successors:
+            if start in commits:
+                continue
+            reach = cfg.reachable_from(start, avoid=commits)
+            if cfg.exit in reach:
+                return True
+        return False

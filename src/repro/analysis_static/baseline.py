@@ -1,0 +1,95 @@
+"""Baseline files: accepted pre-existing findings, matched structurally.
+
+A baseline is a committed JSON file listing findings the tree already
+contains and has consciously accepted (typically when a new rule lands
+against old code).  ``repro-scc lint`` subtracts baselined findings
+before deciding its exit code, so CI fails only on *new* findings.
+
+Matching is by ``(path, rule, message)`` — deliberately excluding the
+line/column, so unrelated edits above a baselined finding do not
+resurrect it.  Identical findings are matched with multiplicity: two
+equal violations need two baseline entries.
+
+The file format is a JSON object with a ``findings`` array, each entry
+``{"path": ..., "rule": ..., "message": ...}``, sorted for stable
+diffs.  :func:`write_baseline` produces it from live findings;
+:func:`apply_baseline` splits a finding list into (new, baselined).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis_static.engine import Violation
+
+__all__ = [
+    "apply_baseline",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+#: The structural identity baselines match on.
+Key = Tuple[str, str, str]
+
+
+def _key(violation: Violation) -> Key:
+    return (violation.path, violation.rule, violation.message)
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline file into a multiset of finding keys."""
+    with open(path, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
+        payload = json.load(handle)
+    counts: Counter = Counter()
+    for entry in payload.get("findings", []):
+        counts[(entry["path"], entry["rule"], entry["message"])] += 1
+    return counts
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Counter
+) -> Tuple[List[Violation], List[Violation]]:
+    """Split findings into ``(new, baselined)`` against a baseline.
+
+    Matching consumes baseline entries with multiplicity, in the sorted
+    order of the findings.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Violation] = []
+    excused: List[Violation] = []
+    for violation in sorted(violations):
+        key = _key(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            excused.append(violation)
+        else:
+            fresh.append(violation)
+    return fresh, excused
+
+
+def render_baseline(violations: Sequence[Violation]) -> str:
+    """Serialize findings as baseline-file JSON (sorted, trailing newline)."""
+    findings: List[Dict[str, str]] = [
+        {"path": path, "rule": rule, "message": message}
+        for path, rule, message in sorted(
+            _key(violation) for violation in violations
+        )
+    ]
+    payload = {
+        "comment": (
+            "Accepted pre-existing repro-scc lint findings; matched by "
+            "(path, rule, message). Regenerate with "
+            "'repro-scc lint --write-baseline'."
+        ),
+        "findings": findings,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> None:
+    """Write ``violations`` to ``path`` in baseline-file format."""
+    with open(path, "w", encoding="utf-8") as handle:  # repro: allow[IO001]
+        handle.write(render_baseline(violations))

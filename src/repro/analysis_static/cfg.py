@@ -1,0 +1,417 @@
+"""Function-level control-flow graphs over Python AST.
+
+The whole-program passes (:mod:`~repro.analysis_static.iocost`,
+:mod:`~repro.analysis_static.locks`,
+:mod:`~repro.analysis_static.atomicity`) need more than lexical AST
+walks: "every path between stage and rename reaches ``abort_replace``"
+and "this attribute is only ever touched while ``self._lock`` is held"
+are *path* properties.  This module builds the graph they run on.
+
+Design points, chosen to keep the analyses honest without a full
+interpreter:
+
+* **Block granularity.**  Statements are grouped into basic blocks;
+  path queries ask whether a path *avoids blocks containing* a call,
+  never where inside a block the call sits.  This deliberately forgives
+  intra-block orderings (an exception raised by the statement *after*
+  ``abort_replace`` in the same handler block is treated as covered).
+* **Exception edges.**  Every block that contains at least one call
+  expression (:attr:`BasicBlock.may_raise`) gets one exception
+  successor: the dispatch block of the innermost enclosing ``try``, or
+  the function exit when there is none.  Statements without calls are
+  assumed not to raise — the standard static-analysis approximation.
+* **``finally`` approximation.**  A ``finally`` suite is built once;
+  its exit over-approximates by branching to both the normal
+  continuation and the exceptional exit.  Extra paths can only make
+  the crash-window pass *more* suspicious, never less.
+* **Lock regions.**  ``with <expr>:`` items are recorded per block as
+  the unparsed item text (:attr:`BasicBlock.held_with`); the lockset
+  dataflow in :mod:`~repro.analysis_static.dataflow` layers
+  ``acquire()``/``release()`` on top.
+* **Header expressions.**  The test of an ``if``/``while``, the
+  iterable of a ``for`` and the context expressions of a ``with`` are
+  materialized as synthetic ``ast.Expr`` statements in the controlling
+  block, so per-block scans (anchors, calls, commit barriers) see them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """One straight-line group of statements in a function CFG."""
+
+    #: Position in :attr:`ControlFlowGraph.blocks`.
+    index: int
+    #: Statements anchored in this block (synthetic header ``Expr``
+    #: nodes included; compound statements live in their own subgraphs).
+    statements: List[ast.stmt] = field(default_factory=list)
+    #: Indices of normal-flow successor blocks.
+    successors: Set[int] = field(default_factory=set)
+    #: Index of the block control reaches if a statement here raises
+    #: (the innermost ``try`` dispatch block, or the exit block).
+    exc_successor: Optional[int] = None
+    #: Whether any statement in the block contains a call expression —
+    #: the gate on following :attr:`exc_successor`.
+    may_raise: bool = False
+    #: Unparsed ``with`` context expressions lexically held here.
+    held_with: FrozenSet[str] = frozenset()
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Yield every AST node of every statement in the block."""
+        for stmt in self.statements:
+            yield from ast.walk(stmt)
+
+
+class ControlFlowGraph:
+    """The CFG of one function: blocks, entry/exit, and loop membership."""
+
+    def __init__(self, func: ast.AST) -> None:
+        #: The ``FunctionDef``/``AsyncFunctionDef`` this graph models.
+        self.func = func
+        self.blocks: List[BasicBlock] = []
+        self.entry: int = 0
+        self.exit: int = 0
+        #: ``id(loop AST node) -> block indices forming the loop body``
+        #: (used to ask "is this definition inside that loop?").
+        self.loop_blocks: Dict[int, Set[int]] = {}
+        #: ``id(loop AST node) -> index of the loop's header block``.
+        self.loop_heads: Dict[int, int] = {}
+        #: Block-index sets, one per ``except`` handler body, so passes
+        #: can treat a recovery handler as a single region.
+        self.handler_regions: List[Set[int]] = []
+
+    # ------------------------------------------------------------------
+    def new_block(self) -> BasicBlock:
+        """Append and return a fresh empty block."""
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def block_of(self, node: ast.AST) -> Optional[int]:
+        """Index of the block anchoring ``node``, or ``None``."""
+        target = id(node)
+        for block in self.blocks:
+            for stmt in block.statements:
+                for sub in ast.walk(stmt):
+                    if id(sub) == target:
+                        return block.index
+        return None
+
+    def reachable_from(
+        self,
+        start: int,
+        avoid: Optional[Set[int]] = None,
+        follow_exceptions: bool = True,
+    ) -> Set[int]:
+        """Blocks reachable from ``start`` without entering ``avoid``.
+
+        ``start`` itself is always in the result (reachability is
+        reflexive); ``avoid`` blocks are never *traversed* but may be
+        reported if ``start`` is one of them.
+        """
+        avoid = avoid or set()
+        seen = {start}
+        stack = [start]
+        while stack:
+            index = stack.pop()
+            if index != start and index in avoid:
+                continue
+            block = self.blocks[index]
+            nexts = list(block.successors)
+            if follow_exceptions and block.may_raise and (
+                block.exc_successor is not None
+            ):
+                nexts.append(block.exc_successor)
+            for nxt in nexts:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+
+class _Builder:
+    """Recursive-descent CFG construction for one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = ControlFlowGraph(func)
+        entry = self.cfg.new_block()
+        self.cfg.entry = entry.index
+        exit_block = self.cfg.new_block()
+        self.cfg.exit = exit_block.index
+        # (head block index, after block index) for break/continue.
+        self._loops: List[Tuple[int, int]] = []
+        # Exception dispatch target stack (innermost last).
+        self._handlers: List[int] = []
+        # Lexically held `with` expressions.
+        self._held: List[str] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> ControlFlowGraph:
+        body = list(getattr(self.cfg.func, "body", []))
+        last = self._sequence(body, self.cfg.blocks[self.cfg.entry])
+        self._edge(last, self.cfg.exit)
+        self._finalize()
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _edge(self, src: Optional[BasicBlock], dst: int) -> None:
+        if src is not None:
+            src.successors.add(dst)
+
+    def _fresh(self) -> BasicBlock:
+        block = self.cfg.new_block()
+        block.held_with = frozenset(self._held)
+        block.exc_successor = self._exc_target()
+        return block
+
+    def _exc_target(self) -> int:
+        return self._handlers[-1] if self._handlers else self.cfg.exit
+
+    @staticmethod
+    def _header_expr(value: ast.expr, anchor: ast.stmt) -> ast.stmt:
+        """Materialize a compound statement's header as a plain ``Expr``."""
+        expr = ast.Expr(value=value)
+        return ast.copy_location(expr, anchor)
+
+    # ------------------------------------------------------------------
+    def _sequence(
+        self, statements: List[ast.stmt], current: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        """Build ``statements`` starting in ``current``.
+
+        Returns the open block control falls out of, or ``None`` when
+        every path diverted (return/raise/break/continue).
+        """
+        for stmt in statements:
+            if current is None:
+                # Unreachable code still gets a detached block so that
+                # block_of() finds every statement.
+                current = self._fresh()
+            if isinstance(stmt, (ast.If,)):
+                current = self._build_if(stmt, current)
+            elif isinstance(stmt, ast.While):
+                current = self._build_while(stmt, current)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                current = self._build_for(stmt, current)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current = self._build_with(stmt, current)
+            elif isinstance(stmt, ast.Try):
+                current = self._build_try(stmt, current)
+            elif isinstance(stmt, ast.Return):
+                current.statements.append(stmt)
+                self._edge(current, self.cfg.exit)
+                current = None
+            elif isinstance(stmt, ast.Raise):
+                current.statements.append(stmt)
+                self._edge(current, self._exc_target())
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.statements.append(stmt)
+                if self._loops:
+                    self._edge(current, self._loops[-1][1])
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.statements.append(stmt)
+                if self._loops:
+                    self._edge(current, self._loops[-1][0])
+                current = None
+            else:
+                # Simple statement (nested function/class defs included:
+                # their bodies are separate CFGs, never inlined here).
+                current.statements.append(stmt)
+        return current
+
+    # ------------------------------------------------------------------
+    def _build_if(self, stmt: ast.If, current: BasicBlock) -> BasicBlock:
+        current.statements.append(self._header_expr(stmt.test, stmt))
+        after = self._fresh()
+        then_entry = self._fresh()
+        self._edge(current, then_entry.index)
+        then_end = self._sequence(stmt.body, then_entry)
+        self._edge(then_end, after.index)
+        if stmt.orelse:
+            else_entry = self._fresh()
+            self._edge(current, else_entry.index)
+            else_end = self._sequence(stmt.orelse, else_entry)
+            self._edge(else_end, after.index)
+        else:
+            self._edge(current, after.index)
+        return after
+
+    def _build_while(self, stmt: ast.While, current: BasicBlock) -> BasicBlock:
+        head = self._fresh()
+        head.statements.append(self._header_expr(stmt.test, stmt))
+        self._edge(current, head.index)
+        after = self._fresh()
+        body_entry = self._fresh()
+        self._edge(head, body_entry.index)
+        self._edge(head, after.index)
+        self._loops.append((head.index, after.index))
+        mark = len(self.cfg.blocks)
+        body_end = self._sequence(stmt.body, body_entry)
+        self._loops.pop()
+        self._edge(body_end, head.index)
+        if stmt.orelse:
+            else_end = self._sequence(stmt.orelse, self._fresh_from(head))
+            self._edge(else_end, after.index)
+        members = {body_entry.index}
+        members.update(range(mark, len(self.cfg.blocks)))
+        members.discard(after.index)
+        self.cfg.loop_blocks[id(stmt)] = members
+        self.cfg.loop_heads[id(stmt)] = head.index
+        return after
+
+    def _fresh_from(self, pred: BasicBlock) -> BasicBlock:
+        block = self._fresh()
+        self._edge(pred, block.index)
+        return block
+
+    def _build_for(self, stmt: ast.stmt, current: BasicBlock) -> BasicBlock:
+        head = self._fresh()
+        # The header is modeled as `target = iter(...)`: one synthetic
+        # statement that both exposes the iterable's calls and defines
+        # the loop variable for reaching-definitions.
+        header = ast.Assign(
+            targets=[stmt.target],  # type: ignore[attr-defined]
+            value=stmt.iter,  # type: ignore[attr-defined]
+        )
+        head.statements.append(ast.copy_location(header, stmt))
+        self._edge(current, head.index)
+        after = self._fresh()
+        body_entry = self._fresh()
+        self._edge(head, body_entry.index)
+        self._edge(head, after.index)
+        self._loops.append((head.index, after.index))
+        mark = len(self.cfg.blocks)
+        body_end = self._sequence(list(stmt.body), body_entry)  # type: ignore[attr-defined]
+        self._loops.pop()
+        self._edge(body_end, head.index)
+        orelse = list(getattr(stmt, "orelse", []))
+        if orelse:
+            else_end = self._sequence(orelse, self._fresh_from(head))
+            self._edge(else_end, after.index)
+        members = {body_entry.index}
+        members.update(range(mark, len(self.cfg.blocks)))
+        members.discard(after.index)
+        self.cfg.loop_blocks[id(stmt)] = members
+        self.cfg.loop_heads[id(stmt)] = head.index
+        return after
+
+    def _build_with(self, stmt: ast.stmt, current: BasicBlock) -> BasicBlock:
+        items = list(stmt.items)  # type: ignore[attr-defined]
+        for item in items:
+            if item.optional_vars is not None:
+                bind = ast.Assign(
+                    targets=[item.optional_vars], value=item.context_expr
+                )
+                current.statements.append(ast.copy_location(bind, stmt))
+            else:
+                current.statements.append(
+                    self._header_expr(item.context_expr, stmt)
+                )
+        held = [ast.unparse(item.context_expr) for item in items]
+        self._held.extend(held)
+        body_entry = self._fresh()
+        self._edge(current, body_entry.index)
+        body_end = self._sequence(list(stmt.body), body_entry)  # type: ignore[attr-defined]
+        for _ in held:
+            self._held.pop()
+        after = self._fresh()
+        self._edge(body_end, after.index)
+        return after
+
+    def _build_try(self, stmt: ast.Try, current: BasicBlock) -> BasicBlock:
+        after = self._fresh()
+        dispatch = self._fresh()
+
+        # --- body, with exceptions routed to this try's dispatch.
+        self._handlers.append(dispatch.index)
+        body_entry = self._fresh()
+        self._edge(current, body_entry.index)
+        body_end = self._sequence(stmt.body, body_entry)
+        self._handlers.pop()
+
+        # --- else runs only after a clean body.
+        if stmt.orelse:
+            body_end = self._sequence(stmt.orelse, self._fresh_from_opt(body_end))
+
+        # --- finally is built once; its exit over-approximates.
+        if stmt.finalbody:
+            final_entry = self._fresh()
+            final_end = self._sequence(stmt.finalbody, final_entry)
+            self._edge(body_end, final_entry.index)
+            self._edge(final_end, after.index)
+            # Re-raise continuation: the finally block may be left on
+            # the exceptional path too.
+            self._edge(final_end, self._exc_target())
+            normal_join = final_entry.index
+        else:
+            self._edge(body_end, after.index)
+            normal_join = after.index
+
+        # --- handlers hang off the dispatch block.
+        matched_all = False
+        for handler in stmt.handlers:
+            handler_entry = self._fresh()
+            self._edge(dispatch, handler_entry.index)
+            mark = len(self.cfg.blocks)
+            handler_end = self._sequence(handler.body, handler_entry)
+            region = {handler_entry.index}
+            region.update(range(mark, len(self.cfg.blocks)))
+            self.cfg.handler_regions.append(region)
+            self._edge(handler_end, normal_join)
+            if self._catches_everything(handler):
+                matched_all = True
+        if not matched_all:
+            # An exception no handler matches propagates outward
+            # (through finally when present).
+            if stmt.finalbody:
+                self._edge(dispatch, normal_join)
+            else:
+                self._edge(dispatch, self._exc_target())
+        return after
+
+    @staticmethod
+    def _catches_everything(handler: ast.ExceptHandler) -> bool:
+        """Whether the handler matches any exception (bare/BaseException)."""
+        if handler.type is None:
+            return True
+        node = handler.type
+        if isinstance(node, ast.Attribute):
+            return node.attr == "BaseException"
+        return isinstance(node, ast.Name) and node.id == "BaseException"
+
+    def _fresh_from_opt(self, pred: Optional[BasicBlock]) -> BasicBlock:
+        block = self._fresh()
+        if pred is not None:
+            self._edge(pred, block.index)
+        return block
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        """Stamp exception metadata once the block graph is complete.
+
+        Blocks carry the exception target of the handler context active
+        when they were created (:meth:`_fresh`); here only ``may_raise``
+        and the default target for the entry/exit blocks remain.
+        """
+        for block in self.cfg.blocks:
+            block.may_raise = any(
+                isinstance(node, ast.Call) for node in block.walk()
+            )
+            if block.exc_successor is None:
+                block.exc_successor = self.cfg.exit
+
+
+def build_cfg(func: ast.AST) -> ControlFlowGraph:
+    """Build the :class:`ControlFlowGraph` of one function definition."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError("build_cfg expects a function definition node")
+    return _Builder(func).build()

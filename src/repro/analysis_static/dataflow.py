@@ -1,0 +1,397 @@
+"""Dataflow analyses and call-graph summaries over function CFGs.
+
+Three reusable pieces sit here, consumed by the rule passes:
+
+* :func:`reaching_definitions` — the classic forward may-analysis over
+  a :class:`~repro.analysis_static.cfg.ControlFlowGraph`: which
+  ``(name, defining block)`` pairs can reach each block's entry.  The
+  I/O-cost pass uses it to decide whether a ``while`` test can ever
+  change (a definition from inside the loop body reaches the head).
+* :func:`held_locksets` — a forward *must*-analysis computing, for each
+  block, the set of lock expressions guaranteed held on entry: the
+  lexical ``with`` regions recorded by the CFG builder, joined by
+  intersection across predecessors, plus explicit ``.acquire()`` /
+  ``.release()`` calls.  The lock-discipline pass runs on its output.
+* :class:`ProgramIndex` — every function definition of the analyzed
+  module set, keyed for bare-name call resolution, with a transitive
+  "performs a counted edge scan" summary computed to fixpoint.  Calls
+  are resolved by name (``self.foo()`` → methods named ``foo``,
+  preferring the lexically enclosing class, then the same module, then
+  anywhere) — deliberately over-approximate, never silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis_static.cfg import ControlFlowGraph, build_cfg
+
+__all__ = [
+    "FunctionInfo",
+    "ProgramIndex",
+    "SCAN_METHODS",
+    "assigned_names",
+    "held_locksets",
+    "reaching_definitions",
+]
+
+#: Method names whose call constitutes a counted edge scan.
+SCAN_METHODS: FrozenSet[str] = frozenset({"scan", "scan_edges", "iter_edges"})
+
+#: A definition site: (variable name, index of the defining block).
+Definition = Tuple[str, int]
+
+
+# ----------------------------------------------------------------------
+# definition extraction
+# ----------------------------------------------------------------------
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+def assigned_names(node: ast.AST) -> Set[str]:
+    """Every plain name bound by assignments anywhere under ``node``.
+
+    Covers ``=``/``:=``/augmented assignment, ``for`` targets, ``with
+    ... as`` targets and ``except ... as`` names; attribute and
+    subscript stores are not *names* and are excluded by design.
+    """
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                names.update(_target_names(target))
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            names.update(_target_names(sub.target))
+        elif isinstance(sub, ast.NamedExpr):
+            names.update(_target_names(sub.target))
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(sub.target))
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            names.add(sub.name)
+    return names
+
+
+def _block_defs(cfg: ControlFlowGraph, index: int) -> Set[str]:
+    """Names defined by the statements of one block (shallow walk)."""
+    defs: Set[str] = set()
+    for stmt in cfg.blocks[index].statements:
+        defs.update(assigned_names(stmt))
+    return defs
+
+
+# ----------------------------------------------------------------------
+# reaching definitions (forward, may)
+# ----------------------------------------------------------------------
+
+def reaching_definitions(cfg: ControlFlowGraph) -> Dict[int, Set[Definition]]:
+    """Map each block index to the definitions reaching its *entry*.
+
+    A definition is ``(name, block_index_of_the_def)``.  Within a
+    block, a later definition of a name kills earlier ones, so the
+    block's OUT set carries at most one defining block per redefined
+    name (its own) plus every surviving incoming definition.
+    """
+    gen: Dict[int, Set[str]] = {
+        block.index: _block_defs(cfg, block.index) for block in cfg.blocks
+    }
+    in_sets: Dict[int, Set[Definition]] = {b.index: set() for b in cfg.blocks}
+    out_sets: Dict[int, Set[Definition]] = {b.index: set() for b in cfg.blocks}
+    preds: Dict[int, Set[int]] = {b.index: set() for b in cfg.blocks}
+    for block in cfg.blocks:
+        targets = set(block.successors)
+        if block.may_raise and block.exc_successor is not None:
+            targets.add(block.exc_successor)
+        for dst in targets:
+            preds[dst].add(block.index)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            index = block.index
+            new_in: Set[Definition] = set()
+            for pred in preds[index]:
+                new_in |= out_sets[pred]
+            new_out = {
+                (name, src) for name, src in new_in if name not in gen[index]
+            }
+            new_out |= {(name, index) for name in gen[index]}
+            if new_in != in_sets[index] or new_out != out_sets[index]:
+                in_sets[index] = new_in
+                out_sets[index] = new_out
+                changed = True
+    return in_sets
+
+
+# ----------------------------------------------------------------------
+# locksets (forward, must)
+# ----------------------------------------------------------------------
+
+def _lock_call_target(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``("<expr>", "acquire"|"release")`` for explicit lock calls."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("acquire", "release")
+    ):
+        return ast.unparse(node.func.value), node.func.attr
+    return None
+
+
+def held_locksets(cfg: ControlFlowGraph) -> Dict[int, FrozenSet[str]]:
+    """For each block, the lock expressions *guaranteed* held inside it.
+
+    Starts from the lexical ``with`` regions stamped on the blocks,
+    adds explicit ``X.acquire()``/``X.release()`` transfer within a
+    block, and joins predecessors by intersection (must-hold).  The
+    result is what each block's statements run under, i.e. the block's
+    own ``with`` items are included.
+    """
+    all_locks: Set[str] = set()
+    transfers: Dict[int, Tuple[Set[str], Set[str]]] = {}
+    for block in cfg.blocks:
+        acquired: Set[str] = set()
+        released: Set[str] = set()
+        for node in block.walk():
+            target = _lock_call_target(node)
+            if target is None:
+                continue
+            expr, op = target
+            all_locks.add(expr)
+            if op == "acquire":
+                acquired.add(expr)
+                released.discard(expr)
+            else:
+                released.add(expr)
+                acquired.discard(expr)
+        transfers[block.index] = (acquired, released)
+        all_locks.update(block.held_with)
+
+    universe = frozenset(all_locks)
+    in_sets: Dict[int, FrozenSet[str]] = {
+        b.index: universe for b in cfg.blocks
+    }
+    in_sets[cfg.entry] = frozenset()
+    preds: Dict[int, Set[int]] = {b.index: set() for b in cfg.blocks}
+    for block in cfg.blocks:
+        targets = set(block.successors)
+        if block.may_raise and block.exc_successor is not None:
+            targets.add(block.exc_successor)
+        for dst in targets:
+            preds[dst].add(block.index)
+
+    def out_of(index: int) -> FrozenSet[str]:
+        acquired, released = transfers[index]
+        block = cfg.blocks[index]
+        # `with` items are scoped lexically: held inside the block, and
+        # propagated only to successors that share the region.
+        held = (set(in_sets[index]) | acquired | set(block.held_with))
+        return frozenset(held - released)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            index = block.index
+            if index == cfg.entry:
+                continue
+            incoming: Optional[Set[str]] = None
+            for pred in preds[index]:
+                candidate = set(out_of(pred))
+                # A with-held lock does not survive past its region:
+                # drop predecessors' lexical holds the successor block
+                # is not itself inside.
+                candidate -= set(cfg.blocks[pred].held_with) - set(
+                    block.held_with
+                )
+                incoming = (
+                    candidate if incoming is None else incoming & candidate
+                )
+            new_in = frozenset(incoming) if incoming is not None else frozenset()
+            if new_in != in_sets[index]:
+                in_sets[index] = new_in
+                changed = True
+
+    return {
+        b.index: frozenset(in_sets[b.index] | b.held_with)
+        for b in cfg.blocks
+    }
+
+
+# ----------------------------------------------------------------------
+# the program index: functions, calls, scan summaries
+# ----------------------------------------------------------------------
+
+@dataclass
+class FunctionInfo:
+    """One function definition with its location and lazy CFG."""
+
+    #: ``repro/...``-rooted module path the function lives in.
+    relpath: str
+    #: Dotted name inside the module (``Class.method`` or ``func``).
+    qualname: str
+    #: The defining AST node.
+    node: ast.AST
+    #: Name of the immediately enclosing class, if any.
+    owner_class: Optional[str] = None
+    _cfg: Optional[ControlFlowGraph] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        """The bare (unqualified) function name."""
+        return getattr(self.node, "name", "")
+
+    @property
+    def cfg(self) -> ControlFlowGraph:
+        """The function's CFG, built on first use and cached."""
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node)
+        return self._cfg
+
+
+def _walk_functions(
+    relpath: str, tree: ast.AST
+) -> Iterator[FunctionInfo]:
+    stack: List[Tuple[ast.AST, Tuple[str, ...], Optional[str]]] = [
+        (tree, (), None)
+    ]
+    while stack:
+        node, prefix, owner = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join(prefix + (child.name,))
+                yield FunctionInfo(
+                    relpath=relpath, qualname=qual, node=child,
+                    owner_class=owner,
+                )
+                stack.append((child, prefix + (child.name,), owner))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, prefix + (child.name,), child.name))
+            else:
+                stack.append((child, prefix, owner))
+
+
+def _called_names(node: ast.AST) -> Iterator[Tuple[str, ast.Call]]:
+    """Bare callee names of every call under ``node``."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Name):
+            yield func.id, sub
+        elif isinstance(func, ast.Attribute):
+            yield func.attr, sub
+
+
+def _scans_directly(node: ast.AST) -> bool:
+    for name, _call in _called_names(node):
+        if name in SCAN_METHODS:
+            return True
+    return False
+
+
+class ProgramIndex:
+    """Call-graph summaries over every module handed to the analyzer.
+
+    Parameters
+    ----------
+    modules:
+        ``(relpath, tree)`` pairs — typically every parsed module of an
+        ``analyze_paths`` run, so call edges resolve across files.
+    """
+
+    def __init__(self, modules: Iterable[Tuple[str, ast.AST]]) -> None:
+        self.functions: List[FunctionInfo] = []
+        for relpath, tree in modules:
+            self.functions.extend(_walk_functions(relpath, tree))
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        for info in self.functions:
+            self._by_name.setdefault(info.name, []).append(info)
+        self._scan_summary: Optional[Dict[int, bool]] = None
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self, name: str, caller: Optional[FunctionInfo] = None
+    ) -> List[FunctionInfo]:
+        """Functions a bare callee ``name`` may refer to.
+
+        Same-class methods win, then same-module functions, then any
+        function in the program with that name.
+        """
+        candidates = self._by_name.get(name, [])
+        if not candidates or caller is None:
+            return list(candidates)
+        same_class = [
+            c for c in candidates
+            if c.owner_class is not None
+            and c.owner_class == caller.owner_class
+            and c.relpath == caller.relpath
+        ]
+        if same_class:
+            return same_class
+        same_module = [c for c in candidates if c.relpath == caller.relpath]
+        return same_module or list(candidates)
+
+    # ------------------------------------------------------------------
+    def scans_edges(self, info: FunctionInfo) -> bool:
+        """Whether ``info`` performs an edge scan, directly or via calls."""
+        return self._scan_summaries().get(id(info.node), False)
+
+    def call_scans(self, call: ast.Call, caller: FunctionInfo) -> bool:
+        """Whether one call site may trigger an edge scan.
+
+        True for direct ``.scan()``-family calls and for calls resolved
+        to a function whose summary scans.
+        """
+        func = call.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name in SCAN_METHODS:
+            return True
+        return any(
+            self.scans_edges(callee) for callee in self.resolve(name, caller)
+        )
+
+    def _scan_summaries(self) -> Dict[int, bool]:
+        if self._scan_summary is not None:
+            return self._scan_summary
+        summary: Dict[int, bool] = {
+            id(info.node): _scans_directly(info.node)
+            for info in self.functions
+        }
+        # Propagate through the (name-resolved) call graph to fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for info in self.functions:
+                if summary[id(info.node)]:
+                    continue
+                for name, _call in _called_names(info.node):
+                    if name in SCAN_METHODS:
+                        continue  # counted by _scans_directly already
+                    if any(
+                        summary.get(id(callee.node), False)
+                        for callee in self.resolve(name, info)
+                    ):
+                        summary[id(info.node)] = True
+                        changed = True
+                        break
+        self._scan_summary = summary
+        return summary

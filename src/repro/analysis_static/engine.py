@@ -5,9 +5,16 @@ registered :class:`~repro.analysis_static.rules.Rule` that *applies* to
 the module for its violations, and then filters out anything excused by
 
 * an inline pragma — ``# repro: allow[IO001]`` (or a comma-separated
-  list, or ``allow[*]``) on the flagged line, or
+  list, or ``allow[*]``) on any physical line of the flagged
+  *statement* (multi-line calls included), or
 * an allowlist entry — a mapping from a ``repro/...``-rooted module
   path to the rule ids excused for that whole module.
+
+Rules come in two shapes: per-module :class:`~repro.analysis_static.
+rules.Rule` passes, and whole-program :class:`~repro.analysis_static.
+rules.ProgramRule` passes that receive every parsed module of the run
+at once (as :class:`ModuleSource` records) so call edges resolve
+across files.
 
 Paths are normalised so that rules can scope themselves by package
 (``repro/io/``, ``repro/core/`` ...) regardless of where the source
@@ -71,6 +78,73 @@ def pragma_allowances(source: str) -> Dict[int, FrozenSet[str]]:
     return allowances
 
 
+def _statement_extents(tree: ast.AST) -> List[tuple]:
+    """``(first line, last line)`` spans pragmas stretch across.
+
+    Simple statements span their full physical extent.  Compound
+    statements (loops, ``with``, ``try``, function/class defs)
+    contribute only their *header* lines — a pragma inside a loop body
+    must not excuse the whole loop.
+    """
+    extents: List[tuple] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if body and isinstance(body, list) and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        if end > start:
+            extents.append((start, end))
+    return extents
+
+
+def _expand_pragmas(
+    tree: ast.AST, pragmas: Dict[int, FrozenSet[str]]
+) -> Dict[int, FrozenSet[str]]:
+    """Stretch line pragmas across their whole (multi-line) statement.
+
+    A ``# repro: allow[...]`` on any physical line of a statement
+    excuses the listed rules on every line of that statement, so a
+    pragma can sit on the closing paren of a multi-line call while the
+    violation anchors at the call's first line.
+    """
+    if not pragmas:
+        return pragmas
+    merged: Dict[int, FrozenSet[str]] = dict(pragmas)
+    for start, end in _statement_extents(tree):
+        rules: set = set()
+        for line in range(start, end + 1):
+            rules.update(pragmas.get(line, frozenset()))
+        if not rules:
+            continue
+        for line in range(start, end + 1):
+            merged[line] = merged.get(line, frozenset()) | frozenset(rules)
+    return merged
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module: what whole-program rules consume."""
+
+    #: ``repro/...``-rooted posix path used for scoping and reporting.
+    relpath: str
+    #: The module's source text (used for pragma filtering).
+    source: str
+    #: The parsed AST.
+    tree: ast.AST
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str) -> "ModuleSource":
+        """Parse ``source`` into a :class:`ModuleSource`."""
+        return cls(
+            relpath=relpath,
+            source=source,
+            tree=ast.parse(source, filename=relpath),
+        )
+
+
 class Analyzer:
     """Run contract rules over source files with pragma/allowlist filtering.
 
@@ -107,34 +181,72 @@ class Analyzer:
                 allowed.update(rules)
         return frozenset(allowed)
 
-    def analyze_source(self, source: str, relpath: str) -> List[Violation]:
-        """Check one module given as source text; returns sorted violations."""
-        tree = ast.parse(source, filename=relpath)
-        pragmas = pragma_allowances(source)
-        module_allowed = self._allowed_for(relpath)
+    def analyze_modules(
+        self, modules: Sequence[ModuleSource]
+    ) -> List[Violation]:
+        """Check a batch of parsed modules; returns sorted violations.
+
+        Per-module rules see each module independently; whole-program
+        rules (:class:`~repro.analysis_static.rules.ProgramRule`) see
+        the entire batch at once so call edges resolve across files.
+        Pragma and allowlist filtering applies uniformly to both.
+        """
+        from repro.analysis_static.rules import ProgramRule
+
+        filters: Dict[str, tuple] = {}
+        for module in modules:
+            pragmas = _expand_pragmas(
+                module.tree, pragma_allowances(module.source)
+            )
+            filters[module.relpath] = (pragmas, self._allowed_for(module.relpath))
+
+        def admit(violation: Violation) -> bool:
+            pragmas, module_allowed = filters.get(
+                violation.path, ({}, frozenset())
+            )
+            if violation.rule in module_allowed:
+                return False
+            line_allowed = pragmas.get(violation.line, frozenset())
+            return not (
+                violation.rule in line_allowed or "*" in line_allowed
+            )
+
         violations: List[Violation] = []
         for rule in self.rules:
-            if rule.rule_id in module_allowed:
+            if isinstance(rule, ProgramRule):
+                violations.extend(
+                    v for v in rule.check_program(modules) if admit(v)
+                )
                 continue
-            if not rule.applies_to(relpath):
-                continue
-            for violation in rule.check(tree, relpath):
-                line_allowed = pragmas.get(violation.line, frozenset())
-                if violation.rule in line_allowed or "*" in line_allowed:
+            for module in modules:
+                _pragmas, module_allowed = filters[module.relpath]
+                if rule.rule_id in module_allowed:
                     continue
-                violations.append(violation)
+                if not rule.applies_to(module.relpath):
+                    continue
+                violations.extend(
+                    v for v in rule.check(module.tree, module.relpath) if admit(v)
+                )
         return sorted(violations)
+
+    def analyze_source(self, source: str, relpath: str) -> List[Violation]:
+        """Check one module given as source text; returns sorted violations."""
+        return self.analyze_modules([ModuleSource.from_source(source, relpath)])
 
     def analyze_file(self, path: str) -> List[Violation]:
         """Check one module on disk; returns sorted violations."""
+        return self.analyze_modules([self._load_module(path)])
+
+    @staticmethod
+    def _load_module(path: str) -> ModuleSource:
         # The analyzer reads source text, not graph data, so this is not
         # a counted disk transfer.
         with open(path, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
             source = handle.read()
-        return self.analyze_source(source, module_relpath(path))
+        return ModuleSource.from_source(source, module_relpath(path))
 
-    def analyze_paths(self, paths: Iterable[str]) -> List[Violation]:
-        """Check every ``*.py`` file under ``paths`` (files or directories)."""
+    def load_paths(self, paths: Iterable[str]) -> List[ModuleSource]:
+        """Parse every ``*.py`` file under ``paths`` (files or dirs)."""
         files: List[str] = []
         for path in paths:
             if os.path.isdir(path):
@@ -146,10 +258,11 @@ class Analyzer:
             else:
                 files.append(path)
         self.files_checked = len(files)
-        violations: List[Violation] = []
-        for filename in files:
-            violations.extend(self.analyze_file(filename))
-        return sorted(violations)
+        return [self._load_module(filename) for filename in files]
+
+    def analyze_paths(self, paths: Iterable[str]) -> List[Violation]:
+        """Check every ``*.py`` file under ``paths`` (files or directories)."""
+        return self.analyze_modules(self.load_paths(paths))
 
 
 def analyze_paths(paths: Iterable[str]) -> List[Violation]:

@@ -1,0 +1,283 @@
+"""Lock-discipline race detection over per-class lock models.
+
+The prefetch layer shares a ``PageCache`` between the caller and the
+``BlockPrefetcher`` daemon thread, and the ROADMAP's multi-process scan
+sharding will add more shared state.  The discipline this pass enforces
+is the standard one:
+
+    an attribute that is ever *written under a lock* belongs to that
+    lock, and every other access — read or write — must hold it too.
+
+For each class the pass collects the lock attributes (``self.X =
+threading.Lock()`` / ``RLock`` / ``Condition`` / ``Semaphore``), runs
+the must-hold lockset dataflow (:func:`~repro.analysis_static.dataflow.
+held_locksets`) over every method CFG, and records which ``self.*``
+attributes are accessed under which held locks.  Attributes with at
+least one lock-guarded write form the *guarded set*; any access to a
+guarded attribute from a block whose lockset is disjoint from the
+attribute's guards raises:
+
+* **THR001** — unguarded *write*: two racing writers corrupt state.
+* **THR002** — unguarded *read*: a torn or stale read of state the
+  class itself says needs the lock.
+
+``__init__``/``__del__`` run before/after the object is shared and are
+exempt, as are accesses to the lock attributes themselves.  Classes
+with no lock attribute produce nothing — the pass only holds code to
+the discipline it opted into.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis_static.cfg import build_cfg
+from repro.analysis_static.dataflow import held_locksets
+from repro.analysis_static.engine import Violation
+from repro.analysis_static.rules import Rule
+
+__all__ = ["LockModel", "UnguardedReadRule", "UnguardedWriteRule", "build_lock_models"]
+
+#: Constructors whose result makes an attribute a lock.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "discard", "remove", "pop",
+        "popitem", "clear", "update", "setdefault", "appendleft",
+        "popleft", "move_to_end", "sort", "reverse",
+    }
+)
+
+#: Methods exempt from the discipline (object not yet / no longer shared).
+_EXEMPT_METHODS = frozenset({"__init__", "__del__", "__post_init__"})
+
+
+def _is_lock_factory(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = (
+        func.id if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute)
+        else ""
+    )
+    return name in _LOCK_FACTORIES
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _Access:
+    """One read or write of ``self.<attr>`` inside a method."""
+
+    __slots__ = ("attr", "is_write", "node", "method", "held")
+
+    def __init__(
+        self,
+        attr: str,
+        is_write: bool,
+        node: ast.AST,
+        method: str,
+        held: FrozenSet[str],
+    ) -> None:
+        self.attr = attr
+        self.is_write = is_write
+        self.node = node
+        self.method = method
+        self.held = held
+
+
+class LockModel:
+    """The lock discipline of one class, extracted from its AST."""
+
+    def __init__(self, class_node: ast.ClassDef) -> None:
+        #: The class this model describes.
+        self.class_node = class_node
+        #: Names of ``self.*`` attributes holding lock objects.
+        self.lock_attrs: Set[str] = set()
+        #: Every ``self.*`` access observed outside exempt methods.
+        self.accesses: List[_Access] = []
+        #: ``attr -> lock attrs held at some write of it``.
+        self.guards: Dict[str, Set[str]] = {}
+        self._extract()
+
+    # ------------------------------------------------------------------
+    def _methods(self) -> Iterator[ast.FunctionDef]:
+        for item in self.class_node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield item
+
+    def _extract(self) -> None:
+        for method in self._methods():
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not _is_lock_factory(node.value):
+                    continue
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        self.lock_attrs.add(attr)
+        if not self.lock_attrs:
+            return
+        for method in self._methods():
+            if method.name in _EXEMPT_METHODS:
+                continue
+            self._collect_accesses(method)
+        for access in self.accesses:
+            if not access.is_write:
+                continue
+            if access.held:
+                self.guards.setdefault(access.attr, set()).update(access.held)
+
+    # ------------------------------------------------------------------
+    def _collect_accesses(self, method: ast.FunctionDef) -> None:
+        cfg = build_cfg(method)
+        locksets = held_locksets(cfg)
+        for block in cfg.blocks:
+            held = self._held_lock_attrs(locksets[block.index])
+            for stmt in block.statements:
+                for attr, is_write, node in self._stmt_accesses(stmt):
+                    if attr in self.lock_attrs:
+                        continue
+                    self.accesses.append(
+                        _Access(attr, is_write, node, method.name, held)
+                    )
+
+    def _held_lock_attrs(self, lockset: FrozenSet[str]) -> FrozenSet[str]:
+        """Class lock attrs held, from lock expression strings."""
+        held: Set[str] = set()
+        for expr in lockset:
+            if expr.startswith("self."):
+                attr = expr[len("self."):].split(".")[0].split("(")[0]
+                if attr in self.lock_attrs:
+                    held.add(attr)
+        return frozenset(held)
+
+    def _stmt_accesses(
+        self, stmt: ast.stmt
+    ) -> Iterator[Tuple[str, bool, ast.AST]]:
+        """``(attr, is_write, node)`` for each ``self.*`` touch in ``stmt``."""
+        mutated = {id(node) for _attr, node in _mutator_receivers(stmt)}
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Attribute):
+                attr = _self_attr(node)
+                if attr is None:
+                    continue
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    yield attr, True, node
+                else:
+                    yield attr, id(node) in mutated, node
+            elif isinstance(node, (ast.Subscript,)):
+                # `self.X[k] = v` / `del self.X[k]` mutate self.X.
+                attr = _self_attr(node.value)
+                if attr is not None and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    yield attr, True, node
+
+    # ------------------------------------------------------------------
+    def violations(self) -> Iterator[Tuple[str, _Access]]:
+        """Yield ``(rule_id, access)`` for each discipline breach."""
+        if not self.guards:
+            return
+        for access in self.accesses:
+            guards = self.guards.get(access.attr)
+            if not guards:
+                continue
+            if access.held & guards:
+                continue
+            yield ("THR001" if access.is_write else "THR002"), access
+
+
+def _mutator_receivers(stmt: ast.stmt) -> Iterator[Tuple[str, ast.AST]]:
+    """``(attr, self.attr node)`` mutated via ``self.X.append(...)`` etc."""
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in _MUTATORS:
+            continue
+        attr = _self_attr(func.value)
+        if attr is not None:
+            yield attr, func.value
+
+
+def build_lock_models(tree: ast.AST) -> List[LockModel]:
+    """Extract a :class:`LockModel` for every lock-owning class."""
+    models = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            model = LockModel(node)
+            if model.lock_attrs:
+                models.append(model)
+    return models
+
+
+class _LockRule(Rule):
+    """Shared machinery for the two lock-discipline rules."""
+
+    _want_write = True
+
+    def applies_to(self, relpath: str) -> bool:
+        """Any module may define a lock-owning class."""
+        return True
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Run the per-class lock models and keep this rule's breaches."""
+        out: List[Violation] = []
+        for model in build_lock_models(tree):
+            for rule_id, access in model.violations():
+                is_write = rule_id == "THR001"
+                if is_write != self._want_write:
+                    continue
+                guards = sorted(model.guards.get(access.attr, ()))
+                kind = "write to" if is_write else "read of"
+                out.append(
+                    self.violation(
+                        access.node, relpath,
+                        f"{kind} '{model.class_node.name}.{access.attr}' in "
+                        f"{access.method}() without holding "
+                        f"'self.{guards[0] if guards else '?'}' — other "
+                        "accesses of this attribute are lock-guarded",
+                    )
+                )
+        return out
+
+
+class UnguardedWriteRule(_LockRule):
+    """THR001: a write to lock-guarded shared state without the lock."""
+
+    rule_id = "THR001"
+    title = "unguarded write to lock-protected attribute"
+    rationale = (
+        "the attribute is written under a lock elsewhere in the class; "
+        "a writer that skips the lock races the prefetch daemon thread "
+        "and corrupts shared cache state"
+    )
+    _want_write = True
+
+
+class UnguardedReadRule(_LockRule):
+    """THR002: a read of lock-guarded shared state without the lock."""
+
+    rule_id = "THR002"
+    title = "unguarded read of lock-protected attribute"
+    rationale = (
+        "the attribute is written under a lock; reading it without the "
+        "lock can observe torn or stale state mid-update"
+    )
+    _want_write = False

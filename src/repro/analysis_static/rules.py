@@ -27,16 +27,28 @@ trees behave like the real packages they imitate):
   loop set lives in ``repro/kernels/scalar.py``, outside this rule's
   scope).
 
-New rules subclass :class:`Rule` and register in :data:`ALL_RULES`.
+Three whole-program passes live in sibling modules and register here
+too (imported at the bottom of this file to break the import cycle):
+
+* **SCAN002/SCAN003** (:mod:`~repro.analysis_static.iocost`) —
+  call-graph I/O-complexity inference: nested edge scans and scans in
+  unbounded ``while`` retry loops.
+* **THR001/THR002** (:mod:`~repro.analysis_static.locks`) —
+  lock-discipline race detection over per-class lock models.
+* **IO003** (:mod:`~repro.analysis_static.atomicity`) — crash-window
+  analysis of the staged-replace protocol.
+
+New rules subclass :class:`Rule` (or :class:`ProgramRule` when they
+need the whole module set) and register in :data:`ALL_RULES`.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, FrozenSet, Iterator, List, Tuple, Type
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Type
 
-from repro.analysis_static.engine import Violation
+from repro.analysis_static.engine import ModuleSource, Violation
 
 #: Module-level exceptions to the rules, keyed by ``repro/...``-rooted
 #: path.  Keep this list short, and justify every entry:
@@ -107,6 +119,29 @@ class Rule:
             rule=self.rule_id,
             message=message,
         )
+
+
+class ProgramRule(Rule):
+    """A rule that analyzes every module of the run at once.
+
+    Subclasses implement :meth:`check_program` over the full parsed
+    module set (call edges resolve across files); :meth:`applies_to`
+    governs which modules the rule may *emit* for, not which it sees.
+    :meth:`check` adapts single-module engine paths by wrapping the one
+    module as a batch.
+    """
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Run :meth:`check_program` over this one module."""
+        return self.check_program(
+            [ModuleSource(relpath=relpath, source="", tree=tree)]
+        )
+
+    def check_program(
+        self, modules: Sequence[ModuleSource]
+    ) -> List[Violation]:
+        """Return violations across the whole module batch."""
+        raise NotImplementedError
 
 
 # ----------------------------------------------------------------------
@@ -638,6 +673,19 @@ class PerEdgeBoxingRule(Rule):
         return out
 
 
+# The whole-program passes subclass ProgramRule above, so these imports
+# must come after its definition; both import orders resolve because
+# everything they need from this module is already bound by this line.
+from repro.analysis_static.atomicity import StagingProtocolRule  # noqa: E402
+from repro.analysis_static.iocost import (  # noqa: E402
+    NestedScanRule,
+    UnboundedScanLoopRule,
+)
+from repro.analysis_static.locks import (  # noqa: E402
+    UnguardedReadRule,
+    UnguardedWriteRule,
+)
+
 #: Every registered rule, in reporting order.
 ALL_RULES: List[Type[Rule]] = [
     RawIORule,
@@ -646,4 +694,9 @@ ALL_RULES: List[Type[Rule]] = [
     SequentialScanRule,
     CoreAPIRule,
     PerEdgeBoxingRule,
+    NestedScanRule,
+    UnboundedScanLoopRule,
+    UnguardedWriteRule,
+    UnguardedReadRule,
+    StagingProtocolRule,
 ]

@@ -1,0 +1,319 @@
+"""SARIF 2.1.0 emission for ``repro-scc lint`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format GitHub code scanning ingests: uploading the log annotates pull
+requests inline at the flagged lines.  :func:`to_sarif` maps the
+analyzer's :class:`~repro.analysis_static.engine.Violation` records to
+one SARIF ``run`` — rule metadata from the registered rule classes
+becomes the driver's ``rules`` array, each violation one ``result``
+with a ``physicalLocation``.
+
+The module also carries :data:`SARIF_SUBSET_SCHEMA`, a hand-reduced
+JSON-Schema slice of the official SARIF 2.1.0 schema covering exactly
+the fields emitted here, and :func:`validate_sarif`, a dependency-free
+validator for it — so CI can assert conformance without installing
+``jsonschema`` (the full-schema check still runs locally when
+``jsonschema`` happens to be available; see the SARIF test module).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from repro.analysis_static.engine import Violation
+
+__all__ = ["SARIF_SUBSET_SCHEMA", "to_sarif", "to_sarif_json", "validate_sarif"]
+
+#: The schema URI stamped into emitted logs.
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: A faithful subset of the SARIF 2.1.0 schema: every field this module
+#: emits, with the spec's types, requiredness, and enums.  Used by
+#: :func:`validate_sarif`; kept small enough to eyeball against the
+#: official schema.
+SARIF_SUBSET_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {
+                                                            "type": "string"
+                                                        }
+                                                    },
+                                                },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {
+                                                            "type": "string"
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error"
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": (
+                                                                    "string"
+                                                                )
+                                                            },
+                                                            "uriBaseId": {
+                                                                "type": (
+                                                                    "string"
+                                                                )
+                                                            },
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": (
+                                                                    "integer"
+                                                                ),
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": (
+                                                                    "integer"
+                                                                ),
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: Iterable[object] = (),
+    tool_name: str = "repro-scc-lint",
+) -> Dict[str, Any]:
+    """Render violations as one SARIF 2.1.0 log dict.
+
+    ``rules`` supplies rule metadata objects (``rule_id``/``title``/
+    ``rationale`` attributes, i.e. :class:`~repro.analysis_static.
+    rules.Rule` instances); rules referenced by a violation but absent
+    from ``rules`` still get a bare registry entry so ``ruleIndex``
+    stays valid.
+    """
+    catalog: List[Dict[str, Any]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in rules:
+        rule_id = getattr(rule, "rule_id", "")
+        if not rule_id or rule_id in rule_index:
+            continue
+        rule_index[rule_id] = len(catalog)
+        entry: Dict[str, Any] = {"id": rule_id}
+        title = getattr(rule, "title", "")
+        rationale = getattr(rule, "rationale", "")
+        if title:
+            entry["shortDescription"] = {"text": title}
+        if rationale:
+            entry["fullDescription"] = {"text": rationale}
+        catalog.append(entry)
+    for violation in violations:
+        if violation.rule not in rule_index:
+            rule_index[violation.rule] = len(catalog)
+            catalog.append({"id": violation.rule})
+
+    results: List[Dict[str, Any]] = []
+    for violation in violations:
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "ruleIndex": rule_index[violation.rule],
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(1, violation.line),
+                                "startColumn": max(1, violation.col),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    violations: Sequence[Violation],
+    rules: Iterable[object] = (),
+    tool_name: str = "repro-scc-lint",
+) -> str:
+    """The SARIF log serialized as pretty-printed JSON."""
+    return json.dumps(
+        to_sarif(violations, rules=rules, tool_name=tool_name),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# dependency-free subset-schema validation
+# ----------------------------------------------------------------------
+
+
+def _type_ok(value: Any, type_name: str) -> bool:
+    if type_name == "object":
+        return isinstance(value, dict)
+    if type_name == "array":
+        return isinstance(value, list)
+    if type_name == "string":
+        return isinstance(value, str)
+    if type_name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return (
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+        )
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    return True  # pragma: no cover - unused type names
+
+
+def _validate(value: Any, schema: Mapping[str, Any], where: str) -> List[str]:
+    errors: List[str] = []
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{where}: {value!r} not in {schema['enum']!r}")
+        return errors
+    type_name = schema.get("type")
+    if type_name and not _type_ok(value, type_name):
+        errors.append(f"{where}: expected {type_name}, got {type(value).__name__}")
+        return errors
+    if type_name == "object":
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{where}: missing required property '{key}'")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                errors.extend(_validate(value[key], sub, f"{where}.{key}"))
+    elif type_name == "array":
+        item_schema = schema.get("items")
+        if item_schema:
+            for position, item in enumerate(value):
+                errors.extend(
+                    _validate(item, item_schema, f"{where}[{position}]")
+                )
+    elif type_name == "integer":
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{where}: {value} < minimum {minimum}")
+    return errors
+
+
+def validate_sarif(log: Mapping[str, Any]) -> List[str]:
+    """Validate ``log`` against :data:`SARIF_SUBSET_SCHEMA`.
+
+    Returns a list of human-readable problems — empty when the log
+    conforms.  This is a structural subset check (types, requiredness,
+    enums, minimums), not a full JSON-Schema engine; the SARIF test
+    module additionally runs the real schema when ``jsonschema`` is
+    installed.
+    """
+    return _validate(dict(log), SARIF_SUBSET_SCHEMA, "$")

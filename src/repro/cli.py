@@ -220,6 +220,19 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="describe every rule and exit")
     lint.add_argument("--no-default-allowlist", action="store_true",
                       help="drop the built-in module-level exceptions")
+    lint.add_argument("--sarif", metavar="PATH", default=None,
+                      help="also write findings as a SARIF 2.1.0 log")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="baseline file of accepted findings "
+                           "(default: lint-baseline.json when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings to the baseline file "
+                           "and exit 0")
+    lint.add_argument("--cost-report", action="store_true",
+                      help="print the inferred counted-I/O cost class of "
+                           "every scanning algorithm function and exit")
     return parser
 
 
@@ -450,9 +463,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Baseline file consulted by ``lint`` when none is named explicitly.
+_DEFAULT_BASELINE = "lint-baseline.json"
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Run the contract analyzer; exit 1 when any violation survives."""
+    """Run the contract analyzer.
+
+    Exit codes: 0 clean (or only baselined findings), 1 when any new
+    finding survives filtering, 2 when the analyzer itself fails
+    (unreadable input, syntax error, or an internal crash).
+    """
     from repro.analysis_static import ALL_RULES, Analyzer
+    from repro.analysis_static.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis_static.iocost import cost_report
+    from repro.analysis_static.sarif import to_sarif_json
 
     if args.list_rules:
         for rule_cls in ALL_RULES:
@@ -461,7 +490,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     analyzer = Analyzer(allowlist={} if args.no_default_allowlist else None)
     try:
-        violations = analyzer.analyze_paths(args.paths or ["src"])
+        modules = analyzer.load_paths(args.paths or ["src"])
+        if args.cost_report:
+            print(cost_report(modules))
+            return 0
+        violations = analyzer.analyze_modules(modules)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -469,12 +502,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
               file=sys.stderr)
         return 2
+    except Exception as exc:  # analyzer crash, not a finding
+        print(f"error: analyzer failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or _DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(baseline_path, violations)
+        print(f"wrote {len(violations)} finding(s) to {baseline_path}")
+        return 0
+    baselined: List = []
+    if not args.no_baseline and os.path.exists(baseline_path):
+        try:
+            violations, baselined = apply_baseline(
+                violations, load_baseline(baseline_path)
+            )
+        except (ValueError, KeyError) as exc:
+            print(f"error: malformed baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.sarif:
+        sarif_json = to_sarif_json(violations, rules=analyzer.rules)
+        with open(args.sarif, "w", encoding="utf-8") as handle:  # repro: allow[IO001]
+            handle.write(sarif_json + "\n")
+
     for violation in violations:
         print(violation)
     if violations:
         print(f"{len(violations)} contract violation(s)", file=sys.stderr)
         return 1
-    print(f"OK: {analyzer.files_checked} file(s) contract-clean")
+    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    print(f"OK: {analyzer.files_checked} file(s) contract-clean{suffix}")
     return 0
 
 

@@ -42,7 +42,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.exceptions import CheckpointError
-from repro.io.atomic import recover_staging, replace_file
+from repro.io.atomic import abort_replace, recover_staging, replace_file
 from repro.io.counter import IOStats
 
 #: Bump when the on-disk checkpoint layout changes incompatibly.
@@ -187,9 +187,15 @@ class CheckpointSession:
         payload["__meta__"] = np.frombuffer(
             json.dumps(header).encode("utf-8"), dtype=np.uint8
         )
-        with open(staging, "wb") as handle:  # repro: allow[IO001]
-            np.savez(handle, **payload)
-        replace_file(staging, self.path)
+        try:
+            with open(staging, "wb") as handle:  # repro: allow[IO001]
+                np.savez(handle, **payload)
+            replace_file(staging, self.path)
+        except BaseException:
+            # A torn staging write must not outlive the failed save: the
+            # previous durable checkpoint stays authoritative.
+            abort_replace(staging, self.path)
+            raise
         self.boundaries_saved = boundary + 1
         self._drain_retired(keep=str(meta.get("current_path", "")))
         return boundary

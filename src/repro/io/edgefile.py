@@ -320,10 +320,14 @@ class EdgeFile:
         reopened untouched before the error propagates.
         """
         staging_path = self.path + ".staging"
-        staging = EdgeFile.create(
-            staging_path, counter=self.counter, block_size=self.block_size
-        )
+        staging: Optional[EdgeFile] = None
         try:
+            # Created inside the guarded region: EdgeFile.create makes
+            # the file before writing its header, so a failure mid-create
+            # must reach the same abort path as a failure mid-append.
+            staging = EdgeFile.create(
+                staging_path, counter=self.counter, block_size=self.block_size
+            )
             for batch in batches:
                 staging.append(batch)
             staging.flush()
@@ -339,7 +343,8 @@ class EdgeFile:
             close = getattr(batches, "close", None)
             if callable(close):
                 close()
-            staging.device.close()
+            if staging is not None:
+                staging.device.close()
             self.device.close()
             abort_replace(staging_path, self.path)
             if self.cache is not None:

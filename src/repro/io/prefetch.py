@@ -72,6 +72,12 @@ class PageCache:
             raise ValueError("block_size must be positive")
         self.capacity_blocks = capacity_blocks
         self.block_size = block_size
+        # The cache is shared between the consuming scan and writer
+        # invalidation while a BlockPrefetcher thread is in flight, and
+        # the ROADMAP's multi-process sharding adds more concurrent
+        # touchpoints — every access below holds this lock (enforced
+        # statically by THR001/THR002).
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -81,46 +87,53 @@ class PageCache:
         A hit refreshes the entry's recency.
         """
         key = (path, index)
-        array = self._entries.get(key)
-        if array is not None:
-            self._entries.move_to_end(key)
-        return array
+        with self._lock:
+            array = self._entries.get(key)
+            if array is not None:
+                self._entries.move_to_end(key)
+            return array
 
     def put(self, path: str, index: int, payload: np.ndarray) -> None:
         """Insert (or refresh) a decoded block, evicting LRU overflow."""
         key = (path, index)
-        self._entries[key] = payload
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity_blocks:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity_blocks:
+                self._entries.popitem(last=False)
 
     def invalidate(self, path: str, index: Optional[int] = None) -> None:
         """Drop one block (or, with ``index=None``, a whole file)."""
-        if index is not None:
-            self._entries.pop((path, index), None)
-            return
-        stale = [key for key in self._entries if key[0] == path]
-        for key in stale:
-            del self._entries[key]
+        with self._lock:
+            if index is not None:
+                self._entries.pop((path, index), None)
+                return
+            stale = [key for key in self._entries if key[0] == path]
+            for key in stale:
+                del self._entries[key]
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def nbytes(self) -> int:
         """Resident payload bytes (auditable against ``capacity_blocks * B``)."""
-        return sum(array.nbytes for array in self._entries.values())
+        with self._lock:
+            return sum(array.nbytes for array in self._entries.values())
 
     def __repr__(self) -> str:
-        return (
-            f"PageCache(blocks={len(self._entries)}/{self.capacity_blocks}, "
-            f"B={self.block_size})"
-        )
+        with self._lock:
+            return (
+                f"PageCache(blocks={len(self._entries)}/"
+                f"{self.capacity_blocks}, B={self.block_size})"
+            )
 
 
 class BlockPrefetcher:

@@ -1,0 +1,15 @@
+"""Deliberately broken lint fixture: nested edge scan (SCAN002).
+
+The inner scan restarts a full pass over ``other_file`` for every
+batch of the outer scan — the O(|E|^2/B) shape the paper's
+semi-external algorithms exist to avoid.
+"""
+
+
+def cross_pair_count(edge_file, other_file, kernel):
+    """Count cross pairs by rescanning ``other_file`` per outer batch."""
+    total = 0
+    for batch in edge_file.scan():
+        for other in other_file.scan():
+            total += kernel.count_pairs(batch, other)
+    return total

@@ -1,0 +1,30 @@
+"""Deliberately broken lint fixture: unlocked shared write (THR001).
+
+``reset`` mutates ``_entries`` without taking ``_lock`` even though
+every other access holds it — the race the prefetch daemon thread
+makes real.
+"""
+
+import threading
+
+
+class BrokenCache:
+    """A shared cache whose reset path skips the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        """Store a payload under the lock."""
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        """Look up a payload under the lock."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def reset(self):
+        """Drop every entry — without the lock (the seeded bug)."""
+        self._entries.clear()

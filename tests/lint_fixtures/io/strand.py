@@ -1,0 +1,19 @@
+"""Deliberately broken lint fixture: strandable staging file (IO003).
+
+``save_snapshot`` stages bytes next to the target but can leave the
+staging file behind: the early ``return False`` skips both
+``replace_file`` and ``abort_replace``, and an exception from either
+device call propagates with no cleanup.
+"""
+
+from repro.io.atomic import replace_file
+
+
+def save_snapshot(device, payload, target):
+    """Stage ``payload`` and swap it over ``target`` — leakily."""
+    staging = target + ".staging"
+    device.write(staging, payload)
+    if not device.verify(staging):
+        return False
+    replace_file(staging, target)
+    return True

@@ -1,0 +1,131 @@
+"""Tier-1 tests for the staging crash-window analysis (IO003)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis_static.atomicity import StagingProtocolRule
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+
+def check(source, relpath="repro/io/mod.py"):
+    """Run the IO003 rule over inline ``source``; return the violations."""
+    return StagingProtocolRule().check(ast.parse(source), relpath)
+
+
+class TestStrandFixture:
+    def test_strand_fixture_trips_io003(self):
+        source = (FIXTURES / "io" / "strand.py").read_text()
+        found = check(source, "tests/lint_fixtures/io/strand.py")
+        assert [v.rule for v in found] == ["IO003"]
+        assert "save_snapshot" in found[0].message
+
+
+class TestProtocolShapes:
+    def test_guarded_stage_is_clean(self):
+        source = (
+            "def save(device, payload, target):\n"
+            "    staging = target + '.staging'\n"
+            "    try:\n"
+            "        device.write(staging, payload)\n"
+            "        replace_file(staging, target)\n"
+            "    except BaseException:\n"
+            "        abort_replace(staging, target)\n"
+            "        raise\n"
+        )
+        assert check(source) == []
+
+    def test_except_exception_still_leaks_base_exceptions(self):
+        # `except Exception` does not cover KeyboardInterrupt /
+        # SystemExit: the dispatch block keeps an escape edge, so the
+        # window still strands.  The branch keeps the raising write in
+        # a different block from the commit — same-block ordering is
+        # deliberately forgiven, cross-block escape is not.
+        body = (
+            "def save(device, payload, target):\n"
+            "    staging = target + '.staging'\n"
+            "    try:\n"
+            "        device.write(staging, payload)\n"
+            "        if device.verify(staging):\n"
+            "            replace_file(staging, target)\n"
+            "        else:\n"
+            "            abort_replace(staging, target)\n"
+            "    except {clause}:\n"
+            "        abort_replace(staging, target)\n"
+            "        raise\n"
+        )
+        leaky = check(body.format(clause="Exception"))
+        assert [v.rule for v in leaky] == ["IO003"]
+        assert check(body.format(clause="BaseException")) == []
+
+    def test_early_return_before_commit_is_flagged(self):
+        source = (
+            "def save(device, payload, target):\n"
+            "    staging = target + '.staging'\n"
+            "    device.write(staging, payload)\n"
+            "    if not device.verify(staging):\n"
+            "        return False\n"
+            "    replace_file(staging, target)\n"
+            "    return True\n"
+        )
+        assert [v.rule for v in check(source)] == ["IO003"]
+
+    def test_commit_on_every_return_path_is_clean(self):
+        source = (
+            "def save(device, payload, target):\n"
+            "    staging = target + '.staging'\n"
+            "    try:\n"
+            "        device.write(staging, payload)\n"
+            "        if not device.verify(staging):\n"
+            "            abort_replace(staging, target)\n"
+            "            return False\n"
+            "        replace_file(staging, target)\n"
+            "        return True\n"
+            "    except BaseException:\n"
+            "        abort_replace(staging, target)\n"
+            "        raise\n"
+        )
+        assert check(source) == []
+
+    def test_handler_region_counts_whole_once_it_commits(self):
+        # The handler calls a helper *before* abort_replace; handler
+        # regions are forgiven wholesale once any handler block commits.
+        source = (
+            "def save(device, payload, target):\n"
+            "    staging = target + '.staging'\n"
+            "    try:\n"
+            "        device.write(staging, payload)\n"
+            "        replace_file(staging, target)\n"
+            "    except BaseException:\n"
+            "        log_failure(target)\n"
+            "        abort_replace(staging, target)\n"
+            "        raise\n"
+        )
+        assert check(source) == []
+
+    def test_staging_parameter_skips_the_function(self):
+        source = (
+            "def sweep(staging_path):\n"
+            "    os_remove(staging_path)\n"
+        )
+        assert check(source) == []
+
+    def test_atomic_module_itself_is_excluded(self):
+        source = (
+            "def replace_file(staging, target):\n"
+            "    staging_probe = staging + '.probe'\n"
+            "    touch(staging_probe)\n"
+        )
+        assert check(source, "repro/io/atomic.py") == []
+
+
+class TestRealTree:
+    def test_checkpoint_and_edgefile_sources_are_clean(self):
+        for name in ("checkpoint.py", "edgefile.py"):
+            source = (REPO / "src" / "repro" / "io" / name).read_text()
+            tree = ast.parse(source)
+            found = StagingProtocolRule().check(tree, f"repro/io/{name}")
+            assert found == [], name

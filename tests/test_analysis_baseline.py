@@ -1,0 +1,90 @@
+"""Tier-1 tests for the accepted-findings baseline machinery."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis_static.baseline import (
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.analysis_static.engine import Violation
+
+
+def finding(message="nested scan", line=10):
+    return Violation("repro/core/a.py", line, 4, "SCAN002", message)
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_the_multiset(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [finding(), finding(), finding("other")])
+        counts = load_baseline(path)
+        assert counts[("repro/core/a.py", "SCAN002", "nested scan")] == 2
+        assert counts[("repro/core/a.py", "SCAN002", "other")] == 1
+
+    def test_rendered_form_is_sorted_json_with_comment(self):
+        text = render_baseline([finding("zzz"), finding("aaa")])
+        payload = json.loads(text)
+        assert "write-baseline" in payload["comment"]
+        messages = [entry["message"] for entry in payload["findings"]]
+        assert messages == sorted(messages)
+        assert text.endswith("\n")
+
+
+class TestApplyBaseline:
+    def test_baselined_findings_are_excused(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [finding()])
+        fresh, excused = apply_baseline([finding()], load_baseline(path))
+        assert fresh == []
+        assert len(excused) == 1
+
+    def test_matching_ignores_the_line_number(self, tmp_path):
+        # An edit above the finding moves it; the baseline still holds.
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [finding(line=10)])
+        fresh, excused = apply_baseline(
+            [finding(line=99)], load_baseline(path)
+        )
+        assert fresh == []
+        assert len(excused) == 1
+
+    def test_multiplicity_is_respected(self, tmp_path):
+        # One baseline entry excuses one of two identical findings.
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [finding()])
+        fresh, excused = apply_baseline(
+            [finding(), finding()], load_baseline(path)
+        )
+        assert len(fresh) == 1
+        assert len(excused) == 1
+
+    def test_new_findings_are_not_excused(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [finding()])
+        novel = Violation("repro/io/b.py", 3, 0, "THR001", "unguarded write")
+        fresh, excused = apply_baseline(
+            [finding(), novel], load_baseline(path)
+        )
+        assert [v.rule for v in fresh] == ["THR001"]
+        assert [v.rule for v in excused] == ["SCAN002"]
+
+    def test_empty_baseline_excuses_nothing(self):
+        fresh, excused = apply_baseline([finding()], Counter())
+        assert len(fresh) == 1
+        assert excused == []
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_empty(self):
+        # The tree is contract-clean; the committed baseline must not
+        # quietly accumulate accepted findings.
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        payload = json.loads((repo / "lint-baseline.json").read_text())
+        assert payload["findings"] == []

@@ -1,0 +1,250 @@
+"""Tier-1 tests for the function-level CFG builder (analysis_static.cfg)."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis_static.cfg import build_cfg
+
+
+def cfg_of(source):
+    """Build the CFG of the first function defined in ``source``."""
+    tree = ast.parse(source)
+    func = next(
+        node for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    )
+    return build_cfg(func)
+
+
+class TestConstruction:
+    def test_rejects_non_function_nodes(self):
+        with pytest.raises(TypeError):
+            build_cfg(ast.parse("x = 1"))
+
+    def test_linear_function_reaches_exit(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = a + 1\n    return b\n")
+        reach = cfg.reachable_from(cfg.entry)
+        assert cfg.exit in reach
+
+    def test_block_of_finds_every_statement(self):
+        source = (
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        cfg = cfg_of(source)
+        func = cfg.func
+        for stmt in ast.walk(func):
+            if isinstance(stmt, (ast.Assign, ast.Return)):
+                assert cfg.block_of(stmt) is not None
+
+    def test_branches_live_in_distinct_blocks(self):
+        source = (
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        cfg = cfg_of(source)
+        assigns = [
+            stmt
+            for stmt in ast.walk(cfg.func)
+            if isinstance(stmt, ast.Assign)
+        ]
+        blocks = {cfg.block_of(stmt) for stmt in assigns}
+        assert len(blocks) == 2
+
+
+class TestLoops:
+    def test_while_records_head_and_members(self):
+        source = (
+            "def f(n):\n"
+            "    i = 0\n"
+            "    while i < n:\n"
+            "        i = i + 1\n"
+            "    return i\n"
+        )
+        cfg = cfg_of(source)
+        loop = next(
+            node for node in ast.walk(cfg.func) if isinstance(node, ast.While)
+        )
+        head = cfg.loop_heads[id(loop)]
+        members = cfg.loop_blocks[id(loop)]
+        body_assign = [
+            stmt
+            for stmt in ast.walk(loop)
+            if isinstance(stmt, ast.Assign)
+        ][0]
+        assert cfg.block_of(body_assign) in members
+        assert head not in members
+
+    def test_for_header_binds_the_loop_target(self):
+        # The synthetic `target = iter` assignment anchors in the head
+        # block so reaching-definitions sees the binding.
+        source = "def f(xs):\n    for x in xs:\n        use(x)\n"
+        cfg = cfg_of(source)
+        loop = next(
+            node for node in ast.walk(cfg.func) if isinstance(node, ast.For)
+        )
+        head = cfg.loop_heads[id(loop)]
+        names = set()
+        for stmt in cfg.blocks[head].statements:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    names.add(node.id)
+        assert "x" in names
+
+    def test_break_exits_the_loop(self):
+        source = (
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        break\n"
+            "    return 1\n"
+        )
+        cfg = cfg_of(source)
+        assert cfg.exit in cfg.reachable_from(cfg.entry)
+
+
+class TestExceptions:
+    def test_call_blocks_may_raise(self):
+        cfg = cfg_of("def f():\n    g()\n")
+        raising = [b for b in cfg.blocks if b.may_raise]
+        assert raising
+        assert all(b.exc_successor == cfg.exit for b in raising)
+
+    def test_call_free_blocks_do_not_raise(self):
+        cfg = cfg_of("def f():\n    a = 1\n    return a\n")
+        assert not any(b.may_raise for b in cfg.blocks)
+
+    def test_try_routes_exceptions_to_dispatch_not_exit(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        h()\n"
+        )
+        cfg = cfg_of(source)
+        call_g = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Call)
+            and getattr(node.func, "id", "") == "g"
+        )
+        body_block = cfg.blocks[cfg.block_of(call_g)]
+        assert body_block.exc_successor != cfg.exit
+
+    def test_handler_regions_are_recorded(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        a = 1\n"
+            "        h()\n"
+        )
+        cfg = cfg_of(source)
+        assert len(cfg.handler_regions) == 1
+        handler_assign = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Assign)
+        )
+        assert cfg.block_of(handler_assign) in cfg.handler_regions[0]
+
+    @staticmethod
+    def _dispatch_block(clause):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            f"    {clause}\n"
+            "        h()\n"
+        )
+        cfg = cfg_of(source)
+        call_g = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Call)
+            and getattr(node.func, "id", "") == "g"
+        )
+        body_block = cfg.blocks[cfg.block_of(call_g)]
+        return cfg, cfg.blocks[body_block.exc_successor]
+
+    def test_unmatched_typed_handler_escapes(self):
+        # `except ValueError` does not catch everything: the dispatch
+        # block keeps an outward edge for unmatched exceptions.
+        cfg, dispatch = self._dispatch_block("except ValueError:")
+        assert cfg.exit in dispatch.successors
+
+    def test_bare_and_baseexception_handlers_catch_all(self):
+        for clause in ("except:", "except BaseException:"):
+            cfg, dispatch = self._dispatch_block(clause)
+            assert cfg.exit not in dispatch.successors, clause
+
+
+class TestWithRegions:
+    def test_with_body_records_held_expression(self):
+        source = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        a = 1\n"
+        )
+        cfg = cfg_of(source)
+        assign = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Name)
+        )
+        block = cfg.blocks[cfg.block_of(assign)]
+        assert "self._lock" in block.held_with
+
+    def test_hold_does_not_leak_past_the_region(self):
+        source = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        a = 1\n"
+            "    b = 2\n"
+        )
+        cfg = cfg_of(source)
+        tail = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "b"
+        )
+        block = cfg.blocks[cfg.block_of(tail)]
+        assert "self._lock" not in block.held_with
+
+
+class TestReachability:
+    def test_avoid_blocks_are_not_traversed(self):
+        source = (
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    barrier(a)\n"
+            "    return a\n"
+        )
+        cfg = cfg_of(source)
+        call = next(
+            node for node in ast.walk(cfg.func) if isinstance(node, ast.Call)
+        )
+        barrier_block = cfg.block_of(call)
+        # Normal flow funnels through the barrier block here.
+        assert cfg.exit not in cfg.reachable_from(
+            cfg.entry, avoid={barrier_block}, follow_exceptions=False
+        )
+        # Reachability is reflexive: the start is always reported.
+        assert barrier_block in cfg.reachable_from(barrier_block)

@@ -1,0 +1,205 @@
+"""Tier-1 tests for reaching defs, locksets, and the program index."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis_static.dataflow import (
+    ProgramIndex,
+    assigned_names,
+    held_locksets,
+    reaching_definitions,
+)
+from tests.test_analysis_cfg import cfg_of
+
+
+class TestAssignedNames:
+    def test_covers_every_binding_form(self):
+        source = (
+            "a = 1\n"
+            "b += 1\n"
+            "c: int = 2\n"
+            "for d in xs:\n"
+            "    pass\n"
+            "with open_thing() as e:\n"
+            "    pass\n"
+            "try:\n"
+            "    pass\n"
+            "except ValueError as f:\n"
+            "    pass\n"
+            "g, (h, i) = 1, (2, 3)\n"
+            "if (j := 4):\n"
+            "    pass\n"
+        )
+        names = assigned_names(ast.parse(source))
+        assert names >= set("abcdefghij")
+
+    def test_attribute_stores_are_not_names(self):
+        assert assigned_names(ast.parse("self.x = 1")) == set()
+
+
+class TestReachingDefinitions:
+    def test_loop_body_definition_reaches_the_head(self):
+        source = (
+            "def f(n):\n"
+            "    pending = n\n"
+            "    while pending:\n"
+            "        pending = step(pending)\n"
+        )
+        cfg = cfg_of(source)
+        loop = next(
+            node for node in ast.walk(cfg.func) if isinstance(node, ast.While)
+        )
+        head = cfg.loop_heads[id(loop)]
+        members = cfg.loop_blocks[id(loop)]
+        reaching = reaching_definitions(cfg)
+        sources = {
+            src for name, src in reaching[head] if name == "pending"
+        }
+        assert sources & members, "body def must reach the loop head"
+
+    def test_redefinition_kills_within_a_block(self):
+        source = "def f():\n    a = 1\n    a = 2\n    use(a)\n"
+        cfg = cfg_of(source)
+        reaching = reaching_definitions(cfg)
+        # The single straight-line block defines `a` once at OUT; the
+        # exit's IN set carries exactly one defining block for `a`.
+        exit_in = reaching[cfg.exit]
+        assert len({src for name, src in exit_in if name == "a"}) == 1
+
+
+class TestHeldLocksets:
+    def test_with_region_is_held_inside_only(self):
+        source = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        a = compute()\n"
+            "    b = compute()\n"
+        )
+        cfg = cfg_of(source)
+        locksets = held_locksets(cfg)
+        held_somewhere = [
+            index for index, held in locksets.items() if "self._lock" in held
+        ]
+        assert held_somewhere
+        tail = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "b"
+        )
+        assert "self._lock" not in locksets[cfg.block_of(tail)]
+
+    def test_acquire_release_transfer(self):
+        source = (
+            "def f(self):\n"
+            "    self._lock.acquire()\n"
+            "    if flag():\n"
+            "        a = 1\n"
+            "    self._lock.release()\n"
+        )
+        cfg = cfg_of(source)
+        locksets = held_locksets(cfg)
+        assign = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Assign)
+        )
+        assert "self._lock" in locksets[cfg.block_of(assign)]
+
+    def test_join_is_must_intersection(self):
+        source = (
+            "def f(self, x):\n"
+            "    if x:\n"
+            "        self._lock.acquire()\n"
+            "    touch(self)\n"
+        )
+        cfg = cfg_of(source)
+        locksets = held_locksets(cfg)
+        call = next(
+            node
+            for node in ast.walk(cfg.func)
+            if isinstance(node, ast.Call)
+            and getattr(node.func, "id", "") == "touch"
+        )
+        assert "self._lock" not in locksets[cfg.block_of(call)]
+
+
+def index_of(*module_sources):
+    """Build a ProgramIndex from ``(relpath, source)`` pairs."""
+    return ProgramIndex(
+        (relpath, ast.parse(source)) for relpath, source in module_sources
+    )
+
+
+class TestProgramIndex:
+    def test_resolution_prefers_same_class_then_module(self):
+        shared = (
+            "class A:\n"
+            "    def helper(self):\n"
+            "        pass\n"
+            "    def run(self):\n"
+            "        self.helper()\n"
+            "def helper():\n"
+            "    pass\n"
+        )
+        other = "def helper():\n    pass\n"
+        index = index_of(
+            ("repro/core/a.py", shared), ("repro/core/b.py", other)
+        )
+        run = next(f for f in index.functions if f.qualname == "A.run")
+        resolved = index.resolve("helper", run)
+        assert [f.qualname for f in resolved] == ["A.helper"]
+
+    def test_resolution_falls_back_to_any_module(self):
+        index = index_of(
+            ("repro/core/a.py", "def caller():\n    helper()\n"),
+            ("repro/core/b.py", "def helper():\n    pass\n"),
+        )
+        caller = next(f for f in index.functions if f.qualname == "caller")
+        assert [f.relpath for f in index.resolve("helper", caller)] == [
+            "repro/core/b.py"
+        ]
+
+    def test_scan_summary_is_transitive(self):
+        source = (
+            "def leaf(edge_file):\n"
+            "    for batch in edge_file.scan():\n"
+            "        pass\n"
+            "def middle(edge_file):\n"
+            "    leaf(edge_file)\n"
+            "def top(edge_file):\n"
+            "    middle(edge_file)\n"
+            "def bystander():\n"
+            "    pass\n"
+        )
+        index = index_of(("repro/core/a.py", source))
+        by_name = {f.qualname: f for f in index.functions}
+        assert index.scans_edges(by_name["leaf"])
+        assert index.scans_edges(by_name["middle"])
+        assert index.scans_edges(by_name["top"])
+        assert not index.scans_edges(by_name["bystander"])
+
+    def test_call_scans_on_direct_and_resolved_calls(self):
+        source = (
+            "def helper(edge_file):\n"
+            "    for batch in edge_file.scan():\n"
+            "        pass\n"
+            "def caller(edge_file):\n"
+            "    helper(edge_file)\n"
+            "    edge_file.scan()\n"
+            "    plain()\n"
+            "def plain():\n"
+            "    pass\n"
+        )
+        index = index_of(("repro/core/a.py", source))
+        caller = next(f for f in index.functions if f.qualname == "caller")
+        calls = {
+            getattr(node.func, "id", getattr(node.func, "attr", "")): node
+            for node in ast.walk(caller.node)
+            if isinstance(node, ast.Call)
+        }
+        assert index.call_scans(calls["helper"], caller)
+        assert index.call_scans(calls["scan"], caller)
+        assert not index.call_scans(calls["plain"], caller)

@@ -1,0 +1,183 @@
+"""Tier-1 tests for the I/O-complexity passes (SCAN002 / SCAN003)."""
+
+from __future__ import annotations
+
+from repro.analysis_static.engine import ModuleSource
+from repro.analysis_static.iocost import (
+    NestedScanRule,
+    UnboundedScanLoopRule,
+    cost_report,
+)
+
+CORE = "repro/core/algo.py"
+UTIL = "repro/util/helpers.py"
+
+
+def run_rule(rule_cls, *module_sources):
+    """Run ``rule_cls`` over ``(relpath, source)`` pairs, return violations."""
+    modules = [
+        ModuleSource.from_source(source, relpath)
+        for relpath, source in module_sources
+    ]
+    return rule_cls().check_program(modules)
+
+
+class TestNestedScan:
+    def test_lexical_nesting_is_flagged(self):
+        source = (
+            "def cross(a, b):\n"
+            "    for outer in a.scan():\n"
+            "        for inner in b.scan():\n"
+            "            use(outer, inner)\n"
+        )
+        found = run_rule(NestedScanRule, (CORE, source))
+        assert [v.rule for v in found] == ["SCAN002"]
+        assert found[0].line == 3
+
+    def test_interprocedural_nesting_is_flagged(self):
+        source = (
+            "def rescued(edge_file):\n"
+            "    for batch in edge_file.scan():\n"
+            "        count_all(edge_file)\n"
+            "def count_all(edge_file):\n"
+            "    for batch in edge_file.scan():\n"
+            "        pass\n"
+        )
+        found = run_rule(NestedScanRule, (CORE, source))
+        assert [v.rule for v in found] == ["SCAN002"]
+        assert "count_all" in found[0].message
+
+    def test_sequential_scans_are_clean(self):
+        source = (
+            "def two_pass(edge_file):\n"
+            "    for batch in edge_file.scan():\n"
+            "        use(batch)\n"
+            "    for batch in edge_file.scan():\n"
+            "        use(batch)\n"
+        )
+        assert run_rule(NestedScanRule, (CORE, source)) == []
+
+    def test_only_algorithm_packages_are_in_scope(self):
+        source = (
+            "def cross(a, b):\n"
+            "    for outer in a.scan():\n"
+            "        for inner in b.scan():\n"
+            "            use(outer, inner)\n"
+        )
+        assert run_rule(NestedScanRule, (UTIL, source)) == []
+
+
+class TestUnboundedScanLoop:
+    def test_while_true_scan_is_flagged(self):
+        source = (
+            "def retry(edge_file):\n"
+            "    while True:\n"
+            "        for batch in edge_file.scan():\n"
+            "            use(batch)\n"
+        )
+        found = run_rule(UnboundedScanLoopRule, (CORE, source))
+        assert [v.rule for v in found] == ["SCAN003"]
+
+    def test_guarded_exit_is_a_termination_witness(self):
+        source = (
+            "def retry(edge_file, max_rounds):\n"
+            "    rounds = 0\n"
+            "    while True:\n"
+            "        for batch in edge_file.scan():\n"
+            "            use(batch)\n"
+            "        rounds += 1\n"
+            "        if rounds >= max_rounds:\n"
+            "            break\n"
+        )
+        assert run_rule(UnboundedScanLoopRule, (CORE, source)) == []
+
+    def test_body_assignment_to_test_name_is_a_witness(self):
+        source = (
+            "def contract(edge_file):\n"
+            "    changed = True\n"
+            "    while changed:\n"
+            "        changed = False\n"
+            "        for batch in edge_file.scan():\n"
+            "            changed = step(batch) or changed\n"
+        )
+        assert run_rule(UnboundedScanLoopRule, (CORE, source)) == []
+
+    def test_unchanging_test_name_is_flagged(self):
+        source = (
+            "def stuck(edge_file, flag):\n"
+            "    while flag:\n"
+            "        for batch in edge_file.scan():\n"
+            "            use(batch)\n"
+        )
+        found = run_rule(UnboundedScanLoopRule, (CORE, source))
+        assert [v.rule for v in found] == ["SCAN003"]
+
+    def test_attribute_test_is_conservatively_bounded(self):
+        source = (
+            "def poll(self, edge_file):\n"
+            "    while self.running:\n"
+            "        for batch in edge_file.scan():\n"
+            "            use(batch)\n"
+        )
+        assert run_rule(UnboundedScanLoopRule, (CORE, source)) == []
+
+    def test_scan_via_callee_is_still_counted(self):
+        source = (
+            "def retry(edge_file):\n"
+            "    while True:\n"
+            "        one_pass(edge_file)\n"
+            "def one_pass(edge_file):\n"
+            "    for batch in edge_file.scan():\n"
+            "        use(batch)\n"
+        )
+        found = run_rule(UnboundedScanLoopRule, (CORE, source))
+        assert [v.rule for v in found] == ["SCAN003"]
+
+    def test_out_of_scope_paths_are_silent(self):
+        source = (
+            "def retry(edge_file):\n"
+            "    while True:\n"
+            "        for batch in edge_file.scan():\n"
+            "            use(batch)\n"
+        )
+        assert run_rule(UnboundedScanLoopRule, (UTIL, source)) == []
+
+
+class TestCostReport:
+    def test_report_classifies_each_shape(self):
+        source = (
+            "def single(edge_file):\n"
+            "    for batch in edge_file.scan():\n"
+            "        use(batch)\n"
+            "def per_round(edge_file, rounds):\n"
+            "    for _ in range(rounds):\n"
+            "        for batch in edge_file.scan():\n"
+            "            use(batch)\n"
+            "def quadratic(a, b):\n"
+            "    for outer in a.scan():\n"
+            "        for inner in b.scan():\n"
+            "            use(outer, inner)\n"
+            "def silent():\n"
+            "    pass\n"
+        )
+        report = cost_report([ModuleSource.from_source(source, CORE)])
+        lines = {
+            line.split()[1]: line
+            for line in report.splitlines()
+            if line.startswith(CORE)
+        }
+        assert "O(scan(|E|))" in lines["single"]
+        assert "O(h * scan(|E|))" in lines["per_round"]
+        assert "O(|E|^2/B)" in lines["quadratic"]
+        assert "silent" not in lines
+
+    def test_report_on_the_real_tree_mentions_em_scc(self):
+        from repro.analysis_static.engine import Analyzer
+
+        modules = Analyzer().load_paths(["src"])
+        report = cost_report(modules)
+        assert "repro/core/em_scc.py" in report
+        assert "O(|E|^2/B)" not in report
+
+    def test_empty_input_says_so(self):
+        assert "no scanning functions" in cost_report([])

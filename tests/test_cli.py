@@ -275,3 +275,83 @@ class TestBenchCommand:
         assert "table1" in out
         assert (tmp_path / "results" / "table1.csv").exists()
         assert (tmp_path / "results" / "report.txt").exists()
+
+
+class TestLint:
+    """Exit codes and artifact outputs of ``repro-scc lint``."""
+
+    FIXTURES = "tests/lint_fixtures"
+
+    def test_fixture_package_yields_exactly_the_seeded_rules(self, capsys):
+        code = main(["lint", self.FIXTURES, "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        rules = {
+            line.split()[1]
+            for line in out.splitlines()
+            if ": " in line and line.split(":")[0].endswith(".py")
+        }
+        assert rules == {"SCAN002", "THR001", "IO003"}
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src"]) == 0
+        assert "contract-clean" in capsys.readouterr().out
+
+    def test_unreadable_path_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nowhere.py")
+        assert main(["lint", missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_analyzer_crash_exits_two(self, monkeypatch, capsys):
+        from repro.analysis_static.engine import Analyzer
+
+        def boom(self, modules):
+            raise RuntimeError("internal pass exploded")
+
+        monkeypatch.setattr(Analyzer, "analyze_modules", boom)
+        assert main(["lint", "src"]) == 2
+        err = capsys.readouterr().err
+        assert "analyzer failed" in err
+        assert "internal pass exploded" in err
+
+    def test_sarif_artifact_is_written_and_valid(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis_static.sarif import validate_sarif
+
+        sarif_path = str(tmp_path / "lint.sarif")
+        code = main(
+            ["lint", self.FIXTURES, "--no-baseline", "--sarif", sarif_path]
+        )
+        assert code == 1
+        capsys.readouterr()
+        log = json.loads(open(sarif_path).read())  # repro: allow[IO001]
+        assert validate_sarif(log) == []
+        rule_ids = {r["ruleId"] for r in log["runs"][0]["results"]}
+        assert rule_ids == {"SCAN002", "THR001", "IO003"}
+
+    def test_cost_report_flag_prints_the_table(self, capsys):
+        assert main(["lint", "src", "--cost-report"]) == 0
+        out = capsys.readouterr().out
+        assert "Counted-I/O cost inference" in out
+        assert "repro/core/em_scc.py" in out
+
+    def test_write_baseline_then_lint_is_clean(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(
+            ["lint", self.FIXTURES, "--write-baseline",
+             "--baseline", baseline]
+        ) == 0
+        capsys.readouterr()
+        code = main(["lint", self.FIXTURES, "--baseline", baseline])
+        assert code == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"findings": [{"path": "only"}]}')
+        code = main(
+            ["lint", self.FIXTURES, "--baseline", str(baseline)]
+        )
+        assert code == 2
+        assert "malformed baseline" in capsys.readouterr().err

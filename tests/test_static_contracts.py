@@ -105,6 +105,36 @@ class TestEngine:
         source = "handle = open('x')  # repro: allow[MEM001]\n"
         assert len(analyze(RawIORule, source, "repro/core/fake.py")) == 1
 
+    def test_pragma_on_last_line_of_multiline_statement(self):
+        # The call is reported at line 1 but the pragma sits on the
+        # closing line; statement extents stretch it back up.
+        source = (
+            "handle = open(\n"
+            "    'edges.bin',\n"
+            "    'rb',\n"
+            ")  # repro: allow[IO001]\n"
+        )
+        assert analyze(RawIORule, source, "repro/core/fake.py") == []
+
+    def test_pragma_on_first_line_of_multiline_statement(self):
+        source = (
+            "handle = open(  # repro: allow[IO001]\n"
+            "    'edges.bin',\n"
+            "    'rb',\n"
+            ")\n"
+        )
+        assert analyze(RawIORule, source, "repro/core/fake.py") == []
+
+    def test_pragma_in_compound_body_does_not_excuse_the_header(self):
+        # Extents for compound statements cover the header only: a
+        # pragma buried in the body must not blanket the whole block.
+        source = (
+            "if flag:\n"
+            "    a = 1  # repro: allow[IO001]\n"
+            "    handle = open('edges.bin', 'rb')\n"
+        )
+        assert len(analyze(RawIORule, source, "repro/core/fake.py")) == 1
+
     def test_module_allowlist_suppresses_whole_module(self):
         analyzer = Analyzer(
             rules=[RawIORule()],
