@@ -32,6 +32,14 @@ unchanged partition fingerprint.  That is the retry-transparency
 contract of ``repro.io.faults``: a disk that misbehaves transiently
 costs retries, not correctness and not counted I/O.
 
+Each case also gets a *metrics-transparency* re-run with a live
+:class:`~repro.obs.metrics.MetricsRegistry` attached and the background
+:class:`~repro.obs.sampler.MetricsSampler` running at its default
+cadence.  The sampler only observes — so counted I/O, iteration counts
+and the partition fingerprint must be byte-identical to the primary
+run.  That is the accounting-transparency contract of the live metrics
+plane: turning telemetry on never changes what the model counts.
+
 Wall-clock is deliberately NOT gated here (CI machines are noisy); the
 counted block transfers are exact and machine-independent, which is the
 point of measuring I/O in-model.
@@ -58,6 +66,8 @@ import numpy as np
 from repro.bench.harness import run_one
 from repro.core.base import canonicalize_labels
 from repro.io.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import MetricsSampler, MetricsWriter
 from repro.graph.builders import induced_subgraph
 from repro.graph.digraph import Digraph
 from repro.workloads.realworld import webspam_like
@@ -158,6 +168,7 @@ def _run_case(
     kernels: str = "vector",
     trace_suffix: str = "",
     fault_plan: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
     trace_path = None
     if trace_dir is not None:
@@ -175,6 +186,7 @@ def _run_case(
         prefetch_depth=prefetch_depth,
         kernels=kernels,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     entry: Dict[str, object] = {
         "algorithm": algorithm,
@@ -230,6 +242,7 @@ def run_gate(
     skip_prefetch_check: bool = False,
     skip_kernel_check: bool = False,
     skip_fault_check: bool = False,
+    skip_metrics_check: bool = False,
     kernels: str = "vector",
 ) -> int:
     if trace_dir is not None:
@@ -325,6 +338,44 @@ def run_gate(
                     problems.append(
                         f"{case_id}: transient faults changed the SCC "
                         f"partition"
+                    )
+        if not skip_metrics_check and entry["status"] == "ok":
+            # Accounting transparency: a live metrics registry plus the
+            # background sampler at default cadence must not change one
+            # counted transfer or one partition label.
+            registry = MetricsRegistry()
+            writer = None
+            if trace_dir is not None:
+                writer = MetricsWriter(
+                    os.path.join(
+                        trace_dir,
+                        case_id.replace("/", "_") + ".metrics.jsonl",
+                    ),
+                    metadata={"case": case_id},
+                )
+            sampler = MetricsSampler(registry, writer=writer)
+            try:
+                m_entry = _run_case(
+                    case_id, algorithm, graph, trace_dir,
+                    kernels=kernels, trace_suffix="-metrics",
+                    metrics=registry,
+                )
+            finally:
+                sampler.close()
+            for fld in IO_FIELDS:
+                base_value = entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                m_value = m_entry.get("io", {}).get(fld)  # type: ignore[union-attr]
+                if base_value != m_value:
+                    problems.append(
+                        f"{case_id}: metrics sampling changed counted "
+                        f"{fld}: {m_value} != {base_value} "
+                        f"(accounting transparency broken)"
+                    )
+            for key in ("iterations", "partition_sha256"):
+                if entry.get(key) != m_entry.get(key):
+                    problems.append(
+                        f"{case_id}: metrics sampling changed {key}: "
+                        f"{m_entry.get(key)!r} != {entry.get(key)!r}"
                     )
 
     payload = {
@@ -422,6 +473,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the retry-transparency (fault-injection) re-runs",
     )
     parser.add_argument(
+        "--skip-metrics-check", action="store_true",
+        help="skip the metrics accounting-transparency re-runs",
+    )
+    parser.add_argument(
         "--kernels", choices=["vector", "scalar"], default="vector",
         help="scan-kernel backend for the primary runs; the transparency "
              "re-run uses the other backend unless --skip-kernel-check",
@@ -434,6 +489,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         skip_prefetch_check=args.skip_prefetch_check,
         skip_kernel_check=args.skip_kernel_check,
         skip_fault_check=args.skip_fault_check,
+        skip_metrics_check=args.skip_metrics_check,
         kernels=args.kernels,
     )
 

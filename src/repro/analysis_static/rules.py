@@ -63,6 +63,11 @@ DEFAULT_ALLOWLIST: Dict[str, FrozenSet[str]] = {
     # of it — charging them to the block counter would corrupt the very
     # I/O tallies the trace exists to report.
     "repro/obs/trace.py": frozenset({"IO001"}),
+    # The metrics writer is the same class of sink: JSONL snapshots and
+    # the Prometheus textfile describe the run's counted I/O and must
+    # never be part of it — the regression gate's metrics re-run pins
+    # that transparency.
+    "repro/obs/sampler.py": frozenset({"IO001"}),
     # The one sanctioned lookahead reader: the background prefetcher
     # seeks once to position its private handle and runs the repo's only
     # permitted reader thread.  Its reads are deferred-accounted by the

@@ -20,6 +20,7 @@ from repro.graph.digraph import Digraph
 from repro.graph.diskgraph import DiskGraph
 from repro.io.memory import MemoryModel
 from repro.obs import Tracer, TraceWriter
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -77,6 +78,7 @@ def run_one(
     cache_blocks: int = 0,
     kernels: str = "vector",
     fault_plan: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> BenchRecord:
     """Run one algorithm on one in-memory workload graph.
 
@@ -93,7 +95,10 @@ def run_one(
     not the default.  ``fault_plan`` injects deterministic I/O faults
     from a spec string (see :class:`repro.io.faults.FaultPlan`); the
     retried blocks are never charged as block I/O, so a faulted record's
-    ``ios`` is comparable to a clean run's.
+    ``ios`` is comparable to a clean run's.  ``metrics`` attaches a live
+    :class:`~repro.obs.metrics.MetricsRegistry` to the run (the
+    regression gate uses this to prove the sampler is
+    accounting-transparent).
     """
     algo = _resolve(algorithm)
     run_params = dict(params or {})
@@ -137,6 +142,7 @@ def run_one(
                 cache_blocks=cache_blocks,
                 kernels=kernels,
                 fault_plan=fault_plan,
+                metrics=metrics,
             )
             record.seconds = result.stats.wall_seconds
             record.ios = result.stats.io.total

@@ -6,7 +6,10 @@ Installed as the ``repro-scc`` console script::
     repro-scc info web.rgr
     repro-scc compute web.rgr --algorithm 1PB-SCC --labels-out labels.npy
     repro-scc compute web.rgr --algorithm 2P-SCC --trace run.jsonl
+    repro-scc compute web.rgr --metrics run.metrics.jsonl --heartbeat 5
     repro-scc report run.jsonl
+    repro-scc trace diff baseline.jsonl candidate.jsonl
+    repro-scc metrics check run.metrics.jsonl --prom run.metrics.jsonl.prom
     repro-scc compare web.rgr --time-limit 60
     repro-scc lint src/
 
@@ -134,6 +137,24 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write per-node SCC labels as .npy")
     compute.add_argument("--trace", default=None, metavar="PATH",
                          help="write a JSONL run trace (see 'report')")
+    compute.add_argument("--metrics", default=None, metavar="PATH",
+                         help="sample live metrics to a JSONL snapshot "
+                              "file (plus PATH.prom in Prometheus text "
+                              "format); counted I/O is unchanged")
+    compute.add_argument("--metrics-interval", type=float, default=1.0,
+                         metavar="SECS",
+                         help="sampler cadence in seconds (default 1.0)")
+    compute.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve GET /metrics (Prometheus text "
+                              "format) on 127.0.0.1:PORT for the "
+                              "duration of the run (0 picks a free port)")
+    compute.add_argument("--heartbeat", type=float, default=0.0,
+                         metavar="SECS",
+                         help="print a live progress/ETA line to stderr "
+                              "every SECS seconds, projecting completion "
+                              "against the paper's per-iteration scan "
+                              "budget (0 disables)")
     compute.add_argument("--prefetch-depth", type=int, default=0, metavar="N",
                          help="pipeline edge scans through a background "
                               "prefetcher N blocks deep (0 disables; "
@@ -210,6 +231,35 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--check", action="store_true",
                         help="validate trace invariants and exit non-zero "
                              "on any problem")
+
+    trace = sub.add_parser(
+        "trace", help="operate on JSONL run traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tdiff = trace_sub.add_parser(
+        "diff",
+        help="align two traces span-by-span and attribute wall-clock, "
+             "counted-I/O and cache-behaviour deltas",
+    )
+    tdiff.add_argument("trace_a", help="baseline trace (A)")
+    tdiff.add_argument("trace_b", help="candidate trace (B)")
+    tdiff.add_argument("--limit", type=int, default=10,
+                       help="rows per ranking (default 10)")
+
+    metrics = sub.add_parser(
+        "metrics", help="operate on JSONL metrics snapshots"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    mcheck = metrics_sub.add_parser(
+        "check",
+        help="validate a metrics snapshot file written by "
+             "'compute --metrics' (schema, seq density, counter "
+             "monotonicity)",
+    )
+    mcheck.add_argument("metrics", help="JSONL metrics path")
+    mcheck.add_argument("--prom", default=None, metavar="PATH",
+                        help="also parse a Prometheus text exposition "
+                             "file and report its series count")
 
     lint = sub.add_parser(
         "lint", help="statically check the I/O and memory contracts"
@@ -293,6 +343,43 @@ def _cmd_compute(args: argparse.Namespace) -> int:
             metadata={"algorithm": args.algorithm, "graph": args.graph},
         )
         tracer = Tracer(sink=writer)
+    registry = None
+    sampler = None
+    endpoint = None
+    heartbeat = None
+    if args.metrics or args.metrics_port is not None or args.heartbeat:
+        from repro.obs import (
+            Heartbeat,
+            MetricsRegistry,
+            MetricsSampler,
+            MetricsWriter,
+            PrometheusEndpoint,
+        )
+
+        registry = MetricsRegistry()
+        if args.metrics:
+            sampler = MetricsSampler(
+                registry,
+                writer=MetricsWriter(
+                    args.metrics,
+                    metadata={
+                        "algorithm": args.algorithm, "graph": args.graph,
+                    },
+                ),
+                interval_s=args.metrics_interval,
+                prom_path=args.metrics + ".prom",
+            )
+        if args.metrics_port is not None:
+            endpoint = PrometheusEndpoint(registry, port=args.metrics_port)
+            print(
+                f"metrics: serving http://{endpoint.host}:{endpoint.port}"
+                "/metrics", file=sys.stderr,
+            )
+        if args.heartbeat:
+            heartbeat = Heartbeat(
+                registry, interval_s=args.heartbeat,
+                algorithm=args.algorithm,
+            )
     profiler = None
     if args.profile:
         import cProfile
@@ -313,6 +400,7 @@ def _cmd_compute(args: argparse.Namespace) -> int:
                 fault_plan=args.fault_plan,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
+                metrics=registry,
             )
         finally:
             if profiler is not None:
@@ -331,6 +419,12 @@ def _cmd_compute(args: argparse.Namespace) -> int:
                   f"--resume", file=sys.stderr)
         return 4
     finally:
+        if heartbeat is not None:
+            heartbeat.close()
+        if sampler is not None:
+            sampler.close()
+        if endpoint is not None:
+            endpoint.close()
         if writer is not None:
             writer.close()
         disk.close()
@@ -364,6 +458,10 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         print(f"labels:      {args.labels_out}")
     if writer is not None:
         print(f"trace:       {args.trace}")
+    if sampler is not None:
+        print(f"metrics:     {args.metrics} "
+              f"({sampler.writer.samples_written if sampler.writer else 0} "
+              f"sample(s), exposition at {args.metrics}.prom)")
     if args.profile:
         print(f"profile:     {args.profile}")
     return 0
@@ -463,6 +561,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace tooling; currently the span-by-span ``diff`` subcommand."""
+    from repro.obs import diff_traces, load_trace, render_diff
+
+    if args.trace_command == "diff":
+        try:
+            trace_a = load_trace(args.trace_a)
+            trace_b = load_trace(args.trace_b)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        diff = diff_traces(trace_a, trace_b)
+        print(render_diff(
+            diff,
+            label_a=os.path.basename(args.trace_a),
+            label_b=os.path.basename(args.trace_b),
+            limit=args.limit,
+        ))
+        return 0
+    return 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Metrics tooling; currently the schema ``check`` subcommand."""
+    from repro.obs import load_metrics, parse_prometheus_text, validate_metrics
+
+    if args.metrics_command == "check":
+        try:
+            data = load_metrics(args.metrics)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        problems = validate_metrics(data)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if problems:
+            print(f"{len(problems)} metrics invariant violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: {len(data.samples)} sample(s), schema "
+              f"v{data.schema_version}")
+        if args.prom:
+            try:
+                with open(args.prom, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
+                    series = parse_prometheus_text(handle.read())
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(f"OK: {len(series)} Prometheus series in {args.prom}")
+        return 0
+    return 1
+
+
 #: Baseline file consulted by ``lint`` when none is named explicitly.
 _DEFAULT_BASELINE = "lint-baseline.json"
 
@@ -548,6 +699,8 @@ _COMMANDS = {
     "toposort": _cmd_toposort,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "lint": _cmd_lint,
 }
 

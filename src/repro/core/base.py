@@ -15,7 +15,7 @@ import os
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -26,8 +26,10 @@ from repro.io.counter import IOCounter, IOStats
 from repro.io.edgefile import EdgeFile
 from repro.io.faults import FaultInjector, FaultPlan, SimulatedCrash
 from repro.io.memory import MemoryModel
-from repro.io.prefetch import PageCache
+from repro.io.prefetch import PageCache, live_prefetch_queue_depth
 from repro.kernels import ScanKernels, resolve_kernels
+from repro.obs.heartbeat import SCAN_BUDGETS, predicted_blocks_per_scan
+from repro.obs.metrics import MetricsRegistry, install_io_metrics
 from repro.obs.tracer import NULL_TRACER, Tracer, iteration_io
 
 logger = logging.getLogger("repro.core")
@@ -160,6 +162,8 @@ class SCCAlgorithm(ABC):
     _injector: Optional[FaultInjector] = None
     _resume_payload: Optional[LoadedCheckpoint] = None
     _run_counter: Optional[IOCounter] = None
+    _metrics: Optional[MetricsRegistry] = None
+    _metrics_block_size: int = 0
 
     def run(
         self,
@@ -173,6 +177,7 @@ class SCCAlgorithm(ABC):
         fault_plan: Union[str, FaultPlan, None] = None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> SCCResult:
         """Compute all SCCs of ``graph``.
 
@@ -238,6 +243,16 @@ class SCCAlgorithm(ABC):
             stats so the totals cover the whole logical run.  Missing
             checkpoint → fresh start; mismatched checkpoint →
             :class:`~repro.exceptions.CheckpointError`.
+        metrics:
+            Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+            given, an observer on the graph's I/O counter feeds live
+            block/cache/retry counters, progress gauges track the run's
+            position in the paper's per-iteration scan budget, polled
+            gauges expose cache occupancy and prefetch queue depth, and
+            checkpoint save latency lands in a histogram.  The hooks
+            only *read* event arguments — counted I/O and the computed
+            partition are byte-identical with metrics on or off (the
+            bench-regression gate enforces this).
 
         Both policies are installed on the graph's edge file for the
         duration of the run and restored afterwards, so sequential runs
@@ -315,6 +330,50 @@ class SCCAlgorithm(ABC):
         self._injector = injector
         self._resume_payload = loaded
         self._run_counter = graph.counter
+        self._metrics = metrics
+        self._metrics_block_size = graph.block_size
+        # The metrics observer goes on *before* the tracer attaches so
+        # the tracer chains events through to it (Tracer.attach forwards
+        # to the prior observer) — installed here, removed in `finally`.
+        uninstall_metrics: Optional[Callable[[], None]] = None
+        if metrics is not None:
+            uninstall_metrics = install_io_metrics(metrics, graph.counter)
+            metrics.gauge(
+                "repro_run_info", "active run identity (1 while running)",
+                algorithm=self.name,
+            ).set(1.0)
+            metrics.gauge(
+                "repro_run_initial_edges", "edges in the input graph"
+            ).set(float(graph.num_edges))
+            metrics.gauge(
+                "repro_run_scan_budget",
+                "predicted full edge scans per iteration (paper budget)",
+            ).set(float(SCAN_BUDGETS.get(self.name, 0)))
+            self._note_progress(0, graph.num_nodes, graph.num_edges)
+            metrics.register_callback(
+                "repro_prefetch_queue_depth", live_prefetch_queue_depth,
+                "blocks buffered in live prefetcher queues",
+            )
+            run_cache = graph.edge_file.cache
+            if run_cache is not None:
+                metrics.register_callback(
+                    "repro_cache_resident_blocks",
+                    lambda: float(len(run_cache)),
+                    "decoded blocks resident in the page cache",
+                )
+                metrics.register_callback(
+                    "repro_cache_capacity_blocks",
+                    lambda: float(run_cache.capacity_blocks),
+                    "configured page-cache capacity",
+                )
+            if session is not None:
+                save_latency = metrics.histogram(
+                    "repro_checkpoint_save_seconds",
+                    "durable checkpoint save latency",
+                )
+                session.on_save = (
+                    lambda boundary, seconds: save_latency.observe(seconds)
+                )
         try:
             if injector is not None:
                 graph.counter.fault_injector = injector
@@ -327,10 +386,23 @@ class SCCAlgorithm(ABC):
             graph.counter.fault_injector = previous_injector
             graph.edge_file.cache = previous_cache
             graph.edge_file.prefetch_depth = previous_depth
+            if metrics is not None:
+                metrics.unregister_callback("repro_prefetch_queue_depth")
+                metrics.unregister_callback("repro_cache_resident_blocks")
+                metrics.unregister_callback("repro_cache_capacity_blocks")
+                metrics.gauge(
+                    "repro_run_info", algorithm=self.name
+                ).set(0.0)
+            if session is not None:
+                session.on_save = None
+            if uninstall_metrics is not None:
+                uninstall_metrics()
             self._checkpoint = None
             self._injector = None
             self._resume_payload = None
             self._run_counter = None
+            self._metrics = None
+            self._metrics_block_size = 0
         labels, num_sccs = canonicalize_labels(labels)
         if tracer.enabled:
             per_iteration_io = iteration_io(tracer.spans[spans_before:])
@@ -368,6 +440,38 @@ class SCCAlgorithm(ABC):
         kernel: ScanKernels,
     ) -> Tuple[np.ndarray, int, List[IterationStats], Dict[str, object]]:
         """Algorithm body: return ``(labels, iterations, per_iter, extras)``."""
+
+    # ------------------------------------------------------------------
+    # observability hooks for subclasses
+    # ------------------------------------------------------------------
+    def _note_progress(
+        self, iteration: int, live_nodes: int, live_edges: int
+    ) -> None:
+        """Publish the run's position in the paper's cost model.
+
+        Called by subclasses at every iteration boundary; the heartbeat
+        and sampler read these gauges to project ETA against the
+        per-iteration scan budget.  A no-op without a metrics registry,
+        so untraced/unmetered runs pay one attribute check.
+        """
+        registry = self._metrics
+        if registry is None:
+            return
+        registry.gauge(
+            "repro_run_iteration", "completed iterations"
+        ).set(float(iteration))
+        registry.gauge(
+            "repro_run_live_nodes", "nodes still unassigned to an SCC"
+        ).set(float(live_nodes))
+        registry.gauge(
+            "repro_run_live_edges", "edges in the live working graph"
+        ).set(float(live_edges))
+        registry.gauge(
+            "repro_run_blocks_per_scan",
+            "blocks one full pass over the live edges moves",
+        ).set(float(predicted_blocks_per_scan(
+            live_edges, self._metrics_block_size
+        )))
 
     # ------------------------------------------------------------------
     # robustness hooks for subclasses

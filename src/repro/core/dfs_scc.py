@@ -324,6 +324,7 @@ class DFSSCC(SCCAlgorithm):
                 )
             decreasing_post = first_tree.postorder()[::-1]
             second_resume: Optional[Tuple[_DFSTree, int, bool]] = None
+            self._note_progress(first_scans, n, graph.num_edges)
         else:
             # The restored second tree embeds its own root/children
             # order, so the first pass (and its postorder) is not redone.
@@ -371,6 +372,7 @@ class DFSSCC(SCCAlgorithm):
         reversed_file.unlink()
 
         iterations = first_scans + second_scans
+        self._note_progress(iterations, n, graph.num_edges)
         per_iteration = [
             IterationStats(
                 iteration=i + 1,

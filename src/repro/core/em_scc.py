@@ -147,6 +147,7 @@ class EMSCC(SCCAlgorithm):
                         live_edges=current.num_edges,
                     )
                 )
+                self._note_progress(iteration, live_after, current.num_edges)
                 if not progress:
                     # Case-1/Case-2 of Section 4: stuck while too large.
                     raise NonTermination(self.name, iteration)

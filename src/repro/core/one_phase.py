@@ -198,6 +198,7 @@ class OnePhaseSCC(SCCAlgorithm):
                         live_edges=current.num_edges,
                     )
                 )
+                self._note_progress(iteration, live_after, current.num_edges)
                 if self._boundary_active:
                     self._scan_boundary(
                         arrays=tree.state_arrays(),

@@ -215,6 +215,7 @@ class OnePhaseBatchSCC(SCCAlgorithm):
                         live_edges=current.num_edges,
                     )
                 )
+                self._note_progress(iteration, live_after, current.num_edges)
                 if self._boundary_active:
                     self._scan_boundary(
                         arrays={

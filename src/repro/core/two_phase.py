@@ -38,6 +38,7 @@ def tree_construction(
     kernel: Optional[ScanKernels] = None,
     boundary: Optional[Callable[[BRPlusTree, int, bool], None]] = None,
     resume: Optional[Tuple[BRPlusTree, int, bool]] = None,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> Tuple[BRPlusTree, int]:
     """Paper Algorithm 4: build a BR+-Tree free of up-edges.
 
@@ -50,7 +51,8 @@ def tree_construction(
     checkpoint/crash hook.  ``resume`` restarts the loop from a
     restored ``(tree, scans, updated)`` snapshot instead of the initial
     star (the tree's drank/dlink are part of the snapshot, so no
-    refresh is needed).
+    refresh is needed).  ``progress`` is invoked with the completed scan
+    count after every scan — the live-metrics position hook.
     """
     kernel = kernel if kernel is not None else resolve_kernels()
     n = graph.num_nodes
@@ -103,6 +105,8 @@ def tree_construction(
                 for key, value in kernel.drain_counters().items():
                     tracer.add(key, value)
             tree.update_drank()
+            if progress is not None:
+                progress(scans)
             if boundary is not None:
                 boundary(tree, scans, updated)
     return tree, scans
@@ -214,10 +218,16 @@ class TwoPhaseSCC(SCCAlgorithm):
                 graph, deadline, tracer=tracer, kernel=kernel,
                 boundary=construction_boundary if self._boundary_active else None,
                 resume=construction_resume,
+                progress=lambda scans: self._note_progress(
+                    scans, n, graph.num_edges
+                ),
             )
             search_scans = tree_search(
                 graph, tree, deadline, tracer=tracer,
                 scan_index=construction_scans + 1, kernel=kernel,
+            )
+            self._note_progress(
+                construction_scans + search_scans, n, graph.num_edges
             )
             if self._boundary_active:
                 self._scan_boundary(

@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -123,6 +124,13 @@ class CheckpointSession:
     #: Scan boundaries saved by *this* session (not counting the crashed
     #: process's — the crash-matrix test reads it off an uninterrupted run).
     boundaries_saved: int = 0
+    #: Optional observer called after every durable save with
+    #: ``(boundary, seconds)`` — the metrics plane points this at a save
+    #: latency histogram.  Purely observational: exceptions are the
+    #: caller's problem, the checkpoint itself is already durable.
+    on_save: Optional[Callable[[int, float], None]] = field(
+        default=None, repr=False, compare=False
+    )
     _io_provider: Optional[Callable[[], IOStats]] = field(
         default=None, repr=False, compare=False
     )
@@ -172,6 +180,7 @@ class CheckpointSession:
         The write is staged and atomically renamed, so a crash during
         ``save`` preserves the previous checkpoint.
         """
+        started = time.perf_counter()
         boundary = self.boundaries_saved
         io = self._io_provider() if self._io_provider is not None else IOStats()
         header = {
@@ -198,6 +207,8 @@ class CheckpointSession:
             raise
         self.boundaries_saved = boundary + 1
         self._drain_retired(keep=str(meta.get("current_path", "")))
+        if self.on_save is not None:
+            self.on_save(boundary, time.perf_counter() - started)
         return boundary
 
     def load(self) -> Optional[LoadedCheckpoint]:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -41,7 +42,31 @@ import numpy as np
 
 from repro.constants import DEFAULT_BLOCK_SIZE, DEFAULT_PREFETCH_DEPTH
 
-__all__ = ["BlockPrefetcher", "PageCache", "DEFAULT_PREFETCH_DEPTH", "cache_summary"]
+__all__ = [
+    "BlockPrefetcher",
+    "PageCache",
+    "DEFAULT_PREFETCH_DEPTH",
+    "cache_summary",
+    "live_prefetch_queue_depth",
+]
+
+# Live-prefetcher registry for the metrics plane: gauges poll aggregate
+# queue occupancy without holding references into the scan machinery.
+# Weak so an abandoned prefetcher (consumer raised) can still be
+# collected; the lock covers every access (THR001).
+_live_lock = threading.Lock()
+_live_prefetchers: "weakref.WeakSet[BlockPrefetcher]" = weakref.WeakSet()
+
+
+def live_prefetch_queue_depth() -> int:
+    """Blocks currently buffered across every live prefetcher's queue.
+
+    The metrics plane polls this as a gauge: sustained values near the
+    configured depth mean the reader is ahead (healthy pipelining),
+    values pinned at zero under load mean the consumer is stalling.
+    """
+    with _live_lock:
+        return sum(p.queue_depth for p in _live_prefetchers)
 
 
 class PageCache:
@@ -205,6 +230,8 @@ class BlockPrefetcher:
             name=f"repro-prefetch:{path}",
             daemon=True,
         )
+        with _live_lock:
+            _live_prefetchers.add(self)
         self._thread.start()
 
     # ------------------------------------------------------------------
@@ -269,8 +296,15 @@ class BlockPrefetcher:
         index, data = item
         return index, data, stalled
 
+    @property
+    def queue_depth(self) -> int:
+        """Blocks currently buffered between the reader and the consumer."""
+        return self._queue.qsize()
+
     def close(self) -> None:
         """Cancel the reader, drain the queue, and join the thread."""
+        with _live_lock:
+            _live_prefetchers.discard(self)
         self._cancel.set()
         while True:
             try:

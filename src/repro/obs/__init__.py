@@ -1,4 +1,4 @@
-"""Observability for semi-external runs: spans, traces, reports.
+"""Observability for semi-external runs: spans, traces, metrics, reports.
 
 The :mod:`repro.obs` subsystem makes the paper's per-phase accounting
 claims measurable from real runs:
@@ -11,14 +11,49 @@ claims measurable from real runs:
   the schema-versioned JSONL trace format plus its summary sidecar and
   invariant checker (``trace.py``);
 * :func:`render_report` — the ``repro-scc report`` span-tree renderer
-  (``report.py``).
+  (``report.py``);
+* :class:`MetricsRegistry` + :func:`install_io_metrics` — the live
+  metrics plane: process-wide counters/gauges/histograms fed by the
+  I/O-counter observer, with Prometheus text exposition
+  (``metrics.py``);
+* :class:`MetricsSampler` / :class:`MetricsWriter` /
+  :class:`PrometheusEndpoint` — background JSONL snapshotting, atomic
+  Prometheus textfiles, and an optional stdlib scrape endpoint
+  (``sampler.py``);
+* :class:`Heartbeat` — the live stderr progress/ETA line projecting
+  completion against the paper's per-iteration scan budget
+  (``heartbeat.py``);
+* :func:`diff_traces` / :func:`render_diff` — span-by-span trace
+  comparison attributing wall/I-O/cache deltas (``diff.py``).
 
-Tracing is opt-in: algorithms default to the no-op :data:`NULL_TRACER`,
-whose disabled path costs nothing and leaves run behavior (labels and
-I/O tallies) byte-identical.
+Tracing and metrics are opt-in: algorithms default to the no-op
+:data:`NULL_TRACER` and no registry, whose disabled paths cost nothing
+and leave run behavior (labels and I/O tallies) byte-identical — and
+even with metrics *on*, the observers only read event arguments, so
+counted I/O stays byte-identical (the bench-regression gate enforces
+this).
 """
 
+from repro.obs.diff import TraceDiff, diff_traces, render_diff
+from repro.obs.heartbeat import (
+    SCAN_BUDGETS,
+    Heartbeat,
+    predicted_blocks_per_scan,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    install_io_metrics,
+    parse_prometheus_text,
+)
 from repro.obs.report import render_report
+from repro.obs.sampler import (
+    METRICS_SCHEMA_VERSION,
+    MetricsSampler,
+    MetricsWriter,
+    PrometheusEndpoint,
+    load_metrics,
+    validate_metrics,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     TraceData,
@@ -46,4 +81,19 @@ __all__ = [
     "load_trace",
     "validate_trace",
     "render_report",
+    "MetricsRegistry",
+    "install_io_metrics",
+    "parse_prometheus_text",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsWriter",
+    "MetricsSampler",
+    "PrometheusEndpoint",
+    "load_metrics",
+    "validate_metrics",
+    "Heartbeat",
+    "SCAN_BUDGETS",
+    "predicted_blocks_per_scan",
+    "TraceDiff",
+    "diff_traces",
+    "render_diff",
 ]

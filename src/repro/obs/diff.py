@@ -1,0 +1,267 @@
+"""Span-by-span trace comparison: where did two runs diverge, and why.
+
+``repro-scc trace diff A B`` answers the question the span tree alone
+cannot: *this run got slower / costlier — which phase is responsible?*
+Two traces of the same workload are aligned span-by-span and each
+aligned pair is attributed its wall-clock, counted-I/O and
+cache-behaviour deltas.
+
+Alignment key
+    A span is identified by its *path from the root* — the chain of
+    ``name[i<iteration>]`` labels down the tree — plus an occurrence
+    index among same-path spans (in start order), so repeated phases
+    (``fwd-scan`` #1 vs #2 inside one iteration) align positionally.
+
+Exclusive attribution
+    Span I/O and wall time are *inclusive* of children in the trace
+    schema, so a leaf regression would surface on every ancestor and
+    the diff would blame the root.  The differ therefore compares each
+    span's **self** cost — its own delta minus its direct children's —
+    which localises a planted slowdown to the actual phase instead of
+    the whole chain above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.io.counter import IOStats
+from repro.obs.trace import TraceData
+from repro.obs.tracer import Span
+
+__all__ = [
+    "SpanDelta",
+    "SpanSelf",
+    "TraceDiff",
+    "diff_traces",
+    "index_spans",
+    "render_diff",
+]
+
+
+def _label(span: Span) -> str:
+    iteration = span.attributes.get("iteration")
+    if isinstance(iteration, int):
+        return f"{span.name}[i{iteration}]"
+    return span.name
+
+
+@dataclass
+class SpanSelf:
+    """One span plus its *exclusive* (children-subtracted) costs."""
+
+    span: Span
+    path: str
+    self_wall: float
+    self_io: IOStats
+
+
+def index_spans(trace: TraceData) -> Dict[str, SpanSelf]:
+    """Map every span to its alignment path with exclusive costs.
+
+    Paths look like ``run/fwd-bfs[i2]/fwd-scan#1`` — the ``#n`` suffix
+    appears only when siblings share a label, numbering them in start
+    order so repeated phases align positionally across traces.
+    """
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in trace.spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: span.start_seconds)
+
+    paths: Dict[int, str] = {}
+    out: Dict[str, SpanSelf] = {}
+    # Parents first (depth order) so every span can extend its parent's
+    # already-computed path.
+    ordered = sorted(trace.spans, key=lambda s: (s.depth, s.start_seconds))
+    occupancy: Dict[str, int] = {}
+    for span in ordered:
+        parent_path = ""
+        if span.parent_id is not None and span.parent_id in paths:
+            parent_path = paths[span.parent_id] + "/"
+        base = parent_path + _label(span)
+        seen = occupancy.get(base, 0)
+        occupancy[base] = seen + 1
+        path = base if seen == 0 else f"{base}#{seen + 1}"
+        paths[span.span_id] = path
+
+        self_wall = span.wall_seconds
+        self_io = span.io.copy()
+        for child in children.get(span.span_id, ()):  # direct children only
+            self_wall -= child.wall_seconds
+            self_io = self_io - child.io
+        out[path] = SpanSelf(
+            span=span, path=path,
+            self_wall=max(0.0, self_wall), self_io=self_io,
+        )
+    return out
+
+
+@dataclass
+class SpanDelta:
+    """One aligned span pair and its exclusive B−A deltas."""
+
+    path: str
+    wall_a: float
+    wall_b: float
+    io_a: int
+    io_b: int
+    io_delta: IOStats
+
+    @property
+    def wall_delta(self) -> float:
+        """Exclusive wall-clock delta (positive = B slower)."""
+        return self.wall_b - self.wall_a
+
+    @property
+    def blocks_delta(self) -> int:
+        """Exclusive counted-block delta (positive = B costlier)."""
+        return self.io_b - self.io_a
+
+    def behaviour_notes(self) -> List[str]:
+        """Cache/prefetch/retry changes that explain the delta."""
+        notes: List[str] = []
+        io = self.io_delta
+        if io.cache_hits or io.cache_misses:
+            notes.append(f"cache hits {io.cache_hits:+,}, misses {io.cache_misses:+,}")
+        if io.prefetch_stalls:
+            notes.append(f"prefetch stalls {io.prefetch_stalls:+,}")
+        if io.prefetched:
+            notes.append(f"prefetched {io.prefetched:+,}")
+        if io.io_retries:
+            notes.append(f"retries {io.io_retries:+,}")
+        if io.faults_injected:
+            notes.append(f"faults {io.faults_injected:+,}")
+        return notes
+
+
+@dataclass
+class TraceDiff:
+    """The full alignment of two traces."""
+
+    matched: List[SpanDelta] = field(default_factory=list)
+    only_a: List[str] = field(default_factory=list)
+    only_b: List[str] = field(default_factory=list)
+    total_wall_a: float = 0.0
+    total_wall_b: float = 0.0
+    total_io_a: int = 0
+    total_io_b: int = 0
+
+    def top_wall_regression(self) -> Optional[SpanDelta]:
+        """The aligned span whose exclusive wall time grew the most."""
+        slower = [d for d in self.matched if d.wall_delta > 0]
+        return max(slower, key=lambda d: d.wall_delta, default=None)
+
+    def top_io_regression(self) -> Optional[SpanDelta]:
+        """The aligned span whose exclusive counted I/O grew the most."""
+        costlier = [d for d in self.matched if d.blocks_delta > 0]
+        return max(costlier, key=lambda d: d.blocks_delta, default=None)
+
+
+def diff_traces(a: TraceData, b: TraceData) -> TraceDiff:
+    """Align two traces span-by-span and attribute their deltas."""
+    index_a = index_spans(a)
+    index_b = index_spans(b)
+    diff = TraceDiff()
+    for path, entry_a in index_a.items():
+        entry_b = index_b.get(path)
+        if entry_b is None:
+            diff.only_a.append(path)
+            continue
+        diff.matched.append(SpanDelta(
+            path=path,
+            wall_a=entry_a.self_wall,
+            wall_b=entry_b.self_wall,
+            io_a=entry_a.self_io.total,
+            io_b=entry_b.self_io.total,
+            io_delta=entry_b.self_io - entry_a.self_io,
+        ))
+    for path in index_b:
+        if path not in index_a:
+            diff.only_b.append(path)
+    diff.only_a.sort()
+    diff.only_b.sort()
+    for trace, wall_attr, io_attr in (
+        (a, "total_wall_a", "total_io_a"), (b, "total_wall_b", "total_io_b")
+    ):
+        wall = sum(s.wall_seconds for s in trace.spans if s.parent_id is None)
+        io = sum(s.io.total for s in trace.spans if s.parent_id is None)
+        setattr(diff, wall_attr, wall)
+        setattr(diff, io_attr, io)
+    return diff
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:+.3f}s" if value else "±0.000s"
+
+
+def render_diff(diff: TraceDiff, label_a: str = "A", label_b: str = "B",
+                limit: int = 10) -> str:
+    """Format a :class:`TraceDiff` as a ranked regression report.
+
+    Matched spans are ranked by absolute exclusive wall delta; counted
+    I/O regressions get their own ranking when any exist.  ``limit``
+    caps each ranking (the totals always cover the whole diff).
+    """
+    lines: List[str] = []
+    dwall = diff.total_wall_b - diff.total_wall_a
+    dio = diff.total_io_b - diff.total_io_a
+    lines.append(
+        f"totals: wall {diff.total_wall_a:.3f}s -> {diff.total_wall_b:.3f}s "
+        f"({_fmt_seconds(dwall)}), io {diff.total_io_a:,} -> "
+        f"{diff.total_io_b:,} ({dio:+,} blocks)"
+    )
+    lines.append(
+        f"aligned {len(diff.matched)} spans"
+        + (f", only in {label_a}: {len(diff.only_a)}" if diff.only_a else "")
+        + (f", only in {label_b}: {len(diff.only_b)}" if diff.only_b else "")
+    )
+
+    ranked = sorted(
+        diff.matched, key=lambda d: abs(d.wall_delta), reverse=True
+    )
+    ranked = [d for d in ranked if d.wall_delta or d.blocks_delta]
+    if ranked:
+        lines.append("")
+        lines.append("wall-clock deltas (exclusive, per span):")
+        for delta in ranked[:limit]:
+            parts = [
+                f"  {delta.path.ljust(44)}",
+                f"{_fmt_seconds(delta.wall_delta):>10}",
+                f"({delta.wall_a:.3f}s -> {delta.wall_b:.3f}s)",
+            ]
+            if delta.blocks_delta:
+                parts.append(f"io {delta.blocks_delta:+,}")
+            notes = delta.behaviour_notes()
+            if notes:
+                parts.append("[" + "; ".join(notes) + "]")
+            lines.append(" ".join(parts))
+        if len(ranked) > limit:
+            lines.append(f"  ... {len(ranked) - limit} more changed spans")
+    io_ranked = [d for d in diff.matched if d.blocks_delta > 0]
+    io_ranked.sort(key=lambda d: d.blocks_delta, reverse=True)
+    if io_ranked:
+        lines.append("")
+        lines.append("counted-I/O regressions (exclusive, per span):")
+        for delta in io_ranked[:limit]:
+            lines.append(
+                f"  {delta.path.ljust(44)} {delta.blocks_delta:+,} blocks "
+                f"({delta.io_a:,} -> {delta.io_b:,})"
+            )
+    for label, paths in ((label_a, diff.only_a), (label_b, diff.only_b)):
+        if paths:
+            lines.append("")
+            lines.append(f"only in {label}:")
+            for path in paths[:limit]:
+                lines.append(f"  {path}")
+            if len(paths) > limit:
+                lines.append(f"  ... {len(paths) - limit} more")
+    top = diff.top_wall_regression()
+    if top is not None:
+        lines.append("")
+        lines.append(
+            f"verdict: biggest slowdown is {top.path} "
+            f"({_fmt_seconds(top.wall_delta)} exclusive)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,534 @@
+"""Process-wide runtime metrics: counters, gauges, histograms.
+
+The span tracer (:mod:`repro.obs.tracer`) answers *post-mortem*
+questions — a finished trace shows where a run's counted I/O went.  On
+the multi-hour massive-graph runs the paper targets there is a second
+question the trace cannot answer: *what is the run doing right now?*
+This module is the live half of the observability plane: a
+:class:`MetricsRegistry` of named instruments fed by an observer hook
+on the shared :class:`~repro.io.counter.IOCounter` (reads, writes,
+cache hits, prefetch stalls, retries, faults), by the checkpoint
+session's save-latency hook, and by per-iteration progress gauges the
+algorithms update at every scan boundary.
+
+Three instrument kinds, deliberately Prometheus-shaped:
+
+* :class:`Counter` — monotonically non-decreasing totals (block reads,
+  retries).  Monotonicity is part of the snapshot schema and checked by
+  :func:`repro.obs.sampler.validate_metrics`.
+* :class:`Gauge` — point-in-time values (live nodes, queue depth).
+  Gauges may also be *callback-backed* (:meth:`MetricsRegistry.
+  register_callback`) so sampling can poll transient structures like a
+  live prefetcher without the hot path pushing values.
+* :class:`Histogram` — bucketed distributions (checkpoint save
+  latency), exposed with Prometheus' cumulative ``le`` semantics.
+
+Accounting transparency is the design constraint inherited from the
+whole repo: the metrics plane only ever *reads* event arguments and
+*writes* its own instruments — it never touches the
+:class:`~repro.io.counter.IOCounter` it observes, so counted I/O and
+partitions are byte-identical with metrics on or off (the
+bench-regression gate re-runs every golden case with the sampler
+enabled to prove it).
+
+This module performs no file I/O; persistence lives in
+:mod:`repro.obs.sampler`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.io.counter import IOCounter, IOObserver
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "install_io_metrics",
+    "parse_prometheus_text",
+    "series_key",
+]
+
+#: Exposition name prefix shared by every instrument the run creates.
+METRIC_PREFIX = "repro_"
+
+#: Default latency buckets (seconds) for duration histograms — spans
+#: sub-millisecond checkpoint saves up to multi-second stalls.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_pairs(labels: Dict[str, str]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """The canonical series identifier: ``name{a="b",c="d"}`` (or bare name).
+
+    Used as the key of every snapshot mapping and of the parsed
+    Prometheus exposition, so JSONL samples and scraped text agree on
+    what a series is called.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in _label_pairs(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative — counters never go down)."""
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a Gauge to decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+
+class Gauge:
+    """A point-in-time value that may move in either direction."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the value up by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the value down by ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+
+class Histogram:
+    """A bucketed distribution with Prometheus ``le`` semantics.
+
+    ``buckets`` are the *upper bounds* of the finite buckets, strictly
+    increasing; an implicit ``+Inf`` bucket always terminates the list.
+    An observation lands in the first bucket whose bound is ``>=`` the
+    value (boundary values are *inclusive*, matching Prometheus — an
+    observation of exactly ``0.01`` counts in ``le="0.01"``).
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "_counts", "_sum",
+                 "_count", "_lock")
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Optional[Sequence[float]] = None,
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("a histogram needs at least one finite bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.help = help_text
+        self.labels = dict(labels or {})
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        # Per-bucket (non-cumulative) tallies; the +Inf overflow is last.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative bucket counts plus sum/count, JSON- and prom-ready."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {"buckets": cumulative, "sum": total_sum, "count": total_count}
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+
+class MetricsRegistry:
+    """The process-wide instrument table of one run (or one process).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call for a ``(name, labels)`` series creates the instrument, later
+    calls return the same object — so producer code never needs to
+    thread instrument handles around.  Asking for an existing series as
+    a different kind is a bug and raises ``TypeError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelPairs], object] = {}
+        self._callbacks: Dict[Tuple[str, LabelPairs],
+                              Tuple[str, Callable[[], float]]] = {}
+
+    # ------------------------------------------------------------------
+    # instrument factories
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help_text: str = "",
+                **labels: str) -> Counter:
+        """Get or create the :class:`Counter` for ``(name, labels)``."""
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        """Get or create the :class:`Gauge` for ``(name, labels)``."""
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: str) -> Histogram:
+        """Get or create the :class:`Histogram` for ``(name, labels)``.
+
+        ``buckets`` applies only on creation; a later call returns the
+        existing instrument regardless of the bounds it asks for.
+        """
+        key = (name, _label_pairs(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            instrument = Histogram(name, help_text, buckets=buckets,
+                                   labels=dict(labels))
+            self._instruments[key] = instrument
+            return instrument
+
+    def _get_or_create(self, cls: type, name: str, help_text: str,
+                       labels: Dict[str, str]):
+        key = (name, _label_pairs(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            instrument = cls(name, help_text, labels=dict(labels))
+            self._instruments[key] = instrument
+            return instrument
+
+    # ------------------------------------------------------------------
+    # callback-backed gauges
+    # ------------------------------------------------------------------
+    def register_callback(self, name: str, fn: Callable[[], float],
+                          help_text: str = "", **labels: str) -> None:
+        """Register a polled gauge: ``fn()`` is called at snapshot time.
+
+        A callback that raises is reported as 0 rather than killing the
+        sampler thread — live instrumentation must never take down the
+        run it observes.
+        """
+        with self._lock:
+            self._callbacks[(name, _label_pairs(labels))] = (help_text, fn)
+
+    def unregister_callback(self, name: str, **labels: str) -> None:
+        """Drop a polled gauge (no-op when absent)."""
+        with self._lock:
+            self._callbacks.pop((name, _label_pairs(labels)), None)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One coherent sample of every instrument, keyed by series.
+
+        Layout (the ``values`` payload of a JSONL ``sample`` record)::
+
+            {"counters": {series: float},
+             "gauges": {series: float},
+             "histograms": {series: {"buckets": {...}, "sum": s, "count": n}}}
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+            callbacks = list(self._callbacks.items())
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for instrument in instruments:
+            if isinstance(instrument, Counter):
+                counters[instrument.key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[instrument.key] = instrument.value
+            elif isinstance(instrument, Histogram):
+                histograms[instrument.key] = instrument.snapshot()
+        for (name, labels), (_help, fn) in callbacks:
+            try:
+                value = float(fn())
+            except Exception:
+                value = 0.0
+            gauges[series_key(name, dict(labels))] = value
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition (version 0.0.4)
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Render every instrument in the Prometheus text format."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            callbacks = list(self._callbacks.items())
+        lines: List[str] = []
+        seen_meta: set = set()
+
+        def meta(name: str, help_text: str, kind: str) -> None:
+            if name in seen_meta:
+                return
+            seen_meta.add(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for instrument in instruments:
+            if isinstance(instrument, Counter):
+                meta(instrument.name, instrument.help, "counter")
+                lines.append(f"{instrument.key} {_fmt(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                meta(instrument.name, instrument.help, "gauge")
+                lines.append(f"{instrument.key} {_fmt(instrument.value)}")
+            elif isinstance(instrument, Histogram):
+                meta(instrument.name, instrument.help, "histogram")
+                snap = instrument.snapshot()
+                buckets = snap["buckets"]
+                assert isinstance(buckets, dict)
+                for le, cumulative in buckets.items():
+                    labels = dict(instrument.labels)
+                    labels["le"] = le if le == "+Inf" else _fmt(float(le))
+                    lines.append(
+                        f"{series_key(instrument.name + '_bucket', labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{series_key(instrument.name + '_sum', instrument.labels)}"
+                    f" {_fmt(float(snap['sum']))}"  # type: ignore[arg-type]
+                )
+                lines.append(
+                    f"{series_key(instrument.name + '_count', instrument.labels)}"
+                    f" {snap['count']}"
+                )
+        for (name, labels), (help_text, fn) in callbacks:
+            meta(name, help_text, "gauge")
+            try:
+                value = float(fn())
+            except Exception:
+                value = 0.0
+            lines.append(f"{series_key(name, dict(labels))} {_fmt(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way Prometheus clients do (int when whole)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# the IOCounter observer hook
+# ----------------------------------------------------------------------
+
+def install_io_metrics(
+    registry: MetricsRegistry, counter: IOCounter
+) -> Callable[[], None]:
+    """Feed ``registry`` from every event ``counter`` observes.
+
+    Installs an observer that *chains* to whatever observer was already
+    present (typically none — the span tracer attaches later and
+    forwards to us, see :meth:`repro.obs.tracer.Tracer.attach`), and
+    returns an ``uninstall()`` callable restoring the previous observer.
+
+    The hook only increments registry counters from the event's
+    arguments; it never reads or writes the :class:`IOCounter` tallies,
+    which is what keeps counted I/O byte-identical with metrics on.
+    """
+    read_seq = registry.counter(
+        METRIC_PREFIX + "io_read_blocks_total",
+        "charged block reads", mode="seq")
+    read_rand = registry.counter(
+        METRIC_PREFIX + "io_read_blocks_total",
+        "charged block reads", mode="rand")
+    write_seq = registry.counter(
+        METRIC_PREFIX + "io_write_blocks_total",
+        "charged block writes", mode="seq")
+    write_rand = registry.counter(
+        METRIC_PREFIX + "io_write_blocks_total",
+        "charged block writes", mode="rand")
+    bytes_read = registry.counter(
+        METRIC_PREFIX + "io_read_bytes_total", "payload bytes read")
+    bytes_written = registry.counter(
+        METRIC_PREFIX + "io_write_bytes_total", "payload bytes written")
+    cache_hits = registry.counter(
+        METRIC_PREFIX + "cache_hits_total",
+        "page-cache hits (block reads avoided, never charged)")
+    cache_misses = registry.counter(
+        METRIC_PREFIX + "cache_misses_total",
+        "page-cache lookups that fell through to a charged read")
+    prefetched = registry.counter(
+        METRIC_PREFIX + "prefetched_blocks_total",
+        "block reads delivered through the prefetch pipeline")
+    stalls = registry.counter(
+        METRIC_PREFIX + "prefetch_stalls_total",
+        "prefetch dequeues that had to wait for the reader thread")
+    retries = registry.counter(
+        METRIC_PREFIX + "io_retries_total",
+        "block transfers re-attempted after a transient fault "
+        "(never charged as block I/O)")
+    faults = registry.counter(
+        METRIC_PREFIX + "faults_injected_total",
+        "faults the injection harness actually fired")
+
+    previous: Optional[IOObserver] = counter.observer
+
+    def observe(kind: str, blocks: int, nbytes: int, sequential: bool,
+                origin: Optional[str]) -> None:
+        if kind == "read":
+            (read_seq if sequential else read_rand).inc(blocks)
+            bytes_read.inc(nbytes)
+        elif kind == "write":
+            (write_seq if sequential else write_rand).inc(blocks)
+            bytes_written.inc(nbytes)
+        elif kind == "cache_hit":
+            cache_hits.inc(blocks)
+        elif kind == "cache_miss":
+            cache_misses.inc(blocks)
+        elif kind == "prefetch":
+            prefetched.inc(blocks)
+            if not sequential:  # the slot doubles as ``not stalled``
+                stalls.inc(1)
+        elif kind == "retry":
+            retries.inc(blocks)
+        elif kind == "fault":
+            faults.inc(blocks)
+        if previous is not None:
+            previous(kind, blocks, nbytes, sequential, origin)
+
+    counter.observer = observe
+
+    def uninstall() -> None:
+        # Only restore if nobody replaced us meanwhile (the tracer saves
+        # and restores around attach, so normally nobody has).
+        if counter.observer is observe:
+            counter.observer = previous
+
+    return uninstall
+
+
+# ----------------------------------------------------------------------
+# exposition parsing (CI smoke + tests)
+# ----------------------------------------------------------------------
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse a text-format exposition back into ``{series: value}``.
+
+    A deliberately strict reader of the subset :meth:`MetricsRegistry.
+    to_prometheus` emits — used by ``repro-scc metrics check`` and the
+    CI smoke job to prove the exposition is well-formed.  Raises
+    ``ValueError`` on any malformed line.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 2)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            continue
+        series, _, value_text = line.rpartition(" ")
+        if not series:
+            raise ValueError(f"line {lineno}: no sample value in {raw!r}")
+        if "{" in series and not series.endswith("}"):
+            raise ValueError(f"line {lineno}: unbalanced labels in {raw!r}")
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {value_text!r}"
+            )
+        if series in samples:
+            raise ValueError(f"line {lineno}: duplicate series {series!r}")
+        samples[series] = value
+    return samples

@@ -65,12 +65,23 @@ def _span_line(span: Span, total_io: int) -> str:
     if span.io.rand_reads or span.io.rand_writes:
         parts.append(f"rand r/w {span.io.rand_reads:,}/{span.io.rand_writes:,}")
     if span.io.cache_hits or span.io.cache_misses:
-        parts.append(f"cache {span.io.cache_hits:,}h/{span.io.cache_misses:,}m")
+        lookups = span.io.cache_hits + span.io.cache_misses
+        parts.append(
+            f"cache {_percent(span.io.cache_hits, lookups)} hit "
+            f"({span.io.cache_hits:,}h/{span.io.cache_misses:,}m)"
+        )
     if span.io.prefetched:
         parts.append(
-            f"prefetched {span.io.prefetched:,}"
-            f" ({span.io.prefetch_stalls:,} stalls)"
+            f"prefetch {_percent(span.io.prefetch_stalls, span.io.prefetched)} "
+            f"stalled ({span.io.prefetched:,} blocks)"
         )
+    if span.io.io_retries:
+        reads = span.io.seq_reads + span.io.rand_reads
+        per_1k = (
+            1000.0 * span.io.io_retries / reads if reads
+            else float(span.io.io_retries)
+        )
+        parts.append(f"retries {span.io.io_retries:,} ({per_1k:.1f}/1k reads)")
     if span.counters:
         counters = " ".join(
             f"{key}={value:,}" for key, value in sorted(span.counters.items())

@@ -1,0 +1,433 @@
+"""Persisting the live metrics plane: JSONL snapshots, Prometheus files,
+an optional scrape endpoint, and the background sampler thread.
+
+Three consumers share one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :class:`MetricsWriter` — appends schema-versioned JSONL metric
+  snapshots alongside the run's trace (``compute --metrics PATH``).
+  Like the trace, the file is an *observability sidecar* outside the
+  counted I/O model, which is why this module carries an ``IO001``
+  allowlist entry in the contract analyzer; unlike the early trace
+  writer it creates missing parent directories up front and fsyncs on
+  close, so ``--metrics`` into a fresh directory cannot fail and a
+  crash cannot truncate an already-closed file.
+* :class:`MetricsSampler` — a low-overhead daemon thread that snapshots
+  the registry every ``interval_s`` seconds.  The thread only *reads*
+  instruments (and the run only writes its own), so enabling the
+  sampler leaves counted I/O and partitions byte-identical — the
+  bench-regression gate re-runs its golden cases with the sampler on to
+  enforce exactly that.  Each tick can also rewrite a Prometheus
+  text-format file next to the JSONL (crash-consistently, through the
+  atomic-replace protocol) for node-exporter-style textfile collection.
+* :class:`PrometheusEndpoint` — an optional stdlib HTTP server
+  (``compute --metrics-port``) answering ``GET /metrics`` with the
+  registry's current exposition, for live scraping of long runs.
+
+Loading and validation (:func:`load_metrics` / :func:`validate_metrics`)
+mirror the trace module's loader so CI can schema-check a snapshot file
+the same way it checks traces.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.io.atomic import abort_replace, replace_file
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "MetricsData",
+    "MetricsSampler",
+    "MetricsWriter",
+    "PrometheusEndpoint",
+    "load_metrics",
+    "validate_metrics",
+    "write_prometheus_file",
+]
+
+#: Version stamped into every metrics file header; bump on incompatible
+#: change (additive fields inside ``values`` do not require a bump).
+METRICS_SCHEMA_VERSION = 1
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the file's parent directory tree when it is missing."""
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+class MetricsWriter:
+    """Append schema-versioned JSONL metric snapshots to ``path``.
+
+    Record types::
+
+        {"type": "header", "schema_version": 1, "metadata": {...}}
+        {"type": "sample", "seq": 0, "elapsed_s": 0.0, "values": {...}}
+        {"type": "summary", "samples": N, "elapsed_s": ...}
+
+    ``values`` is exactly :meth:`MetricsRegistry.snapshot` output.  The
+    header is written eagerly (a run that dies mid-flight leaves a
+    parseable prefix); :meth:`close` appends the summary, flushes, and
+    fsyncs so the sealed file survives a crash immediately after.
+    """
+
+    def __init__(self, path: str,
+                 metadata: Optional[Dict[str, object]] = None) -> None:
+        self.path = path
+        _ensure_parent(path)
+        # Observability sidecar output, outside the counted I/O model
+        # (module docstring); IO001-allowlisted like the trace writer.
+        self._handle = open(  # repro: allow[IO001]
+            path, "w", encoding="utf-8"
+        )
+        self._seq = 0
+        self._elapsed = 0.0
+        self._closed = False
+        self._write({
+            "type": "header",
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metadata": metadata or {},
+        })
+
+    def write_sample(self, elapsed_s: float,
+                     values: Dict[str, object]) -> None:
+        """Append one registry snapshot taken ``elapsed_s`` into the run."""
+        if self._closed:
+            raise ReproError(f"metrics writer for {self.path} is closed")
+        self._write({
+            "type": "sample",
+            "seq": self._seq,
+            "elapsed_s": elapsed_s,
+            "values": values,
+        })
+        self._seq += 1
+        self._elapsed = elapsed_s
+        # Samples are the live feed: push each one to the OS so a tail
+        # -f (or a crash post-mortem) sees the freshest state.
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Seal the file: summary record, flush, fsync, close."""
+        if self._closed:
+            return
+        self._write({
+            "type": "summary",
+            "samples": self._seq,
+            "elapsed_s": self._elapsed,
+        })
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._closed = True
+
+    @property
+    def samples_written(self) -> int:
+        return self._seq
+
+    def __enter__(self) -> "MetricsWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _write(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record))
+        self._handle.write("\n")
+
+
+def write_prometheus_file(registry: MetricsRegistry, path: str) -> None:
+    """Atomically (re)write ``path`` with the registry's exposition.
+
+    Staged through the atomic-replace protocol so a scraper (or a crash)
+    never observes a torn half-written exposition.
+    """
+    _ensure_parent(path)
+    staging = path + ".staging"
+    try:
+        with open(staging, "w", encoding="utf-8") as handle:  # repro: allow[IO001]
+            handle.write(registry.to_prometheus())
+        replace_file(staging, path)
+    except BaseException:
+        abort_replace(staging, path)
+        raise
+
+
+class MetricsSampler:
+    """Background thread appending registry snapshots at a fixed cadence.
+
+    Parameters
+    ----------
+    registry:
+        The instrument table to sample.
+    writer:
+        Optional :class:`MetricsWriter` receiving one ``sample`` record
+        per tick.
+    interval_s:
+        Cadence (default 1 s).  The thread wakes on a
+        :class:`threading.Event` so :meth:`close` never waits a full
+        interval.
+    prom_path:
+        Optional Prometheus textfile rewritten on every tick (and once
+        more at close), via :func:`write_prometheus_file`.
+
+    :meth:`close` takes one final sample before stopping so even a run
+    shorter than one interval leaves a complete snapshot behind — and
+    the final sample is what the gate's transparency re-run compares.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 writer: Optional[MetricsWriter] = None,
+                 interval_s: float = 1.0,
+                 prom_path: Optional[str] = None) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.registry = registry
+        self.writer = writer
+        self.interval_s = interval_s
+        self.prom_path = prom_path
+        self._stop = threading.Event()
+        self._origin = time.perf_counter()
+        self._closed = False
+        # Not a reader thread: it only snapshots in-memory counters —
+        # it never touches graph files, so no I/O goes unaccounted.
+        self._thread = threading.Thread(  # repro: allow[SCAN001]
+            target=self._loop, name="repro-metrics-sampler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> Dict[str, object]:
+        """Take and persist one snapshot now; returns the values payload."""
+        values = self.registry.snapshot()
+        elapsed = time.perf_counter() - self._origin
+        if self.writer is not None:
+            self.writer.write_sample(elapsed, values)
+        if self.prom_path is not None:
+            write_prometheus_file(self.registry, self.prom_path)
+        return values
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:
+                # The sampler must never take down the run it observes;
+                # a failed tick (e.g. disk full) is dropped, the next
+                # tick retries.
+                continue
+
+    def close(self) -> None:
+        """Stop the thread, take a final sample, seal the writer."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        try:
+            self.sample_once()
+        finally:
+            if self.writer is not None:
+                self.writer.close()
+
+    def __enter__(self) -> "MetricsSampler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _MetricsHandler(http.server.BaseHTTPRequestHandler):
+    """Serves ``GET /metrics`` from the bound registry."""
+
+    registry: MetricsRegistry  # injected via the server instance
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        if self.path.rstrip("/") not in ("", "/metrics"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = self.server.registry.to_prometheus().encode("utf-8")  # type: ignore[attr-defined]
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr chatter (scrapes are periodic)."""
+
+
+class PrometheusEndpoint:
+    """A minimal stdlib HTTP scrape endpoint for one registry.
+
+    Binds ``127.0.0.1:port`` (``port=0`` picks a free port — the bound
+    one is exposed as :attr:`port`) and serves ``GET /metrics`` from a
+    daemon thread until :meth:`close`.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self._server = http.server.ThreadingHTTPServer(
+            (host, port), _MetricsHandler
+        )
+        self._server.registry = registry  # type: ignore[attr-defined]
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        # Serves in-memory registry snapshots over HTTP; no file reads.
+        self._thread = threading.Thread(  # repro: allow[SCAN001]
+            target=self._server.serve_forever,
+            name=f"repro-metrics-http:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "PrometheusEndpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# loading and validation
+# ----------------------------------------------------------------------
+
+@dataclass
+class MetricsData:
+    """A parsed metrics file: header, samples in order, optional summary."""
+
+    header: Dict[str, object]
+    samples: List[Dict[str, object]]
+    summary: Optional[Dict[str, object]]
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.header.get("schema_version", 0))  # type: ignore[arg-type]
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        return dict(self.header.get("metadata", {}))  # type: ignore[arg-type]
+
+
+def load_metrics(path: str) -> MetricsData:
+    """Parse a JSONL metrics file written by :class:`MetricsWriter`.
+
+    Unknown record types are skipped (forward compatibility); a missing
+    or malformed header is a :class:`~repro.exceptions.ReproError`.
+    """
+    header: Optional[Dict[str, object]] = None
+    samples: List[Dict[str, object]] = []
+    summary: Optional[Dict[str, object]] = None
+    # Metrics input is outside the counted I/O model (module docstring).
+    with open(path, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{lineno}: not valid JSONL ({exc.msg})")
+            if not isinstance(record, dict):
+                raise ReproError(
+                    f"{path}:{lineno}: metrics records must be objects"
+                )
+            kind = record.get("type")
+            if kind == "header":
+                if header is None:
+                    header = record
+            elif kind == "sample":
+                samples.append(record)
+            elif kind == "summary":
+                summary = record
+    if header is None:
+        raise ReproError(f"{path}: not a metrics file (no header record)")
+    return MetricsData(header=header, samples=samples, summary=summary)
+
+
+def validate_metrics(data: MetricsData) -> List[str]:
+    """Check a metrics file against the schema and its invariants.
+
+    Returns human-readable problems (empty when valid).  Checked:
+
+    * the header's schema version is supported;
+    * ``seq`` is dense from 0 and ``elapsed_s`` never decreases;
+    * every counter series is monotonically non-decreasing across
+      samples (the counter/gauge distinction is schema, not convention);
+    * histogram payloads are internally consistent (``count`` equals the
+      ``+Inf`` cumulative bucket);
+    * the summary, when present, declares the right sample count.
+    """
+    problems: List[str] = []
+    if data.schema_version != METRICS_SCHEMA_VERSION:
+        problems.append(
+            f"unsupported schema_version {data.schema_version} "
+            f"(expected {METRICS_SCHEMA_VERSION})"
+        )
+    last_elapsed = -1.0
+    last_counters: Dict[str, float] = {}
+    for position, sample in enumerate(data.samples):
+        if sample.get("seq") != position:
+            problems.append(
+                f"sample {position}: seq {sample.get('seq')!r} is not dense"
+            )
+        elapsed = float(sample.get("elapsed_s", 0.0))  # type: ignore[arg-type]
+        if elapsed < last_elapsed:
+            problems.append(
+                f"sample {position}: elapsed_s went backwards "
+                f"({elapsed} < {last_elapsed})"
+            )
+        last_elapsed = elapsed
+        values = sample.get("values")
+        if not isinstance(values, dict):
+            problems.append(f"sample {position}: no values payload")
+            continue
+        counters = values.get("counters", {})
+        if isinstance(counters, dict):
+            for series, value in counters.items():
+                previous = last_counters.get(series)
+                if previous is not None and float(value) < previous:  # type: ignore[arg-type]
+                    problems.append(
+                        f"sample {position}: counter {series} decreased "
+                        f"({value} < {previous})"
+                    )
+                last_counters[series] = float(value)  # type: ignore[arg-type]
+        histograms = values.get("histograms", {})
+        if isinstance(histograms, dict):
+            for series, payload in histograms.items():
+                if not isinstance(payload, dict):
+                    problems.append(
+                        f"sample {position}: histogram {series} is not an object"
+                    )
+                    continue
+                buckets = payload.get("buckets", {})
+                inf = buckets.get("+Inf") if isinstance(buckets, dict) else None
+                if inf != payload.get("count"):
+                    problems.append(
+                        f"sample {position}: histogram {series} count "
+                        f"{payload.get('count')} != +Inf bucket {inf}"
+                    )
+    if data.summary is not None:
+        declared = data.summary.get("samples")
+        if declared != len(data.samples):
+            problems.append(
+                f"summary declares {declared} samples, file holds "
+                f"{len(data.samples)}"
+            )
+    return problems

@@ -105,6 +105,9 @@ class TraceWriter:
         self, path: str, metadata: Optional[Dict[str, object]] = None
     ) -> None:
         self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         # Observability sidecar output, not part of the measured run
         # (see module docstring); IO001-allowlisted.
         self._handle = open(  # repro: allow[IO001]
@@ -143,6 +146,10 @@ class TraceWriter:
             "wall_seconds": self._root_wall,
         }
         self._write(summary)
+        # Crash-safety: a sealed trace must survive a crash immediately
+        # after close(), so both files are fsynced before the handles go.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
         self._handle.close()
         self._closed = True
         sidecar = dict(summary)
@@ -155,6 +162,8 @@ class TraceWriter:
         ) as handle:
             json.dump(sidecar, handle, indent=2, default=_json_default)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     @property
     def summary_path(self) -> str:

@@ -107,6 +107,9 @@ class Tracer:
         self.spans: List[Span] = []
         self._stack: List[Tuple[Span, Optional[IOStats], float]] = []
         self._counter: Optional[IOCounter] = None
+        self._forward: Optional[
+            Callable[[str, int, int, bool, Optional[str]], None]
+        ] = None
         self._next_id = 0
         self._origin = time.perf_counter()
 
@@ -120,17 +123,23 @@ class Tracer:
         While attached, spans diff this counter for their I/O deltas and
         the tracer installs itself as the counter's observer so every
         block transfer is attributed to the innermost open span's
-        per-file breakdown.  The previous observer (and binding) is
-        restored on exit, so nested or sequential runs compose.
+        per-file breakdown.  A previously installed observer (e.g. the
+        live metrics plane's) is *chained*, not shadowed: every event is
+        forwarded to it before span attribution, and both the observer
+        and the binding are restored on exit so nested or sequential
+        runs compose.
         """
         previous_counter = self._counter
         previous_observer = counter.observer
+        previous_forward = self._forward
         self._counter = counter
+        self._forward = previous_observer
         counter.observer = self._observe
         try:
             yield self
         finally:
             counter.observer = previous_observer
+            self._forward = previous_forward
             self._counter = previous_counter
 
     # ------------------------------------------------------------------
@@ -202,6 +211,8 @@ class Tracer:
         sequential: bool,
         origin: Optional[str],
     ) -> None:
+        if self._forward is not None:
+            self._forward(kind, blocks, nbytes, sequential, origin)
         if not self._stack:
             return
         files = self._stack[-1][0].files

@@ -1,0 +1,16 @@
+"""Deliberately broken lint fixture: raw metrics sink (IO001).
+
+A telemetry sink that opens its output file directly.  Only
+``repro/obs/sampler.py`` (and the trace writer) are allowlisted for
+IO001 — any other module persisting metrics must route through
+``repro.io`` or earn its own justified allowlist entry, otherwise its
+writes slip past the counted-I/O accounting the metrics describe.
+"""
+
+import json
+
+
+def dump_snapshot(snapshot, path):
+    """Persist one metrics snapshot — behind the counter's back."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(snapshot) + "\n")

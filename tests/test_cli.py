@@ -220,6 +220,76 @@ class TestTraceAndReport:
             logging.getLogger("repro").setLevel(previous)
 
 
+class TestMetricsCommands:
+    def test_compute_metrics_writes_valid_snapshots_and_exposition(
+        self, stored_graph, tmp_path, capsys
+    ):
+        from repro.obs import load_metrics, parse_prometheus_text, validate_metrics
+
+        path, _ = stored_graph
+        metrics_path = str(tmp_path / "run.metrics.jsonl")
+        code = main(["compute", path, "--algorithm", "1P-SCC",
+                     "--metrics", metrics_path,
+                     "--metrics-interval", "0.05"])
+        assert code == 0
+        assert "metrics:" in capsys.readouterr().out
+        data = load_metrics(metrics_path)
+        assert validate_metrics(data) == []
+        assert data.samples, "at least the final sample must be written"
+        final = data.samples[-1]["values"]
+        read_total = sum(
+            value for series, value in final["counters"].items()
+            if series.startswith("repro_io_read_blocks_total")
+        )
+        assert read_total > 0
+        exposition = open(metrics_path + ".prom").read()  # repro: allow[IO001]
+        assert parse_prometheus_text(exposition)
+
+    def test_compute_metrics_does_not_change_counted_io(
+        self, stored_graph, tmp_path, capsys
+    ):
+        path, _ = stored_graph
+        assert main(["compute", path, "--algorithm", "1P-SCC"]) == 0
+        plain = capsys.readouterr().out
+        metrics_path = str(tmp_path / "m.jsonl")
+        assert main(["compute", path, "--algorithm", "1P-SCC",
+                     "--metrics", metrics_path]) == 0
+        metered = capsys.readouterr().out
+
+        def io_line(out):
+            return [line for line in out.splitlines()
+                    if "block I/Os" in line or "ios" in line.lower()][0]
+
+        assert io_line(plain) == io_line(metered)
+
+    def test_metrics_check_accepts_fresh_output(self, stored_graph,
+                                                tmp_path, capsys):
+        path, _ = stored_graph
+        metrics_path = str(tmp_path / "run.metrics.jsonl")
+        assert main(["compute", path, "--algorithm", "1P-SCC",
+                     "--metrics", metrics_path]) == 0
+        capsys.readouterr()
+        code = main(["metrics", "check", metrics_path,
+                     "--prom", metrics_path + ".prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+
+    def test_metrics_check_rejects_truncated_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "sample", "seq": 0}\n')
+        assert main(["metrics", "check", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compute_heartbeat_prints_progress(self, stored_graph, capsys):
+        path, _ = stored_graph
+        code = main(["compute", path, "--algorithm", "1P-SCC",
+                     "--heartbeat", "0.02"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "1P-SCC" in err and "iter" in err
+
+
 class TestCompare:
     def test_compare_table(self, stored_graph, capsys):
         path, _ = stored_graph
@@ -291,7 +361,7 @@ class TestLint:
             for line in out.splitlines()
             if ": " in line and line.split(":")[0].endswith(".py")
         }
-        assert rules == {"SCAN002", "THR001", "IO003"}
+        assert rules == {"SCAN002", "THR001", "IO003", "IO001"}
 
     def test_clean_tree_exits_zero(self, capsys):
         assert main(["lint", "src"]) == 0
@@ -328,7 +398,7 @@ class TestLint:
         log = json.loads(open(sarif_path).read())  # repro: allow[IO001]
         assert validate_sarif(log) == []
         rule_ids = {r["ruleId"] for r in log["runs"][0]["results"]}
-        assert rule_ids == {"SCAN002", "THR001", "IO003"}
+        assert rule_ids == {"SCAN002", "THR001", "IO003", "IO001"}
 
     def test_cost_report_flag_prints_the_table(self, capsys):
         assert main(["lint", "src", "--cost-report"]) == 0

@@ -38,6 +38,66 @@ class TestIOStats:
         clone.seq_reads = 99
         assert stats.seq_reads == 1
 
+    def test_subtraction_diffs_newer_fields(self):
+        after = IOStats(
+            cache_hits=9, cache_misses=4, prefetched=12,
+            prefetch_stalls=5, io_retries=3, faults_injected=2,
+        )
+        before = IOStats(
+            cache_hits=3, cache_misses=1, prefetched=8,
+            prefetch_stalls=2, io_retries=1, faults_injected=2,
+        )
+        diff = after - before
+        assert diff.cache_hits == 6
+        assert diff.cache_misses == 3
+        assert diff.prefetched == 4
+        assert diff.prefetch_stalls == 3
+        assert diff.io_retries == 2
+        assert diff.faults_injected == 0
+
+    def test_addition_accumulates_newer_fields(self):
+        a = IOStats(prefetched=2, prefetch_stalls=1, io_retries=4,
+                    faults_injected=1, cache_hits=7)
+        b = IOStats(prefetched=3, prefetch_stalls=2, io_retries=1,
+                    faults_injected=5, cache_misses=2)
+        total = a + b
+        assert total.prefetched == 5
+        assert total.prefetch_stalls == 3
+        assert total.io_retries == 5
+        assert total.faults_injected == 6
+        assert total.cache_hits == 7
+        assert total.cache_misses == 2
+
+    def test_newer_fields_do_not_inflate_total(self):
+        stats = IOStats(
+            seq_reads=2, cache_hits=100, prefetched=50,
+            prefetch_stalls=25, io_retries=10, faults_injected=10,
+        )
+        assert stats.total == 2
+
+    def test_copy_preserves_newer_fields_independently(self):
+        stats = IOStats(prefetch_stalls=3, io_retries=2, faults_injected=1)
+        clone = stats.copy()
+        clone.prefetch_stalls = 99
+        clone.io_retries = 99
+        clone.faults_injected = 99
+        assert (stats.prefetch_stalls, stats.io_retries,
+                stats.faults_injected) == (3, 2, 1)
+
+    def test_dict_round_trip_keeps_newer_fields(self):
+        stats = IOStats(
+            seq_reads=1, bytes_read=100, prefetched=4,
+            prefetch_stalls=2, io_retries=3, faults_injected=1,
+        )
+        restored = IOStats.from_dict(stats.to_dict())
+        assert restored == stats
+
+    def test_to_dict_elides_zero_additive_fields(self):
+        payload = IOStats(seq_reads=1, bytes_read=100).to_dict()
+        for key in ("cache_hits", "cache_misses", "prefetched",
+                    "prefetch_stalls", "io_retries", "faults_injected"):
+            assert key not in payload
+
 
 class TestIOCounter:
     def test_record_read_sequential(self):

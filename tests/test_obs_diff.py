@@ -1,0 +1,206 @@
+"""Unit tests for ``trace diff``: alignment, exclusive attribution, CLI."""
+
+from repro.io.counter import IOStats
+from repro.obs.diff import diff_traces, index_spans, render_diff
+from repro.obs.trace import TraceData
+from repro.obs.tracer import Span
+
+
+def _trace(spans, algorithm="2P-SCC"):
+    return TraceData(
+        header={"schema_version": 1, "metadata": {"algorithm": algorithm}},
+        spans=spans,
+        summary=None,
+    )
+
+
+def _span(name, span_id, parent_id, depth, start, wall, reads,
+          iteration=None, **io_extra):
+    attributes = {} if iteration is None else {"iteration": iteration}
+    return Span(
+        name=name, span_id=span_id, parent_id=parent_id, depth=depth,
+        attributes=attributes, start_seconds=start, wall_seconds=wall,
+        io=IOStats(seq_reads=reads, bytes_read=reads * 4096, **io_extra),
+    )
+
+
+def _run_trace(scan2_wall=1.0, scan2_reads=10, scan2_stalls=0):
+    """A three-iteration run; iteration 2's scan is the plantable slot.
+
+    run (root) > iteration[i1..i3] > fwd-scan[iN]; parent wall/io are
+    inclusive of children, as the trace schema specifies.
+    """
+    spans = []
+    total_wall, total_reads = 0.0, 0
+    clock = 0.0
+    next_id = 2
+    for i in (1, 2, 3):
+        wall = scan2_wall if i == 2 else 1.0
+        reads = scan2_reads if i == 2 else 10
+        stalls = scan2_stalls if i == 2 else 0
+        scan = _span("fwd-scan", next_id, next_id + 1, 2, clock + 0.05,
+                     wall, reads, iteration=i, prefetch_stalls=stalls,
+                     prefetched=stalls)
+        outer = _span("iteration", next_id + 1, 1, 1, clock,
+                      wall + 0.1, reads, iteration=i)
+        spans.extend([scan, outer])
+        next_id += 2
+        clock += wall + 0.1
+        total_wall += wall + 0.1
+        total_reads += reads
+    spans.append(_span("run", 1, None, 0, 0.0, total_wall + 0.2,
+                       total_reads))
+    return _trace(spans)
+
+
+class TestIndexSpans:
+    def test_paths_chain_name_and_iteration(self):
+        index = index_spans(_run_trace())
+        assert "run" in index
+        assert "run/iteration[i2]/fwd-scan[i2]" in index
+
+    def test_repeated_siblings_get_occurrence_suffixes(self):
+        spans = [
+            _span("run", 1, None, 0, 0.0, 3.0, 30),
+            _span("pass", 2, 1, 1, 0.1, 1.0, 10),
+            _span("pass", 3, 1, 1, 1.2, 1.0, 10),
+        ]
+        index = index_spans(_trace(spans))
+        assert "run/pass" in index
+        assert "run/pass#2" in index
+
+    def test_exclusive_costs_subtract_direct_children(self):
+        index = index_spans(_run_trace())
+        root = index["run"]
+        # root wall 3.5 inclusive, children (iterations) take 3.3
+        assert abs(root.self_wall - 0.2) < 1e-9
+        assert root.self_io.total == 0  # all reads happened in the scans
+        leaf = index["run/iteration[i2]/fwd-scan[i2]"]
+        assert leaf.self_io.seq_reads == 10
+
+
+class TestDiffTraces:
+    def test_identical_traces_have_no_regression(self):
+        diff = diff_traces(_run_trace(), _run_trace())
+        assert diff.top_wall_regression() is None
+        assert diff.top_io_regression() is None
+        assert not diff.only_a and not diff.only_b
+
+    def test_planted_wall_slowdown_is_localised_to_the_leaf(self):
+        baseline = _run_trace()
+        slowed = _run_trace(scan2_wall=5.0)
+        diff = diff_traces(baseline, slowed)
+        top = diff.top_wall_regression()
+        assert top is not None
+        assert top.path == "run/iteration[i2]/fwd-scan[i2]"
+        assert abs(top.wall_delta - 4.0) < 1e-9
+        # exclusive attribution keeps the ancestors innocent
+        blamed = {d.path for d in diff.matched if d.wall_delta > 1e-9}
+        assert blamed == {"run/iteration[i2]/fwd-scan[i2]"}
+
+    def test_planted_io_regression_is_localised(self):
+        diff = diff_traces(_run_trace(), _run_trace(scan2_reads=50))
+        top = diff.top_io_regression()
+        assert top is not None
+        assert top.path == "run/iteration[i2]/fwd-scan[i2]"
+        assert top.blocks_delta == 40
+
+    def test_behaviour_notes_surface_prefetch_stalls(self):
+        diff = diff_traces(_run_trace(), _run_trace(scan2_stalls=7))
+        delta = {d.path: d for d in diff.matched}[
+            "run/iteration[i2]/fwd-scan[i2]"
+        ]
+        assert any("prefetch stalls +7" in note
+                   for note in delta.behaviour_notes())
+
+    def test_extra_iteration_lands_in_only_b(self):
+        baseline = _run_trace()
+        extra = _run_trace()
+        extra.spans.insert(
+            0, _span("fwd-scan", 90, 91, 2, 9.0, 1.0, 10, iteration=4)
+        )
+        extra.spans.insert(
+            1, _span("iteration", 91, 1, 1, 9.0, 1.1, 10, iteration=4)
+        )
+        diff = diff_traces(baseline, extra)
+        assert "run/iteration[i4]" in diff.only_b
+        assert "run/iteration[i4]/fwd-scan[i4]" in diff.only_b
+        assert diff.only_a == []
+
+
+class TestRenderDiff:
+    def test_report_names_the_planted_phase_in_the_verdict(self):
+        diff = diff_traces(_run_trace(), _run_trace(scan2_wall=5.0))
+        report = render_diff(diff, label_a="base", label_b="cand")
+        assert "verdict: biggest slowdown is run/iteration[i2]/fwd-scan[i2]" \
+            in report
+        assert "totals:" in report
+
+    def test_limit_truncates_the_ranking(self):
+        baseline = _run_trace()
+        slowed = _run_trace(scan2_wall=5.0, scan2_reads=50)
+        report = render_diff(diff_traces(baseline, slowed), limit=1)
+        assert "more changed spans" not in report or "..." in report
+
+
+class TestTraceDiffCLI:
+    def test_cli_diff_localises_a_real_planted_slowdown(self, tmp_path,
+                                                        capsys):
+        import json
+        import time
+
+        from repro.cli import main
+        from repro.graph.digraph import Digraph
+        from repro.graph.diskgraph import DiskGraph
+        from repro.io.counter import IOCounter
+
+        # Two real traced runs of the same workload; the candidate's
+        # second iteration is slowed by a patched scan hook.
+        from repro.core import ALGORITHMS
+        from repro.obs import TraceWriter, Tracer
+
+        n = 96
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        edges += [(i, (i * 7) % n) for i in range(n)]
+
+        def traced_run(path, slow):
+            disk = DiskGraph.from_digraph(
+                Digraph(n, edges), str(tmp_path / "g.bin"), block_size=256
+            )
+            algo = ALGORITHMS["1P-SCC"]()
+            writer = TraceWriter(str(path), metadata={"algorithm": "1P-SCC"})
+            tracer = Tracer(sink=writer)
+            if slow:
+                original = tracer._start
+
+                def delayed(name, attributes):
+                    span = original(name, attributes)
+                    if (name == "edge-scan"
+                            and attributes.get("iteration") == 1):
+                        time.sleep(0.08)
+                    return span
+
+                tracer._start = delayed
+            try:
+                algo.run(disk, tracer=tracer)
+            finally:
+                writer.close()
+                disk.unlink()
+
+        base = tmp_path / "base.jsonl"
+        cand = tmp_path / "cand.jsonl"
+        traced_run(base, slow=False)
+        traced_run(cand, slow=True)
+        assert main(["trace", "diff", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: biggest slowdown is" in out
+        verdict = [line for line in out.splitlines()
+                   if line.startswith("verdict:")][0]
+        assert "edge-scan[i1]" in verdict
+
+    def test_cli_diff_missing_file_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["trace", "diff", missing, missing]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,395 @@
+"""Unit tests for the live metrics plane (registry, sampler, heartbeat)."""
+
+import json
+import os
+import threading
+import urllib.request
+
+import pytest
+
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.io.counter import IOCounter
+from repro.obs.heartbeat import (
+    Heartbeat,
+    Progress,
+    estimate_remaining_blocks,
+    format_heartbeat,
+    predicted_blocks_per_scan,
+    read_progress,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    install_io_metrics,
+    parse_prometheus_text,
+    series_key,
+)
+from repro.obs.sampler import (
+    METRICS_SCHEMA_VERSION,
+    MetricsSampler,
+    MetricsWriter,
+    PrometheusEndpoint,
+    load_metrics,
+    validate_metrics,
+    write_prometheus_file,
+)
+from repro.obs.trace import TraceWriter, load_trace
+from repro.obs.tracer import Tracer
+
+
+def _cycle_graph(n=64):
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Digraph(n, edges)
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("repro_io_read_blocks_total") == "repro_io_read_blocks_total"
+
+    def test_labels_sorted_and_quoted(self):
+        key = series_key("repro_run_info", {"b": "2", "a": "1"})
+        assert key == 'repro_run_info{a="1",b="2"}'
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_le_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)  # le buckets are inclusive
+        snap = hist.snapshot()
+        assert snap["buckets"]["1.0"] == 1
+        assert snap["buckets"]["2.0"] == 1
+        assert snap["buckets"]["+Inf"] == 1
+
+    def test_value_above_every_bound_counts_only_in_inf(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(99.0)
+        snap = hist.snapshot()
+        assert snap["buckets"]["1.0"] == 0
+        assert snap["buckets"]["2.0"] == 0
+        assert snap["buckets"]["+Inf"] == 1
+
+    def test_buckets_are_cumulative(self):
+        hist = Histogram("h", buckets=(0.5, 1.0, 5.0))
+        for value in (0.1, 0.7, 0.7, 3.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"]["0.5"] == 1
+        assert snap["buckets"]["1.0"] == 3
+        assert snap["buckets"]["5.0"] == 4
+        assert snap["buckets"]["+Inf"] == 4
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(4.5)
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_empty_bounds_fall_back_to_defaults(self):
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        assert Histogram("h", buckets=()).bounds == DEFAULT_BUCKETS
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total")
+        b = registry.counter("repro_x_total")
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_same_name_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", kind="seq")
+        b = registry.counter("repro_x_total", kind="rand")
+        assert a is not b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_x")
+
+    def test_callback_gauge_polled_at_snapshot(self):
+        registry = MetricsRegistry()
+        box = {"v": 2.0}
+        registry.register_callback("repro_depth", lambda: box["v"])
+        assert registry.snapshot()["gauges"]["repro_depth"] == 2.0
+        box["v"] = 7.0
+        assert registry.snapshot()["gauges"]["repro_depth"] == 7.0
+        registry.unregister_callback("repro_depth")
+        assert "repro_depth" not in registry.snapshot()["gauges"]
+
+    def test_broken_callback_reads_zero(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            "repro_bad", lambda: (_ for _ in ()).throw(RuntimeError())
+        )
+        assert registry.snapshot()["gauges"]["repro_bad"] == 0.0
+
+    def test_prometheus_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_reads_total", "blocks", kind="seq").inc(5)
+        registry.gauge("repro_depth", "queue").set(3.5)
+        registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0)).observe(0.2)
+        parsed = parse_prometheus_text(registry.to_prometheus())
+        assert parsed['repro_reads_total{kind="seq"}'] == 5.0
+        assert parsed["repro_depth"] == 3.5
+        assert parsed['repro_lat_seconds_bucket{le="0.1"}'] == 0.0
+        assert parsed['repro_lat_seconds_bucket{le="1"}'] == 1.0
+        assert parsed['repro_lat_seconds_bucket{le="+Inf"}'] == 1.0
+        assert parsed["repro_lat_seconds_count"] == 1.0
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not exposition\n")
+
+
+class TestInstallIOMetrics:
+    def test_counter_events_feed_series(self):
+        registry = MetricsRegistry()
+        counter = IOCounter()
+        uninstall = install_io_metrics(registry, counter)
+        try:
+            counter.record_read(3, 3000)
+            counter.record_read(1, 1000, sequential=False)
+            counter.record_write(2, 2000)
+        finally:
+            uninstall()
+        snap = registry.snapshot()["counters"]
+        assert snap['repro_io_read_blocks_total{mode="seq"}'] == 3.0
+        assert snap['repro_io_read_blocks_total{mode="rand"}'] == 1.0
+        assert snap['repro_io_write_blocks_total{mode="seq"}'] == 2.0
+        assert snap["repro_io_read_bytes_total"] == 4000.0
+        counter.record_read(5, 5000)
+        assert registry.snapshot()["counters"][
+            'repro_io_read_blocks_total{mode="seq"}'
+        ] == 3.0  # uninstalled: no longer observing
+
+    def test_chains_under_tracer_attach(self, tmp_path):
+        # install_io_metrics first, tracer.attach second: the tracer must
+        # forward events to the metrics observer it displaced.
+        registry = MetricsRegistry()
+        counter = IOCounter()
+        uninstall = install_io_metrics(registry, counter)
+        tracer = Tracer()
+        with tracer.attach(counter):
+            with tracer.span("run"):
+                counter.record_read(4, 4000)
+        uninstall()
+        snap = registry.snapshot()["counters"]
+        assert snap['repro_io_read_blocks_total{mode="seq"}'] == 4.0
+
+    def test_accounting_transparency_on_a_real_run(self, tmp_path):
+        from repro.core import ALGORITHMS
+
+        def one_run(metrics):
+            disk = DiskGraph.from_digraph(
+                _cycle_graph(), str(tmp_path / "g.bin"), block_size=256
+            )
+            try:
+                result = ALGORITHMS["1P-SCC"]().run(disk, metrics=metrics)
+                return result.stats.io.to_dict(), result.labels.tolist()
+            finally:
+                disk.unlink()
+
+        plain_io, plain_labels = one_run(None)
+        registry = MetricsRegistry()
+        with MetricsSampler(registry, interval_s=0.01):
+            metered_io, metered_labels = one_run(registry)
+        assert metered_io == plain_io
+        assert metered_labels == plain_labels
+
+
+class TestMetricsWriter:
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "run.metrics.jsonl"
+        with MetricsWriter(str(path)) as writer:
+            writer.write_sample(0.0, {"counters": {}, "gauges": {},
+                                      "histograms": {}})
+        assert path.exists()
+
+    def test_header_samples_summary_layout(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        writer = MetricsWriter(path, metadata={"algorithm": "1P-SCC"})
+        writer.write_sample(0.5, {"counters": {"repro_x_total": 1.0},
+                                  "gauges": {}, "histograms": {}})
+        writer.close()
+        lines = [json.loads(line)
+                 for line in open(path)]  # repro: allow[IO001]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["schema_version"] == METRICS_SCHEMA_VERSION
+        assert lines[0]["metadata"] == {"algorithm": "1P-SCC"}
+        assert lines[1]["type"] == "sample"
+        assert lines[1]["seq"] == 0
+        assert lines[-1]["type"] == "summary"
+        assert lines[-1]["samples"] == 1
+
+    def test_load_and_validate_round_trip(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc()
+        with MetricsWriter(path) as writer:
+            writer.write_sample(0.1, registry.snapshot())
+            registry.counter("repro_x_total").inc()
+            writer.write_sample(0.2, registry.snapshot())
+        data = load_metrics(path)
+        assert len(data.samples) == 2
+        assert validate_metrics(data) == []
+
+    def test_validate_flags_counter_regression(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        with MetricsWriter(path) as writer:
+            writer.write_sample(0.1, {"counters": {"repro_x_total": 5.0},
+                                      "gauges": {}, "histograms": {}})
+            writer.write_sample(0.2, {"counters": {"repro_x_total": 3.0},
+                                      "gauges": {}, "histograms": {}})
+        problems = validate_metrics(load_metrics(path))
+        assert any("repro_x_total" in problem for problem in problems)
+
+    def test_prometheus_file_written_atomically(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("repro_depth").set(1.0)
+        prom = str(tmp_path / "metrics.prom")
+        write_prometheus_file(registry, prom)
+        assert not os.path.exists(prom + ".staging")
+        content = open(prom).read()  # repro: allow[IO001]
+        assert parse_prometheus_text(content)["repro_depth"] == 1.0
+
+
+class TestMetricsSampler:
+    def test_background_samples_accumulate(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc()
+        path = str(tmp_path / "m.jsonl")
+        writer = MetricsWriter(path)
+        sampler = MetricsSampler(registry, writer=writer, interval_s=0.01)
+        deadline = threading.Event()
+        deadline.wait(0.15)
+        sampler.close()
+        data = load_metrics(path)
+        assert len(data.samples) >= 2  # several ticks plus the final one
+        assert validate_metrics(data) == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = MetricsWriter(str(tmp_path / "m.jsonl"))
+        sampler = MetricsSampler(MetricsRegistry(), writer=writer,
+                                 interval_s=0.01)
+        sampler.close()
+        sampler.close()
+
+
+class TestPrometheusEndpoint:
+    def test_serves_current_registry_state(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total").inc(7)
+        with PrometheusEndpoint(registry, port=0) as endpoint:
+            url = f"http://{endpoint.host}:{endpoint.port}/metrics"
+            body = urllib.request.urlopen(url, timeout=5).read().decode()
+        assert parse_prometheus_text(body)["repro_hits_total"] == 7.0
+
+    def test_unknown_path_is_404(self):
+        registry = MetricsRegistry()
+        with PrometheusEndpoint(registry, port=0) as endpoint:
+            url = f"http://{endpoint.host}:{endpoint.port}/nope"
+            try:
+                urllib.request.urlopen(url, timeout=5)
+            except urllib.error.HTTPError as err:
+                assert err.code == 404
+            else:  # pragma: no cover - server must reject
+                raise AssertionError("expected 404")
+
+
+class TestHeartbeat:
+    def _progress(self, **overrides):
+        values = dict(
+            algorithm="1P-SCC", iteration=2, live_nodes=500,
+            live_edges=2500, initial_edges=10000, blocks_read=40,
+            blocks_per_scan=10, scan_budget=2,
+        )
+        values.update(overrides)
+        return Progress(**values)
+
+    def test_predicted_blocks_per_scan_is_ceil(self):
+        from repro.constants import EDGE_BYTES
+
+        assert predicted_blocks_per_scan(1, 4096) == 1
+        edges_per_block = 4096 // EDGE_BYTES
+        assert predicted_blocks_per_scan(edges_per_block + 1, 4096) == 2
+        assert predicted_blocks_per_scan(0, 4096) == 0
+
+    def test_retention_is_geometric_mean(self):
+        progress = self._progress()
+        assert progress.retention == pytest.approx(0.5)
+
+    def test_retention_none_before_first_iteration(self):
+        assert self._progress(iteration=0).retention is None
+
+    def test_retention_none_when_not_shrinking(self):
+        progress = self._progress(live_edges=10000)
+        assert progress.retention is None
+
+    def test_estimate_remaining_is_geometric_series(self):
+        remaining = estimate_remaining_blocks(self._progress())
+        assert remaining == 40  # 2 scans * 10 blocks / (1 - 0.5)
+
+    def test_estimate_none_without_budget(self):
+        assert estimate_remaining_blocks(
+            self._progress(scan_budget=0)
+        ) is None
+
+    def test_read_progress_none_before_run_publishes(self):
+        assert read_progress(MetricsRegistry().snapshot()) is None
+
+    def test_read_progress_decodes_gauges_and_read_counters(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_run_iteration").set(3)
+        registry.gauge("repro_run_live_nodes").set(100)
+        registry.gauge("repro_run_live_edges").set(400)
+        registry.gauge("repro_run_initial_edges").set(1600)
+        registry.gauge("repro_run_blocks_per_scan").set(5)
+        registry.gauge("repro_run_scan_budget").set(2)
+        registry.gauge("repro_run_info", algorithm="EM-SCC").set(1)
+        registry.counter("repro_io_read_blocks_total", mode="seq").inc(9)
+        registry.counter("repro_io_read_blocks_total", mode="rand").inc(4)
+        progress = read_progress(registry.snapshot())
+        assert progress is not None
+        assert progress.algorithm == "EM-SCC"
+        assert progress.iteration == 3
+        assert progress.blocks_read == 13
+
+    def test_format_includes_rate_and_eta(self):
+        line = format_heartbeat(self._progress(), elapsed_s=10.0)
+        assert "1P-SCC" in line
+        assert "iter 2" in line
+        assert "(4 blk/s)" in line
+        assert "eta ~10s" in line
+
+    def test_heartbeat_thread_prints_to_stream(self):
+        import io as _io
+
+        registry = MetricsRegistry()
+        registry.gauge("repro_run_iteration").set(1)
+        stream = _io.StringIO()
+        beat = Heartbeat(registry, interval_s=0.01, stream=stream,
+                         algorithm="2P-SCC")
+        threading.Event().wait(0.1)
+        beat.close()
+        output = stream.getvalue()
+        assert "2P-SCC" in output
+        assert output.count("\n") >= 1
+
+
+class TestTraceWriterDurability:
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        writer = TraceWriter(str(path), metadata={"algorithm": "t"})
+        writer.close()
+        assert path.exists()
+        assert load_trace(str(path)).header["schema_version"] >= 1

@@ -41,6 +41,10 @@ ALLOWED_EXCEPTIONS = {
     # Trace writer: persists observability records about a run; charging
     # them to the block counter would corrupt the tallies it reports.
     "repro/obs/trace.py": frozenset({"IO001"}),
+    # Metrics writer: the same class of sink — JSONL snapshots and the
+    # Prometheus textfile describe counted I/O and must never be part
+    # of it (the regression gate's metrics re-run pins that).
+    "repro/obs/sampler.py": frozenset({"IO001"}),
     # The background prefetcher: the one sanctioned lookahead reader.
     # It seeks once to position its private handle and runs the repo's
     # only permitted reader thread; its reads are deferred-accounted by
