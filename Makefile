@@ -1,5 +1,6 @@
 .PHONY: install test lint bench bench-smoke bench-golden bench-prefetch \
-	bench-kernels chaos examples suite clean
+	bench-kernels chaos examples suite clean \
+	reproduce-smoke reproduce-paper artifact-golden
 
 PYTHON ?= python
 
@@ -65,6 +66,28 @@ chaos:
 		--algorithm 1P-SCC --block-size 4096 \
 		--checkpoint-dir chaos-workdir/ckpt --resume
 	rm -rf chaos-workdir
+
+# One-command reproduction artifact (see docs/reproduction_guide.md).
+# Smoke tier is the CI gate: the sweep's MANIFEST.json must match the
+# committed golden byte-for-byte.
+reproduce-smoke:
+	$(PYTHON) -m repro.cli reproduce --scale smoke \
+		--out bench_results/artifact-smoke \
+		--verify benchmarks/golden/artifact_manifest.json
+
+# The EXPERIMENTS.md configuration: full case lists, INF reported.
+reproduce-paper:
+	$(PYTHON) -m repro.cli reproduce --scale paper \
+		--out bench_results/artifact-paper --heartbeat 30
+
+# Regenerate the committed smoke-tier golden manifest after an
+# *intentional* I/O-model change (review the diff before committing).
+artifact-golden:
+	$(PYTHON) -m repro.cli reproduce --scale smoke --fresh \
+		--out bench_results/artifact-smoke
+	cp bench_results/artifact-smoke/artifact/MANIFEST.json \
+		benchmarks/golden/artifact_manifest.json
+	@echo "updated benchmarks/golden/artifact_manifest.json"
 
 # full paper evaluation with CSV + report output
 suite:

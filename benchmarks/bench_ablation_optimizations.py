@@ -9,75 +9,19 @@ benches measure each design choice in isolation:
 * the early-acceptance threshold ``tau`` (paper default 0.5 % of |V|),
 * the early-rejection period (paper default: every 5 iterations),
 * 1PB-SCC's batch size (the memory knob batching converts into speed).
+
+Cells — including the algorithm constructor kwargs each ablation
+varies — come from :func:`repro.artifact.cases.ablation_cases`.
 """
 
 import pytest
 
-from benchmarks.conftest import run_algorithm, webspam_workload
+from benchmarks.conftest import case_params, run_case
 
-from repro.core.one_phase import OnePhaseSCC
-from repro.core.one_phase_batch import OnePhaseBatchSCC
-
-
-@pytest.mark.parametrize("acceptance", [True, False])
-@pytest.mark.parametrize("rejection", [True, False])
-def test_ablation_acceptance_rejection(benchmark, acceptance, rejection):
-    """Section 7.4: the two reductions cut iterations roughly in half."""
-    planted = webspam_workload()
-    algo = OnePhaseBatchSCC(
-        enable_acceptance=acceptance, enable_rejection=rejection
-    )
-    record = run_algorithm(
-        benchmark,
-        planted.graph,
-        algo,
-        workload=f"acc={acceptance},rej={rejection}",
-        time_limit=300,
-        params={"acceptance": acceptance, "rejection": rejection},
-    )
-    assert record.ok
+CASES = case_params("ablation")
 
 
-@pytest.mark.parametrize("tau_fraction", [0.001, 0.005, 0.02, 0.1])
-def test_ablation_tau_threshold(benchmark, tau_fraction):
-    """Sweep the early-acceptance threshold around the paper's 0.5 %."""
-    planted = webspam_workload()
-    record = run_algorithm(
-        benchmark,
-        planted.graph,
-        OnePhaseBatchSCC(tau_fraction=tau_fraction),
-        workload=f"tau={tau_fraction}",
-        time_limit=300,
-        params={"tau_fraction": tau_fraction},
-    )
-    assert record.ok
-
-
-@pytest.mark.parametrize("period", [1, 5, 10])
-def test_ablation_rejection_period(benchmark, period):
-    """Sweep the early-rejection period around the paper's 5."""
-    planted = webspam_workload()
-    record = run_algorithm(
-        benchmark,
-        planted.graph,
-        OnePhaseSCC(rejection_period=period),
-        workload=f"period={period}",
-        time_limit=300,
-        params={"rejection_period": period},
-    )
-    assert record.ok
-
-
-@pytest.mark.parametrize("batch_blocks", [1, 4, 16, 64])
-def test_ablation_batch_size(benchmark, batch_blocks):
-    """Section 7.3's beta: bigger batches, fewer passes, less CPU."""
-    planted = webspam_workload()
-    record = run_algorithm(
-        benchmark,
-        planted.graph,
-        OnePhaseBatchSCC(batch_blocks=batch_blocks),
-        workload=f"batch={batch_blocks}",
-        time_limit=300,
-        params={"batch_blocks": batch_blocks},
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_ablation(benchmark, case):
+    record = run_case(benchmark, case)
     assert record.ok

@@ -7,52 +7,18 @@ I/O grow with graph size for the survivors.
 The reproduction sweeps induced subgraphs of the webspam stand-in.  At
 reproduction scale 1P-SCC tends to survive further than the paper's
 (absolute size is what kills it there); the headline shape — 1PB-SCC
-cheapest and always finishing, cost growing with size — holds.
+cheapest and always finishing, cost growing with size — holds.  The
+paper's skip rule (2P/DFS only measured on the small subgraphs) is
+encoded in :func:`repro.artifact.cases.fig12_cases`.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import run_algorithm, webspam_workload
+from benchmarks.conftest import case_params, run_case
 
-from repro.graph.builders import induced_subgraph
-
-FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
-ALGORITHMS = ["1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC"]
+CASES = case_params("fig12")
 
 
-def subgraph_at(fraction: float):
-    planted = webspam_workload()
-    graph = planted.graph
-    if fraction >= 1.0:
-        return graph
-    rng = np.random.default_rng(int(fraction * 100))
-    nodes = rng.choice(
-        graph.num_nodes,
-        size=int(round(graph.num_nodes * fraction)),
-        replace=False,
-    )
-    sub, _ = induced_subgraph(graph, nodes)
-    return sub
-
-
-@pytest.mark.parametrize("fraction", FRACTIONS)
-@pytest.mark.parametrize("algorithm", ALGORITHMS)
-def test_fig12_vary_node_size(benchmark, fraction, algorithm):
-    if algorithm in ("2P-SCC", "DFS-SCC") and fraction > 0.4:
-        pytest.skip(
-            "paper Fig. 12: 2P-SCC and DFS-SCC cannot complete on the "
-            "larger webspam subgraphs; measured only on the small end"
-        )
-    graph = subgraph_at(fraction)
-    run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload=f"webspam-{int(fraction * 100)}pct",
-        params={
-            "fraction": fraction,
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-        },
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_fig12_vary_node_size(benchmark, case):
+    run_case(benchmark, case)

@@ -8,48 +8,19 @@ I/O fall as M grows.
 The reproduction sweeps multiples of the paper's default
 ``M = 4·(3|V|) + B`` on the webspam stand-in and checks 1PB-SCC's cost
 is non-increasing in memory; the three baselines are measured once at
-the base memory.
+the base memory.  Cells (with their memory factors) come from
+:func:`repro.artifact.cases.fig13_cases`.
 """
 
 import pytest
 
-from benchmarks.conftest import run_algorithm, webspam_workload
+from benchmarks.conftest import case_params, run_case
 
-from repro.io.memory import MemoryModel
-
-MEMORY_FACTORS = [1.0, 1.5, 2.0, 2.5, 3.0]
+CASES = case_params("fig13")
 
 
-def memory_at(graph, factor: float) -> MemoryModel:
-    base = MemoryModel.default_capacity(graph.num_nodes)
-    return MemoryModel(num_nodes=graph.num_nodes, capacity=int(base * factor))
-
-
-@pytest.mark.parametrize("factor", MEMORY_FACTORS)
-def test_fig13_1pb_memory_sweep(benchmark, factor):
-    planted = webspam_workload()
-    graph = planted.graph
-    record = run_algorithm(
-        benchmark,
-        graph,
-        "1PB-SCC",
-        workload=f"webspam-M{factor:g}x",
-        memory=memory_at(graph, factor),
-        time_limit=300,
-        params={"memory_factor": factor, "nodes": graph.num_nodes},
-    )
-    assert record.ok  # 1PB-SCC completes at every memory size
-
-
-@pytest.mark.parametrize("algorithm", ["1P-SCC", "2P-SCC", "DFS-SCC"])
-def test_fig13_baselines_at_base_memory(benchmark, algorithm):
-    planted = webspam_workload()
-    graph = planted.graph
-    run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload="webspam-M1x",
-        memory=memory_at(graph, 1.0),
-        params={"memory_factor": 1.0, "nodes": graph.num_nodes},
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_fig13_memory_sweep(benchmark, case):
+    record = run_case(benchmark, case)
+    if case.algorithm == "1PB-SCC":
+        assert record.ok  # 1PB-SCC completes at every memory size

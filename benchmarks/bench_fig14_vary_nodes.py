@@ -9,40 +9,18 @@ rejection; 1PB-SCC is best overall, with an I/O count close to
 
 Six panels: (a,b) Massive-SCC time/I-O, (c,d) Large-SCC, (e,f)
 Small-SCC — all regenerated here as one sweep per class with both
-metrics captured per run.
+metrics captured per run.  Cells (including DFS-SCC's
+smallest-size-only rule and 2P-SCC's 2x headroom) come from
+:func:`repro.artifact.cases.fig14_cases`.
 """
 
 import pytest
 
-from benchmarks.conftest import TIME_LIMIT, run_algorithm, synthetic_workload
+from benchmarks.conftest import case_params, run_case
 
-PAPER_NODES = [30_000_000, 40_000_000, 50_000_000, 60_000_000, 70_000_000]
-ALGORITHMS = ["1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC"]
-CLASSES = ["massive", "large", "small"]
+CASES = case_params("fig14")
 
 
-@pytest.mark.parametrize("scc_class", CLASSES)
-@pytest.mark.parametrize("paper_nodes", PAPER_NODES)
-@pytest.mark.parametrize("algorithm", ALGORITHMS)
-def test_fig14_vary_node_size(benchmark, scc_class, paper_nodes, algorithm):
-    if algorithm == "DFS-SCC" and paper_nodes > PAPER_NODES[0]:
-        pytest.skip(
-            "paper Fig. 14: DFS-SCC 'increases sharply' and exceeds the "
-            "time budget beyond the smallest size; measured there only"
-        )
-    planted = synthetic_workload(scc_class, paper_nodes, degree=5)
-    graph = planted.graph
-    time_limit = TIME_LIMIT * 2 if algorithm == "2P-SCC" else TIME_LIMIT
-    run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload=f"{scc_class}-{paper_nodes // 1_000_000}M",
-        time_limit=time_limit,
-        params={
-            "scc_class": scc_class,
-            "paper_nodes": paper_nodes,
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-        },
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_fig14_vary_node_size(benchmark, case):
+    run_case(benchmark, case)

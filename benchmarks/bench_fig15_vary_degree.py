@@ -4,53 +4,17 @@ Paper result: time and I/O increase with degree for every algorithm;
 1PB-SCC is best on both metrics with the slowest growth rate (denser
 graphs mean more edges inside SCCs, which batched in-memory contraction
 exploits).  DFS-SCC and 2P-SCC are omitted from the paper's plots —
-"they can only handle degree 3 and 4" — so here they are measured at
-degree 3 only.
+"they can only handle degree 3 and 4" — so the case list measures them
+at degree 3 only (:func:`repro.artifact.cases.fig15_cases`).
 """
 
 import pytest
 
-from benchmarks.conftest import run_algorithm, synthetic_workload
+from benchmarks.conftest import case_params, run_case
 
-DEGREES = [3, 4, 5, 6, 7]
-CLASSES = ["massive", "large", "small"]
-
-
-@pytest.mark.parametrize("scc_class", CLASSES)
-@pytest.mark.parametrize("degree", DEGREES)
-@pytest.mark.parametrize("algorithm", ["1PB-SCC", "1P-SCC"])
-def test_fig15_vary_degree(benchmark, scc_class, degree, algorithm):
-    planted = synthetic_workload(scc_class, 30_000_000, degree=degree)
-    graph = planted.graph
-    run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload=f"{scc_class}-d{degree}",
-        params={
-            "scc_class": scc_class,
-            "degree": degree,
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-        },
-    )
+CASES = case_params("fig15")
 
 
-@pytest.mark.parametrize("scc_class", CLASSES)
-@pytest.mark.parametrize("algorithm", ["2P-SCC", "DFS-SCC"])
-def test_fig15_baselines_low_degree(benchmark, scc_class, algorithm):
-    """The paper notes DFS/2P only handle degrees 3-4; measure degree 3."""
-    planted = synthetic_workload(scc_class, 30_000_000, degree=3)
-    graph = planted.graph
-    run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload=f"{scc_class}-d3",
-        params={
-            "scc_class": scc_class,
-            "degree": 3,
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-        },
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_fig15_vary_degree(benchmark, case):
+    run_case(benchmark, case)

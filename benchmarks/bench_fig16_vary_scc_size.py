@@ -5,60 +5,21 @@ Paper result: for Massive-SCC (200K-600K) and Large-SCC (4K-12K) only
 Small-SCC (20-60) 2P-SCC takes hours and DFS-SCC cannot process any
 case.  Cost grows mildly with SCC size for the single-phase algorithms
 (bigger SCCs mean longer contraction paths, but also more pruning).
+Cells — the single-phase sweeps plus 2P-SCC's only-completed small-SCC
+cases — come from :func:`repro.artifact.cases.fig16_cases`.
 """
 
 import pytest
 
-from benchmarks.conftest import run_algorithm, synthetic_workload
+from benchmarks.conftest import case_params, run_case
 
-SWEEPS = {
-    "massive": [200_000, 300_000, 400_000, 500_000, 600_000],
-    "large": [4_000, 6_000, 8_000, 10_000, 12_000],
-    "small": [20, 30, 40, 50, 60],
-}
+CASES = case_params("fig16")
 
 
-def _cases():
-    for scc_class, sizes in SWEEPS.items():
-        for size in sizes:
-            yield scc_class, size
-
-
-@pytest.mark.parametrize("scc_class,scc_size", list(_cases()))
-@pytest.mark.parametrize("algorithm", ["1PB-SCC", "1P-SCC"])
-def test_fig16_vary_scc_size(benchmark, scc_class, scc_size, algorithm):
-    planted = synthetic_workload(
-        scc_class, 30_000_000, degree=5, scc_size=scc_size
-    )
-    graph = planted.graph
-    record = run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload=f"{scc_class}-s{scc_size}",
-        params={
-            "scc_class": scc_class,
-            "paper_scc_size": scc_size,
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-        },
-    )
-    # Paper: "Only 1P-SCC and 1PB-SCC can find all SCCs within the
-    # time limit" — they must not fail here either.
-    assert record.ok
-
-
-@pytest.mark.parametrize("scc_size", SWEEPS["small"][:2])
-def test_fig16_2p_on_small_sccs(benchmark, scc_size):
-    """2P-SCC's only completed cells in the paper's Fig. 16 are the
-    Small-SCC cases (3.5-4.2 hours); measured at the small end."""
-    planted = synthetic_workload(
-        "small", 30_000_000, degree=5, scc_size=scc_size
-    )
-    run_algorithm(
-        benchmark,
-        planted.graph,
-        "2P-SCC",
-        workload=f"small-s{scc_size}",
-        params={"scc_class": "small", "paper_scc_size": scc_size},
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_fig16_vary_scc_size(benchmark, case):
+    record = run_case(benchmark, case)
+    if case.algorithm in ("1PB-SCC", "1P-SCC"):
+        # Paper: "Only 1P-SCC and 1PB-SCC can find all SCCs within the
+        # time limit" — they must not fail here either.
+        assert record.ok

@@ -3,43 +3,18 @@
 Paper result: for Large-SCC (30-70 SCCs of 8K nodes) and Small-SCC
 (6K-14K SCCs of 40 nodes), both 1PB-SCC and 1P-SCC finish everywhere
 with 1PB-SCC ahead; 2P-SCC cannot handle the Large-SCC graphs and takes
-hours on Small-SCC; DFS-SCC cannot process any case.
+hours on Small-SCC; DFS-SCC cannot process any case.  Cells come from
+:func:`repro.artifact.cases.fig17_cases`.
 """
 
 import pytest
 
-from benchmarks.conftest import run_algorithm, synthetic_workload
+from benchmarks.conftest import case_params, run_case
 
-SWEEPS = {
-    "large": [30, 40, 50, 60, 70],
-    "small": [6_000, 8_000, 10_000, 12_000, 14_000],
-}
+CASES = case_params("fig17")
 
 
-def _cases():
-    for scc_class, counts in SWEEPS.items():
-        for count in counts:
-            yield scc_class, count
-
-
-@pytest.mark.parametrize("scc_class,num_sccs", list(_cases()))
-@pytest.mark.parametrize("algorithm", ["1PB-SCC", "1P-SCC"])
-def test_fig17_vary_scc_count(benchmark, scc_class, num_sccs, algorithm):
-    planted = synthetic_workload(
-        scc_class, 30_000_000, degree=5, num_sccs=num_sccs
-    )
-    graph = planted.graph
-    record = run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload=f"{scc_class}-x{num_sccs}",
-        params={
-            "scc_class": scc_class,
-            "paper_num_sccs": num_sccs,
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-            "planted": planted.num_planted,
-        },
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_fig17_vary_scc_count(benchmark, case):
+    record = run_case(benchmark, case)
     assert record.ok  # paper: both single-phase algorithms always finish

@@ -9,44 +9,30 @@ The reproduction checks the same shape on the webspam stand-in: heavy
 front-loaded pruning with most edges gone before the last iteration.
 (At reproduction scale the giant SCC often falls in one batch, so the
 pruning is even more front-loaded than the paper's — documented in
-EXPERIMENTS.md.)
+EXPERIMENTS.md.)  Cells come from :func:`repro.artifact.cases.table1_cases`:
+the optimized configuration plus the both-optimizations-off contrast.
 """
 
-from benchmarks.conftest import webspam_workload
+import pytest
 
-from repro.bench.harness import run_one
-from repro.core.one_phase_batch import OnePhaseBatchSCC
+from benchmarks.conftest import case_graph, case_params, run_case
+
+CASES = case_params("table1")
 
 
-def test_table1_reduction_rows(benchmark):
-    planted = webspam_workload()
-    graph = planted.graph
-    holder = {}
-
-    def once():
-        holder["record"] = run_one(
-            graph,
-            OnePhaseBatchSCC(),
-            workload="webspam-like",
-            time_limit=300,
-            keep_result=True,
-        )
-
-    benchmark.pedantic(once, rounds=1, iterations=1)
-    record = holder["record"]
+@pytest.mark.parametrize("case", CASES)
+def test_table1_reduction_rows(benchmark, case):
+    record = run_case(benchmark, case, keep_result=True)
     assert record.ok
     stats = record.result.stats
 
+    graph = case_graph(case)
     rows = stats.per_iteration
     total_nodes = graph.num_nodes
     total_edges = graph.num_edges
     pruned_edges = sum(r.edges_reduced for r in rows[:-1])
     benchmark.extra_info.update(
         {
-            "nodes": total_nodes,
-            "edges": total_edges,
-            "iterations": stats.iterations,
-            "ios": stats.io.total,
             "nodes_reduced_per_iter": [r.nodes_reduced for r in rows[:5]],
             "edges_reduced_per_iter": [r.edges_reduced for r in rows[:5]],
             "pct_nodes_reduced_per_iter": [
@@ -60,6 +46,8 @@ def test_table1_reduction_rows(benchmark):
             ),
         }
     )
+    if not dict(case.algo_kwargs).get("enable_acceptance", True):
+        return  # the contrast row only contributes its iteration count
     # The paper's headline: the overwhelming majority of edges are
     # pruned before the final iteration.
     assert pruned_edges / total_edges > 0.60

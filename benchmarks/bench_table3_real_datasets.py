@@ -12,33 +12,21 @@ time       24/22/10s  22/21/8s  701/301/517s  840/856/669s
 Expected *shape* at reproduction scale: 1P-SCC and 1PB-SCC within a
 small factor of each other (1P usually slightly ahead — these graphs
 have only small SCCs), 2P-SCC an order of magnitude behind, DFS-SCC
-slowest, and the same ordering for block I/Os.
+slowest, and the same ordering for block I/Os.  Cells (including
+DFS-SCC's 5-hour-budget headroom) come from
+:func:`repro.artifact.cases.table3_cases`.
 """
 
 import pytest
 
-from benchmarks.conftest import TIME_LIMIT, real_dataset, run_algorithm
+from benchmarks.conftest import case_params, run_case
 
-DATASETS = ["cit-patents", "go-uniprot", "citeseerx"]
-ALGORITHMS = ["1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC"]
+CASES = case_params("table3")
 
 
-@pytest.mark.parametrize("dataset", DATASETS)
-@pytest.mark.parametrize("algorithm", ALGORITHMS)
-def test_table3(benchmark, dataset, algorithm):
-    graph = real_dataset(dataset)
-    # DFS-SCC is the designated-slow baseline; give it the headroom the
-    # paper's 5-hour budget represents so the table completes.
-    time_limit = TIME_LIMIT * 4 if algorithm == "DFS-SCC" else TIME_LIMIT
-    record = run_algorithm(
-        benchmark,
-        graph,
-        algorithm,
-        workload=dataset,
-        time_limit=time_limit,
-        params={"dataset": dataset, "nodes": graph.num_nodes,
-                "edges": graph.num_edges},
-    )
+@pytest.mark.parametrize("case", CASES)
+def test_table3(benchmark, case):
+    record = run_case(benchmark, case)
     # All four algorithms agree on the SCC count whenever they finish.
     if record.ok:
         assert record.num_sccs is not None

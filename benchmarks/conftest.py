@@ -1,14 +1,23 @@
 """Shared infrastructure for the benchmark suite.
 
 Every benchmark file regenerates one table or figure of the paper's
-evaluation (see DESIGN.md's per-experiment index).  Runs go through
-:func:`run_algorithm`, which measures one full algorithm execution and
-attaches the paper's metrics (block I/Os, iterations, status) as
+evaluation (see DESIGN.md's per-experiment index).  The cells each
+module measures are no longer private pytest params: they come from
+:mod:`repro.artifact.cases`, the same declarative case lists the
+one-command reproduction sweep (``repro-scc reproduce``) executes — so
+the pytest suite and the reproduction artifact can never drift apart.
+Modules parametrize over :func:`case_params` and run cells through
+:func:`run_case`, which resolves the case's workload graph (cached per
+session), applies its memory/time-limit factors and algorithm kwargs,
+and attaches the paper's metrics (block I/Os, iterations, status) as
 ``extra_info`` so they land in pytest-benchmark's report.
 
 Scales are controlled by environment variables so the same suite can be
 run larger on beefier machines:
 
+* ``REPRO_BENCH_TIER`` — which tier's case lists to sweep (``paper``,
+  the default, mirrors EXPERIMENTS.md; ``smoke`` is the deterministic
+  CI subset the artifact manifest pins).
 * ``REPRO_BENCH_SCALE`` — fraction of the paper's dataset sizes
   (default 2.5e-4, i.e. the paper's 30M-node sweeps become 7.5K).
 * ``REPRO_BENCH_TIME_LIMIT`` — per-run wall-clock limit in seconds
@@ -19,24 +28,32 @@ run larger on beefier machines:
 from __future__ import annotations
 
 import os
-from functools import lru_cache
 
 import pytest
 
+from repro.artifact.cases import cases_for
+from repro.artifact.plan import build_graph
+from repro.artifact.spec import CaseSpec
 from repro.bench.harness import run_one
-from repro.workloads.params import params_for_class
-from repro.workloads.realworld import (
-    cit_patents_like,
-    citeseerx_like,
-    go_uniprot_like,
-    webspam_like,
-)
+from repro.core import ALGORITHMS
+from repro.io.memory import MemoryModel
+
+#: Which tier's case lists the suite sweeps.
+TIER = os.environ.get("REPRO_BENCH_TIER", "paper")
 
 #: Reproduction scale relative to the paper's dataset sizes.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2.5e-4"))
 
 #: Wall-clock limit per algorithm run (paper: 5 hours -> INF).
 TIME_LIMIT = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "30"))
+
+
+def case_params(experiment: str):
+    """The experiment's tier cases as pytest params (ids = cell ids)."""
+    return [
+        pytest.param(case, id=f"{case.case}-{case.algorithm}")
+        for case in cases_for(experiment, TIER)
+    ]
 
 
 def run_algorithm(
@@ -47,6 +64,7 @@ def run_algorithm(
     memory=None,
     time_limit=None,
     params=None,
+    keep_result=False,
 ):
     """Benchmark one algorithm run; never fails on INF/DNF outcomes."""
     time_limit = TIME_LIMIT if time_limit is None else time_limit
@@ -60,6 +78,7 @@ def run_algorithm(
             memory=memory,
             time_limit=time_limit,
             params=params,
+            keep_result=keep_result,
         )
 
     benchmark.pedantic(once, rounds=1, iterations=1)
@@ -77,52 +96,36 @@ def run_algorithm(
     return record
 
 
-# ----------------------------------------------------------------------
-# Cached workload generators (one graph per configuration per session).
-# ----------------------------------------------------------------------
-@lru_cache(maxsize=None)
-def synthetic_workload(scc_class: str, paper_nodes: int, degree: float,
-                       scc_size: int | None = None, num_sccs: int | None = None,
-                       seed: int = 0):
-    """Build (and cache) one Table 2 synthetic graph."""
-    kwargs = {"paper_nodes": paper_nodes, "degree": degree,
-              "scale": SCALE, "seed": seed}
-    if scc_class == "massive" and scc_size is not None:
-        kwargs["paper_scc_size"] = scc_size
-    if scc_class == "large":
-        if scc_size is not None:
-            kwargs["paper_scc_size"] = scc_size
-        if num_sccs is not None:
-            kwargs["num_sccs"] = num_sccs
-    if scc_class == "small":
-        if scc_size is not None:
-            kwargs["scc_size"] = scc_size
-        if num_sccs is not None:
-            kwargs["paper_num_sccs"] = num_sccs
-    return params_for_class(scc_class, **kwargs).build()
+def run_case(benchmark, case: CaseSpec, keep_result=False):
+    """Run one declarative sweep cell exactly as the artifact runner does."""
+    graph = case_graph(case)
+    memory = None
+    if case.memory_factor is not None:
+        base = MemoryModel.default_capacity(graph.num_nodes)
+        memory = MemoryModel(
+            num_nodes=graph.num_nodes,
+            capacity=int(base * case.memory_factor),
+        )
+    algorithm = ALGORITHMS[case.algorithm](**dict(case.algo_kwargs))
+    return run_algorithm(
+        benchmark,
+        graph,
+        algorithm,
+        workload=case.case,
+        memory=memory,
+        time_limit=TIME_LIMIT * case.time_limit_factor,
+        params={
+            **dict(case.params),
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+        },
+        keep_result=keep_result,
+    )
 
 
-@lru_cache(maxsize=None)
-def webspam_workload(scale: float | None = None, degree: float = 12.0, seed: int = 0):
-    """Build (and cache) the WEBSPAM-UK2007 stand-in.
-
-    The real graph's average degree is 35; the default here is 12 to
-    keep pure-Python runs tractable (documented in EXPERIMENTS.md) —
-    the SCC profile, which drives algorithm behaviour, is unchanged.
-    """
-    return webspam_like(scale=scale if scale else 0.4 * SCALE,
-                        seed=seed, avg_degree=degree)
-
-
-@lru_cache(maxsize=None)
-def real_dataset(name: str):
-    """Build (and cache) a citation-style real-dataset stand-in."""
-    factories = {
-        "cit-patents": cit_patents_like,
-        "go-uniprot": go_uniprot_like,
-        "citeseerx": citeseerx_like,
-    }
-    return factories[name](scale=SCALE, seed=0)
+def case_graph(case: CaseSpec):
+    """Resolve a case's workload graph at the suite scale (cached)."""
+    return build_graph(case.workload, SCALE)
 
 
 @pytest.fixture(scope="session")

@@ -55,7 +55,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import sys
@@ -63,8 +62,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.artifact.manifest import partition_fingerprint
 from repro.bench.harness import run_one
-from repro.core.base import canonicalize_labels
 from repro.io.faults import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sampler import MetricsSampler, MetricsWriter
@@ -151,14 +150,6 @@ def _cases() -> List[Tuple[str, str, Callable[[], Digraph]]]:
     return cases
 
 
-def _partition_fingerprint(labels: np.ndarray) -> str:
-    """SHA-256 over the canonicalised (order-independent) SCC labels."""
-    canonical, _ = canonicalize_labels(labels)
-    return hashlib.sha256(
-        np.ascontiguousarray(canonical, dtype="<i8").tobytes()
-    ).hexdigest()
-
-
 def _run_case(
     case_id: str,
     algorithm: str,
@@ -200,7 +191,7 @@ def _run_case(
         entry["io"] = {fld: getattr(io, fld) for fld in IO_FIELDS}
         entry["iterations"] = record.iterations
         entry["num_sccs"] = record.num_sccs
-        entry["partition_sha256"] = _partition_fingerprint(record.result.labels)
+        entry["partition_sha256"] = partition_fingerprint(record.result.labels)
         if fault_plan is not None:
             entry["io_retries"] = io.io_retries
             entry["faults_injected"] = io.faults_injected

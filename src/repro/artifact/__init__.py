@@ -1,0 +1,83 @@
+"""One-command reproduction artifact pipeline.
+
+The paper's deliverable is its evaluation — Tables 1 and 3, Figures
+12–17 — and this package turns regenerating it into a single, gated
+command::
+
+    repro-scc reproduce --scale smoke        # CI tier, minutes
+    repro-scc reproduce --scale paper        # EXPERIMENTS.md tier
+
+A *plan* (:mod:`repro.artifact.plan`) enumerates every (benchmark,
+case) cell of the chosen tier from the declarative case lists in
+:mod:`repro.artifact.cases` — the same lists the pytest benchmarks
+under ``benchmarks/`` parametrize over, so the sweep and the benches
+can never drift apart.  The *runner* (:mod:`repro.artifact.runner`)
+executes the plan as a resumable, checkpointed sweep: each cell's
+result is durable the moment it completes, a crash or ``SIGINT``
+mid-sweep resumes at the next cell (and mid-algorithm via the PR 5
+scan-boundary checkpoints), and progress/ETA heartbeats go to stderr.
+
+On completion the runner emits, under ``<out>/artifact/``:
+
+* ``summary.json`` — schema-versioned, machine-readable results for
+  every cell (:mod:`repro.artifact.summary`);
+* ``report.md`` — the EXPERIMENTS.md-style tables rendered from the
+  summary (:mod:`repro.artifact.render`);
+* ``MANIFEST.json`` — a SHA-256 per cell over the
+  I/O-model-deterministic outputs only (counted I/O, iterations,
+  partition fingerprints — never wall-clock), so two runs of the same
+  tier on any machine produce byte-identical manifests
+  (:mod:`repro.artifact.manifest`).
+
+``repro-scc reproduce --verify PATH`` recomputes the manifest and
+diffs it against a committed golden — the CI gate that proves the repo
+still reproduces the paper end to end.
+"""
+
+from repro.artifact.cases import all_cases, cases_for
+from repro.artifact.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    cell_fingerprint,
+    diff_manifests,
+    load_manifest,
+    manifest_json,
+)
+from repro.artifact.plan import TIERS, Plan, build_graph, build_plan
+from repro.artifact.render import (
+    load_benchmark_exports,
+    render_benchmark_exports,
+    render_summary_markdown,
+)
+from repro.artifact.runner import ReproduceConfig, reproduce
+from repro.artifact.spec import CaseSpec, WorkloadSpec
+from repro.artifact.summary import (
+    SUMMARY_SCHEMA_VERSION,
+    load_summary,
+    validate_summary,
+)
+
+__all__ = [
+    "CaseSpec",
+    "WorkloadSpec",
+    "all_cases",
+    "cases_for",
+    "TIERS",
+    "Plan",
+    "build_plan",
+    "build_graph",
+    "ReproduceConfig",
+    "reproduce",
+    "SUMMARY_SCHEMA_VERSION",
+    "load_summary",
+    "validate_summary",
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "cell_fingerprint",
+    "manifest_json",
+    "load_manifest",
+    "diff_manifests",
+    "render_summary_markdown",
+    "load_benchmark_exports",
+    "render_benchmark_exports",
+]

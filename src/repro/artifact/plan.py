@@ -1,0 +1,187 @@
+"""Sweep plans: tier configuration and workload resolution.
+
+A :class:`Plan` is the ordered list of cells the runner will execute
+plus the tier parameters (scale, base time limit) they run under.  The
+plan is written to ``plan.json`` at sweep start and re-validated on
+``--resume``, so a resumed sweep provably continues the *same* sweep.
+
+Workload resolution turns a :class:`~repro.artifact.spec.WorkloadSpec`
+recipe into a concrete :class:`~repro.graph.digraph.Digraph` at the
+plan's scale.  Resolution is cached per (spec, scale) — the webspam
+graph backs a dozen cells and is built once per process — and every
+generator is seeded, so resolution is deterministic across processes
+and machines.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.artifact.cases import all_cases
+from repro.artifact.spec import (
+    TIER_PAPER,
+    TIER_SMOKE,
+    CaseSpec,
+    TierConfig,
+    WorkloadSpec,
+)
+from repro.graph.builders import induced_subgraph
+from repro.graph.digraph import Digraph
+from repro.workloads.params import params_for_class
+from repro.workloads.realworld import (
+    cit_patents_like,
+    citeseerx_like,
+    go_uniprot_like,
+    webspam_like,
+)
+
+#: The sweep tiers.  ``smoke`` runs every table/figure at 1e-4 of the
+#: paper's sizes with a generous per-cell budget — small enough for CI,
+#: big enough that every algorithm touches multiple blocks per scan —
+#: and its manifest is committed as a golden.  ``paper`` is the
+#: EXPERIMENTS.md configuration (2.5e-4 scale, 30 s budget, the
+#: designated-slow baselines included and allowed to go INF).
+TIERS: Dict[str, TierConfig] = {
+    TIER_SMOKE: TierConfig(
+        name=TIER_SMOKE, scale=1e-4, time_limit=120.0,
+        description="CI gate: deterministic subset, golden manifest",
+    ),
+    TIER_PAPER: TierConfig(
+        name=TIER_PAPER, scale=2.5e-4, time_limit=30.0,
+        description="EXPERIMENTS.md sweep: full case lists, INF reported",
+    ),
+}
+
+#: plan.json layout version.
+PLAN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An ordered, tier-bound list of cells to execute."""
+
+    tier: str
+    scale: float
+    time_limit: float
+    cells: tuple
+
+    def cell_ids(self) -> List[str]:
+        """The plan's cell ids, in execution order."""
+        return [case.cell_id for case in self.cells]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form, round-tripped by :meth:`from_dict`."""
+        return {
+            "schema": PLAN_SCHEMA_VERSION,
+            "kind": "repro-artifact-plan",
+            "tier": self.tier,
+            "scale": self.scale,
+            "time_limit": self.time_limit,
+            "cells": [case.to_dict() for case in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Plan":
+        if data.get("schema") != PLAN_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported plan schema {data.get('schema')!r} "
+                f"(expected {PLAN_SCHEMA_VERSION})"
+            )
+        return cls(
+            tier=str(data["tier"]),
+            scale=float(data["scale"]),  # type: ignore[arg-type]
+            time_limit=float(data["time_limit"]),  # type: ignore[arg-type]
+            cells=tuple(
+                CaseSpec.from_dict(cell)  # type: ignore[arg-type]
+                for cell in data["cells"]  # type: ignore[union-attr]
+            ),
+        )
+
+
+def build_plan(
+    tier: str,
+    only: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    time_limit: Optional[float] = None,
+) -> Plan:
+    """Enumerate the tier's cells (optionally filtered by glob patterns).
+
+    ``only`` patterns match cell ids (``fig12/*``, ``*/1PB-SCC``, or a
+    full ``table3/citeseerx/1P-SCC``); an unknown pattern that matches
+    nothing raises, so a typo cannot silently produce an empty sweep.
+    """
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; choose from {sorted(TIERS)}")
+    config = TIERS[tier]
+    cells = all_cases(tier)
+    if only:
+        selected: List[CaseSpec] = []
+        for pattern in only:
+            matched = [
+                case for case in cells
+                if fnmatch.fnmatchcase(case.cell_id, pattern)
+            ]
+            if not matched:
+                raise ValueError(
+                    f"--cells pattern {pattern!r} matches no "
+                    f"{tier}-tier cell"
+                )
+            for case in matched:
+                if case not in selected:
+                    selected.append(case)
+        cells = selected
+    return Plan(
+        tier=tier,
+        scale=config.scale if scale is None else scale,
+        time_limit=config.time_limit if time_limit is None else time_limit,
+        cells=tuple(cells),
+    )
+
+
+@lru_cache(maxsize=None)
+def _resolve(spec: WorkloadSpec, scale: float) -> Digraph:
+    args = spec.arg_dict
+    if spec.kind == "webspam":
+        return webspam_like(
+            scale=float(args.get("scale_factor", 1.0)) * scale,  # type: ignore[arg-type]
+            seed=int(args.get("seed", 0)),  # type: ignore[arg-type]
+            avg_degree=args.get("avg_degree"),  # type: ignore[arg-type]
+        ).graph
+    if spec.kind == "webspam-subgraph":
+        fraction = float(args.pop("fraction"))  # type: ignore[arg-type]
+        base = _resolve(WorkloadSpec.make("webspam", **args), scale)
+        if fraction >= 1.0:
+            return base
+        # Same seeding as bench_fig12's subgraph_at / the suite runner.
+        rng = np.random.default_rng(int(fraction * 100))
+        nodes = rng.choice(
+            base.num_nodes,
+            size=int(round(base.num_nodes * fraction)),
+            replace=False,
+        )
+        sub, _ = induced_subgraph(base, nodes)
+        return sub
+    if spec.kind == "synthetic":
+        scc_class = str(args.pop("scc_class"))
+        return params_for_class(scc_class, scale=scale, **args).build().graph
+    if spec.kind == "real":
+        factories = {
+            "cit-patents": cit_patents_like,
+            "go-uniprot": go_uniprot_like,
+            "citeseerx": citeseerx_like,
+        }
+        name = str(args["name"])
+        if name not in factories:
+            raise ValueError(f"unknown real dataset {name!r}")
+        return factories[name](scale=scale, seed=int(args.get("seed", 0)))  # type: ignore[arg-type]
+    raise ValueError(f"unknown workload kind {spec.kind!r}")
+
+
+def build_graph(spec: WorkloadSpec, scale: float) -> Digraph:
+    """Resolve a workload recipe at ``scale`` (cached per process)."""
+    return _resolve(spec, scale)

@@ -1,0 +1,172 @@
+"""Render sweep results as the EXPERIMENTS.md-style tables.
+
+Two inputs are supported:
+
+* an artifact summary (:func:`render_summary_markdown`) — the primary
+  path, fed by ``repro-scc reproduce``;
+* raw pytest-benchmark JSON exports
+  (:func:`load_benchmark_exports` / :func:`render_benchmark_exports`)
+  — the legacy ``tools/render_experiments.py`` path, absorbed here so
+  the tool is a thin shim.  Loading reports *problems* (unreadable
+  files, exports without a ``benchmarks`` list) instead of silently
+  skipping them; strict callers (CI) fail on any problem.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.artifact.summary import SummaryData
+
+
+def _fmt_seconds(cell: Dict[str, object]) -> str:
+    if cell.get("status") != "ok":
+        return str(cell.get("status"))
+    seconds = cell.get("seconds")
+    return f"{float(seconds):.3f}" if seconds is not None else "-"  # type: ignore[arg-type]
+
+
+def _fmt_ios(cell: Dict[str, object]) -> str:
+    if cell.get("status") != "ok":
+        return str(cell.get("status"))
+    io = cell.get("io") or {}
+    total = sum(int(io.get(fld, 0)) for fld in  # type: ignore[union-attr]
+                ("seq_reads", "seq_writes", "rand_reads", "rand_writes"))
+    return f"{total:,}"
+
+
+def render_summary_markdown(summary: SummaryData) -> str:
+    """One markdown table per experiment, cells in sweep order."""
+    by_experiment: Dict[str, List[Tuple[str, Dict[str, object]]]] = (
+        defaultdict(list)
+    )
+    for cell_id, cell in summary.cells.items():
+        by_experiment[str(cell.get("experiment", "?"))].append((cell_id, cell))
+
+    lines = [
+        "# Reproduction artifact report",
+        "",
+        f"Tier **{summary.tier}** at scale `{summary.scale:g}` — "
+        f"{len(summary.cells)} cells.  Block I/Os and iteration counts "
+        f"are exact in-model quantities (machine-independent); seconds "
+        f"are wall-clock on the generating machine and are excluded "
+        f"from the manifest.",
+    ]
+    for experiment in sorted(by_experiment):
+        rows = sorted(by_experiment[experiment])
+        lines += [
+            "",
+            f"## {experiment}",
+            "",
+            "| case | algorithm | status | seconds | block I/Os |"
+            " iterations | SCCs |",
+            "|---|---|---|---:|---:|---:|---:|",
+        ]
+        for _, cell in rows:
+            iterations = cell.get("iterations")
+            num_sccs = cell.get("num_sccs")
+            lines.append(
+                f"| {cell.get('case')} | {cell.get('algorithm')} "
+                f"| {cell.get('status')} | {_fmt_seconds(cell)} "
+                f"| {_fmt_ios(cell)} "
+                f"| {iterations if iterations is not None else '-'} "
+                f"| {num_sccs if num_sccs is not None else '-'} |"
+            )
+    ok = sum(1 for c in summary.cells.values() if c.get("status") == "ok")
+    lines += [
+        "",
+        f"Completed {ok}/{len(summary.cells)} cells; non-ok cells are "
+        f"reported as the paper reports them (`INF` = over budget, "
+        f"`DNF` = non-termination).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def load_benchmark_exports(
+    results_dir: str,
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Parse every pytest-benchmark JSON export under ``results_dir``.
+
+    Returns ``(records, problems)``.  A file that cannot be parsed, or
+    parses but has no ``benchmarks`` list (a schema-less export), is a
+    *problem* — callers decide whether problems are fatal (``--strict``)
+    or merely reported.
+    """
+    records: List[Dict[str, object]] = []
+    problems: List[str] = []
+    paths = sorted(glob.glob(os.path.join(results_dir, "*.json")))
+    if not paths:
+        problems.append(f"no benchmark JSON files found in {results_dir}/")
+        return records, problems
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"unreadable {path}: {exc}")
+            continue
+        benches = data.get("benchmarks") if isinstance(data, dict) else None
+        if not isinstance(benches, list):
+            problems.append(
+                f"{path}: no 'benchmarks' list (not a pytest-benchmark "
+                f"export, or schema drift)"
+            )
+            continue
+        for bench in benches:
+            extra = bench.get("extra_info", {})
+            group = bench["name"].split("[")[0]
+            case = bench["name"][len(group):].strip("[]")
+            records.append(
+                {
+                    "file": os.path.basename(
+                        bench.get("fullname", "")
+                    ).split("::")[0] or group,
+                    "group": group,
+                    "case": case or "-",
+                    "seconds": bench["stats"]["mean"],
+                    "status": extra.get("status", "ok"),
+                    "ios": extra.get("ios"),
+                    "iterations": extra.get("iterations"),
+                    "extra": extra,
+                }
+            )
+    return records, problems
+
+
+def render_benchmark_exports(records: List[Dict[str, object]]) -> str:
+    """The legacy fixed-width per-group table of ``render_experiments``."""
+    by_group: Dict[str, List[Dict[str, object]]] = defaultdict(list)
+    for record in records:
+        by_group[str(record["group"])].append(record)
+    lines: List[str] = []
+    for group in sorted(by_group):
+        lines.append(f"\n## {group}")
+        lines.append(
+            f"{'case':<28} {'status':<6} {'seconds':>9} {'block I/Os':>11} "
+            f"{'iters':>6}"
+        )
+        lines.append("-" * 64)
+        for record in sorted(by_group[group], key=lambda r: str(r["case"])):
+            seconds = (
+                f"{record['seconds']:.3f}" if record["status"] == "ok" else "-"  # type: ignore[str-format]
+            )
+            ios = (
+                f"{record['ios']:,}"  # type: ignore[str-format]
+                if record["status"] == "ok" and record["ios"] is not None
+                else str(record["status"])
+            )
+            iters = (
+                str(record["iterations"])
+                if record["iterations"] is not None
+                else "-"
+            )
+            lines.append(
+                f"{str(record['case']):<28} {str(record['status']):<6} "
+                f"{seconds:>9} {ios:>11} {iters:>6}"
+            )
+    return "\n".join(lines)

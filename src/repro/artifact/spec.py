@@ -1,0 +1,155 @@
+"""Declarative cell specs: what one reproduction run consists of.
+
+A :class:`CaseSpec` is pure data — experiment, case name, algorithm,
+a :class:`WorkloadSpec` graph recipe, and the knobs the benches apply
+(time-limit factor, memory factor, algorithm constructor kwargs).
+Everything is hashable and JSON-round-trippable, so the same spec can
+parametrize a pytest benchmark, drive the artifact runner, and be
+recorded verbatim in ``plan.json`` for resume validation.
+
+Graphs are *recipes*, not objects: a spec never holds a
+:class:`~repro.graph.digraph.Digraph`, only the seeded generator
+arguments, so two processes that resolve the same spec at the same
+scale build byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: The two sweep tiers: ``smoke`` is the CI gate (small scale, every
+#: cell deterministically finishes), ``paper`` is the EXPERIMENTS.md
+#: sweep (default reproduction scale; INF cells are reported, as the
+#: paper reports them).
+TIER_SMOKE = "smoke"
+TIER_PAPER = "paper"
+
+KV = Tuple[Tuple[str, object], ...]
+
+
+def _freeze(mapping: Optional[Dict[str, object]]) -> KV:
+    """Dict -> sorted, hashable key/value tuple."""
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded graph recipe, resolvable at any reproduction scale.
+
+    ``kind`` is one of:
+
+    * ``"webspam"`` — the WEBSPAM-UK2007 stand-in (args: ``seed``,
+      ``avg_degree``, ``scale_factor`` multiplying the tier scale);
+    * ``"webspam-subgraph"`` — a Fig. 12 induced subgraph of the
+      webspam graph (extra arg: ``fraction``);
+    * ``"synthetic"`` — a planted Massive/Large/Small-SCC graph
+      (args: the final ``params_for_class`` kwargs);
+    * ``"real"`` — a citation-style stand-in (arg: ``name``).
+    """
+
+    kind: str
+    args: KV = ()
+
+    @classmethod
+    def make(cls, kind: str, **args: object) -> "WorkloadSpec":
+        return cls(kind=kind, args=_freeze(args))
+
+    @property
+    def arg_dict(self) -> Dict[str, object]:
+        return dict(self.args)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form, round-tripped by :meth:`from_dict`."""
+        return {"kind": self.kind, "args": self.arg_dict}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadSpec":
+        return cls.make(str(data["kind"]), **dict(data.get("args", {})))  # type: ignore[call-overload]
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One (experiment, case, algorithm) cell of the evaluation."""
+
+    #: Experiment key: ``table1``, ``table3``, ``fig12`` … ``fig17``,
+    #: ``ablation`` — one per benchmark module.
+    experiment: str
+    #: Case name within the experiment (``webspam-20pct``, ``massive-30M`` …).
+    case: str
+    #: Algorithm registry name (``1PB-SCC`` …); constructor kwargs for
+    #: non-default variants (ablations) ride in ``algo_kwargs``.
+    algorithm: str
+    workload: WorkloadSpec
+    algo_kwargs: KV = ()
+    #: Multiple of the paper's default memory ``M`` (Fig. 13), or None.
+    memory_factor: Optional[float] = None
+    #: Multiple of the tier's base per-run time limit.
+    time_limit_factor: float = 1.0
+    #: Which sweep tiers include this cell.
+    tiers: Tuple[str, ...] = (TIER_SMOKE, TIER_PAPER)
+    #: Presentation metadata (x-axis param etc.), echoed into results.
+    params: KV = ()
+
+    @property
+    def cell_id(self) -> str:
+        """Stable id: ``experiment/case/algorithm``."""
+        return f"{self.experiment}/{self.case}/{self.algorithm}"
+
+    @property
+    def fs_id(self) -> str:
+        """Filesystem-safe form of :attr:`cell_id`."""
+        return self.cell_id.replace("/", "__")
+
+    def in_tier(self, tier: str) -> bool:
+        """Whether this cell belongs to ``tier``'s sweep."""
+        return tier in self.tiers
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form, round-tripped by :meth:`from_dict`."""
+        return {
+            "experiment": self.experiment,
+            "case": self.case,
+            "algorithm": self.algorithm,
+            "workload": self.workload.to_dict(),
+            "algo_kwargs": dict(self.algo_kwargs),
+            "memory_factor": self.memory_factor,
+            "time_limit_factor": self.time_limit_factor,
+            "tiers": list(self.tiers),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CaseSpec":
+        return cls(
+            experiment=str(data["experiment"]),
+            case=str(data["case"]),
+            algorithm=str(data["algorithm"]),
+            workload=WorkloadSpec.from_dict(data["workload"]),  # type: ignore[arg-type]
+            algo_kwargs=_freeze(dict(data.get("algo_kwargs", {}))),  # type: ignore[arg-type]
+            memory_factor=data.get("memory_factor"),  # type: ignore[arg-type]
+            time_limit_factor=float(data.get("time_limit_factor", 1.0)),  # type: ignore[arg-type]
+            tiers=tuple(data.get("tiers", (TIER_SMOKE, TIER_PAPER))),  # type: ignore[arg-type]
+            params=_freeze(dict(data.get("params", {}))),  # type: ignore[arg-type]
+        )
+
+
+# Re-exported convenience for case-list constructors.
+freeze = _freeze
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Scale and budget of one sweep tier."""
+
+    name: str
+    #: Fraction of the paper's dataset sizes.
+    scale: float
+    #: Base per-cell wall-clock limit (seconds); cells multiply it by
+    #: their ``time_limit_factor``.  Smoke graphs are tiny, so the
+    #: generous smoke budget still finishes deterministically.
+    time_limit: float
+    description: str = ""
+    extra: KV = field(default=())

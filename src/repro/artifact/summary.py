@@ -1,0 +1,181 @@
+"""The machine-readable sweep summary: schema, loader, validator.
+
+``artifact/summary.json`` is the canonical record of one reproduction
+sweep — every cell's status, counted I/O, iteration count, SCC totals
+and partition fingerprint, plus the wall-clock seconds that are
+deliberately *excluded* from the manifest.  Like traces and metrics
+snapshots it is schema-versioned and validated, so downstream tooling
+(the renderer, the manifest builder, CI) fails loudly on drift instead
+of producing empty tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Bump on incompatible summary layout changes.
+SUMMARY_SCHEMA_VERSION = 1
+
+#: The six counted transfer fields recorded (and pinned) per cell.
+IO_FIELDS = (
+    "seq_reads", "seq_writes", "rand_reads", "rand_writes",
+    "bytes_read", "bytes_written",
+)
+
+#: Cell outcome vocabulary (mirrors the bench harness).
+STATUSES = ("ok", "INF", "DNF")
+
+#: Keys every cell record must carry.
+REQUIRED_CELL_KEYS = ("experiment", "case", "algorithm", "status")
+
+#: Keys additionally required when the cell completed.
+REQUIRED_OK_KEYS = (
+    "io", "iterations", "num_sccs", "partition_sha256", "nodes", "edges",
+)
+
+
+@dataclass
+class SummaryData:
+    """Parsed ``summary.json``."""
+
+    schema_version: int
+    tier: str
+    scale: float
+    config: Dict[str, object] = field(default_factory=dict)
+    cells: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form, written verbatim as ``summary.json``."""
+        return {
+            "schema": self.schema_version,
+            "kind": "repro-artifact-summary",
+            "tier": self.tier,
+            "scale": self.scale,
+            "config": self.config,
+            "cells": self.cells,
+        }
+
+
+def summary_json(summary: SummaryData) -> str:
+    """Canonical serialization (sorted keys, stable indentation)."""
+    return json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def load_summary(path: str) -> SummaryData:
+    """Load ``summary.json``; raises ``ValueError`` on malformed JSON."""
+    with open(path, "r", encoding="utf-8") as handle:  # repro: allow[IO001]
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: summary must be a JSON object")
+    return SummaryData(
+        schema_version=int(data.get("schema", -1)),
+        tier=str(data.get("tier", "")),
+        scale=float(data.get("scale", 0.0)),
+        config=dict(data.get("config", {})),
+        cells=dict(data.get("cells", {})),
+    )
+
+
+def validate_summary(summary: SummaryData) -> List[str]:
+    """All schema problems of a summary (empty list == valid)."""
+    problems: List[str] = []
+    if summary.schema_version != SUMMARY_SCHEMA_VERSION:
+        problems.append(
+            f"schema version {summary.schema_version} != "
+            f"{SUMMARY_SCHEMA_VERSION}"
+        )
+        return problems
+    if not summary.tier:
+        problems.append("missing tier")
+    if summary.scale <= 0:
+        problems.append(f"non-positive scale {summary.scale}")
+    if not summary.cells:
+        problems.append("summary has no cells")
+    for cell_id, cell in sorted(summary.cells.items()):
+        if not isinstance(cell, dict):
+            problems.append(f"{cell_id}: cell record is not an object")
+            continue
+        for key in REQUIRED_CELL_KEYS:
+            if key not in cell:
+                problems.append(f"{cell_id}: missing {key!r}")
+        status = cell.get("status")
+        if status not in STATUSES:
+            problems.append(f"{cell_id}: unknown status {status!r}")
+        expected = "/".join(
+            str(cell.get(key, "")) for key in ("experiment", "case", "algorithm")
+        )
+        if all(key in cell for key in ("experiment", "case", "algorithm")):
+            if cell_id != expected:
+                problems.append(
+                    f"{cell_id}: id does not match fields ({expected})"
+                )
+        if status != "ok":
+            continue
+        for key in REQUIRED_OK_KEYS:
+            if key not in cell:
+                problems.append(f"{cell_id}: ok cell missing {key!r}")
+        io = cell.get("io")
+        if not isinstance(io, dict):
+            problems.append(f"{cell_id}: io is not an object")
+        else:
+            for fld in IO_FIELDS:
+                value = io.get(fld)
+                if not isinstance(value, int) or value < 0:
+                    problems.append(
+                        f"{cell_id}: io.{fld} must be a non-negative "
+                        f"integer, got {value!r}"
+                    )
+        for key in ("iterations", "num_sccs", "nodes", "edges"):
+            value = cell.get(key)
+            if key in cell and (not isinstance(value, int) or value < 0):
+                problems.append(
+                    f"{cell_id}: {key} must be a non-negative integer, "
+                    f"got {value!r}"
+                )
+        sha = cell.get("partition_sha256")
+        if sha is not None and not (
+            isinstance(sha, str) and len(sha) == 64
+            and all(c in "0123456789abcdef" for c in sha)
+        ):
+            problems.append(
+                f"{cell_id}: partition_sha256 is not a sha256 hex digest"
+            )
+    return problems
+
+
+def deterministic_cell(cell: Dict[str, object]) -> Dict[str, object]:
+    """Project a cell record onto its I/O-model-deterministic fields.
+
+    This is the manifest's hashing domain: counted transfers,
+    iteration counts, SCC totals and the partition fingerprint — never
+    wall-clock seconds, trace paths, or resume markers.
+    """
+    keep = {}
+    for key in REQUIRED_CELL_KEYS + REQUIRED_OK_KEYS:
+        if key in cell:
+            keep[key] = cell[key]
+    return keep
+
+
+def build_summary(
+    tier: str,
+    scale: float,
+    config: Dict[str, object],
+    cells: Dict[str, Dict[str, object]],
+    schema_version: Optional[int] = None,
+) -> SummaryData:
+    """Assemble a summary with cells in sorted order."""
+    return SummaryData(
+        schema_version=(
+            SUMMARY_SCHEMA_VERSION if schema_version is None else schema_version
+        ),
+        tier=tier,
+        scale=scale,
+        config=dict(sorted(config.items())),
+        cells={cell_id: cells[cell_id] for cell_id in sorted(cells)},
+    )

@@ -79,6 +79,8 @@ def run_one(
     kernels: str = "vector",
     fault_plan: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> BenchRecord:
     """Run one algorithm on one in-memory workload graph.
 
@@ -98,7 +100,13 @@ def run_one(
     ``ios`` is comparable to a clean run's.  ``metrics`` attaches a live
     :class:`~repro.obs.metrics.MetricsRegistry` to the run (the
     regression gate uses this to prove the sampler is
-    accounting-transparent).
+    accounting-transparent).  ``checkpoint_dir``/``resume`` forward to
+    :meth:`SCCAlgorithm.run`: with both set, a run that died
+    mid-algorithm continues from its last scan-boundary checkpoint —
+    this requires a *persistent* ``workdir``, since checkpoints
+    reference the materialised edge file and reduction scratch living
+    there (the reproduce runner keeps one workdir per sweep cell for
+    exactly this reason).
     """
     algo = _resolve(algorithm)
     run_params = dict(params or {})
@@ -143,6 +151,8 @@ def run_one(
                 kernels=kernels,
                 fault_plan=fault_plan,
                 metrics=metrics,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
             )
             record.seconds = result.stats.wall_seconds
             record.ios = result.stats.io.total

@@ -222,6 +222,59 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--outdir", default=None,
                        help="write per-experiment CSVs and report.txt here")
 
+    repro = sub.add_parser(
+        "reproduce",
+        help="run the full reproduction sweep and emit a verified artifact",
+        description="Execute every table/figure benchmark as a resumable, "
+                    "checkpointed sweep; emit artifact/summary.json, "
+                    "report.md and a SHA-256 MANIFEST.json over the "
+                    "I/O-model-deterministic outputs.",
+    )
+    repro.add_argument("--scale", choices=["smoke", "paper"], default="smoke",
+                       help="sweep tier: 'smoke' (CI subset, every cell "
+                            "deterministically completes) or 'paper' (the "
+                            "EXPERIMENTS.md sweeps, INF reported)")
+    repro.add_argument("--out", default=None, metavar="DIR",
+                       help="sweep state + artifact directory (default: "
+                            "bench_results/artifact-<tier>)")
+    repro.add_argument("--resume", action="store_true",
+                       help="continue an interrupted sweep: completed cells "
+                            "are skipped, the in-flight cell resumes from "
+                            "its scan-boundary checkpoint")
+    repro.add_argument("--fresh", action="store_true",
+                       help="discard any previous state in --out first")
+    repro.add_argument("--cells", nargs="+", default=None, metavar="GLOB",
+                       help="restrict the sweep to cells matching these "
+                            "globs (e.g. 'fig12/*' '*/1PB-SCC')")
+    repro.add_argument("--verify", default=None, metavar="MANIFEST",
+                       help="after the sweep, diff the computed manifest "
+                            "against this golden; exit 1 on drift")
+    repro.add_argument("--verify-only", action="store_true",
+                       help="recompute artifacts from completed cells "
+                            "without running anything (requires a "
+                            "finished sweep in --out)")
+    repro.add_argument("--heartbeat", type=float, default=0.0, metavar="SECS",
+                       help="background progress/ETA line to stderr every "
+                            "SECS seconds, in addition to per-cell lines "
+                            "(0 disables)")
+    repro.add_argument("--scale-factor", type=float, default=None,
+                       metavar="F",
+                       help="override the tier's graph scale (the manifest "
+                            "then no longer matches the tier's golden)")
+    repro.add_argument("--time-limit", type=float, default=None,
+                       metavar="SECS",
+                       help="override the tier's base per-cell budget")
+    repro.add_argument("--block-size", type=int, default=64 * 1024)
+    repro.add_argument("--fault-cell", action="append", default=None,
+                       metavar="CELL=SPEC",
+                       help="plant a deterministic fault plan in one cell, "
+                            "e.g. 'fig12/webspam-100pct/1P-SCC=seed=1;"
+                            "crash@scan:1' (repeatable; a simulated crash "
+                            "exits 4 and the sweep is then resumable)")
+    repro.add_argument("--keep-work", action="store_true",
+                       help="keep per-cell work/checkpoint dirs after "
+                            "success (debugging)")
+
     report = sub.add_parser(
         "report", help="render a run trace written by 'compute --trace'"
     )
@@ -689,6 +742,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.artifact.runner import ReproduceConfig, reproduce
+
+    fault_cells = {}
+    for entry in args.fault_cell or []:
+        cell_id, sep, spec = entry.partition("=")
+        if not sep or not cell_id or not spec:
+            print(f"error: --fault-cell needs CELL=SPEC, got {entry!r}",
+                  file=sys.stderr)
+            return 2
+        fault_cells[cell_id] = spec
+    return reproduce(ReproduceConfig(
+        tier=args.scale,
+        out_dir=args.out,
+        resume=args.resume,
+        fresh=args.fresh,
+        only=tuple(args.cells or ()),
+        verify=args.verify,
+        verify_only=args.verify_only,
+        fault_cells=fault_cells,
+        heartbeat=args.heartbeat,
+        scale=args.scale_factor,
+        time_limit=args.time_limit,
+        block_size=args.block_size,
+        keep_work=args.keep_work,
+    ))
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "import": _cmd_import,
@@ -698,6 +779,7 @@ _COMMANDS = {
     "condense": _cmd_condense,
     "toposort": _cmd_toposort,
     "bench": _cmd_bench,
+    "reproduce": _cmd_reproduce,
     "report": _cmd_report,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

@@ -1,0 +1,184 @@
+"""End-to-end contracts of the ``repro-scc reproduce`` pipeline.
+
+The headline guarantees, each exercised through the real CLI entry
+point on a cheap ``--cells`` subset of the smoke tier:
+
+* **Manifest determinism** — two independent sweeps of the same plan
+  produce byte-identical ``MANIFEST.json`` (and ``summary.json`` up to
+  the wall-clock fields the manifest excludes).
+* **Resume equivalence** — a sweep killed mid-run by a planted
+  ``crash@scan`` fault (exit code 4), then continued with ``--resume``,
+  yields the same byte-identical manifest: completed cells are not
+  re-run, and the crashed cell resumes mid-algorithm from its
+  scan-boundary checkpoint with identical counted I/O.
+* **Verification** — ``--verify`` against a matching manifest exits 0;
+  against a drifted golden exits 1 and names the drifted cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.artifact.manifest import load_manifest
+from repro.artifact.summary import load_summary, validate_summary
+from repro.cli import main
+
+#: A cheap, deterministic slice of the smoke tier: four cells across
+#: two experiments, every algorithm finishing in well under a second.
+CELLS = ["table3/cit-patents/1PB-SCC", "table3/cit-patents/1P-SCC",
+         "fig15/small-d3/*"]
+
+
+def _reproduce(out_dir, *extra):
+    return main(["reproduce", "--scale", "smoke", "--out", str(out_dir),
+                 "--cells", *CELLS, *extra])
+
+
+def _read(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def baseline_sweep(tmp_path_factory):
+    out = tmp_path_factory.mktemp("artifact-baseline")
+    assert _reproduce(out) == 0
+    return out
+
+
+def test_sweep_emits_schema_valid_summary(baseline_sweep):
+    summary = load_summary(
+        os.path.join(baseline_sweep, "artifact", "summary.json")
+    )
+    assert validate_summary(summary) == []
+    assert summary.tier == "smoke"
+    assert len(summary.cells) == 4
+    for cell in summary.cells.values():
+        assert cell["status"] == "ok"
+        assert isinstance(cell["io"]["seq_reads"], int)
+        assert len(cell["partition_sha256"]) == 64
+
+
+def test_sweep_emits_report_and_manifest(baseline_sweep):
+    report = _read(os.path.join(baseline_sweep, "artifact", "report.md"))
+    assert "## table3" in report and "## fig15" in report
+    manifest = load_manifest(
+        os.path.join(baseline_sweep, "artifact", "MANIFEST.json")
+    )
+    assert set(manifest["cells"]) == {
+        "table3/cit-patents/1PB-SCC", "table3/cit-patents/1P-SCC",
+        "fig15/small-d3/1PB-SCC", "fig15/small-d3/1P-SCC",
+    }
+
+
+def test_two_sweeps_produce_byte_identical_manifests(
+    baseline_sweep, tmp_path
+):
+    again = tmp_path / "again"
+    assert _reproduce(again) == 0
+    assert _read(again / "artifact" / "MANIFEST.json") == _read(
+        os.path.join(baseline_sweep, "artifact", "MANIFEST.json")
+    )
+
+
+def test_crash_then_resume_matches_clean_manifest(baseline_sweep, tmp_path):
+    out = tmp_path / "crashed"
+    # Plant a scan-boundary crash in the *last* cell so earlier cells
+    # are already durable when the process dies.
+    code = _reproduce(
+        out, "--fault-cell", "fig15/small-d3/1P-SCC=seed=1;crash@scan:1"
+    )
+    assert code == 4  # SimulatedCrash
+    assert not os.path.exists(out / "artifact" / "MANIFEST.json")
+    # The completed cells are durable; the crashed cell left a
+    # checkpoint to resume from.
+    assert len(list((out / "cells").glob("*.json"))) == 3
+    assert (out / "checkpoints" / "fig15__small-d3__1P-SCC"
+            / "checkpoint.npz").exists()
+
+    assert _reproduce(out, "--resume") == 0
+    assert _read(out / "artifact" / "MANIFEST.json") == _read(
+        os.path.join(baseline_sweep, "artifact", "MANIFEST.json")
+    )
+
+
+def test_sigint_mid_sweep_exits_130_and_resumes(baseline_sweep, tmp_path,
+                                                monkeypatch):
+    out = tmp_path / "interrupted"
+    import repro.artifact.runner as runner_mod
+
+    real = runner_mod._run_cell
+    state = {"n": 0}
+
+    def interrupt_second_cell(case, plan, config, paths):
+        state["n"] += 1
+        if state["n"] == 2:
+            raise KeyboardInterrupt
+        return real(case, plan, config, paths)
+
+    monkeypatch.setattr(runner_mod, "_run_cell", interrupt_second_cell)
+    assert _reproduce(out) == 130
+    monkeypatch.setattr(runner_mod, "_run_cell", real)
+    assert _reproduce(out, "--resume") == 0
+    assert _read(out / "artifact" / "MANIFEST.json") == _read(
+        os.path.join(baseline_sweep, "artifact", "MANIFEST.json")
+    )
+
+
+def test_verify_against_matching_manifest_passes(baseline_sweep, tmp_path):
+    out = tmp_path / "verified"
+    golden = os.path.join(baseline_sweep, "artifact", "MANIFEST.json")
+    assert _reproduce(out, "--verify", golden) == 0
+
+
+def test_verify_against_drifted_manifest_fails(baseline_sweep, tmp_path,
+                                               capsys):
+    golden_path = tmp_path / "drifted.json"
+    golden = load_manifest(
+        os.path.join(baseline_sweep, "artifact", "MANIFEST.json")
+    )
+    golden["cells"]["table3/cit-patents/1PB-SCC"] = "0" * 64
+    golden_path.write_text(json.dumps(golden))
+
+    out = tmp_path / "sweep"
+    assert _reproduce(out, "--verify", str(golden_path)) == 1
+    err = capsys.readouterr().err
+    assert "table3/cit-patents/1PB-SCC" in err
+    assert "fingerprint drift" in err
+
+
+def test_rerun_without_resume_is_refused(baseline_sweep, capsys):
+    assert _reproduce(baseline_sweep) == 2
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_changed_plan_is_refused(baseline_sweep, capsys):
+    code = main(["reproduce", "--scale", "smoke", "--out",
+                 str(baseline_sweep), "--cells", "table1/*"])
+    assert code == 2
+    assert "different sweep" in capsys.readouterr().err
+
+
+def test_verify_only_recomputes_without_running(baseline_sweep):
+    manifest_path = os.path.join(baseline_sweep, "artifact", "MANIFEST.json")
+    before = _read(manifest_path)
+    assert _reproduce(baseline_sweep, "--verify-only",
+                      "--verify", manifest_path) == 0
+    assert _read(manifest_path) == before
+
+
+def test_unknown_cell_pattern_is_a_config_error(tmp_path, capsys):
+    code = main(["reproduce", "--scale", "smoke", "--out",
+                 str(tmp_path / "x"), "--cells", "fig99/*"])
+    assert code == 2
+    assert "matches no" in capsys.readouterr().err
+
+
+def test_malformed_fault_cell_is_a_config_error(tmp_path, capsys):
+    code = main(["reproduce", "--scale", "smoke", "--out",
+                 str(tmp_path / "x"), "--fault-cell", "no-equals-sign"])
+    assert code == 2
+    assert "CELL=SPEC" in capsys.readouterr().err

@@ -1,0 +1,135 @@
+"""The declarative sweep plan: case lists, tiers, workload resolution.
+
+The case lists in :mod:`repro.artifact.cases` are the single source of
+truth shared by the pytest benchmark suite and the ``repro-scc
+reproduce`` runner, so their structural invariants are contracts: ids
+unique and well-formed, the smoke tier a strict subset of paper, every
+workload recipe resolvable to a graph, plans round-trippable through
+``plan.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifact.cases import EXPERIMENT_CASES, all_cases, cases_for
+from repro.artifact.plan import TIERS, Plan, build_graph, build_plan
+from repro.artifact.spec import TIER_PAPER, TIER_SMOKE, CaseSpec, WorkloadSpec
+from repro.core import ALGORITHMS
+
+
+def test_all_cell_ids_unique_and_well_formed():
+    cases = all_cases()
+    ids = [case.cell_id for case in cases]
+    assert len(set(ids)) == len(ids)
+    for case in cases:
+        assert case.cell_id == f"{case.experiment}/{case.case}/{case.algorithm}"
+        assert case.experiment in EXPERIMENT_CASES
+        assert case.algorithm in ALGORITHMS
+        assert "/" not in case.fs_id
+
+
+def test_smoke_is_a_subset_of_paper():
+    smoke = {case.cell_id for case in all_cases(TIER_SMOKE)}
+    paper = {case.cell_id for case in all_cases(TIER_PAPER)}
+    assert smoke  # non-empty
+    assert smoke < paper  # strict subset: paper adds the full sweeps
+
+
+def test_every_experiment_contributes_smoke_cells():
+    # The CI gate must exercise every table/figure, not just the cheap ones.
+    for experiment in EXPERIMENT_CASES:
+        assert cases_for(experiment, TIER_SMOKE), (
+            f"{experiment} has no smoke-tier cells"
+        )
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        cases_for("fig99")
+
+
+def test_build_plan_tier_parameters():
+    plan = build_plan(TIER_SMOKE)
+    assert plan.scale == TIERS[TIER_SMOKE].scale
+    assert plan.time_limit == TIERS[TIER_SMOKE].time_limit
+    assert plan.cell_ids() == [c.cell_id for c in all_cases(TIER_SMOKE)]
+
+
+def test_build_plan_glob_filter():
+    plan = build_plan(TIER_SMOKE, only=["table1/*"])
+    assert plan.cell_ids()
+    assert all(cell_id.startswith("table1/") for cell_id in plan.cell_ids())
+
+
+def test_build_plan_rejects_unmatched_pattern():
+    with pytest.raises(ValueError, match="matches no"):
+        build_plan(TIER_SMOKE, only=["fig99/*"])
+
+
+def test_build_plan_rejects_unknown_tier():
+    with pytest.raises(ValueError, match="unknown tier"):
+        build_plan("warp")
+
+
+def test_plan_round_trips_through_dict():
+    plan = build_plan(TIER_SMOKE, only=["table1/*", "fig12/*"])
+    clone = Plan.from_dict(plan.to_dict())
+    assert clone == plan
+    assert clone.to_dict() == plan.to_dict()
+
+
+def test_plan_from_dict_rejects_schema_drift():
+    data = build_plan(TIER_SMOKE, only=["table1/*"]).to_dict()
+    data["schema"] = 99
+    with pytest.raises(ValueError, match="unsupported plan schema"):
+        Plan.from_dict(data)
+
+
+def test_case_spec_round_trips_through_dict():
+    for case in all_cases(TIER_SMOKE)[:10]:
+        assert CaseSpec.from_dict(case.to_dict()) == case
+
+
+@pytest.mark.parametrize("kind", ["webspam", "webspam-subgraph",
+                                  "synthetic", "real"])
+def test_every_workload_kind_resolves(kind):
+    spec = next(
+        case.workload for case in all_cases() if case.workload.kind == kind
+    )
+    graph = build_graph(spec, 1e-4)
+    assert graph.num_nodes > 0
+    # Cached resolution: the same recipe returns the same object.
+    assert build_graph(spec, 1e-4) is graph
+
+
+def test_unknown_workload_kind_raises():
+    with pytest.raises(ValueError, match="unknown workload kind"):
+        build_graph(WorkloadSpec.make("quantum"), 1e-4)
+
+
+def test_subgraph_resolution_matches_bench_fig12():
+    # The runner must induce exactly the subgraph bench_fig12 measures.
+    import numpy as np
+
+    from repro.graph.builders import induced_subgraph
+    from repro.workloads.realworld import webspam_like
+
+    scale = 1e-4
+    fraction = 0.4
+    base = webspam_like(scale=0.4 * scale, seed=0, avg_degree=12.0).graph
+    rng = np.random.default_rng(int(fraction * 100))
+    nodes = rng.choice(
+        base.num_nodes,
+        size=int(round(base.num_nodes * fraction)),
+        replace=False,
+    )
+    expected, _ = induced_subgraph(base, nodes)
+
+    spec = WorkloadSpec.make(
+        "webspam-subgraph",
+        scale_factor=0.4, seed=0, avg_degree=12.0, fraction=fraction,
+    )
+    resolved = build_graph(spec, scale)
+    assert resolved.num_nodes == expected.num_nodes
+    assert resolved.num_edges == expected.num_edges

@@ -1,0 +1,244 @@
+"""Rendering and validation: summaries, manifests, benchmark exports.
+
+Covers the schema round-trip of ``summary.json``, the validator's
+failure vocabulary, manifest fingerprint/diff semantics, and the
+strict-mode contract of ``tools/render_experiments.py`` (an unreadable
+or schema-less export is a reported problem, and exits non-zero under
+``--strict`` instead of silently shrinking the tables).
+"""
+
+from __future__ import annotations
+
+import json
+import runpy
+import sys
+
+import numpy as np
+import pytest
+
+from repro.artifact.manifest import (
+    build_manifest,
+    cell_fingerprint,
+    diff_manifests,
+    load_manifest,
+    manifest_json,
+    partition_fingerprint,
+)
+from repro.artifact.render import (
+    load_benchmark_exports,
+    render_benchmark_exports,
+    render_summary_markdown,
+)
+from repro.artifact.summary import (
+    SUMMARY_SCHEMA_VERSION,
+    build_summary,
+    deterministic_cell,
+    load_summary,
+    summary_json,
+    validate_summary,
+)
+
+
+def _cell(experiment="fig1", case="a", algorithm="1PB-SCC", status="ok",
+          **overrides):
+    cell = {
+        "experiment": experiment, "case": case, "algorithm": algorithm,
+        "status": status,
+    }
+    if status == "ok":
+        cell.update({
+            "io": {"seq_reads": 10, "seq_writes": 2, "rand_reads": 1,
+                   "rand_writes": 0, "bytes_read": 640, "bytes_written": 128},
+            "iterations": 3, "num_sccs": 7,
+            "partition_sha256": "ab" * 32,
+            "nodes": 100, "edges": 500,
+            "seconds": 0.25,
+        })
+    cell.update(overrides)
+    return cell
+
+
+def _summary(cells=None):
+    if cells is None:
+        cells = {"fig1/a/1PB-SCC": _cell()}
+    return build_summary(tier="smoke", scale=1e-4, config={}, cells=cells)
+
+
+def test_summary_round_trips_through_json(tmp_path):
+    summary = _summary()
+    path = tmp_path / "summary.json"
+    path.write_text(summary_json(summary))
+    loaded = load_summary(str(path))
+    assert validate_summary(loaded) == []
+    assert loaded.to_dict() == summary.to_dict()
+    assert summary_json(loaded) == summary_json(summary)
+
+
+def test_load_summary_rejects_bad_json(tmp_path):
+    path = tmp_path / "summary.json"
+    path.write_text("{half written")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_summary(str(path))
+
+
+@pytest.mark.parametrize("mutate,needle", [
+    (lambda s: setattr(s, "schema_version", 99), "schema version"),
+    (lambda s: setattr(s, "tier", ""), "missing tier"),
+    (lambda s: setattr(s, "scale", 0.0), "non-positive scale"),
+    (lambda s: setattr(s, "cells", {}), "no cells"),
+    (lambda s: s.cells["fig1/a/1PB-SCC"].pop("io"), "missing 'io'"),
+    (lambda s: s.cells["fig1/a/1PB-SCC"].update(status="meh"),
+     "unknown status"),
+    (lambda s: s.cells["fig1/a/1PB-SCC"]["io"].update(seq_reads=-1),
+     "non-negative"),
+    (lambda s: s.cells["fig1/a/1PB-SCC"].update(partition_sha256="zz"),
+     "sha256"),
+    (lambda s: s.cells.update({"wrong/id/here": s.cells.pop("fig1/a/1PB-SCC")}),
+     "does not match"),
+])
+def test_validate_summary_failure_modes(mutate, needle):
+    summary = _summary()
+    mutate(summary)
+    problems = validate_summary(summary)
+    assert any(needle in p for p in problems), problems
+
+
+def test_deterministic_cell_excludes_wall_clock():
+    cell = _cell()
+    projected = deterministic_cell(cell)
+    assert "seconds" not in projected
+    assert "io" in projected and "partition_sha256" in projected
+    # A wall-clock change must not move the fingerprint...
+    faster = dict(cell, seconds=0.001)
+    assert cell_fingerprint(faster) == cell_fingerprint(cell)
+    # ...but a counted-I/O change must.
+    drifted = dict(cell, io=dict(cell["io"], seq_reads=11))
+    assert cell_fingerprint(drifted) != cell_fingerprint(cell)
+
+
+def test_partition_fingerprint_is_labelling_invariant():
+    labels = np.array([5, 5, 9, 9, 5], dtype=np.int64)
+    relabelled = np.array([0, 0, 3, 3, 0], dtype=np.int64)
+    different = np.array([0, 1, 1, 0, 0], dtype=np.int64)
+    assert partition_fingerprint(labels) == partition_fingerprint(relabelled)
+    assert partition_fingerprint(labels) != partition_fingerprint(different)
+
+
+def test_manifest_covers_only_ok_cells():
+    cells = {
+        "fig1/a/1PB-SCC": _cell(),
+        "fig1/a/DFS-SCC": _cell(algorithm="DFS-SCC", status="INF"),
+    }
+    manifest = build_manifest(_summary(cells))
+    assert set(manifest["cells"]) == {"fig1/a/1PB-SCC"}
+
+
+def test_manifest_json_is_canonical_and_loadable(tmp_path):
+    manifest = build_manifest(_summary())
+    path = tmp_path / "MANIFEST.json"
+    path.write_text(manifest_json(manifest))
+    assert load_manifest(str(path)) == manifest
+    assert manifest_json(load_manifest(str(path))) == manifest_json(manifest)
+
+
+def test_load_manifest_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "m.json"
+    path.write_text(json.dumps({"kind": "something-else"}))
+    with pytest.raises(ValueError, match="not a repro-artifact manifest"):
+        load_manifest(str(path))
+
+
+def test_diff_manifests_reports_all_drift_kinds():
+    base = build_manifest(_summary({
+        "fig1/a/1PB-SCC": _cell(),
+        "fig1/b/1PB-SCC": _cell(case="b"),
+    }))
+    current = build_manifest(_summary({
+        "fig1/a/1PB-SCC": _cell(io={"seq_reads": 99, "seq_writes": 2,
+                                    "rand_reads": 1, "rand_writes": 0,
+                                    "bytes_read": 640, "bytes_written": 128}),
+        "fig1/c/1PB-SCC": _cell(case="c"),
+    }))
+    drift = "\n".join(diff_manifests(base, current))
+    assert "fingerprint drift" in drift
+    assert "fig1/b/1PB-SCC" in drift and "missing" in drift
+    assert "fig1/c/1PB-SCC" in drift and "not in golden" in drift
+    assert diff_manifests(base, base) == []
+
+
+def test_render_summary_markdown_shows_every_cell():
+    cells = {
+        "fig1/a/1PB-SCC": _cell(),
+        "fig1/a/DFS-SCC": _cell(algorithm="DFS-SCC", status="INF"),
+    }
+    report = render_summary_markdown(_summary(cells))
+    assert "## fig1" in report
+    assert "| a | 1PB-SCC | ok |" in report
+    assert "| a | DFS-SCC | INF |" in report
+    assert "1/2" in report  # ok/total footer
+
+
+# ----------------------------------------------------------------------
+# The legacy pytest-benchmark export path (tools/render_experiments.py).
+# ----------------------------------------------------------------------
+
+GOOD_EXPORT = {
+    "benchmarks": [{
+        "name": "test_fig12[webspam-20pct-1PB-SCC]",
+        "fullname": "benchmarks/bench_fig12.py::test_fig12[...]",
+        "stats": {"mean": 0.125},
+        "extra_info": {"status": "ok", "ios": 42, "iterations": 4},
+    }]
+}
+
+
+def test_load_benchmark_exports_reports_problems(tmp_path):
+    (tmp_path / "good.json").write_text(json.dumps(GOOD_EXPORT))
+    (tmp_path / "bad.json").write_text("{truncated")
+    (tmp_path / "schemaless.json").write_text('{"version": 3}')
+    records, problems = load_benchmark_exports(str(tmp_path))
+    assert len(records) == 1
+    assert records[0]["ios"] == 42
+    assert len(problems) == 2
+    assert any("bad.json" in p for p in problems)
+    assert any("schemaless.json" in p and "benchmarks" in p
+               for p in problems)
+    table = render_benchmark_exports(records)
+    assert "webspam-20pct-1PB-SCC" in table and "42" in table
+
+
+def test_load_benchmark_exports_empty_dir_is_a_problem(tmp_path):
+    records, problems = load_benchmark_exports(str(tmp_path))
+    assert records == []
+    assert len(problems) == 1
+
+
+def _run_tool(tmp_path, argv, capsys):
+    sys.modules.pop("__main__", None)
+    old_argv = sys.argv
+    sys.argv = ["render_experiments.py"] + argv
+    try:
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_path("tools/render_experiments.py",
+                           run_name="__main__")
+        return excinfo.value.code, capsys.readouterr()
+    finally:
+        sys.argv = old_argv
+
+
+def test_render_experiments_strict_fails_on_unreadable(tmp_path, capsys):
+    (tmp_path / "good.json").write_text(json.dumps(GOOD_EXPORT))
+    (tmp_path / "bad.json").write_text("{truncated")
+    code, captured = _run_tool(tmp_path, [str(tmp_path)], capsys)
+    assert code == 0  # lenient mode still renders what it can
+    assert "bad.json" in captured.err
+    code, captured = _run_tool(tmp_path, [str(tmp_path), "--strict"], capsys)
+    assert code == 1
+    assert "strict mode" in captured.err
+
+
+def test_render_experiments_strict_passes_clean(tmp_path, capsys):
+    (tmp_path / "good.json").write_text(json.dumps(GOOD_EXPORT))
+    code, captured = _run_tool(tmp_path, [str(tmp_path), "--strict"], capsys)
+    assert code == 0
+    assert "webspam-20pct-1PB-SCC" in captured.out

@@ -1,6 +1,8 @@
 """Consolidate pytest-benchmark JSON exports into experiment tables.
 
-Reads every ``bench_results/batch*.json`` produced by::
+Thin shim over :mod:`repro.artifact.render` (the same renderer behind
+``repro-scc reproduce``'s ``artifact/report.md``).  Reads every
+``bench_results/*.json`` produced by::
 
     pytest benchmarks/... --benchmark-json=bench_results/batchN.json
 
@@ -10,87 +12,51 @@ EXPERIMENTS.md.
 
 Run with::
 
-    python tools/render_experiments.py [results_dir]
+    python tools/render_experiments.py [results_dir] [--strict]
+
+A file that cannot be parsed, or parses but has no ``benchmarks`` list
+(a schema-less export), is reported on stderr.  Under ``--strict`` (the
+CI configuration) any such problem exits non-zero instead of silently
+shrinking the tables — a half-written export must fail the build, not
+render as "experiment absent".
 """
 
 from __future__ import annotations
 
-import glob
-import json
-import os
+import argparse
 import sys
-from collections import defaultdict
+from typing import List, Optional
+
+from repro.artifact.render import (
+    load_benchmark_exports,
+    render_benchmark_exports,
+)
 
 
-def load_records(results_dir: str):
-    records = []
-    for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
-        try:
-            with open(path) as handle:
-                data = json.load(handle)
-        except json.JSONDecodeError:
-            print(f"skipping unreadable {path} (run in progress?)", file=sys.stderr)
-            continue
-        for bench in data.get("benchmarks", []):
-            extra = bench.get("extra_info", {})
-            group = bench["name"].split("[")[0]
-            case = bench["name"][len(group):].strip("[]")
-            records.append(
-                {
-                    "file": os.path.basename(bench.get("fullname", "")).split("::")[0]
-                    or group,
-                    "group": group,
-                    "case": case or "-",
-                    "seconds": bench["stats"]["mean"],
-                    "status": extra.get("status", "ok"),
-                    "ios": extra.get("ios"),
-                    "iterations": extra.get("iterations"),
-                    "extra": extra,
-                }
-            )
-    return records
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="render_experiments",
+        description="Render pytest-benchmark JSON exports as experiment "
+                    "tables (see also: repro-scc reproduce).",
+    )
+    parser.add_argument("results_dir", nargs="?", default="bench_results",
+                        help="directory of pytest-benchmark exports "
+                             "(default: bench_results)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if any export is unreadable or "
+                             "schema-less instead of skipping it")
+    args = parser.parse_args(argv)
 
-
-def render(records) -> str:
-    by_group = defaultdict(list)
-    for record in records:
-        by_group[record["group"]].append(record)
-    lines = []
-    for group in sorted(by_group):
-        lines.append(f"\n## {group}")
-        lines.append(
-            f"{'case':<28} {'status':<6} {'seconds':>9} {'block I/Os':>11} "
-            f"{'iters':>6}"
-        )
-        lines.append("-" * 64)
-        for record in sorted(by_group[group], key=lambda r: r["case"]):
-            seconds = (
-                f"{record['seconds']:.3f}" if record["status"] == "ok" else "-"
-            )
-            ios = (
-                f"{record['ios']:,}"
-                if record["status"] == "ok" and record["ios"] is not None
-                else record["status"]
-            )
-            iters = (
-                str(record["iterations"])
-                if record["iterations"] is not None
-                else "-"
-            )
-            lines.append(
-                f"{record['case']:<28} {record['status']:<6} {seconds:>9} "
-                f"{ios:>11} {iters:>6}"
-            )
-    return "\n".join(lines)
-
-
-def main() -> int:
-    results_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
-    records = load_records(results_dir)
-    if not records:
-        print(f"no benchmark JSON files found in {results_dir}/", file=sys.stderr)
+    records, problems = load_benchmark_exports(args.results_dir)
+    for problem in problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    if records:
+        print(render_benchmark_exports(records))
+    if problems and args.strict:
+        print(f"{len(problems)} problem(s) in strict mode", file=sys.stderr)
         return 1
-    print(render(records))
+    if not records:
+        return 1
     return 0
 
 
