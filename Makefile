@@ -1,5 +1,5 @@
 .PHONY: install test lint bench bench-smoke bench-golden bench-prefetch \
-	bench-kernels chaos examples suite clean \
+	bench-kernels bench-parallel chaos examples suite clean \
 	reproduce-smoke reproduce-paper artifact-golden
 
 PYTHON ?= python
@@ -47,6 +47,12 @@ bench-prefetch:
 # (simulated disk forced off; gates 1P-SCC at >= 2x over scalar).
 bench-kernels:
 	$(PYTHON) -m benchmarks.bench_kernels
+
+# Edge-scan throughput of the parallel scan executor -> BENCH_parallel.json
+# (simulated disk forced off; gates 1P-SCC at >= 2x at 4 workers over
+# the single-process vector baseline).
+bench-parallel:
+	$(PYTHON) -m benchmarks.bench_parallel
 
 # Chaos gate: the fault-injection / crash-consistency / checkpoint-resume
 # test files, plus an end-to-end crash -> resume through the CLI (exit

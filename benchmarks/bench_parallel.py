@@ -1,0 +1,241 @@
+"""Edge-scan throughput of the parallel scan executor versus one process.
+
+This is the headline measurement for the ``repro.parallel`` layer: with
+``workers=N`` the main process streams counted blocks and applies
+decisions while N forked workers classify batches against the
+shared-memory snapshot — so the scan loop's per-batch CPU drops to
+validation plus apply.  The claim gated here: **at least 2x edge-scan
+throughput (edges classified per second of scan-span wall time) for
+1P-SCC at 4 workers** over the single-process vector baseline, with an
+identical SCC partition, identical iteration count and identical
+counted I/O (the byte-level identity is separately enforced by
+``benchmarks/regression.py --workers``).
+
+Measurement regime: the *simulated disk is off* (same regime as
+``bench_kernels``) — workers parallelise classification CPU, not
+counted transfers, so the benchmark isolates exactly the component
+they accelerate.  Throughput comes from the run's own trace: every
+``edge-scan`` span carries an ``edges-classified`` counter and its
+wall time, and the counter is identical across worker counts by the
+determinism contract, so the ratio compares pure scan-loop economics.
+
+Run standalone (pytest-benchmark not required)::
+
+    python -m benchmarks.bench_parallel                 # default output
+    python -m benchmarks.bench_parallel --out BENCH_parallel.json
+
+Environment: ``REPRO_BENCH_SCALE`` scales the webspam stand-in (same
+knob as the regression gate), ``REPRO_BENCH_ROUNDS`` the timing rounds
+(median is reported).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from typing import Dict, List, Optional, Tuple
+
+# CPU benchmark: the simulated disk must be OFF no matter what the
+# shell exports — a per-block sleep would drown the scan-loop CPU this
+# benchmark exists to measure.  Must happen before repro.io is used
+# (devices read the env at construction).
+os.environ["REPRO_SIM_SEEK_MS"] = "0"
+os.environ["REPRO_SIM_TRANSFER_MS"] = "0"
+
+from repro import compute_sccs  # noqa: E402
+from repro.core.validate import partitions_equal  # noqa: E402
+from repro.graph.digraph import Digraph  # noqa: E402
+from repro.obs import Tracer  # noqa: E402
+from repro.workloads.realworld import webspam_like  # noqa: E402
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2.5e-4"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+
+ALGORITHM = "1P-SCC"
+SCAN_SPANS: Tuple[str, ...] = ("edge-scan",)
+
+#: Worker counts measured; the gate applies to the last one.
+WORKER_COUNTS: Tuple[int, ...] = (2, 4)
+
+#: 8 KiB blocks, as in bench_kernels: hundreds of blocks per scan at
+#: gate scale, so per-batch shipping amortises per-call overhead.
+BLOCK_SIZE = 8192
+
+#: The acceptance bar: 1P-SCC must classify edges at least this many
+#: times faster at 4 workers than the single-process vector baseline.
+MIN_SPEEDUP = 2.0
+GATED_WORKERS = 4
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_parallel.json",
+)
+
+
+def _workload() -> Digraph:
+    return webspam_like(scale=SCALE, seed=0, avg_degree=12.0).graph
+
+
+def _scan_metrics(tracer: Tracer) -> Tuple[int, float]:
+    """(edges classified, scan wall seconds) summed over the scan spans."""
+    edges = 0
+    seconds = 0.0
+    for span in tracer.spans:
+        if span.name in SCAN_SPANS:
+            edges += int(span.counters.get("edges-classified", 0))
+            seconds += span.wall_seconds
+    return edges, seconds
+
+
+def _time_workers(graph: Digraph, workers: int, rounds: int) -> Dict[str, object]:
+    """Median-of-``rounds`` scan throughput for one worker count."""
+    throughputs: List[float] = []
+    wall: List[float] = []
+    edges = 0
+    scan_seconds = 0.0
+    extras: Dict[str, object] = {}
+    labels = None
+    iterations = None
+    for _ in range(rounds):
+        tracer = Tracer()
+        result = compute_sccs(
+            graph,
+            algorithm=ALGORITHM,
+            block_size=BLOCK_SIZE,
+            tracer=tracer,
+            workers=workers,
+        )
+        edges, scan_seconds = _scan_metrics(tracer)
+        if scan_seconds <= 0 or edges == 0:
+            raise RuntimeError(
+                f"workers={workers}: no scan-span signal (edges={edges}, "
+                f"seconds={scan_seconds})"
+            )
+        throughputs.append(edges / scan_seconds)
+        wall.append(result.stats.wall_seconds)
+        extras = {
+            key: value
+            for key, value in result.stats.extras.items()
+            if key.startswith("parallel_") or key == "workers"
+        }
+        labels = result.labels
+        iterations = result.stats.iterations
+    return {
+        "workers": workers,
+        "rounds": rounds,
+        "edges_classified": edges,
+        "scan_seconds_last": scan_seconds,
+        "throughput_median": statistics.median(throughputs),
+        "throughput_best": max(throughputs),
+        "throughput_all": throughputs,
+        "wall_seconds_median": statistics.median(wall),
+        "extras": extras,
+        "iterations": iterations,
+        "_labels": labels,  # stripped before serialization
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_parallel",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, metavar="PATH",
+        help=f"result JSON path (default: {os.path.relpath(DEFAULT_OUT)})",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=ROUNDS,
+        help="timing rounds per cell (median reported)",
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true",
+        help="record results without enforcing the 2x bar",
+    )
+    args = parser.parse_args(argv)
+
+    graph = _workload()
+    print(
+        f"{ALGORITHM}: webspam-like scale={SCALE:g} "
+        f"({graph.num_nodes:,} nodes, {graph.num_edges:,} edges), "
+        f"host cpus={os.cpu_count()}"
+    )
+
+    baseline = _time_workers(graph, 0, args.rounds)
+    base_labels = baseline.pop("_labels")
+    base_tp = float(baseline["throughput_median"])  # type: ignore[arg-type]
+    print(f"  workers=0 (vector baseline): {base_tp:,.0f} edges/s")
+
+    results: Dict[str, Dict[str, object]] = {"0": baseline}
+    failures: List[str] = []
+    for workers in WORKER_COUNTS:
+        cell = _time_workers(graph, workers, args.rounds)
+        if not partitions_equal(base_labels, cell.pop("_labels")):
+            raise RuntimeError(
+                f"workers={workers} changed the SCC partition"
+            )
+        if cell["iterations"] != baseline["iterations"]:
+            raise RuntimeError(
+                f"workers={workers} changed the iteration count"
+            )
+        tp = float(cell["throughput_median"])  # type: ignore[arg-type]
+        speedup = tp / base_tp if base_tp > 0 else 0.0
+        cell["speedup"] = speedup
+        results[str(workers)] = cell
+        extras = cell["extras"]
+        print(
+            f"  workers={workers}: {tp:,.0f} edges/s ({speedup:.2f}x, "
+            f"{extras.get('parallel_batches', 0):,} batches, "
+            f"{extras.get('parallel_fallbacks', 0)} fallbacks, "
+            f"{extras.get('parallel_stale_bundles', 0)} stale)"
+        )
+        if workers == GATED_WORKERS and speedup < MIN_SPEEDUP:
+            failures.append(
+                f"workers={workers}: {speedup:.2f}x < {MIN_SPEEDUP:.1f}x bar"
+            )
+
+    payload = {
+        "schema": 1,
+        "algorithm": ALGORITHM,
+        "workload": {
+            "generator": "webspam_like",
+            "scale": SCALE,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+        },
+        "block_size": BLOCK_SIZE,
+        "host_cpus": os.cpu_count(),
+        "simulated_disk": {
+            "seek_ms": 0,
+            "transfer_ms": 0,
+            "note": (
+                "forced off: workers parallelise classification CPU, not "
+                "counted transfers; the I/O-side regime is bench_prefetch's "
+                "job"
+            ),
+        },
+        "metric": (
+            "edges classified per second of edge-scan span wall time "
+            "(sum of edges-classified counters / sum of scan-span seconds)"
+        ),
+        "gate": {"workers": GATED_WORKERS, "min_speedup": MIN_SPEEDUP},
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures and not args.no_assert:
+        print("\nbelow the speedup bar:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

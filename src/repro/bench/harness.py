@@ -81,6 +81,7 @@ def run_one(
     metrics: Optional[MetricsRegistry] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    workers: int = 0,
 ) -> BenchRecord:
     """Run one algorithm on one in-memory workload graph.
 
@@ -106,7 +107,9 @@ def run_one(
     this requires a *persistent* ``workdir``, since checkpoints
     reference the materialised edge file and reduction scratch living
     there (the reproduce runner keeps one workdir per sweep cell for
-    exactly this reason).
+    exactly this reason).  ``workers`` forks that many scan worker
+    processes (byte-identical results; echoed into ``params`` when
+    nonzero so parallel records are self-describing).
     """
     algo = _resolve(algorithm)
     run_params = dict(params or {})
@@ -118,6 +121,8 @@ def run_one(
         run_params.setdefault("kernels", kernels)
     if fault_plan:
         run_params.setdefault("fault_plan", fault_plan)
+    if workers:
+        run_params.setdefault("workers", workers)
     record = BenchRecord(
         algorithm=algo.name, workload=workload, status="ok", params=run_params
     )
@@ -153,6 +158,7 @@ def run_one(
                 metrics=metrics,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                workers=workers,
             )
             record.seconds = result.stats.wall_seconds
             record.ios = result.stats.io.total

@@ -216,6 +216,7 @@ def build_dfs_tree(
     kernel: Optional[ScanKernels] = None,
     boundary: Optional[Callable[[_DFSTree, int, bool], None]] = None,
     resume: Optional[Tuple[_DFSTree, int, bool]] = None,
+    stream: Optional[Callable] = None,
 ) -> Tuple[_DFSTree, int]:
     """Paper Algorithm 1: DFS tree by forward-cross-edge elimination.
 
@@ -228,7 +229,10 @@ def build_dfs_tree(
     with ``(tree, iterations, updated)`` — the checkpoint/crash hook.
     ``resume`` restarts the loop from a restored
     ``(tree, iterations, updated)`` snapshot (``order`` is then ignored:
-    the snapshot embeds the root and children order).
+    the snapshot embeds the root and children order).  ``stream`` is
+    :meth:`SCCAlgorithm._scan_stream` — the parallel ``(batch, bundle)``
+    fan-out (DFS bundles are keyed on raw node ids, so no root mapping
+    is involved).
     """
     kernel = kernel if kernel is not None else resolve_kernels()
     if resume is not None:
@@ -250,10 +254,22 @@ def build_dfs_tree(
             "dfs-scan", iteration=iterations + iteration_offset
         ):
             edges_classified = 0
-            for batch in graph.scan_edges():
+            if stream is not None:
+                batches = stream(
+                    kernel, graph.scan_edges(), "dfs",
+                    lambda: kernel.publish_snapshot(tree),
+                )
+            else:
+                batches = ((batch, None) for batch in graph.scan_edges())
+            for batch, bundle in batches:
                 deadline.check()
                 edges_classified += batch.shape[0]
-                moved = kernel.dfs_scan(tree, batch, deadline)
+                if bundle is None:
+                    moved = kernel.dfs_scan(tree, batch, deadline)
+                else:
+                    moved = kernel.dfs_scan(
+                        tree, batch, deadline, bundle=bundle
+                    )
                 if moved:
                     updated = True
                     reparents += moved
@@ -321,6 +337,7 @@ class DFSSCC(SCCAlgorithm):
                         if self._boundary_active else None
                     ),
                     resume=pass_resume,
+                    stream=self._scan_stream,
                 )
             decreasing_post = first_tree.postorder()[::-1]
             second_resume: Optional[Tuple[_DFSTree, int, bool]] = None
@@ -360,6 +377,7 @@ class DFSSCC(SCCAlgorithm):
                         if self._boundary_active else None
                     ),
                     resume=second_resume,
+                    stream=self._scan_stream,
                 )
             labels = second_tree.root_subtree_labels()
         except SimulatedCrash:

@@ -125,6 +125,24 @@ class AncestorOracle:
         self.rebuilds += 1
 
     # ------------------------------------------------------------------
+    def export(self, into: Any = None) -> Any:
+        """Snapshot the labels; ``into`` reuses caller-owned buffers.
+
+        Without ``into`` this allocates a fresh ``(tin, tout)`` copy per
+        call — fine for one-off consumers, wasteful for a publisher that
+        re-exports every epoch.  Passing ``into=(tin_buf, tout_buf)``
+        copies into those arrays instead (any int64 buffers of length
+        ``n``, including shared-memory views — this is what the
+        :mod:`repro.parallel` snapshot publisher uses) and returns them.
+        """
+        if into is None:
+            return self.tin.copy(), self.tout.copy()
+        tin_buf, tout_buf = into
+        np.copyto(tin_buf, self.tin)
+        np.copyto(tout_buf, self.tout)
+        return tin_buf, tout_buf
+
+    # ------------------------------------------------------------------
     def is_ancestor_many(self, anc: np.ndarray, desc: np.ndarray) -> np.ndarray:
         """Vectorised ancestor-or-equal test over parallel node arrays."""
         tin_a = self.tin[anc]

@@ -1,0 +1,35 @@
+"""Multi-process sharded edge scans with a deterministic merge.
+
+The paper's scans are I/O-streamed but CPU-bound once the page cache
+and prefetcher hide latency; PR 4 made the per-batch work array-shaped,
+and this package forks it across worker processes: the O(|V|) resident
+snapshot (Euler labels, depths, root map, liveness) is published
+zero-copy through ``multiprocessing.shared_memory``, the O(|E|) edge
+batches are striped round-robin over the pool, and results are merged
+back in batch order under proofs of equality to the in-process
+computation — so partitions, iteration counts and counted I/O are
+**byte-identical to a serial run at any worker count** (the
+bench-regression gate re-runs its golden cases with ``--workers N`` and
+demands identical fingerprints).
+
+Entry points: ``SCCAlgorithm.run(..., workers=N)`` /
+``compute_sccs(..., workers=N)`` / ``repro-scc compute --workers N``
+build a :class:`ParallelContext` and swap the vector kernels for
+:class:`ParallelKernels`; :func:`repro.io.extsort.external_sort_edges`
+takes ``workers=`` for parallel run formation.  See docs/parallelism.md
+for the sharding model and the determinism argument.
+"""
+
+from repro.parallel.context import ParallelContext
+from repro.parallel.kernels import ParallelKernels
+from repro.parallel.labeler import vector_relabel
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SnapshotArena
+
+__all__ = [
+    "ParallelContext",
+    "ParallelKernels",
+    "SnapshotArena",
+    "WorkerPool",
+    "vector_relabel",
+]

@@ -1,0 +1,250 @@
+"""Per-run orchestration of the parallel scan executor.
+
+A :class:`ParallelContext` is created by ``SCCAlgorithm.run(...,
+workers=N)`` and owns the two process-level resources — the
+:class:`~repro.parallel.shm.SnapshotArena` and the
+:class:`~repro.parallel.pool.WorkerPool` — for the whole run (workers
+are forked once, before any scan threads exist, and survive across
+iterations).  The algorithms talk to it through two iterator wrappers:
+
+* :meth:`classify` — wraps an edge-batch iterator for a classification
+  scan (1P classification, 2P Tree-Search, DFS), shipping each batch to
+  the pool ahead of consumption and yielding ``(batch, bundle)`` pairs
+  *in batch order*.  ``bundle`` is the worker's precomputed verdict
+  arrays or ``None`` (crashed worker / torn read) — the kernels treat
+  ``None`` exactly like a serial batch.
+* :meth:`map_frozen` — wraps a frozen-map rewrite scan (1P/1PB
+  reduction, EM rewrite): publishes the frozen ``root``/``live``/
+  ``depth`` arrays once, then yields ``(batch, mapped)`` pairs where
+  ``mapped`` holds the filtered supernode endpoints.
+
+Accounting transparency: batches are *read* (and counted, and
+sim-disk-slept) by the main process inside ``next()`` on the wrapped
+iterator — workers never touch an :class:`~repro.io.counter.IOCounter`
+— so the read sequence, block counts and fault-plan ordinals are
+byte-identical to a serial scan; the executor only reads a small
+constant number of batches ahead.  See docs/parallelism.md for the full
+determinism argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SnapshotArena
+
+__all__ = ["ParallelContext"]
+
+Bundle = Optional[Dict[str, Any]]
+
+
+class ParallelContext:
+    """Run-scoped arena + pool + deterministic merge (module docstring)."""
+
+    def __init__(self, workers: int, num_nodes: int,
+                 metrics: Optional[Any] = None,
+                 injector: Optional[Any] = None) -> None:
+        self.workers = workers
+        self.n = num_nodes
+        self._seq = 0
+        self._stale = 0
+        self._publishes = 0
+        self._drained: Dict[str, float] = {}
+        self._metrics = metrics
+        self._fallback_counter: Optional[Any] = None
+        self._batch_counter: Optional[Any] = None
+        self._queue_gauge: Optional[Any] = None
+        self.arena = SnapshotArena(num_nodes, create=True)
+        try:
+            self.pool = WorkerPool(
+                workers, self.arena.name, num_nodes, injector=injector,
+                on_fallback=self._count_fallback,
+            )
+        except BaseException:
+            self.arena.destroy()
+            raise
+        if metrics is not None:
+            metrics.gauge(
+                "repro_parallel_workers", "scan worker processes"
+            ).set(workers)
+            self._queue_gauge = metrics.gauge(
+                "repro_parallel_queue_depth",
+                "batches shipped to workers and not yet merged")
+            self._batch_counter = metrics.counter(
+                "repro_parallel_batches_total",
+                "edge batches shipped to scan workers")
+            self._fallback_counter = metrics.counter(
+                "repro_parallel_fallbacks_total",
+                "stripes classified in-process after a worker crash")
+            metrics.register_callback(
+                "repro_parallel_worker_busy_seconds",
+                lambda: self.pool.busy_seconds,
+                "cumulative worker compute time (utilization = this / "
+                "(workers × wall))")
+            metrics.register_callback(
+                "repro_parallel_merge_wait_seconds",
+                lambda: self.pool.wait_seconds,
+                "main-process time blocked waiting for a worker result")
+
+    def _count_fallback(self, seq: int) -> None:
+        if self._fallback_counter is not None:
+            self._fallback_counter.inc()
+
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self.arena.generation
+
+    @property
+    def fallbacks(self) -> int:
+        """Stripes recomputed in-process after worker crashes."""
+        return self.pool.fallbacks
+
+    @property
+    def stale_bundles(self) -> int:
+        """Bundles discarded for generation mismatch (never wrong)."""
+        return self._stale
+
+    def note_publish(self) -> None:
+        """Tally a snapshot publish (called by the kernel publisher)."""
+        self._publishes += 1
+
+    def count_stale(self) -> None:
+        """Tally a bundle discarded against a newer snapshot."""
+        self._stale += 1
+
+    # ------------------------------------------------------------------
+    def _ship(self, iterator: Iterator[np.ndarray], kind: str,
+              payload_extra: Dict[str, Any],
+              pending: "deque[Tuple[int, np.ndarray]]") -> bool:
+        try:
+            batch = next(iterator)
+        except StopIteration:
+            return False
+        seq = self._seq
+        self._seq += 1
+        payload = {"batch": batch}
+        payload.update(payload_extra)
+        self.pool.submit(seq, kind, payload)
+        pending.append((seq, batch))
+        if self._batch_counter is not None:
+            self._batch_counter.inc()
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(len(pending))
+        return True
+
+    def _stream(self, batches: Iterable[np.ndarray], kind: str,
+                payload_extra: Dict[str, Any]
+                ) -> Iterator[Tuple[np.ndarray, Bundle]]:
+        iterator = iter(batches)
+        pending: "deque[Tuple[int, np.ndarray]]" = deque()
+        # Bounded read-ahead: enough to keep every worker fed without
+        # holding more than O(workers) batches in flight.
+        lookahead = max(2, 2 * self.workers)
+        for _ in range(lookahead):
+            if not self._ship(iterator, kind, payload_extra, pending):
+                break
+        while pending:
+            seq, batch = pending.popleft()
+            bundle = self.pool.collect(seq)
+            if self._queue_gauge is not None:
+                self._queue_gauge.set(len(pending))
+            yield batch, bundle
+            self._ship(iterator, kind, payload_extra, pending)
+
+    def classify(self, batches: Iterable[np.ndarray], kind: str = "classify",
+                 publish: Optional[Any] = None
+                 ) -> Iterator[Tuple[np.ndarray, Bundle]]:
+        """Fan a classification scan out to the pool (see module doc).
+
+        ``publish`` (typically ``kernel.publish_snapshot``) runs once
+        before the first batch ships, so workers see the snapshot the
+        scan starts under; mid-scan rebuilds republish and in-flight
+        bundles are discarded by their stamped generation.
+        """
+        if publish is not None:
+            publish()
+        return self._stream(batches, kind, {})
+
+    def map_frozen(self, batches: Iterable[np.ndarray], *,
+                   root: np.ndarray, live: Optional[np.ndarray],
+                   depth: Optional[np.ndarray] = None,
+                   check_live: bool = True
+                   ) -> Iterator[Tuple[np.ndarray, Bundle]]:
+        """Fan a frozen-map rewrite scan out to the pool.
+
+        ``root`` must be the fully-resolved representative of *every*
+        node under the scan's frozen union-find, so a worker lookup is
+        one gather.  The tree/union-find must not mutate for the
+        duration of the scan (true of every rewrite scan: 1P/1PB
+        reduction and the EM rewrite); the stamped generation guards
+        the remaining torn-read window.
+        """
+        stage = self.arena.stage()
+        np.copyto(stage["root"], root)
+        if depth is not None:
+            np.copyto(stage["depth"], depth)
+        if live is not None:
+            np.copyto(stage["live"], live, casting="unsafe")
+        else:
+            stage["live"].fill(1)
+        gen = self.arena.commit()
+        self._publishes += 1
+
+        def validated() -> Iterator[Tuple[np.ndarray, Bundle]]:
+            for batch, bundle in self._stream(
+                batches, "map", {"check_live": check_live}
+            ):
+                if bundle is not None and bundle.get("gen") != gen:
+                    self.count_stale()
+                    bundle = None
+                yield batch, bundle
+
+        return validated()
+
+    # ------------------------------------------------------------------
+    def drain_counters(self) -> Dict[str, int]:
+        """Per-scan deltas of the lifetime tallies, span-counter shaped.
+
+        The kernels merge this into their own ``drain_counters`` so
+        every scan span carries the executor's activity
+        (``parallel-batches``, ``parallel-fallbacks``,
+        ``parallel-stale``, ``parallel-publishes``, ``parallel-busy-ms``,
+        ``parallel-wait-ms``).  ``parallel-workers`` is constant for the
+        run, so it surfaces exactly once — in the first span that drains
+        — and summing the per-span deltas over a whole trace recovers
+        the worker count (``repro-scc report`` relies on this to compute
+        parallel efficiency without trace-metadata plumbing).
+        """
+        totals = {
+            "parallel-workers": float(self.pool.workers),
+            "parallel-batches": float(self.pool.batches),
+            "parallel-fallbacks": float(self.pool.fallbacks),
+            "parallel-stale": float(self._stale),
+            "parallel-publishes": float(self._publishes),
+            "parallel-busy-ms": self.pool.busy_seconds * 1000.0,
+            "parallel-wait-ms": self.pool.wait_seconds * 1000.0,
+        }
+        drained: Dict[str, int] = {}
+        for key, total in totals.items():
+            delta = int(total - self._drained.get(key, 0.0))
+            if delta:
+                drained[key] = delta
+                self._drained[key] = self._drained.get(key, 0.0) + delta
+        return drained
+
+    def close(self) -> None:
+        """Stop the workers and unlink the arena (run ``finally`` path)."""
+        try:
+            self.pool.close()
+        finally:
+            if self._metrics is not None:
+                self._metrics.unregister_callback(
+                    "repro_parallel_worker_busy_seconds")
+                self._metrics.unregister_callback(
+                    "repro_parallel_merge_wait_seconds")
+            self.arena.destroy()

@@ -1,0 +1,396 @@
+"""``ParallelKernels``: VectorKernels fed by worker-precomputed bundles.
+
+The subclass changes *how verdicts are obtained*, never *which verdicts
+are applied* — the strict decision-equivalence contract of
+:mod:`repro.kernels.base` extends to the parallel executor:
+
+* **Labels** come from :func:`repro.parallel.labeler.vector_relabel`
+  instead of the oracle's Python DFS.  Any valid DFS order yields the
+  same interval answers, so decisions are unchanged; the rebuild
+  *cadence* replicates :meth:`AncestorOracle.refresh` exactly.  Every
+  rebuild republishes the snapshot to the shared arena (via
+  :meth:`AncestorOracle.export` into the staging views), so in-flight
+  bundles stamped with the old generation are discarded on arrival.
+* **Bundles** (worker results) are consumed only where provably equal
+  to the local computation.  A classification bundle carries, per raw
+  edge, the snapshot roots ``(u0, v0)`` and the interval verdict on
+  them; the main process uses the verdict only for pairs whose current
+  roots still equal ``(u0, v0)`` under the same generation — then the
+  worker evaluated the *identical* formula on the *identical* labels —
+  and recomputes the rest locally.  DFS bundles are keyed on raw node
+  ids, so a generation match alone makes them identical to the local
+  arrays.  A missing bundle (worker crash, torn read, stale
+  generation) means the batch is classified in-process, exactly as a
+  serial run would.
+* **Fallback walks** use plain-list mirrors of ``parent``/``depth``/
+  ``dirty`` (maintained by :class:`~repro.spanning.tree.
+  ContractibleTree` when mirrors are enabled) — a per-edge loop over
+  Python lists avoids the numpy scalar-boxing tax that dominates the
+  dirty path.  The walk logic itself is the hybrid dirty-suffix walk of
+  :mod:`repro.kernels.vector`, value-for-value.
+
+Partitions, iteration counts and counted I/O are therefore
+byte-identical to serial ``VectorKernels`` at any worker count —
+enforced by the ``--workers`` re-runs of the bench-regression gate and
+fuzzed across all five algorithms in ``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.oracle import AncestorOracle
+from repro.kernels.vector import VectorKernels, _hybrid_is_ancestor
+from repro.parallel.context import ParallelContext
+from repro.parallel.labeler import vector_relabel
+
+__all__ = ["ParallelKernels"]
+
+
+class ParallelKernels(VectorKernels):
+    """Bundle-merging vector kernels (see module docstring)."""
+
+    name = "parallel"
+    #: Algorithms fan scans out only when the resolved kernel opts in.
+    parallel_ready = True
+
+    def __init__(self, ctx: ParallelContext) -> None:
+        super().__init__()
+        self._ctx = ctx
+        self._host: Any = None
+        self._tin_l: Any = None
+        self._tout_l: Any = None
+        #: Arena generation holding this kernel's current labels; -1
+        #: until the first publish (bundles can never match it).
+        self._labels_gen = -1
+
+    # ------------------------------------------------------------------
+    # snapshot lifecycle
+    # ------------------------------------------------------------------
+    def _refresh(self, tree: Any) -> AncestorOracle:
+        oracle = self._oracle(tree)
+        # Mirrors are enabled lazily by one_phase_scan (their only
+        # consumer): 2P construction is pushdown-heavy and would pay the
+        # per-mutation list upkeep for walks it never runs.
+        mirrors = hasattr(tree, "enable_mirror")
+        if self._host is not tree:
+            # New host (e.g. the DFS second pass): cached label lists
+            # and the published snapshot both describe the old tree.
+            self._host = tree
+            self._tin_l = None
+            self._tout_l = None
+            self._labels_gen = -1
+        epoch = tree.epoch
+        if oracle.built_epoch != epoch:
+            # Replicates AncestorOracle.refresh's amortisation policy
+            # exactly — same rebuild points as a serial vector run.
+            rebuild = oracle.built_epoch < 0
+            if not rebuild:
+                dirty_count = int(np.count_nonzero(tree.dirty))
+                live = getattr(tree, "live", None)
+                live_count = (
+                    int(np.count_nonzero(live)) if live is not None
+                    else tree.n
+                )
+                threshold = max(
+                    oracle.rebuild_min_dirty,
+                    int(oracle.rebuild_fraction * live_count),
+                )
+                rebuild = dirty_count > threshold
+            if rebuild:
+                live = getattr(tree, "live", None)
+                vector_relabel(
+                    tree.parent, tree.depth, live, oracle.tin, oracle.tout
+                )
+                tree.dirty[:] = False
+                if mirrors:
+                    tree.mirror_clear_dirty()
+                tree.track_dirty = True
+                oracle.built_epoch = epoch
+                oracle.rebuilds += 1
+                self._tin_l = oracle.tin.tolist()
+                self._tout_l = oracle.tout.tolist()
+                self.bump("oracle-rebuilds", 1)
+                self._publish(tree, oracle)
+        if self._tin_l is None:
+            self._tin_l = oracle.tin.tolist()
+            self._tout_l = oracle.tout.tolist()
+        return oracle
+
+    def _publish(self, tree: Any, oracle: AncestorOracle) -> None:
+        """Stage and commit the current snapshot to the shared arena."""
+        stage = self._ctx.arena.stage()
+        oracle.export(into=(stage["tin"], stage["tout"]))
+        np.copyto(stage["depth"], tree.depth)
+        ds = getattr(tree, "ds", None)
+        if ds is not None:
+            stage["root"][:] = ds.find_many(
+                np.arange(tree.n, dtype=np.int64)
+            )
+        else:
+            # DFS hosts have no contraction: nodes are their own roots.
+            stage["root"][:] = np.arange(tree.n, dtype=np.int64)
+        live = getattr(tree, "live", None)
+        if live is not None:
+            np.copyto(stage["live"], live, casting="unsafe")
+        else:
+            stage["live"].fill(1)
+        self._labels_gen = self._ctx.arena.commit()
+        self._ctx.note_publish()
+
+    def publish_snapshot(self, tree: Any) -> None:
+        """Scan-start hook: make the arena reflect this kernel's labels.
+
+        ``classify`` passes this as its ``publish`` callback so a scan's
+        first bundles are computed under a current snapshot (a frozen
+        ``map_frozen`` publish in between would otherwise have left the
+        arena ahead of the labels).
+        """
+        oracle = self._refresh(tree)
+        if self._labels_gen != self._ctx.generation:
+            self._publish(tree, oracle)
+
+    # ------------------------------------------------------------------
+    # bundle merge
+    # ------------------------------------------------------------------
+    def _merged_backward(
+        self,
+        oracle: AncestorOracle,
+        us: np.ndarray,
+        vs: np.ndarray,
+        bundle: Optional[Dict[str, Any]],
+        keepidx: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """The per-pair backward verdicts, bundle-served where provable.
+
+        Returns exactly ``oracle.is_ancestor_many(vs, us)``: bundle
+        entries are used only where ``(u0, v0) == (us, vs)`` under the
+        current generation — same formula, same labels, same operands —
+        and every other entry is computed locally.
+        """
+        if (
+            bundle is not None
+            and keepidx is not None
+            and bundle.get("gen") == self._labels_gen == self._ctx.generation
+        ):
+            u0 = bundle["u0"][keepidx]
+            v0 = bundle["v0"][keepidx]
+            valid = (us == u0) & (vs == v0)
+            backward = bundle["backward"][keepidx].copy()
+            invalid = ~valid
+            if invalid.any():
+                # A contraction moved this pair's roots since the
+                # publish; re-evaluate on the current roots.
+                backward[invalid] = oracle.is_ancestor_many(
+                    vs[invalid], us[invalid]
+                )
+            self.bump("parallel-bundle-hits", int(np.count_nonzero(valid)))
+            return backward
+        if bundle is not None:
+            self._ctx.count_stale()
+        return oracle.is_ancestor_many(vs, us)
+
+    # ------------------------------------------------------------------
+    # scan overrides
+    # ------------------------------------------------------------------
+    def one_phase_scan(
+        self,
+        tree: Any,
+        pairs: np.ndarray,
+        *,
+        bundle: Optional[Dict[str, Any]] = None,
+        keepidx: Optional[np.ndarray] = None,
+    ) -> Tuple[int, int, int]:
+        if tree.mirror_parent is None:
+            tree.enable_mirror()
+        oracle = self._refresh(tree)
+        us = pairs[:, 0]
+        vs = pairs[:, 1]
+        backward = self._merged_backward(oracle, us, vs, bundle, keepidx)
+        backward_l = backward.tolist()
+        stale = (tree.dirty[us] | tree.dirty[vs]).tolist()
+        us_l = us.tolist()
+        vs_l = vs.tolist()
+        mparent = tree.mirror_parent
+        mdepth = tree.mirror_depth
+        mdirty = tree.mirror_dirty
+        tin = self._tin_l
+        tout = self._tout_l
+        ds = tree.ds
+        live = tree.live
+        find = ds.find
+        early_accepts = 0
+        pushdowns = 0
+        largest = 0
+        fast = 0
+        fallbacks = 0
+        mutated = False
+        for i in range(len(us_l)):
+            u = us_l[i]
+            v = vs_l[i]
+            if stale[i] or (mutated and (mdirty[u] or mdirty[v])):
+                # The hybrid dirty-suffix walk of the vector backend,
+                # over list mirrors instead of numpy scalars.
+                fallbacks += 1
+                ru = find(u)
+                rv = find(v)
+                if ru == rv or not (live[ru] and live[rv]):
+                    continue
+                if mdepth[ru] < mdepth[rv]:
+                    continue  # reshaped since the prefilter
+                node = ru
+                target = mdepth[rv]
+                verdict = None
+                while node != -1 and mdepth[node] > target:
+                    if not mdirty[node]:
+                        verdict = tin[rv] <= tin[node] < tout[rv]
+                        break
+                    node = mparent[node]
+                if verdict is None:
+                    verdict = node == rv
+                if verdict:
+                    rep = tree.contract_path(ru, rv)
+                    size = ds.set_size(rep)
+                    if size > largest:
+                        largest = size
+                    early_accepts += 1
+                else:
+                    tree.pushdown(ru, rv)
+                    pushdowns += 1
+                mutated = True
+                continue
+            fast += 1
+            if backward_l[i]:
+                rep = tree.contract_path(u, v)
+                size = ds.set_size(rep)
+                if size > largest:
+                    largest = size
+                early_accepts += 1
+            else:
+                tree.pushdown(u, v)
+                pushdowns += 1
+            mutated = True
+        self.bump("kernel-fast-path", fast)
+        self.bump("kernel-fallbacks", fallbacks)
+        return early_accepts, pushdowns, largest
+
+    def search_scan(
+        self,
+        tree: Any,
+        pairs: np.ndarray,
+        *,
+        bundle: Optional[Dict[str, Any]] = None,
+        keepidx: Optional[np.ndarray] = None,
+    ) -> int:
+        oracle = self._refresh(tree)
+        us = pairs[:, 0]
+        vs = pairs[:, 1]
+        backward = self._merged_backward(
+            oracle, us, vs, bundle, keepidx
+        ).tolist()
+        stale = (tree.dirty[us] | tree.dirty[vs]).tolist()
+        us_l = us.tolist()
+        vs_l = vs.tolist()
+        dirty = tree.dirty
+        contractions = 0
+        fast = 0
+        fallbacks = 0
+        mutated = False
+        for i in range(len(us_l)):
+            u = us_l[i]
+            v = vs_l[i]
+            if stale[i] or (mutated and (dirty[u] or dirty[v])):
+                fallbacks += 1
+                ru = tree.find(u)
+                rv = tree.find(v)
+                if ru != rv and _hybrid_is_ancestor(tree, oracle, rv, ru):
+                    tree.contract_path(ru, rv)
+                    contractions += 1
+                    mutated = True
+                continue
+            fast += 1
+            if backward[i]:
+                tree.contract_path(u, v)
+                contractions += 1
+                mutated = True
+        self.bump("kernel-fast-path", fast)
+        self.bump("kernel-fallbacks", fallbacks)
+        return contractions
+
+    def dfs_scan(
+        self,
+        tree: Any,
+        batch: np.ndarray,
+        deadline: Any,
+        *,
+        bundle: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        oracle = self._refresh(tree)
+        us = batch[:, 0].astype(np.int64)
+        vs = batch[:, 1].astype(np.int64)
+        if (
+            bundle is not None
+            and bundle.get("gen") == self._labels_gen == self._ctx.generation
+        ):
+            # Raw node ids, no root mapping: under a matching
+            # generation the worker arrays are bit-equal to the local
+            # precompute (clean entries — the only ones the fast path
+            # reads — have unchanged depth and labels since publish).
+            u_below = bundle["u_below"].tolist()
+            anc_uv = bundle["anc_uv"].tolist()
+            anc_vu = bundle["anc_vu"].tolist()
+            self.bump("parallel-bundle-hits", len(u_below))
+        else:
+            if bundle is not None:
+                self._ctx.count_stale()
+            u_below = (tree.depth[us] < tree.depth[vs]).tolist()
+            anc_uv = oracle.is_ancestor_many(us, vs).tolist()
+            anc_vu = oracle.is_ancestor_many(vs, us).tolist()
+        stale = (tree.dirty[us] | tree.dirty[vs]).tolist()
+        us_l = us.tolist()
+        vs_l = vs.tolist()
+        dirty = tree.dirty
+        parent = tree.parent
+        pre = tree.pre
+        reparents = 0
+        fast = 0
+        fallbacks = 0
+        mutated = False
+        for i in range(len(us_l)):
+            u = us_l[i]
+            v = vs_l[i]
+            if u == v or parent[v] == u:
+                continue
+            if stale[i] or (mutated and (dirty[u] or dirty[v])):
+                fallbacks += 1
+                if tree.depth[u] < tree.depth[v]:
+                    if _hybrid_is_ancestor(tree, oracle, u, v):
+                        continue  # forward edge
+                elif _hybrid_is_ancestor(tree, oracle, v, u):
+                    continue  # backward edge
+            else:
+                fast += 1
+                if u_below[i]:
+                    if anc_uv[i]:
+                        continue  # forward edge
+                elif anc_vu[i]:
+                    continue  # backward edge
+            if pre[u] < pre[v]:
+                tree.reparent(v, u)
+                tree.assign_preorder(pivot=int(tree.pre[u]))
+                reparents += 1
+                mutated = True
+                deadline.check()
+            # backward-cross-edges are ignored.
+        self.bump("kernel-fast-path", fast)
+        self.bump("kernel-fallbacks", fallbacks)
+        return reparents
+
+    # ------------------------------------------------------------------
+    def drain_counters(self) -> Dict[str, int]:
+        """Kernel counters plus the executor's per-scan activity."""
+        drained = super().drain_counters()
+        drained.update(self._ctx.drain_counters())
+        return drained

@@ -1,0 +1,110 @@
+"""Vectorised Euler-tour relabeling for the parallel snapshot publisher.
+
+:meth:`repro.kernels.oracle.AncestorOracle._rebuild` walks the live
+forest with an explicit-stack Python DFS — O(|V|) interpreter work per
+rebuild.  The parallel executor rebuilds *and* republishes the snapshot
+to shared memory on every epoch change, so the rebuild itself has to be
+array-shaped.  :func:`vector_relabel` produces interval labels in a
+handful of numpy passes:
+
+1. bucket live nodes by depth (one stable argsort — depths are small
+   integers, so this is effectively a counting sort);
+2. bottom-up subtree sizes with ``np.add.at`` per level;
+3. sibling offsets from one global ``(parent, id)`` lexsort — the
+   exclusive cumulative sum of sibling sizes within each parent group,
+   which is each child's entry delay after its parent;
+4. top-down ``tin`` accumulation per level; ``tout = tin + size``.
+
+The DFS order this encodes (children visited in ascending node id) can
+differ from the recursive order of ``_rebuild`` (insertion-ordered
+children sets), but that is irrelevant by design: the oracle's only
+contract is the interval property ``is_ancestor(a, d) ⇔
+tin[a] <= tin[d] < tout[a]``, which holds for *any* valid DFS of the
+forest because the counter advances on entry only.  Every consumer of
+the labels asks ancestor queries, never order queries, so decisions —
+and therefore partitions, iterations and counted I/O — are unchanged
+(pinned by ``tests/test_parallel.py`` and the ``--workers`` re-runs of
+the bench-regression gate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import VIRTUAL_ROOT
+
+__all__ = ["vector_relabel"]
+
+
+def vector_relabel(
+    parent: np.ndarray,
+    depth: np.ndarray,
+    live: Optional[np.ndarray],
+    tin: np.ndarray,
+    tout: np.ndarray,
+) -> None:
+    """Fill ``tin``/``tout`` with Euler-tour interval labels.
+
+    ``parent``/``depth`` describe the forest (``VIRTUAL_ROOT`` parents
+    are roots, every child's depth is its parent's plus one), ``live``
+    masks the nodes to label (``None`` labels everything).  Dead nodes
+    get ``tin = tout = -1``, matching the oracle's rebuild.
+    """
+    n = parent.shape[0]
+    tin.fill(-1)
+    tout.fill(-1)
+    if live is None:
+        idx = np.arange(n, dtype=np.int64)
+        par = parent
+    else:
+        idx = np.flatnonzero(live)
+        # Dead parents never receive size mass: only live nodes are
+        # iterated, and a live node's parent is live by invariant.
+        par = np.where(live, parent, VIRTUAL_ROOT)
+    if idx.size == 0:
+        return
+    d = depth[idx]
+    mind = int(d.min())
+    maxd = int(d.max())
+    order = np.argsort(d, kind="stable")
+    nodes_by_depth = idx[order]
+    d_sorted = d[order]
+    starts = np.searchsorted(d_sorted, np.arange(mind, maxd + 2))
+
+    def level(lev: int) -> np.ndarray:
+        return nodes_by_depth[starts[lev - mind]:starts[lev - mind + 1]]
+
+    # Bottom-up subtree sizes.
+    size = np.ones(n, dtype=np.int64)
+    for lev in range(maxd, mind, -1):
+        nodes = level(lev)
+        if nodes.size:
+            np.add.at(size, par[nodes], size[nodes])
+
+    # Sibling offsets: within each parent group (roots group under
+    # VIRTUAL_ROOT, which sorts first), a child's entry delay is one
+    # (the parent's own entry) plus the sizes of its earlier siblings.
+    p = par[idx]
+    sib_order = np.lexsort((idx, p))
+    sid = idx[sib_order]
+    sp = p[sib_order]
+    ssz = size[sid]
+    cs = np.cumsum(ssz) - ssz  # exclusive cumulative sum
+    group_start = np.ones(sid.size, dtype=bool)
+    group_start[1:] = sp[1:] != sp[:-1]
+    base = np.zeros(sid.size, dtype=np.int64)
+    base[group_start] = cs[group_start]
+    np.maximum.accumulate(base, out=base)
+    off = np.empty(n, dtype=np.int64)
+    off[sid] = cs - base + 1
+
+    # Roots have no parent entry: tin is just the earlier-roots total.
+    roots = level(mind)
+    tin[roots] = off[roots] - 1
+    for lev in range(mind + 1, maxd + 1):
+        nodes = level(lev)
+        if nodes.size:
+            tin[nodes] = tin[par[nodes]] + off[nodes]
+    tout[idx] = tin[idx] + size[idx]

@@ -1,0 +1,198 @@
+"""The scan worker pool: deterministic striping, crash containment.
+
+Batches are striped across workers round-robin by submission ordinal —
+assignment is a pure function of the stripe number, so a planted
+``worker-crash@K`` fault (see :mod:`repro.io.faults`) always lands on
+the same worker at the same point of the run.  Results come back on
+*per-worker pipes* in completion order; :meth:`WorkerPool.collect`
+reorders them into submission order, which is what makes the merge
+deterministic: the main process applies batch results in exactly the
+order a serial run would have produced them.
+
+Why pipes and not one shared result queue: a
+``multiprocessing.Queue`` flushes ``put`` payloads from a background
+feeder thread that takes the queue's *shared* write lock — a worker
+dying mid-flush orphans that lock and wedges every surviving worker's
+results forever (a deadlock, not a fallback).  ``Connection.send``
+writes in the worker's own thread with no cross-worker lock, so a
+crash can only tear the crashing worker's own channel — which reap
+already treats as that worker's death.
+
+Crash containment: when the worker owning an awaited result is found
+dead, every task still pending on it is *failed* (collect returns
+``None`` → the caller classifies that stripe in-process, tallied as
+``parallel_fallbacks``) and the worker is respawned on the same task
+queue.  A late result for an already-failed stripe is dropped — the
+in-process answer is already the authoritative one.  Wrong answers are
+structurally impossible; a crash only ever costs duplicated work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection as mp_connection
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.parallel.worker import CRASH, worker_main
+
+__all__ = ["WorkerPool"]
+
+#: Seconds between liveness checks while blocked on a result.
+_POLL_SECONDS = 0.05
+
+
+class WorkerPool:
+    """A fixed set of forked scan workers (see module docstring)."""
+
+    def __init__(self, workers: int, arena_name: Optional[str], n: int,
+                 injector: Optional[Any] = None,
+                 on_fallback: Optional[Callable[[int], None]] = None) -> None:
+        if workers <= 0:
+            raise ValueError("a WorkerPool needs at least one worker")
+        self.workers = workers
+        self._arena_name = arena_name
+        self._n = n
+        self._injector = injector
+        self._on_fallback = on_fallback
+        # fork: workers inherit the page cache-warm interpreter and
+        # attach the already-created arena by name.
+        self._mp = multiprocessing.get_context("fork")
+        self._tasks: List[Any] = [self._mp.Queue() for _ in range(workers)]
+        self._result_conns: List[Any] = [None] * workers
+        self._procs: List[Any] = [self._spawn(wid) for wid in range(workers)]
+        self._pending: Dict[int, int] = {}  # seq -> worker id
+        self._done: Dict[int, Optional[Dict[str, Any]]] = {}
+        self._stripe = 0
+        #: Lifetime tallies (the context turns these into span counters
+        #: and ``repro_parallel_*`` metrics).
+        self.batches = 0
+        self.fallbacks = 0
+        self.crashes = 0
+        self.busy_seconds = 0.0
+        self.wait_seconds = 0.0
+
+    def _spawn(self, wid: int) -> Any:
+        recv_end, send_end = self._mp.Pipe(duplex=False)
+        proc = self._mp.Process(
+            target=worker_main,
+            args=(wid, self._arena_name, self._n, self._tasks[wid],
+                  send_end),
+            daemon=True,
+        )
+        proc.start()
+        # The child inherited its copy across fork; dropping ours lets
+        # a clean worker exit surface as EOF on the recv end.
+        send_end.close()
+        self._result_conns[wid] = recv_end
+        return proc
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Stripes submitted but not yet collected."""
+        return len(self._pending)
+
+    def submit(self, seq: int, kind: str, payload: Dict[str, Any]) -> None:
+        """Ship one batch; assignment is ``stripe % workers``."""
+        wid = self._stripe % self.workers
+        stripe = self._stripe
+        self._stripe += 1
+        self.batches += 1
+        injector = self._injector
+        if injector is not None and injector.take_worker_crash(stripe):
+            # The sentinel is queued *ahead* of the task, so the worker
+            # dies before computing it — detection, not simulation.
+            self._tasks[wid].put(CRASH)
+        self._pending[seq] = wid
+        self._tasks[wid].put((seq, kind, payload))
+
+    def collect(self, seq: int) -> Optional[Dict[str, Any]]:
+        """Block until stripe ``seq`` resolves; ``None`` means fallback."""
+        if seq in self._done:
+            return self._done.pop(seq)
+        if seq not in self._pending:
+            return None
+        started = time.perf_counter()
+        try:
+            while seq in self._pending:
+                ready = mp_connection.wait(
+                    list(self._result_conns), timeout=_POLL_SECONDS
+                )
+                if not ready:
+                    owner = self._pending.get(seq)
+                    if owner is not None and not self._procs[owner].is_alive():
+                        self._reap(owner)
+                    continue
+                for conn in ready:
+                    try:
+                        wid = self._result_conns.index(conn)
+                    except ValueError:
+                        # A reap earlier in this round already replaced
+                        # this channel; the readiness is stale.
+                        continue
+                    try:
+                        _wid, rseq, out, busy = conn.recv()
+                    except (EOFError, OSError):
+                        # The owner died mid-send (or exited): a torn
+                        # message only ever tears its own channel.
+                        self._reap(wid)
+                        continue
+                    self.busy_seconds += busy
+                    if rseq in self._pending:
+                        del self._pending[rseq]
+                        self._done[rseq] = out
+                    # else: late result for a stripe already failed by
+                    # a crash — the in-process answer won; drop it.
+        finally:
+            self.wait_seconds += time.perf_counter() - started
+        return self._done.pop(seq)
+
+    def _reap(self, wid: int) -> None:
+        """Fail everything pending on a dead worker; respawn it."""
+        failed = sorted(
+            seq for seq, owner in self._pending.items() if owner == wid
+        )
+        for seq in failed:
+            del self._pending[seq]
+            self._done[seq] = None
+            self.fallbacks += 1
+            if self._on_fallback is not None:
+                self._on_fallback(seq)
+        self.crashes += 1
+        self._procs[wid].join(timeout=1.0)
+        # Drop the dead worker's channel unread: any complete results
+        # still in it belong to seqs failed above — the in-process
+        # recompute is authoritative.  _spawn installs a fresh pipe.
+        try:
+            self._result_conns[wid].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        # Same task queue on purpose: tasks the dead worker never
+        # consumed are recomputed by the respawn; their late results
+        # are dropped.
+        self._procs[wid] = self._spawn(wid)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and release the queues."""
+        for q in self._tasks:
+            try:
+                q.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in self._tasks:
+            q.cancel_join_thread()
+            q.close()
+        for conn in self._result_conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._pending.clear()
+        self._done.clear()

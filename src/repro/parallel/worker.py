@@ -1,0 +1,155 @@
+"""The worker-process loop and its pure per-batch compute kinds.
+
+A worker owns nothing but a read-only attachment to the run's
+:class:`~repro.parallel.shm.SnapshotArena` and a pair of queues.  Every
+task is a pure function of ``(committed snapshot, batch payload)`` —
+workers never mutate shared state, never touch the counted
+:class:`~repro.io.counter.IOCounter`, and never decide anything: the
+main process alone applies decisions, in batch order, after verifying
+each result is provably equal to what it would have computed itself
+(see :mod:`repro.parallel.kernels`).  A worker that dies — or returns a
+result torn by a concurrent publish — simply costs a fallback, never an
+answer.
+
+Compute kinds:
+
+``classify``
+    Map raw endpoints through the published ``root`` array and answer
+    the backward-edge interval test on the mapped pair (1P-SCC
+    classification and 2P Tree-Search share this shape).
+``dfs``
+    Raw-endpoint ancestor tests for the DFS forward-cross-edge loop
+    (no root mapping — the DFS forest is over original node ids).
+``map``
+    Frozen-map rewrite filtering: map endpoints through ``root``, drop
+    self-loops (and, when ``check_live``, dead endpoints).  Used by the
+    1P/1PB graph-reduction scans and the EM-SCC rewrite scan.
+``sort``
+    Pack-and-sort one run of edges for the parallel external sort
+    (:func:`repro.io.extsort.external_sort_edges`); needs no arena.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.parallel.shm import SnapshotArena
+
+__all__ = ["CRASH", "worker_main"]
+
+#: Queue sentinel making the worker exit hard (fault injection only).
+CRASH = "__worker-crash__"
+
+
+def _classify(views: Dict[str, np.ndarray], payload: Dict[str, Any],
+              gen: int) -> Dict[str, Any]:
+    batch = payload["batch"]
+    tin = views["tin"]
+    tout = views["tout"]
+    root = views["root"]
+    u0 = root[batch[:, 0].astype(np.int64)]
+    v0 = root[batch[:, 1].astype(np.int64)]
+    backward = (tin[v0] <= tin[u0]) & (tin[u0] < tout[v0])
+    return {"gen": gen, "u0": u0, "v0": v0, "backward": backward}
+
+
+def _dfs(views: Dict[str, np.ndarray], payload: Dict[str, Any],
+         gen: int) -> Dict[str, Any]:
+    batch = payload["batch"]
+    us = batch[:, 0].astype(np.int64)
+    vs = batch[:, 1].astype(np.int64)
+    tin = views["tin"]
+    tout = views["tout"]
+    depth = views["depth"]
+    return {
+        "gen": gen,
+        "u_below": depth[us] < depth[vs],
+        "anc_uv": (tin[us] <= tin[vs]) & (tin[vs] < tout[us]),
+        "anc_vu": (tin[vs] <= tin[us]) & (tin[us] < tout[vs]),
+    }
+
+
+def _map(views: Dict[str, np.ndarray], payload: Dict[str, Any],
+         gen: int) -> Dict[str, Any]:
+    batch = payload["batch"]
+    root = views["root"]
+    us = root[batch[:, 0].astype(np.int64)]
+    vs = root[batch[:, 1].astype(np.int64)]
+    keep = us != vs
+    if payload["check_live"]:
+        live = views["live"]
+        keep &= (live[us] != 0) & (live[vs] != 0)
+    return {"gen": gen, "us": us[keep], "vs": vs[keep]}
+
+
+def _sort(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.io.extsort import _pack
+
+    keys = np.sort(_pack(payload["batch"], payload["target_major"]),
+                   kind="stable")
+    return {"gen": -1, "keys": keys}
+
+
+def _compute(arena: Optional[SnapshotArena], kind: str,
+             payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    if kind == "sort":
+        return _sort(payload)
+    assert arena is not None
+    gen, views = arena.snapshot()
+    if kind == "classify":
+        out = _classify(views, payload, gen)
+    elif kind == "dfs":
+        out = _dfs(views, payload, gen)
+    elif kind == "map":
+        out = _map(views, payload, gen)
+    else:  # pragma: no cover - submit() only ships known kinds
+        raise ValueError(f"unknown worker task kind {kind!r}")
+    if arena.generation != gen:
+        # A publish raced this read; the views may have been torn.
+        return None
+    return out
+
+
+def worker_main(worker_id: int, arena_name: Optional[str], n: int,
+                tasks: Any, results: Any) -> None:
+    """Process entry point: drain ``tasks`` until the ``None`` sentinel.
+
+    ``results`` is this worker's private pipe end; results are
+    ``(worker_id, seq, out_or_None, busy_seconds)`` tuples, and ``out``
+    is ``None`` when the compute raced a publish or raised (a torn read
+    can surface as an IndexError — the main process recomputes that
+    batch in-process either way).  ``Connection.send`` runs in this
+    thread — no feeder thread, no lock shared with other workers — so
+    ``os._exit`` below can at worst tear *this* channel, never wedge a
+    sibling (see the :mod:`~repro.parallel.pool` module docstring).
+    """
+    arena = (SnapshotArena(n, name=arena_name)
+             if arena_name is not None else None)
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            if task == CRASH:
+                # Planted fault: die the way a real crash does, so the
+                # pool's liveness detection is what gets exercised.
+                os._exit(3)
+            seq, kind, payload = task
+            started = time.perf_counter()
+            try:
+                out = _compute(arena, kind, payload)
+            except Exception:
+                out = None
+            results.send((worker_id, seq, out,
+                          time.perf_counter() - started))
+    finally:
+        if arena is not None:
+            arena.close()
+        try:
+            results.close()
+        except OSError:  # pragma: no cover - channel already gone
+            pass

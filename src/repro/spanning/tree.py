@@ -22,7 +22,7 @@ Supported operations map one-to-one onto the paper:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -71,6 +71,16 @@ class ContractibleTree:
         #: Switched on by the first oracle rebuild; scalar-only runs
         #: never pay the subtree-marking cost.
         self.track_dirty = False
+        #: Optional plain-list mirrors of ``parent``/``depth``/``dirty``
+        #: (:meth:`enable_mirror`).  The parallel merge loop's fallback
+        #: walks are numpy-scalar-read bound; reading Python lists in
+        #: the hot walk is several times cheaper, and the mutation loops
+        #: below already visit exactly the nodes whose entries change.
+        #: ``None`` until enabled, so serial runs pay one predicate per
+        #: mutation and nothing per node.
+        self.mirror_parent: Optional[List[int]] = None
+        self.mirror_depth: Optional[List[int]] = None
+        self.mirror_dirty: Optional[List[bool]] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -140,19 +150,53 @@ class ContractibleTree:
         return self.roots()
 
     # ------------------------------------------------------------------
+    # mirrors
+    # ------------------------------------------------------------------
+    def enable_mirror(self) -> None:
+        """Materialise the plain-list mirrors and keep them maintained.
+
+        Idempotent.  After this call every structural edit updates the
+        mirrors in the same loops that update the numpy arrays, so the
+        two views never diverge; :meth:`mirror_clear_dirty` must be
+        called whenever a snapshot consumer clears :attr:`dirty`.
+        """
+        if self.mirror_parent is not None:
+            return
+        self.mirror_parent = self.parent.tolist()
+        self.mirror_depth = self.depth.tolist()
+        self.mirror_dirty = self.dirty.tolist()
+
+    def mirror_clear_dirty(self) -> None:
+        """Re-zero the dirty mirror (paired with ``dirty[:] = False``)."""
+        if self.mirror_dirty is not None:
+            self.mirror_dirty = [False] * self.n
+
+    # ------------------------------------------------------------------
     # structural edits
     # ------------------------------------------------------------------
     def _mark_dirty_subtree(self, v: int) -> None:
         """Mark ``v`` and its whole subtree dirty (post-mutation)."""
         dirty = self.dirty
-        for node in self.subtree(v):
-            dirty[node] = True
+        mirror = self.mirror_dirty
+        if mirror is None:
+            for node in self.subtree(v):
+                dirty[node] = True
+        else:
+            for node in self.subtree(v):
+                dirty[node] = True
+                mirror[node] = True
 
     def _shift_subtree_depth(self, v: int, delta: int) -> None:
         if delta == 0:
             return
-        for node in self.subtree(v):
-            self.depth[node] += delta
+        mirror = self.mirror_depth
+        if mirror is None:
+            for node in self.subtree(v):
+                self.depth[node] += delta
+        else:
+            for node in self.subtree(v):
+                self.depth[node] += delta
+                mirror[node] += delta
 
     def _detach(self, v: int) -> None:
         p = int(self.parent[v])
@@ -173,6 +217,8 @@ class ContractibleTree:
             self.children[new_parent].add(v)
             new_depth = int(self.depth[new_parent]) + 1
         self.parent[v] = new_parent
+        if self.mirror_parent is not None:
+            self.mirror_parent[v] = new_parent
         self.parent_is_real[v] = real and new_parent != VIRTUAL_ROOT
         self._shift_subtree_depth(v, new_depth - int(self.depth[v]))
         # The moved subtree's root paths (and depths) changed; the rest
@@ -207,16 +253,22 @@ class ContractibleTree:
         rep = v
         rep_depth = int(self.depth[rep])
         mark = self.track_dirty
+        mirror_parent = self.mirror_parent
+        mirror_dirty = self.mirror_dirty
         for node in path[:-1]:  # everything except v itself
             self.ds.union_into(node, rep)
             self.live[node] = False
             if mark:
                 self.dirty[node] = True
+                if mirror_dirty is not None:
+                    mirror_dirty[node] = True
             for child in list(self.children[node]):
                 if child in on_path:
                     continue
                 self.children[rep].add(child)
                 self.parent[child] = rep
+                if mirror_parent is not None:
+                    mirror_parent[child] = rep
                 self._shift_subtree_depth(child, rep_depth + 1 - int(self.depth[child]))
                 if mark:
                     self._mark_dirty_subtree(child)
@@ -239,10 +291,14 @@ class ContractibleTree:
             self.reparent(child, VIRTUAL_ROOT)
         self._detach(v)
         self.parent[v] = VIRTUAL_ROOT
+        if self.mirror_parent is not None:
+            self.mirror_parent[v] = VIRTUAL_ROOT
         self.live[v] = False
         self.epoch += 1
         if self.track_dirty:
             self.dirty[v] = True
+            if self.mirror_dirty is not None:
+                self.mirror_dirty[v] = True
         self.rejected.append(v)
 
     # ------------------------------------------------------------------

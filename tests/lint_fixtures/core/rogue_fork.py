@@ -1,0 +1,17 @@
+"""Deliberately broken lint fixture: ad-hoc worker fork (THR003).
+
+An algorithm module that forks its own helper process instead of going
+through ``repro.parallel``.  The pool exists precisely so that worker
+assignment is deterministic and crashes are contained into counted
+fallbacks; a bare ``multiprocessing`` import anywhere else is an
+unaccounted execution side channel — the containment half of THR003.
+"""
+
+import multiprocessing
+
+
+def classify_in_background(batch, queue):
+    """Ship one batch to a hand-rolled worker process."""
+    proc = multiprocessing.Process(target=queue.put, args=(batch,))
+    proc.start()
+    return proc

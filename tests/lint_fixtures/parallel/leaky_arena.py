@@ -1,0 +1,22 @@
+"""Deliberately broken lint fixture: unlink-less shared memory (THR003).
+
+Creating a ``SharedMemory`` segment makes a kernel object that outlives
+the process unless somebody unlinks it.  This arena closes its handle
+but never unlinks on a ``finally`` path, so every crashed run leaks the
+``/dev/shm`` segment — the lifetime half of THR003 (the containment
+half does not fire here: this directory mirrors ``repro/parallel/``,
+the one package allowed to use ``multiprocessing``).
+"""
+
+from multiprocessing import shared_memory
+
+
+class LeakyArena:
+    """A snapshot arena that forgets its segment on teardown."""
+
+    def __init__(self, size):
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        """Detach — but never unlink, so the segment outlives the run."""
+        self.shm.close()

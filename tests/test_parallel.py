@@ -1,0 +1,367 @@
+"""Tests for repro.parallel: determinism, crash containment, components.
+
+The headline property — a ``workers=N`` run is byte-identical to a
+serial run in partition, iteration count and counted I/O, for every
+algorithm and every worker count — is fuzzed here over random graphs
+and pinned again at gate scale by ``benchmarks/regression.py
+--workers``.  The satellites ride along: the worker-kill drill (planted
+``worker-crash@K`` faults must cost fallbacks, never answers), the
+vectorised relabeler's interval-property contract, the arena's
+generation protocol, the oracle's buffer-reuse export, and the parallel
+external sort.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.constants import VIRTUAL_ROOT
+from repro.core import ALGORITHMS
+from repro.core.one_phase import OnePhaseSCC
+from repro.core.validate import partitions_equal
+from repro.graph.digraph import Digraph
+from repro.graph.diskgraph import DiskGraph
+from repro.inmemory.tarjan import tarjan_scc
+from repro.io.counter import IOCounter
+from repro.io.edgefile import EdgeFile
+from repro.io.extsort import external_sort_edges
+from repro.io.faults import FaultPlan
+from repro.io.memory import MemoryModel
+from repro.kernels.oracle import AncestorOracle
+from repro.parallel import SnapshotArena, vector_relabel
+from repro.workloads.synthetic import planted_scc_graph
+
+from tests.conftest import SMALL_BLOCK
+
+IO_FIELDS = (
+    "seq_reads", "seq_writes", "rand_reads", "rand_writes",
+    "bytes_read", "bytes_written",
+)
+
+
+def _random_digraph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    return Digraph(n, edges)
+
+
+def _pairs_digraph(n):
+    """2-cycle pairs — the one shape EM-SCC always contracts through."""
+    pairs = []
+    for i in range(n // 2):
+        pairs.append([2 * i, 2 * i + 1])
+        pairs.append([2 * i + 1, 2 * i])
+    return Digraph(n, np.array(pairs))
+
+
+def _disk(tmp_path, graph, name):
+    return DiskGraph.from_digraph(
+        graph, str(tmp_path / name), block_size=SMALL_BLOCK
+    )
+
+
+def _signature(result):
+    """Everything the determinism contract pins, as one comparable tuple."""
+    io = result.stats.io
+    return (
+        tuple(result.labels.tolist()),
+        result.stats.iterations,
+        result.num_sccs,
+        tuple(getattr(io, fld) for fld in IO_FIELDS),
+    )
+
+
+class TestSerialParallelDeterminism:
+    """Fuzz: workers ∈ {1, 2, 4} retrace the serial run byte-for-byte."""
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_partition_iterations_and_io_identical(
+        self, tmp_path, algorithm, seed
+    ):
+        if algorithm == "EM-SCC":
+            graph = _pairs_digraph(80 + 20 * seed)
+            memory = MemoryModel(
+                num_nodes=graph.num_nodes,
+                capacity=SMALL_BLOCK + 4 * graph.num_nodes,
+                block_size=SMALL_BLOCK,
+            )
+        else:
+            graph = _random_digraph(60 + 10 * seed, 300, seed)
+            memory = None
+        serial = ALGORITHMS[algorithm]().run(
+            _disk(tmp_path, graph, f"s{seed}.bin"), memory=memory
+        )
+        baseline = _signature(serial)
+        for workers in (1, 2, 4):
+            result = ALGORITHMS[algorithm]().run(
+                _disk(tmp_path, graph, f"w{workers}-{seed}.bin"),
+                memory=memory,
+                workers=workers,
+            )
+            assert _signature(result) == baseline
+            assert result.stats.extras.get("workers") == workers
+
+    def test_negative_workers_rejected(self, tmp_path):
+        graph = _random_digraph(20, 60, 1)
+        with pytest.raises(ValueError, match="workers"):
+            OnePhaseSCC().run(_disk(tmp_path, graph, "neg.bin"), workers=-1)
+
+
+class TestWorkerCrashContainment:
+    """A killed worker costs counted fallbacks, never a wrong answer."""
+
+    def test_planted_crashes_fall_back_in_process(self, tmp_path):
+        graph = planted_scc_graph(
+            300, [60, 40, 20], avg_degree=4.0,
+            rng=np.random.default_rng(7),
+        ).graph
+        serial = OnePhaseSCC().run(_disk(tmp_path, graph, "serial.bin"))
+        crashed = OnePhaseSCC().run(
+            _disk(tmp_path, graph, "crashed.bin"),
+            workers=2,
+            fault_plan="worker-crash@1;worker-crash@4",
+        )
+        assert _signature(crashed) == _signature(serial)
+        assert crashed.stats.extras["parallel_fallbacks"] > 0
+
+    def test_worker_crash_token_round_trips(self):
+        plan = FaultPlan.parse("seed=9;worker-crash@4;worker-crash@1")
+        assert plan.worker_crashes == [1, 4]
+        respec = FaultPlan.parse(plan.to_spec())
+        assert respec.worker_crashes == plan.worker_crashes
+        assert respec.to_spec() == plan.to_spec()
+
+
+class TestVectorRelabel:
+    """The array-shaped relabeler satisfies the oracle's only contract."""
+
+    @staticmethod
+    def _random_forest(n, seed, live_fraction=1.0):
+        rng = np.random.default_rng(seed)
+        parent = np.full(n, VIRTUAL_ROOT, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+        for node in range(1, n):
+            if rng.random() < 0.1:
+                continue  # another root
+            parent[node] = int(rng.integers(0, node))
+            depth[node] = depth[parent[node]] + 1
+        live = None
+        if live_fraction < 1.0:
+            # Dead subtrees only: a live node's parent must stay live.
+            live = np.ones(n, dtype=bool)
+            for node in rng.choice(n, size=int(n * (1 - live_fraction)),
+                                   replace=False):
+                live[node] = False
+            for node in range(n):
+                if parent[node] != VIRTUAL_ROOT and not live[parent[node]]:
+                    live[node] = False
+        return parent, depth, live
+
+    @staticmethod
+    def _is_ancestor_by_walk(parent, anc, desc):
+        node = desc
+        while node != VIRTUAL_ROOT:
+            if node == anc:
+                return True
+            node = parent[node]
+        return False
+
+    @pytest.mark.parametrize("seed,live_fraction", [(0, 1.0), (1, 1.0),
+                                                    (2, 0.7), (3, 0.5)])
+    def test_interval_property_matches_parent_walks(self, seed, live_fraction):
+        n = 200
+        parent, depth, live = self._random_forest(n, seed, live_fraction)
+        tin = np.empty(n, dtype=np.int64)
+        tout = np.empty(n, dtype=np.int64)
+        vector_relabel(parent, depth, live, tin, tout)
+        rng = np.random.default_rng(seed + 100)
+        alive = np.flatnonzero(live) if live is not None else np.arange(n)
+        if live is not None:
+            dead = np.flatnonzero(~live)
+            assert (tin[dead] == -1).all() and (tout[dead] == -1).all()
+        for _ in range(400):
+            a, d = (int(alive[i]) for i in rng.integers(0, alive.size, 2))
+            expected = self._is_ancestor_by_walk(parent, a, d)
+            assert bool(tin[a] <= tin[d] < tout[a]) == expected
+
+    def test_labels_are_a_permutation_per_tree(self):
+        parent, depth, live = self._random_forest(150, 4)
+        tin = np.empty(150, dtype=np.int64)
+        tout = np.empty(150, dtype=np.int64)
+        vector_relabel(parent, depth, live, tin, tout)
+        assert sorted(tin.tolist()) == list(range(150))
+        assert (tout == tin + (tout - tin)).all()
+        roots = np.flatnonzero(parent == VIRTUAL_ROOT)
+        assert int((tout[roots] - tin[roots]).sum()) == 150
+
+
+class TestSnapshotArena:
+    """Generation protocol, double-buffering, owner-unlinks lifetime."""
+
+    def test_stage_commit_snapshot_round_trip(self):
+        with SnapshotArena(8, create=True) as arena:
+            stage = arena.stage()
+            stage["tin"][:] = np.arange(8)
+            stage["live"][:] = 1
+            gen = arena.commit()
+            got_gen, views = arena.snapshot()
+            assert got_gen == gen == 1
+            assert views["tin"].tolist() == list(range(8))
+            # The next stage is the *other* buffer: writing it does not
+            # disturb the committed snapshot until the commit flips.
+            arena.stage()["tin"][:] = -5
+            assert arena.snapshot()[1]["tin"].tolist() == list(range(8))
+            del stage, views  # release buffer exports before unlink
+
+    def test_reader_attachment_checks_size(self):
+        with SnapshotArena(16, create=True) as arena:
+            reader = SnapshotArena(16, name=arena.name)
+            assert reader.generation == arena.generation
+            reader.close()
+            with pytest.raises(ValueError, match="sized for"):
+                SnapshotArena(17, name=arena.name)
+
+    def test_generation_mismatch_is_detectable(self):
+        with SnapshotArena(4, create=True) as arena:
+            gen, views = arena.snapshot()
+            arena.stage()
+            arena.commit()
+            assert arena.generation != gen  # reader must discard
+            del views  # release buffer exports before unlink
+
+
+class TestOracleExport:
+    """export(into=) reuses caller buffers; export() copies."""
+
+    @staticmethod
+    def _oracle(n=32):
+        graph = _random_digraph(n, 4 * n, 11)
+
+        class _Forest:
+            pass
+
+        oracle = AncestorOracle(n)
+        oracle.tin[:] = np.arange(n)
+        oracle.tout[:] = np.arange(n) + 1
+        return oracle
+
+    def test_export_returns_private_copies(self):
+        oracle = self._oracle()
+        tin, tout = oracle.export()
+        tin[0] = -99
+        assert oracle.tin[0] == 0
+        assert tout is not oracle.tout
+
+    def test_export_into_reuses_buffers(self):
+        oracle = self._oracle()
+        buf_tin = np.empty(32, dtype=np.int64)
+        buf_tout = np.empty(32, dtype=np.int64)
+        tin, tout = oracle.export(into=(buf_tin, buf_tout))
+        assert tin is buf_tin and tout is buf_tout
+        assert (tin == oracle.tin).all() and (tout == oracle.tout).all()
+
+
+class TestParallelExternalSort:
+    """Run formation in workers: identical bytes, identical counted I/O."""
+
+    @pytest.mark.parametrize("order", ["source", "target"])
+    def test_bytes_and_io_identical(self, tmp_path, order):
+        rng = np.random.default_rng(5)
+        edges = rng.integers(0, 999, size=(6000, 2), dtype=np.uint32)
+
+        def run(workers):
+            counter = IOCounter()
+            src = EdgeFile.create(
+                str(tmp_path / f"in-{order}-{workers}.bin"),
+                counter=counter, block_size=256,
+            )
+            src.append(edges)
+            src.flush()
+            memory = MemoryModel(num_nodes=0, capacity=4 * 256,
+                                 block_size=256)
+            out = external_sort_edges(
+                src, order=order, memory=memory,
+                out_path=str(tmp_path / f"out-{order}-{workers}.bin"),
+                workers=workers,
+            )
+            data = open(out.path, "rb").read()  # repro: allow[IO001]
+            return data, dataclasses.asdict(counter.stats)
+
+        serial_bytes, serial_io = run(0)
+        parallel_bytes, parallel_io = run(2)
+        assert parallel_bytes == serial_bytes
+        assert parallel_io == serial_io
+
+    def test_sorted_output_is_correct(self, tmp_path):
+        rng = np.random.default_rng(6)
+        edges = rng.integers(0, 50, size=(500, 2), dtype=np.uint32)
+        src = EdgeFile.create(str(tmp_path / "c.bin"), counter=IOCounter(),
+                              block_size=256)
+        src.append(edges)
+        src.flush()
+        out = external_sort_edges(src, order="source", workers=2,
+                                  out_path=str(tmp_path / "c.sorted"))
+        got = np.concatenate(list(out.scan()))
+        expected = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+        assert (got == expected).all()
+
+
+class TestReportParallelLine:
+    """A traced parallel run renders its efficiency in the report."""
+
+    def test_report_renders_parallel_efficiency(self, tmp_path):
+        from repro.obs import TraceWriter, Tracer
+        from repro.obs.report import render_report
+        from repro.obs.trace import load_trace
+
+        graph = _random_digraph(60, 300, 2)
+        trace_path = str(tmp_path / "run.jsonl")
+        writer = TraceWriter(trace_path, metadata={"algorithm": "1P-SCC"})
+        OnePhaseSCC().run(
+            _disk(tmp_path, graph, "rep.bin"),
+            workers=2,
+            tracer=Tracer(sink=writer),
+        )
+        writer.close()
+        text = render_report(load_trace(trace_path))
+        assert "parallel: 2 workers," in text
+        assert "worker-busy" in text
+        assert "of 2×wall" in text
+
+    def test_serial_report_has_no_parallel_line(self, tmp_path):
+        from repro.obs import TraceWriter, Tracer
+        from repro.obs.report import render_report
+        from repro.obs.trace import load_trace
+
+        graph = _random_digraph(40, 150, 3)
+        trace_path = str(tmp_path / "serial.jsonl")
+        writer = TraceWriter(trace_path, metadata={"algorithm": "1P-SCC"})
+        OnePhaseSCC().run(
+            _disk(tmp_path, graph, "srep.bin"), tracer=Tracer(sink=writer)
+        )
+        writer.close()
+        assert "parallel:" not in render_report(load_trace(trace_path))
+
+
+class TestResultExtras:
+    """Parallel tallies surface as extras and never feed fingerprints."""
+
+    def test_extras_present_and_plausible(self, tmp_path):
+        graph = _random_digraph(80, 400, 2)
+        result = OnePhaseSCC().run(
+            _disk(tmp_path, graph, "extras.bin"), workers=2
+        )
+        extras = result.stats.extras
+        assert extras["workers"] == 2
+        assert extras["parallel_batches"] > 0
+        assert extras["parallel_fallbacks"] >= 0
+        assert extras["parallel_stale_bundles"] >= 0
+
+    def test_serial_runs_carry_no_parallel_extras(self, tmp_path):
+        graph = _random_digraph(40, 150, 8)
+        result = OnePhaseSCC().run(_disk(tmp_path, graph, "noext.bin"))
+        assert "workers" not in result.stats.extras
+        truth, _ = tarjan_scc(graph)
+        assert partitions_equal(truth, result.labels)
