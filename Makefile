@@ -1,5 +1,6 @@
 .PHONY: install test lint bench bench-smoke bench-golden bench-prefetch \
-	bench-kernels bench-parallel chaos examples suite clean \
+	bench-kernels bench-parallel bench-service chaos service-smoke \
+	service-chaos examples suite clean \
 	reproduce-smoke reproduce-paper artifact-golden
 
 PYTHON ?= python
@@ -54,6 +55,12 @@ bench-kernels:
 bench-parallel:
 	$(PYTHON) -m benchmarks.bench_parallel
 
+# Serving-plane latency/shedding/rebuild-availability of the query
+# daemon -> BENCH_service.json (gates zero wrong answers, >= 95 %
+# availability during a rebuild, typed shedding under overload).
+bench-service:
+	$(PYTHON) -m benchmarks.bench_service
+
 # Chaos gate: the fault-injection / crash-consistency / checkpoint-resume
 # test files, plus an end-to-end crash -> resume through the CLI (exit
 # code 4 marks a simulated crash; the resumed run must succeed).
@@ -72,6 +79,16 @@ chaos:
 		--algorithm 1P-SCC --block-size 4096 \
 		--checkpoint-dir chaos-workdir/ckpt --resume
 	rm -rf chaos-workdir
+
+# The query daemon end to end over the wire: address line, every op,
+# typed errors, ingest -> background rebuild, protocol shutdown.
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py
+
+# The daemon's crash drill: SIGKILL mid-build and mid-rebuild, restart,
+# resume; fingerprints must match an uninterrupted reference run.
+service-chaos:
+	$(PYTHON) scripts/service_chaos_drill.py
 
 # One-command reproduction artifact (see docs/reproduction_guide.md).
 # Smoke tier is the CI gate: the sweep's MANIFEST.json must match the
@@ -109,5 +126,5 @@ examples:
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache .benchmarks \
 		suite_results bench-regression-results.json bench-regression-traces \
-		chaos-workdir
+		chaos-workdir service-smoke-workdir service-chaos-workdir
 	find . -name '__pycache__' -type d -exec rm -rf {} +

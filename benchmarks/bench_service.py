@@ -1,0 +1,342 @@
+"""Latency, shedding and rebuild-availability of the SCC query daemon.
+
+Boots a real :class:`repro.service.SCCServer` over a generated workload
+graph and measures the serving plane end to end, over the wire:
+
+* **Steady-state latency** — p50/p99 of ``reach`` round-trips from
+  concurrent clients against an idle daemon.
+* **Rebuild-while-serving availability** — the same query load while a
+  background rebuild runs (stretched to a measurable window); reports
+  the fraction answered, how many were served stale, and how many were
+  refused with a *typed* error.
+* **Load shedding** — a deliberate overload of a one-worker daemon;
+  reports the shed rate and verifies refusals are immediate.
+* **Zero wrong answers** — the hard gate.  The ingested edges are
+  duplicates of existing edges, so the condensation is provably
+  unchanged; every answer before, during and after the rebuild must
+  equal the pre-rebuild ground truth, and the post-rebuild fingerprint
+  must equal the pre-rebuild one.  Degradation may change
+  *availability*, never *answers*.
+
+Run standalone (pytest-benchmark not required)::
+
+    python -m benchmarks.bench_service
+    python -m benchmarks.bench_service --out BENCH_service.json
+
+Environment: ``REPRO_BENCH_SCALE`` scales the workload graph,
+``REPRO_BENCH_QUERIES`` the per-phase query count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+# Serving-plane benchmark: the simulated disk must be OFF so latency
+# measures the daemon, not a per-block sleep.  Must precede repro.io use.
+os.environ["REPRO_SIM_SEEK_MS"] = "0"
+os.environ["REPRO_SIM_TRANSFER_MS"] = "0"
+
+import numpy as np  # noqa: E402
+
+from repro.graph.storage import save_graph  # noqa: E402
+from repro.service import (  # noqa: E402
+    SCCServer,
+    ServiceClient,
+    ServiceConfig,
+    wait_until_ready,
+)
+from repro.workloads.realworld import webspam_like  # noqa: E402
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2.5e-4"))
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "400"))
+CLIENTS = 4
+SEED = 0
+
+#: Seconds the background rebuild is stretched so the serving-while-
+#: rebuilding window is measurable at bench scale (recorded in the JSON).
+REBUILD_STRETCH_S = 1.5
+
+#: The acceptance bars (loose enough for shared CI machines; the
+#: wrong-answer and fingerprint bars are absolute).
+GATE = {
+    "max_wrong_answers": 0,
+    "min_rebuild_availability": 0.95,
+    "require_fingerprint_stable": True,
+    "min_shed_fraction_under_overload": 0.05,
+    "max_p99_ms": 250.0,
+}
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _query_load(
+    port: int,
+    pairs: List[Tuple[int, int]],
+    expected: Dict[Tuple[int, int], bool],
+) -> Dict[str, object]:
+    """Fire ``pairs`` from CLIENTS threads; tally outcomes and latency."""
+    latencies: List[float] = []
+    outcomes = {"ok": 0, "stale": 0, "refused": 0, "wrong": 0}
+    lock = threading.Lock()
+    chunks = [pairs[i::CLIENTS] for i in range(CLIENTS)]
+
+    def run(chunk: List[Tuple[int, int]]) -> None:
+        with ServiceClient("127.0.0.1", port, timeout=30.0) as client:
+            for u, v in chunk:
+                started = time.perf_counter()
+                response = client.request(
+                    "reach", u=u, v=v, deadline_ms=5000
+                )
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+                    if response.get("ok"):
+                        outcomes["ok"] += 1
+                        if response.get("stale"):
+                            outcomes["stale"] += 1
+                        if response["result"]["reachable"] != expected[(u, v)]:
+                            outcomes["wrong"] += 1
+                    else:
+                        outcomes["refused"] += 1
+
+    threads = [
+        threading.Thread(target=run, args=(chunk,), daemon=True)
+        for chunk in chunks
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = max(1, outcomes["ok"] + outcomes["refused"])
+    return {
+        "queries": len(pairs),
+        "answered": outcomes["ok"],
+        "served_stale": outcomes["stale"],
+        "refused_typed": outcomes["refused"],
+        "wrong_answers": outcomes["wrong"],
+        "availability": outcomes["ok"] / total,
+        "p50_ms": round(_percentile(latencies, 50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 99) * 1000, 3),
+        "mean_ms": round(statistics.mean(latencies) * 1000, 3),
+    }
+
+
+def _overload_phase(graph_path: str, root: str) -> Dict[str, object]:
+    """A one-worker daemon under a pipelined burst: refusals are typed."""
+    config = ServiceConfig(
+        graph_path=graph_path,
+        service_root=root,
+        query_workers=1,
+        queue_max=8,
+        high_water=2,
+        default_deadline_ms=10_000,
+        auto_rebuild=False,
+    )
+    server = SCCServer(config)
+    server.start()
+    try:
+        wait_until_ready("127.0.0.1", server.port, timeout=120)
+        burst = 40
+        with ServiceClient("127.0.0.1", server.port, timeout=30.0) as hog:
+            # Park the only worker, then flood past the high-water mark
+            # without waiting for responses (a pipelined burst).
+            hog._sock.sendall(
+                json.dumps({"id": 0, "op": "sleep", "ms": 1500}).encode()
+                + b"\n"
+            )
+            time.sleep(0.2)
+            with ServiceClient("127.0.0.1", server.port, timeout=30.0) as c:
+                frames = b"".join(
+                    json.dumps(
+                        {"id": i, "op": "reach", "u": 0, "v": 1,
+                         "deadline_ms": 5000}
+                    ).encode() + b"\n"
+                    for i in range(1, burst + 1)
+                )
+                started = time.perf_counter()
+                c._sock.sendall(frames)
+                outcomes: Dict[str, int] = {}
+                shed_deadline_s = None
+                reader = c._sock.makefile("rb")
+                for _ in range(burst):
+                    response = json.loads(reader.readline())
+                    if response.get("ok"):
+                        outcomes["ok"] = outcomes.get("ok", 0) + 1
+                    else:
+                        code = response["error"]["code"]
+                        assert code in ("shed", "deadline_exceeded"), response
+                        outcomes[code] = outcomes.get(code, 0) + 1
+                        if code == "shed" and shed_deadline_s is None:
+                            # Sheds are written by the dispatch thread,
+                            # so the first one bounds refusal latency.
+                            shed_deadline_s = time.perf_counter() - started
+        shed = outcomes.get("shed", 0)
+        return {
+            "burst_queries": burst,
+            "answered": outcomes.get("ok", 0),
+            "shed": shed,
+            "deadline_exceeded": outcomes.get("deadline_exceeded", 0),
+            "shed_fraction": shed / burst,
+            "first_shed_ms": round(shed_deadline_s * 1000, 3)
+            if shed_deadline_s is not None
+            else None,
+        }
+    finally:
+        server.stop()
+
+
+def run_bench(out_path: str) -> int:
+    workload = webspam_like(scale=SCALE, seed=SEED, avg_degree=8.0)
+    graph = workload.graph
+    rng = np.random.default_rng(SEED)
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        graph_path = os.path.join(tmp, "graph.rgr")
+        save_graph(graph, graph_path)
+
+        server = SCCServer(
+            ServiceConfig(
+                graph_path=graph_path,
+                service_root=os.path.join(tmp, "svc"),
+                query_workers=4,
+                default_deadline_ms=10_000,
+            )
+        )
+        server.start()
+        try:
+            health = wait_until_ready("127.0.0.1", server.port, timeout=300)
+            fingerprint_before = health["fingerprint"]
+
+            pairs = [
+                (int(u), int(v))
+                for u, v in rng.integers(
+                    0, graph.num_nodes, size=(QUERIES, 2)
+                )
+            ]
+            # Ground truth = the daemon's own pre-rebuild answers; the
+            # rebuild below provably cannot change them.
+            expected: Dict[Tuple[int, int], bool] = {}
+            with ServiceClient("127.0.0.1", server.port, timeout=30.0) as c:
+                for u, v in pairs:
+                    expected[(u, v)] = c.reach(u, v, deadline_ms=10_000)
+
+            steady = _query_load(server.port, pairs, expected)
+
+            # Stretch the rebuild so serving-during-rebuild is a real
+            # measured window, then ingest condensation-neutral edges
+            # (duplicates of existing ones) and query through the swap.
+            original = server._build_generation
+
+            def stretched(path: str, generation: int):
+                time.sleep(REBUILD_STRETCH_S)
+                return original(path, generation)
+
+            server._build_generation = stretched
+            duplicates = graph.edges[
+                rng.integers(0, graph.num_edges, size=16)
+            ].tolist()
+            with ServiceClient("127.0.0.1", server.port, timeout=30.0) as c:
+                ingest = c.ingest([tuple(e) for e in duplicates])
+                assert ingest["rebuild"]["scheduled"], ingest
+            during = _query_load(server.port, pairs, expected)
+            deadline = time.monotonic() + 300
+            with ServiceClient("127.0.0.1", server.port, timeout=30.0) as c:
+                while time.monotonic() < deadline:
+                    health = c.health()
+                    if (
+                        health["state"] == "serving"
+                        and health["generation"] == 1
+                    ):
+                        break
+                    time.sleep(0.1)
+            after = _query_load(server.port, pairs, expected)
+            fingerprint_after = health["fingerprint"]
+        finally:
+            server.stop()
+
+        overload = _overload_phase(
+            graph_path, os.path.join(tmp, "svc")
+        )
+
+    wrong = (
+        steady["wrong_answers"]
+        + during["wrong_answers"]
+        + after["wrong_answers"]
+    )
+    checks = {
+        "zero_wrong_answers": wrong <= GATE["max_wrong_answers"],
+        "rebuild_availability": during["availability"]
+        >= GATE["min_rebuild_availability"],
+        "fingerprint_stable": fingerprint_after == fingerprint_before,
+        "overload_sheds": overload["shed_fraction"]
+        >= GATE["min_shed_fraction_under_overload"],
+        "steady_p99": steady["p99_ms"] <= GATE["max_p99_ms"],
+    }
+    report = {
+        "workload": {
+            "kind": "webspam-like",
+            "scale": SCALE,
+            "seed": SEED,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+        },
+        "clients": CLIENTS,
+        "queries_per_phase": QUERIES,
+        "rebuild_stretch_s": REBUILD_STRETCH_S,
+        "steady": steady,
+        "during_rebuild": during,
+        "after_rebuild": after,
+        "overload": overload,
+        "fingerprint_before": fingerprint_before,
+        "fingerprint_after": fingerprint_after,
+        "wrong_answers_total": wrong,
+        "gate": GATE,
+        "checks": checks,
+        "pass": all(checks.values()),
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"workload: {graph.num_nodes:,} nodes / {graph.num_edges:,} edges")
+    print(
+        f"steady:   p50 {steady['p50_ms']}ms  p99 {steady['p99_ms']}ms"
+    )
+    print(
+        f"rebuild:  availability {during['availability']:.3f}  "
+        f"stale {during['served_stale']}  wrong {wrong}"
+    )
+    print(
+        f"overload: shed {overload['shed']}/{overload['burst_queries']} "
+        f"({overload['shed_fraction']:.2%})"
+    )
+    print(f"wrote {out_path}")
+    for name, ok in checks.items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+    return 0 if report["pass"] else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    return run_bench(args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

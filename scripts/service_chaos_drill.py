@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Chaos drill: SIGKILL the daemon mid-build and mid-rebuild.
+
+The crash-tolerance acceptance test for the query daemon, run against
+real subprocesses:
+
+1. **Reference** — a clean daemon builds generation 0, ingests a fixed
+   edge, rebuilds to generation 1; both fingerprints are recorded and
+   the daemon shuts down cleanly.
+2. **Kill mid-build** — a fresh service root, with ``slow@`` fault
+   tokens stretching every scan so the window is unmissable; the
+   daemon is SIGKILLed while still BUILDING.
+3. **Resume** — a restarted daemon must finish generation 0 from its
+   checkpoints and publish the *identical* fingerprint.
+4. **Kill mid-rebuild** — the same daemon ingests the same edge and is
+   SIGKILLed while DEGRADED_STALE with the rebuild in flight.
+5. **Resume again** — a final restart must first serve the last-good
+   generation stale, then complete generation 1 with the fingerprint
+   of the uninterrupted reference run, and answer a query across the
+   ingested edge.
+
+    python scripts/service_chaos_drill.py [--workdir DIR] [--scale S]
+
+Exit 0 on success; non-zero with the daemons' output on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import time
+
+from service_common import (
+    CheckFailure,
+    check,
+    poll_health,
+    run_cli,
+    spawn_daemon,
+)
+
+#: Stretch every scan by 400 ms so BUILDING / DEGRADED_STALE windows
+#: are seconds wide even on the drill's tiny graph.
+SLOW_PLAN = "seed=1;" + ";".join(f"slow@{i}:400" for i in range(8))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--workdir", default="service-chaos-workdir")
+    parser.add_argument("--scale", default="2e-5")
+    args = parser.parse_args(argv)
+
+    from repro.service.client import ServiceClient, wait_until_ready
+
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir)
+    graph = os.path.join(args.workdir, "g.rgr")
+    run_cli(
+        ["generate", "--kind", "webspam", "--scale", args.scale,
+         "--out", graph]
+    )
+    ref_root = os.path.join(args.workdir, "svc-ref")
+    drill_root = os.path.join(args.workdir, "svc-drill")
+    daemon = None
+    try:
+        # ----- 1. the uninterrupted reference run --------------------
+        daemon = spawn_daemon([graph, "--service-root", ref_root])
+        host, port = daemon.wait_serving_line()
+        health = wait_until_ready(host, port, timeout=300)
+        fp_gen0 = health["fingerprint"]
+        num_nodes = int(health["num_nodes"])
+        bridge = (num_nodes - 1, 0)
+        with ServiceClient(host, port, timeout=30.0) as client:
+            assert client.ingest([bridge])["rebuild"]["scheduled"]
+        health = poll_health(
+            host, port,
+            lambda h: h["state"] == "serving" and h["generation"] == 1,
+        )
+        fp_gen1 = health["fingerprint"]
+        with ServiceClient(host, port, timeout=30.0) as client:
+            ref_reach = client.reach(bridge[0], bridge[1])
+            client.shutdown()
+        check(daemon.wait_exit() == 0, "reference run exits cleanly")
+        check(ref_reach, "reference reaches across the ingested edge")
+
+        # ----- 2. SIGKILL while BUILDING -----------------------------
+        daemon = spawn_daemon(
+            [graph, "--service-root", drill_root,
+             "--fault-plan", SLOW_PLAN]
+        )
+        host, port = daemon.wait_serving_line()
+        health = poll_health(
+            host, port, lambda h: h["state"] == "building", timeout=60
+        )
+        time.sleep(0.6)  # let it pass at least one scan checkpoint
+        code = daemon.sigkill()
+        check(code != 0, "daemon SIGKILLed while BUILDING", code)
+
+        # ----- 3. restart resumes generation 0 -----------------------
+        daemon = spawn_daemon([graph, "--service-root", drill_root])
+        host, port = daemon.wait_serving_line()
+        health = wait_until_ready(host, port, timeout=300)
+        check(
+            health["generation"] == 0
+            and health["fingerprint"] == fp_gen0,
+            "resumed build matches the uninterrupted fingerprint",
+            health,
+        )
+
+        # ----- 4. SIGKILL while rebuilding ---------------------------
+        # Same slow plan for the next generation: restart with it so
+        # the gen-1 rebuild window is wide, then ingest and kill.
+        with ServiceClient(host, port, timeout=30.0) as client:
+            client.shutdown()
+        check(daemon.wait_exit() == 0, "drill daemon restarts cleanly")
+        daemon = spawn_daemon(
+            [graph, "--service-root", drill_root,
+             "--fault-plan", SLOW_PLAN]
+        )
+        host, port = daemon.wait_serving_line()
+        wait_until_ready(host, port, timeout=300)
+        with ServiceClient(host, port, timeout=30.0) as client:
+            assert client.ingest([bridge])["rebuild"]["scheduled"]
+            health = client.health()
+        check(
+            health["state"] == "degraded_stale",
+            "rebuild serves stale while in flight",
+            health,
+        )
+        time.sleep(0.6)
+        code = daemon.sigkill()
+        check(code != 0, "daemon SIGKILLed while rebuilding", code)
+
+        # ----- 5. restart resumes generation 1 -----------------------
+        daemon = spawn_daemon([graph, "--service-root", drill_root])
+        host, port = daemon.wait_serving_line()
+        first = wait_until_ready(
+            host, port, timeout=300,
+            accept_states=("serving", "degraded_stale"),
+        )
+        check(
+            first["stale"] or first["generation"] == 1,
+            "restart serves last-good snapshot while resuming",
+            first,
+        )
+        health = poll_health(
+            host, port,
+            lambda h: h["state"] == "serving" and h["generation"] == 1,
+        )
+        check(
+            health["fingerprint"] == fp_gen1,
+            "resumed rebuild matches the uninterrupted fingerprint",
+            health,
+        )
+        with ServiceClient(host, port, timeout=30.0) as client:
+            check(
+                client.reach(bridge[0], bridge[1]) == ref_reach,
+                "answers match the reference after crash-resume",
+            )
+            client.shutdown()
+        check(daemon.wait_exit() == 0, "final daemon exits cleanly")
+    except CheckFailure as failure:
+        print(f"  FAIL  {failure}", file=sys.stderr)
+        if daemon is not None:
+            print(daemon.output(), file=sys.stderr)
+            daemon.proc.kill()
+        return 1
+    except Exception:
+        if daemon is not None:
+            print(daemon.output(), file=sys.stderr)
+            daemon.proc.kill()
+        raise
+    print("service chaos drill: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

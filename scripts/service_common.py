@@ -1,0 +1,151 @@
+"""Shared plumbing for the service smoke / chaos drill scripts.
+
+Both scripts drive the daemon as a real subprocess (``python -m
+repro.cli serve``) and talk to it over the wire, so they exercise the
+exact surface an operator gets: the stable ``serving <graph> on
+<host>:<port>`` stdout line, the line-framed JSON protocol, and
+SIGKILL-then-restart recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import re
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+# The serve CLI promises to keep this line's shape stable.
+SERVING_RE = re.compile(r"^serving .+ on ([\w.\-]+):(\d+)\s*$")
+
+
+class Daemon:
+    """A ``repro-scc serve`` subprocess plus its drained stdout."""
+
+    def __init__(self, proc: subprocess.Popen) -> None:
+        self.proc = proc
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.lines: List[str] = []
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+
+    def _drain(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            self._queue.put(line.rstrip("\n"))
+        self._queue.put(None)
+
+    def wait_serving_line(self, timeout: float = 180.0) -> Tuple[str, int]:
+        """Block until the daemon prints its address line."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    "daemon never printed its serving line; output so far:\n"
+                    + "\n".join(self.lines)
+                )
+            try:
+                line = self._queue.get(timeout=min(remaining, 1.0))
+            except queue.Empty:
+                if self.proc.poll() is not None:
+                    raise RuntimeError(
+                        f"daemon exited early (code {self.proc.returncode}):\n"
+                        + "\n".join(self.lines)
+                    )
+                continue
+            if line is None:
+                raise RuntimeError(
+                    f"daemon closed stdout (code {self.proc.poll()}):\n"
+                    + "\n".join(self.lines)
+                )
+            self.lines.append(line)
+            match = SERVING_RE.match(line)
+            if match:
+                self.host, self.port = match.group(1), int(match.group(2))
+                return self.host, self.port
+
+    def sigkill(self) -> int:
+        """SIGKILL the daemon and return the (negative) exit code."""
+        self.proc.kill()
+        return self.proc.wait(timeout=60)
+
+    def wait_exit(self, timeout: float = 60.0) -> int:
+        return self.proc.wait(timeout=timeout)
+
+    def output(self) -> str:
+        while True:
+            try:
+                line = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if line is not None:
+                self.lines.append(line)
+        return "\n".join(self.lines)
+
+
+def spawn_daemon(args: Sequence[str]) -> Daemon:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    return Daemon(proc)
+
+
+def run_cli(args: Sequence[str]) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args], check=True, env=env
+    )
+
+
+def poll_health(
+    host: str,
+    port: int,
+    want: "callable",
+    timeout: float = 300.0,
+    interval: float = 0.1,
+) -> Dict[str, object]:
+    """Poll the health op until ``want(payload)`` is true."""
+    from repro.service.client import ServiceClient
+
+    deadline = time.monotonic() + timeout
+    last: Dict[str, object] = {}
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(host, port, timeout=10.0) as client:
+                last = client.health()
+        except (ConnectionError, OSError):
+            time.sleep(interval)
+            continue
+        if want(last):
+            return last
+        time.sleep(interval)
+    raise TimeoutError(f"health condition never met; last payload: {last}")
+
+
+class CheckFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, label: str, detail: object = "") -> None:
+    if condition:
+        print(f"  PASS  {label}")
+    else:
+        raise CheckFailure(f"{label}: {detail}")

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the SCC query daemon, over the wire.
+
+Boots ``repro-scc serve`` as a subprocess on a generated webspam-like
+graph and walks the whole serving surface: the stable stdout address
+line, health/stats, every query op, typed errors for malformed and
+out-of-range requests, ingest with an automatic background rebuild
+(answers must stay identical — the ingested edges are duplicates), and
+a clean shutdown via the protocol.
+
+    python scripts/service_smoke.py [--workdir DIR] [--scale S]
+
+Exit 0 on success; non-zero with the daemon's output on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+
+from service_common import (
+    CheckFailure,
+    check,
+    poll_health,
+    run_cli,
+    spawn_daemon,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--workdir", default="service-smoke-workdir")
+    parser.add_argument("--scale", default="2e-5")
+    args = parser.parse_args(argv)
+
+    from repro.service.client import ServiceClient, wait_until_ready
+
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir)
+    graph = os.path.join(args.workdir, "g.rgr")
+    run_cli(
+        ["generate", "--kind", "webspam", "--scale", args.scale,
+         "--out", graph]
+    )
+
+    daemon = spawn_daemon(
+        [graph, "--port", "0", "--query-workers", "2",
+         "--service-root", os.path.join(args.workdir, "svc")]
+    )
+    try:
+        host, port = daemon.wait_serving_line()
+        print(f"daemon up on {host}:{port}")
+        health = wait_until_ready(host, port, timeout=300)
+        check(health["state"] == "serving", "daemon reaches SERVING", health)
+        check(health["generation"] == 0, "first generation is 0", health)
+        check(bool(health["fingerprint"]), "fingerprint published", health)
+        fingerprint = health["fingerprint"]
+        num_nodes = int(health["num_nodes"])
+
+        with ServiceClient(host, port, timeout=30.0) as client:
+            reachable = client.reach(0, num_nodes - 1)
+            scc = client.scc(0)
+            check("scc" in scc and "size" in scc, "scc op answers", scc)
+            members = client.members(scc["scc"], limit=5)
+            check(
+                0 in members["members"] or members["truncated"],
+                "members op covers the queried node",
+                members,
+            )
+            topo = client.toposort(0)
+            check("layer" in topo, "toposort op answers", topo)
+
+            bad = client.request("explode")
+            check(
+                not bad["ok"] and bad["error"]["code"] == "bad_request",
+                "unknown op is a typed bad_request",
+                bad,
+            )
+            oob = client.request("reach", u=0, v=10**9)
+            check(
+                not oob["ok"] and oob["error"]["code"] == "out_of_range",
+                "out-of-range node is typed",
+                oob,
+            )
+
+            stats = client.stats()
+            check(
+                "admission" in stats and "shed_total" in stats,
+                "stats op exposes robustness counters",
+                stats,
+            )
+
+            # Duplicate edges: the rebuild must land generation 1 with
+            # the exact same condensation (and therefore answers).
+            dup = client.ingest([(0, 1), (0, 1)])
+            check(
+                dup["rebuild"]["scheduled"],
+                "ingest schedules a background rebuild",
+                dup,
+            )
+        health = poll_health(
+            host,
+            port,
+            lambda h: h["state"] == "serving" and h["generation"] == 1,
+        )
+        check(
+            health["fingerprint"] == fingerprint,
+            "duplicate-edge rebuild preserves the fingerprint",
+            health,
+        )
+        with ServiceClient(host, port, timeout=30.0) as client:
+            check(
+                client.reach(0, num_nodes - 1) == reachable,
+                "answers unchanged across the rebuild",
+            )
+            client.shutdown()
+        code = daemon.wait_exit()
+        check(code == 0, "protocol shutdown exits 0", code)
+    except CheckFailure as failure:
+        print(f"  FAIL  {failure}", file=sys.stderr)
+        print(daemon.output(), file=sys.stderr)
+        daemon.proc.kill()
+        return 1
+    except Exception:
+        print(daemon.output(), file=sys.stderr)
+        daemon.proc.kill()
+        raise
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,7 @@ from repro.analysis_static.rules import (
     Rule,
     SequentialScanRule,
     StagingProtocolRule,
+    ThreadSocketDisciplineRule,
     UnboundedScanLoopRule,
     UnguardedReadRule,
     UnguardedWriteRule,
@@ -79,6 +80,7 @@ __all__ = [
     "Rule",
     "SequentialScanRule",
     "StagingProtocolRule",
+    "ThreadSocketDisciplineRule",
     "UnboundedScanLoopRule",
     "UnguardedReadRule",
     "UnguardedWriteRule",

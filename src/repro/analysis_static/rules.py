@@ -30,6 +30,12 @@ trees behave like the real packages they imitate):
   inside ``repro/parallel/``, and every created shared-memory segment
   must unlink on a ``finally`` path: worker fan-out goes through the
   deterministic pool, and crashed runs must not leak ``/dev/shm``.
+* **THR004** — thread and socket machinery is confined to
+  ``repro/service/`` and ``repro/obs/`` (the daemon and the
+  observability plane are the only long-lived concurrent components),
+  and every queue anywhere is constructed with an explicit bound: an
+  unbounded queue is a hidden O(∞) buffer that turns overload into an
+  out-of-memory crash instead of back-pressure.
 
 Three whole-program passes live in sibling modules and register here
 too (imported at the bottom of this file to break the import cycle):
@@ -525,6 +531,12 @@ class SequentialScanRule(Rule):
 
     def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
         """Flag ``.seek()`` calls and reader-thread construction."""
+        # The service daemon's worker threads are not lookahead readers:
+        # they answer queries from resident state and reach disk only
+        # through counted devices.  Their thread discipline (confinement
+        # + bounded queues) is THR004's job, so this rule leaves the
+        # service package to it.
+        in_service = "service" in _dir_parts(relpath)
         out: List[Violation] = []
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
@@ -539,7 +551,7 @@ class SequentialScanRule(Rule):
                         "edge files via block iteration (EdgeFile.scan)",
                     )
                 )
-            elif _terminal_name(func) == "Thread":
+            elif _terminal_name(func) == "Thread" and not in_service:
                 out.append(
                     self.violation(
                         node,
@@ -828,6 +840,132 @@ class ProcessDisciplineRule(Rule):
         return False
 
 
+# ----------------------------------------------------------------------
+# THR004
+# ----------------------------------------------------------------------
+
+_SOCKET_MODULES = ("socket", "socketserver")
+_THREAD_FACTORIES = frozenset({"Thread", "Timer"})
+_BOUNDED_QUEUE_TYPES = frozenset(
+    {"Queue", "LifoQueue", "PriorityQueue", "JoinableQueue"}
+)
+#: Directory names whose modules may host threads and sockets.
+_CONCURRENCY_HOMES = ("service", "obs")
+
+
+class ThreadSocketDisciplineRule(Rule):
+    """THR004: thread/socket containment and mandatory queue bounds.
+
+    Two defects, one discipline:
+
+    * **Containment** — ``threading.Thread``/``Timer`` construction and
+      ``socket``/``socketserver`` imports are confined to
+      ``repro/service/`` (the query daemon) and ``repro/obs/`` (the
+      sampler/heartbeat/exposition plane).  Those are the repo's only
+      long-lived concurrent components; a thread or listening socket
+      anywhere else is an execution side channel with no owner for its
+      lifecycle, shutdown, or back-pressure.
+    * **Bounds** — every queue, *everywhere*, is constructed with an
+      explicit capacity: a positional bound or ``maxsize=`` for
+      ``queue.Queue``-family and ``multiprocessing`` queues, and
+      ``SimpleQueue`` (unboundable by design) is rejected outright.  An
+      unbounded queue converts overload into unbounded memory growth;
+      a bounded one converts it into back-pressure the admission /
+      shedding layers can see and act on.
+    """
+
+    rule_id = "THR004"
+    title = "thread/socket outside repro/{service,obs}/, or unbounded queue"
+    rationale = (
+        "long-lived concurrency belongs to the service daemon and the "
+        "observability plane, where shutdown and back-pressure have "
+        "owners; and every queue needs an explicit maxsize, because an "
+        "unbounded queue turns overload into an OOM crash instead of "
+        "load shedding"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Everywhere: containment is scoped inside :meth:`check`."""
+        return True
+
+    def check(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        """Flag stray threads/sockets and unbounded queue construction."""
+        out: List[Violation] = []
+        dirs = _dir_parts(relpath)
+        if not any(home in dirs for home in _CONCURRENCY_HOMES):
+            out.extend(self._containment(tree, relpath))
+        out.extend(self._queue_bounds(tree, relpath))
+        return out
+
+    def _containment(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        remedy = (
+            "; long-lived concurrency lives in repro/service/ (daemon) "
+            "or repro/obs/ (sampler/exposition)"
+        )
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _SOCKET_MODULES:
+                        out.append(
+                            self.violation(
+                                node, relpath,
+                                f"import of {alias.name} outside the "
+                                "sanctioned concurrency homes" + remedy,
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "") in _SOCKET_MODULES:
+                    out.append(
+                        self.violation(
+                            node, relpath,
+                            f"import from {node.module} outside the "
+                            "sanctioned concurrency homes" + remedy,
+                        )
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) in _THREAD_FACTORIES
+            ):
+                out.append(
+                    self.violation(
+                        node, relpath,
+                        f"{_terminal_name(node.func)}() construction outside "
+                        "the sanctioned concurrency homes" + remedy,
+                    )
+                )
+        return out
+
+    def _queue_bounds(self, tree: ast.AST, relpath: str) -> List[Violation]:
+        out: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name == "SimpleQueue":
+                out.append(
+                    self.violation(
+                        node, relpath,
+                        "SimpleQueue cannot be bounded; use Queue(maxsize=N) "
+                        "so overload becomes back-pressure, not memory growth",
+                    )
+                )
+            elif name in _BOUNDED_QUEUE_TYPES:
+                bounded = bool(node.args) or any(
+                    kw.arg == "maxsize" for kw in node.keywords
+                )
+                if not bounded:
+                    out.append(
+                        self.violation(
+                            node, relpath,
+                            f"{name}() constructed without an explicit "
+                            "maxsize; an unbounded queue hides overload "
+                            "until the process OOMs",
+                        )
+                    )
+        return out
+
+
 # The whole-program passes subclass ProgramRule above, so these imports
 # must come after its definition; both import orders resolve because
 # everything they need from this module is already bound by this line.
@@ -850,6 +988,7 @@ ALL_RULES: List[Type[Rule]] = [
     CoreAPIRule,
     PerEdgeBoxingRule,
     ProcessDisciplineRule,
+    ThreadSocketDisciplineRule,
     NestedScanRule,
     UnboundedScanLoopRule,
     UnguardedWriteRule,

@@ -15,7 +15,7 @@ back to a pruned DFS over the condensation.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -111,8 +111,38 @@ class ReachabilityIndex:
                 return False
         return True
 
-    def reaches(self, source: int, target: int) -> bool:
-        """Whether ``source`` can reach ``target`` in the original graph."""
+    def _check_node(self, node: int, role: str) -> int:
+        """Validate a query node id, returning it as a plain int.
+
+        Out-of-range ids (including queries against an empty graph) are
+        a caller error and must fail with a clean :class:`ValueError`,
+        never an index fault — the service layer maps this onto its
+        ``out_of_range`` protocol error.
+        """
+        node = int(node)
+        num_nodes = len(self.condensation.labels)
+        if node < 0 or node >= num_nodes:
+            raise ValueError(
+                f"{role} node {node} out of range for a graph with "
+                f"{num_nodes} node(s)"
+            )
+        return node
+
+    def reaches(
+        self,
+        source: int,
+        target: int,
+        check: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Whether ``source`` can reach ``target`` in the original graph.
+
+        ``check``, when given, is invoked periodically during the
+        fallback DFS (e.g. :meth:`repro.core.base.Deadline.check`) so a
+        long pruned traversal can be cancelled mid-flight; whatever it
+        raises propagates to the caller.
+        """
+        source = self._check_node(source, "source")
+        target = self._check_node(target, "target")
         a = int(self.condensation.labels[source])
         b = int(self.condensation.labels[target])
         if a == b:
@@ -125,7 +155,12 @@ class ReachabilityIndex:
         indices = dag.indices
         visited = {a}
         stack = [a]
+        expansions = 0
         while stack:
+            if check is not None:
+                expansions += 1
+                if expansions % 64 == 0:
+                    check()
             node = stack.pop()
             if node == b:
                 return True

@@ -132,7 +132,7 @@ class _Heartbeat:
         self._progress = progress
         self._interval = interval
         self._stop = threading.Event()
-        self._thread = threading.Thread(  # repro: allow[SCAN001]
+        self._thread = threading.Thread(  # repro: allow[SCAN001, THR004]
             target=self._run, name="reproduce-heartbeat", daemon=True
         )
         self._thread.start()

@@ -217,6 +217,49 @@ def _build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--out", default=None,
                       help="write per-node layers as .npy")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the SCC query daemon (see docs/service.md)",
+    )
+    serve.add_argument("graph", help="stored graph to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks an ephemeral one, "
+                            "printed on stdout)")
+    serve.add_argument("--algorithm", default="1PB-SCC",
+                       choices=sorted(ALGORITHMS))
+    serve.add_argument("--block-size", type=int, default=None)
+    serve.add_argument("--query-workers", type=int, default=4,
+                       help="size of the bounded query worker pool")
+    serve.add_argument("--queue-max", type=int, default=64,
+                       help="hard bound on the request queue")
+    serve.add_argument("--high-water", type=int, default=48,
+                       help="queue depth at which requests are shed")
+    serve.add_argument("--default-deadline-ms", type=int, default=1000)
+    serve.add_argument("--max-deadline-ms", type=int, default=60_000)
+    serve.add_argument("--admission-window-blocks", type=int,
+                       default=1_000_000,
+                       help="rebuild I/O budget per admission window")
+    serve.add_argument("--admission-window-seconds", type=float,
+                       default=60.0)
+    serve.add_argument("--service-root", default=None,
+                       help="durable state directory "
+                            "(default: <graph>.service)")
+    serve.add_argument("--fault-plan", default=None,
+                       help="deterministic fault spec applied to "
+                            "(re)build I/O")
+    serve.add_argument("--build-workers", type=int, default=0,
+                       help="sharded-scan worker processes for builds")
+    serve.add_argument("--rebuild-time-limit", type=float, default=None)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="GRAIL traversal seed")
+    serve.add_argument("--no-auto-rebuild", action="store_true",
+                       help="do not schedule a rebuild on ingest")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="also serve GET /metrics, /healthz and "
+                            "/readyz on this port")
+
     bench = sub.add_parser(
         "bench", help="run the paper's evaluation suite"
     )
@@ -591,6 +634,60 @@ def _cmd_toposort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the SCC query daemon until shutdown or Ctrl-C."""
+    from repro.constants import DEFAULT_BLOCK_SIZE
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sampler import PrometheusEndpoint
+    from repro.service import SCCServer, ServiceConfig
+
+    config = ServiceConfig(
+        graph_path=args.graph,
+        algorithm=args.algorithm,
+        host=args.host,
+        port=args.port,
+        block_size=args.block_size or DEFAULT_BLOCK_SIZE,
+        query_workers=args.query_workers,
+        queue_max=args.queue_max,
+        high_water=args.high_water,
+        default_deadline_ms=args.default_deadline_ms,
+        max_deadline_ms=args.max_deadline_ms,
+        admission_window_blocks=args.admission_window_blocks,
+        admission_window_seconds=args.admission_window_seconds,
+        rebuild_time_limit=args.rebuild_time_limit,
+        service_root=args.service_root,
+        fault_plan=args.fault_plan,
+        workers=args.build_workers,
+        seed=args.seed,
+        auto_rebuild=not args.no_auto_rebuild,
+    )
+    registry = MetricsRegistry()
+    server = SCCServer(config, registry=registry)
+    server.start()
+    endpoint = None
+    if args.metrics_port is not None:
+        endpoint = PrometheusEndpoint(
+            registry,
+            port=args.metrics_port,
+            health=server.health_payload,
+        )
+        print(
+            f"metrics: http://{endpoint.host}:{endpoint.port}/metrics "
+            f"(+/healthz, /readyz)",
+            file=sys.stderr,
+        )
+    # The scripts and drills parse this line; keep its shape stable.
+    print(f"serving {args.graph} on {config.host}:{server.port}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        server.stop()
+    finally:
+        if endpoint is not None:
+            endpoint.close()
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.suite import SuiteConfig, run_paper_suite
 
@@ -793,6 +890,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "condense": _cmd_condense,
     "toposort": _cmd_toposort,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "reproduce": _cmd_reproduce,
     "report": _cmd_report,

@@ -147,6 +147,13 @@ class BlockDevice:
         the caller, exactly as a persistent ``EIO`` would.
         """
         ordinal = injector.next_read_ordinal()
+        slow_s = injector.take_slow(ordinal)
+        if slow_s is not None:
+            # A slow@ delay models a read that completes, just late: the
+            # sleep is real wall-clock (so deadlines fire), but nothing
+            # is retried and counted I/O is unchanged.
+            time.sleep(slow_s)
+            self.counter.record_fault(1, origin=self.path)
         attempt = 0
         while True:
             try:

@@ -22,6 +22,12 @@ Plans are parsed from a compact spec string (CLI ``--fault-plan`` or the
   first ``OFF`` bytes, then raises :class:`TornWriteError`.  Torn
   writes are *not* retried: recovery is the job of the atomic-rewrite
   protocol (:mod:`repro.io.atomic`), not the retry loop.
+* ``slow@N:MS`` — the ``N``-th counted block read completes normally
+  but only after an injected ``MS``-millisecond delay.  No error is
+  raised and no retry happens; the delay makes deadline/timeout paths
+  (the service's per-request budgets, rebuild time limits)
+  deterministically testable.  Counted I/O is unchanged; the fired
+  delay is tallied in ``faults_injected``.
 * ``crash@scan:K`` — the ``K``-th scan-boundary checkpoint (0-based)
   raises :class:`SimulatedCrash` after the checkpoint is durable.
 * ``worker-crash@K`` — when scans run with ``--workers``, the scan
@@ -124,6 +130,7 @@ _TOKEN_RE = re.compile(
     r"""^(?:
         seed=(?P<seed>\d+)
       | read-error@(?P<read>\d+)(?:x(?P<times>\d+))?
+      | slow@(?P<slow>\d+):(?P<delay>\d+)
       | tear@(?P<tear>\d+):(?P<offset>\d+)
       | crash@scan:(?P<crash>\d+)
       | worker-crash@(?P<worker>\d+)
@@ -146,6 +153,7 @@ class FaultPlan:
     """
 
     read_errors: Dict[int, int] = field(default_factory=dict)
+    slow_reads: Dict[int, int] = field(default_factory=dict)
     tears: List[_TearSpec] = field(default_factory=list)
     crash_boundaries: List[int] = field(default_factory=list)
     worker_crashes: List[int] = field(default_factory=list)
@@ -165,6 +173,12 @@ class FaultPlan:
                 ordinal = int(match.group("read"))
                 times = int(match.group("times") or 1)
                 plan.read_errors[ordinal] = plan.read_errors.get(ordinal, 0) + times
+            elif match.group("slow") is not None:
+                ordinal = int(match.group("slow"))
+                delay_ms = int(match.group("delay"))
+                plan.slow_reads[ordinal] = (
+                    plan.slow_reads.get(ordinal, 0) + delay_ms
+                )
             elif match.group("tear") is not None:
                 plan.tears.append(
                     _TearSpec(int(match.group("tear")), int(match.group("offset")))
@@ -208,6 +222,8 @@ class FaultPlan:
             times = self.read_errors[ordinal]
             suffix = f"x{times}" if times != 1 else ""
             parts.append(f"read-error@{ordinal}{suffix}")
+        for ordinal in sorted(self.slow_reads):
+            parts.append(f"slow@{ordinal}:{self.slow_reads[ordinal]}")
         for tear in self.tears:
             parts.append(f"tear@{tear.ordinal}:{tear.offset}")
         for boundary in self.crash_boundaries:
@@ -238,6 +254,7 @@ class FaultInjector:
         self._writes_seen = 0
         self._boundaries_seen = 0
         self._pending_read_failures: Dict[int, int] = dict(plan.read_errors)
+        self._pending_slow_reads: Dict[int, int] = dict(plan.slow_reads)
         self._tears: Dict[int, int] = {t.ordinal: t.offset for t in plan.tears}
         self._worker_crashes = set(plan.worker_crashes)
         #: Faults actually fired so far (for the ``faults_injected`` tally).
@@ -259,6 +276,21 @@ class FaultInjector:
             self._pending_read_failures[ordinal] = remaining - 1
             self.faults_fired += 1
             raise TransientIOError(f"injected transient read error at {path}#{ordinal}")
+
+    def take_slow(self, ordinal: int) -> Optional[float]:
+        """Consume a planned ``slow@`` delay for ``ordinal``, in seconds.
+
+        Returns ``None`` when the ordinal has no planned delay.
+        Consume-once: the same ordinal never fires twice, so retried
+        reads (which keep their ordinal) are not re-delayed.  Successive
+        attempts of a *failing* read are unaffected — ``slow@`` delays
+        the successful completion, not the retry loop.
+        """
+        delay_ms = self._pending_slow_reads.pop(ordinal, None)
+        if delay_ms is None:
+            return None
+        self.faults_fired += 1
+        return delay_ms / 1000.0
 
     # ------------------------------------------------------------------
     # write path

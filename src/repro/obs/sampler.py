@@ -36,7 +36,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import ReproError
 from repro.io.atomic import abort_replace, replace_file
@@ -246,13 +246,29 @@ class MetricsSampler:
 
 
 class _MetricsHandler(http.server.BaseHTTPRequestHandler):
-    """Serves ``GET /metrics`` from the bound registry."""
+    """Serves ``GET /metrics`` (+ health probes) from the bound registry."""
 
     registry: MetricsRegistry  # injected via the server instance
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
-        if self.path.rstrip("/") not in ("", "/metrics"):
-            self.send_error(404, "only /metrics is served")
+        path = self.path.rstrip("/")
+        health = getattr(self.server, "health", None)
+        if path in ("/healthz", "/readyz"):
+            if health is None:
+                self.send_error(404, "no health provider configured")
+                return
+            payload = dict(health())
+            ready = bool(payload.get("ready", False))
+            status = 200 if (path == "/healthz" or ready) else 503
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if path not in ("", "/metrics"):
+            self.send_error(404, "only /metrics, /healthz, /readyz are served")
             return
         body = self.server.registry.to_prometheus().encode("utf-8")  # type: ignore[attr-defined]
         self.send_response(200)
@@ -273,14 +289,23 @@ class PrometheusEndpoint:
     Binds ``127.0.0.1:port`` (``port=0`` picks a free port — the bound
     one is exposed as :attr:`port`) and serves ``GET /metrics`` from a
     daemon thread until :meth:`close`.
+
+    ``health``, when given, is a zero-argument callable returning a
+    JSON-serializable dict with at least a boolean ``ready`` key; it
+    additionally enables ``GET /healthz`` (always 200 with the payload
+    — liveness) and ``GET /readyz`` (200 when ready, 503 otherwise —
+    readiness), the probe shape the service daemon exposes.
     """
 
     def __init__(self, registry: MetricsRegistry, port: int = 0,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1",
+                 health: Optional[Callable[[], Dict[str, object]]] = None,
+                 ) -> None:
         self._server = http.server.ThreadingHTTPServer(
             (host, port), _MetricsHandler
         )
         self._server.registry = registry  # type: ignore[attr-defined]
+        self._server.health = health  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self.host, self.port = self._server.server_address[:2]
         # Serves in-memory registry snapshots over HTTP; no file reads.

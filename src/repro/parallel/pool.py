@@ -58,7 +58,13 @@ class WorkerPool:
         # fork: workers inherit the page cache-warm interpreter and
         # attach the already-created arena by name.
         self._mp = multiprocessing.get_context("fork")
-        self._tasks: List[Any] = [self._mp.Queue() for _ in range(workers)]
+        # The dispatcher ships at most one batch of lookahead per worker
+        # beyond the one in flight, so a small fixed bound never blocks;
+        # it exists so a stuck worker surfaces as back-pressure (a full
+        # queue) rather than unbounded pickled-batch growth (THR004).
+        self._tasks: List[Any] = [
+            self._mp.Queue(maxsize=8) for _ in range(workers)
+        ]
         self._result_conns: List[Any] = [None] * workers
         self._procs: List[Any] = [self._spawn(wid) for wid in range(workers)]
         self._pending: Dict[int, int] = {}  # seq -> worker id

@@ -1,0 +1,58 @@
+"""SCC-as-a-service: the crash-tolerant query daemon.
+
+The one package in the tree allowed to own threads and sockets
+(contract THR004): a long-lived process that computes the condensation
+once — crash-safe via the checkpoint subsystem — keeps the O(|V|)
+snapshot resident, and serves reachability / SCC-membership / toposort
+queries under admission control, per-request deadlines, and graceful
+degradation.  See ``docs/service.md`` for the protocol and lifecycle.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    quote_rebuild_blocks,
+)
+from repro.service.client import ServiceClient, ServiceError, wait_until_ready
+from repro.service.protocol import (
+    ErrorCode,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.service.server import SCCServer, ServiceConfig
+from repro.service.snapshot import (
+    ServiceSnapshot,
+    build_snapshot,
+    snapshot_from_labels,
+)
+from repro.service.state import (
+    IllegalTransition,
+    Lifecycle,
+    STATE_CODES,
+    ServiceState,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ErrorCode",
+    "IllegalTransition",
+    "Lifecycle",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SCCServer",
+    "STATE_CODES",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceSnapshot",
+    "ServiceState",
+    "build_snapshot",
+    "quote_rebuild_blocks",
+    "snapshot_from_labels",
+    "wait_until_ready",
+]

@@ -1,0 +1,170 @@
+"""Admission control for rebuild jobs, quoted in counted I/O blocks.
+
+A rebuild is the one expensive thing the daemon does: a full
+semi-external SCC run over the merged edge file.  Its cost is *known in
+advance* in the currency the whole repo accounts in — block transfers —
+because the paper's cost model is explicit: one full scan moves
+``ceil(|E| · EDGE_BYTES / B)`` blocks, each algorithm performs at most
+``SCAN_BUDGETS[name]`` scans per iteration, and iteration counts are
+small in practice (the evaluation's runs converge within a handful;
+``iterations_hint`` is the conservative multiplier).
+
+So admission is a per-window block budget: each admitted rebuild
+reserves its quote against a fixed window of ``window_blocks``; a quote
+that does not fit is rejected with a ``retry_after_s`` naming when the
+window resets.  This keeps a burst of ingest-triggered rebuilds from
+turning the daemon into a disk-bound build loop that starves query
+service — the operator caps rebuild I/O per minute the same way the
+paper caps memory at ``M``.
+
+The controller never *measures* — it reserves against predictions and
+lets :meth:`AdmissionController.note_actual` record what a finished
+build really moved (metrics only), so quote accuracy is observable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.heartbeat import SCAN_BUDGETS, predicted_blocks_per_scan
+
+#: Fallback per-iteration scan budget for unknown algorithm names.
+DEFAULT_SCAN_BUDGET = 2
+
+#: Conservative iterations multiplier: the paper's runs converge in a
+#: handful of iterations; 8 over-reserves rather than under.
+DEFAULT_ITERATIONS_HINT = 8
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission request (returned to the client)."""
+
+    admitted: bool
+    quoted_blocks: int
+    window_used_blocks: int
+    window_quota_blocks: int
+    retry_after_s: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        """Wire form for the ``rebuild``/``ingest`` response payloads."""
+        return {
+            "admitted": self.admitted,
+            "quoted_blocks": self.quoted_blocks,
+            "window_used_blocks": self.window_used_blocks,
+            "window_quota_blocks": self.window_quota_blocks,
+            "retry_after_s": round(self.retry_after_s, 3),
+            "reason": self.reason,
+        }
+
+
+def quote_rebuild_blocks(
+    algorithm: str,
+    num_edges: int,
+    block_size: int,
+    iterations_hint: int = DEFAULT_ITERATIONS_HINT,
+) -> int:
+    """Predicted block transfers of one rebuild, from the paper's model.
+
+    ``scans-per-iteration × blocks-per-scan × iterations_hint``.  A
+    quote of at least 1 is always returned so even an empty graph's
+    rebuild is a countable admission event.
+    """
+    scans = SCAN_BUDGETS.get(algorithm, DEFAULT_SCAN_BUDGET)
+    per_scan = predicted_blocks_per_scan(num_edges, block_size)
+    return max(1, scans * per_scan * max(1, iterations_hint))
+
+
+class AdmissionController:
+    """Fixed-window block budget for rebuild admission.
+
+    Thread-safe; the connection threads request admission while the
+    builder consumes it.  The window is aligned to its own start (first
+    request opens it), which keeps the math trivially explainable in a
+    runbook: "you get ``window_blocks`` of rebuild I/O per
+    ``window_seconds``, resetting ``retry_after_s`` from now".
+    """
+
+    def __init__(
+        self,
+        window_blocks: int,
+        window_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_blocks <= 0:
+            raise ValueError("window_blocks must be positive")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_blocks = window_blocks
+        self.window_seconds = window_seconds
+        self._clock = clock
+        # Re-entrant: _roll_window re-acquires under request()/the
+        # window_used_blocks property.
+        self._lock = threading.RLock()
+        self._window_start: Optional[float] = None
+        self._used = 0
+        #: Lifetime tallies (exported as admission metrics).
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.actual_blocks_total = 0
+
+    # ------------------------------------------------------------------
+    def _roll_window(self, now: float) -> None:
+        with self._lock:
+            if (
+                self._window_start is None
+                or now - self._window_start >= self.window_seconds
+            ):
+                self._window_start = now
+                self._used = 0
+
+    def request(self, quoted_blocks: int) -> AdmissionDecision:
+        """Try to reserve ``quoted_blocks`` in the current window."""
+        if quoted_blocks < 0:
+            raise ValueError("quoted_blocks must be non-negative")
+        now = self._clock()
+        with self._lock:
+            self._roll_window(now)
+            window_end = self._window_start + self.window_seconds
+            if self._used + quoted_blocks <= self.window_blocks:
+                self._used += quoted_blocks
+                self.admitted_total += 1
+                return AdmissionDecision(
+                    admitted=True,
+                    quoted_blocks=quoted_blocks,
+                    window_used_blocks=self._used,
+                    window_quota_blocks=self.window_blocks,
+                    retry_after_s=0.0,
+                    reason="admitted",
+                )
+            self.rejected_total += 1
+            return AdmissionDecision(
+                admitted=False,
+                quoted_blocks=quoted_blocks,
+                window_used_blocks=self._used,
+                window_quota_blocks=self.window_blocks,
+                retry_after_s=max(0.0, window_end - now),
+                reason=(
+                    f"quote of {quoted_blocks} blocks exceeds the "
+                    f"remaining window budget "
+                    f"({self.window_blocks - self._used} of "
+                    f"{self.window_blocks} left)"
+                ),
+            )
+
+    def note_actual(self, blocks: int) -> None:
+        """Record what a finished build actually moved (metrics only)."""
+        with self._lock:
+            self.actual_blocks_total += max(0, int(blocks))
+
+    @property
+    def window_used_blocks(self) -> int:
+        """Blocks reserved in the current window (0 after a roll)."""
+        now = self._clock()
+        with self._lock:
+            self._roll_window(now)
+            return self._used

@@ -1,0 +1,212 @@
+"""The line-framed JSON protocol of the SCC query daemon.
+
+One request per line, one response per line, UTF-8 JSON with a trailing
+``\\n`` — trivially scriptable (``nc``, a five-line client in any
+language) and trivially fuzzable.  Requests carry an ``op``, a
+client-chosen ``id`` (echoed back verbatim so clients may pipeline),
+optional ``deadline_ms``, and op-specific parameters::
+
+    {"id": 1, "op": "reach", "u": 4, "v": 17, "deadline_ms": 250}
+    {"id": 1, "ok": true, "stale": false, "result": {"reachable": true}}
+
+Responses are ``{"id", "ok": true, "stale", "result"}`` or
+``{"id", "ok": false, "error": {"code", "message"}}``.  The error codes
+are the degradation contract (see ``docs/service.md``): a client can
+tell *why* it was refused — queue overload (``shed``), budget expiry
+(``deadline_exceeded``), admission control (``admission_rejected``),
+lifecycle (``unavailable``/``read_only``) — and pick the right retry
+behaviour for each.
+
+This module is pure data plumbing: no sockets, no threads, so it is
+exhaustively unit-testable without a running server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+
+from repro.exceptions import ReproError
+
+#: Protocol schema version, echoed by the ``health`` op.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one framed line; longer requests are malformed by fiat
+#: (a bound, like every queue in this tree, so hostile input cannot
+#: buffer without limit).
+MAX_LINE_BYTES = 1 << 20
+
+#: Every operation the daemon understands.
+OPS = frozenset(
+    {
+        "reach",      # u -> v reachability through the condensation
+        "scc",        # SCC id + size of one node
+        "members",    # node ids of one SCC (capped by ``limit``)
+        "toposort",   # topological layer of one node's SCC
+        "ingest",     # append edges; may trigger a background rebuild
+        "rebuild",    # explicitly request a rebuild (admission-controlled)
+        "health",     # lifecycle state, fingerprint, staleness
+        "stats",      # request/shed/rebuild tallies
+        "sleep",      # test/drill aid: hold a worker for N ms
+        "shutdown",   # graceful stop
+    }
+)
+
+
+class ErrorCode:
+    """The distinct refusal reasons of the degradation contract."""
+
+    BAD_REQUEST = "bad_request"
+    UNAVAILABLE = "unavailable"            # no snapshot yet (BUILDING)
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    SHED = "shed"                          # queue over high water
+    READ_ONLY = "read_only"                # mutations refused after failure
+    ADMISSION_REJECTED = "admission_rejected"
+    OUT_OF_RANGE = "out_of_range"          # node/scc id outside the graph
+    INTERNAL = "internal"
+
+    ALL = frozenset(
+        {
+            "bad_request", "unavailable", "deadline_exceeded", "shed",
+            "read_only", "admission_rejected", "out_of_range", "internal",
+        }
+    )
+
+
+class ProtocolError(ReproError):
+    """A malformed or unserviceable request, with its protocol code."""
+
+    def __init__(self, message: str, code: str = ErrorCode.BAD_REQUEST) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its wire form (JSON + ``\\n``)."""
+    line = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte frame cap"
+        )
+    return data
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire frame into a request dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte cap"
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("requests must be JSON objects")
+    return payload
+
+
+def ok_response(
+    request_id: Any, result: Dict[str, Any], stale: bool = False
+) -> Dict[str, Any]:
+    """Build a success response envelope."""
+    return {"id": request_id, "ok": True, "stale": bool(stale),
+            "result": result}
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> Dict[str, Any]:
+    """Build an error response envelope."""
+    if code not in ErrorCode.ALL:
+        code = ErrorCode.INTERNAL
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def _require_int(request: Dict[str, Any], key: str) -> int:
+    value = request.get(key)
+    # bool is an int subclass; a JSON ``true`` must not pass as node 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {key!r} must be an integer")
+    return value
+
+
+def validate_request(request: Dict[str, Any]) -> str:
+    """Validate shape and types; return the op name.
+
+    Raises :class:`ProtocolError` (code ``bad_request``) with a message
+    naming the offending field — never an index fault, whatever the
+    client sends.
+    """
+    op = request.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {sorted(OPS)}"
+        )
+    deadline = request.get("deadline_ms")
+    if deadline is not None and (
+        isinstance(deadline, bool)
+        or not isinstance(deadline, int)
+        or deadline <= 0
+    ):
+        raise ProtocolError("deadline_ms must be a positive integer")
+    if op == "reach":
+        _require_int(request, "u")
+        _require_int(request, "v")
+    elif op in ("scc", "toposort"):
+        _require_int(request, "node")
+    elif op == "members":
+        _require_int(request, "scc")
+        limit = request.get("limit")
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit <= 0
+        ):
+            raise ProtocolError("limit must be a positive integer")
+    elif op == "sleep":
+        _require_int(request, "ms")
+    elif op == "ingest":
+        edges = request.get("edges")
+        if not isinstance(edges, list):
+            raise ProtocolError("field 'edges' must be a list of [u, v] pairs")
+        for pair in edges:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or any(isinstance(x, bool) or not isinstance(x, int)
+                       for x in pair)
+            ):
+                raise ProtocolError(
+                    "each ingested edge must be a [u, v] integer pair"
+                )
+    return op
+
+
+def read_frames(stream: Any) -> Iterator[bytes]:
+    """Yield newline-terminated frames from a binary file-like object.
+
+    Stops cleanly at EOF.  Over-long frames raise
+    :class:`ProtocolError` — ``readline`` is capped so a client cannot
+    make the server buffer an unbounded line.
+    """
+    while True:
+        line = stream.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            return
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("frame exceeds the line cap")
+        if line.strip():
+            yield line
+
+
+def request_deadline_ms(
+    request: Dict[str, Any], default_ms: int, max_ms: int
+) -> int:
+    """The effective deadline for a validated request, clamped to bounds."""
+    deadline = request.get("deadline_ms")
+    if deadline is None:
+        deadline = default_ms
+    return max(1, min(int(deadline), max_ms))

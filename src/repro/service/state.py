@@ -1,0 +1,167 @@
+"""The daemon's lifecycle state machine.
+
+Four states, strictly ordered degradation::
+
+    BUILDING ──► SERVING ◄──► DEGRADED_STALE ──► READ_ONLY
+        │            ▲                               │
+        │            └──────── (rebuild ok) ─────────┘
+        └──► READ_ONLY (initial build failed)
+
+* **BUILDING** — no snapshot yet; queries get ``unavailable``.
+* **SERVING** — fresh snapshot resident; everything answered.
+* **DEGRADED_STALE** — a rebuild is running; queries are answered from
+  the last-good snapshot with ``stale: true``; ingest still buffers.
+* **READ_ONLY** — a (re)build failed; whatever snapshot exists keeps
+  serving, mutations (``ingest``) are refused with ``read_only``, and
+  health carries the failure.  A later successful rebuild recovers to
+  SERVING — degradation is a ratchet the operator can release, not a
+  crash.
+
+Every transition is validated: an illegal one is a bug, and raising
+immediately beats serving from a state machine that has silently
+wedged.  The holder is thread-safe (builder, workers and connection
+threads all consult it) and publishes the current state as the
+``repro_service_state`` gauge so the scrape plane sees every change.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class ServiceState(enum.Enum):
+    """The daemon's externally visible lifecycle states."""
+
+    BUILDING = "building"
+    SERVING = "serving"
+    DEGRADED_STALE = "degraded_stale"
+    READ_ONLY = "read_only"
+    STOPPED = "stopped"
+
+
+#: Numeric encoding for the ``repro_service_state`` gauge (stable,
+#: documented in docs/service.md; higher = more degraded, 0 = down).
+STATE_CODES: Dict[ServiceState, int] = {
+    ServiceState.BUILDING: 1,
+    ServiceState.SERVING: 2,
+    ServiceState.DEGRADED_STALE: 3,
+    ServiceState.READ_ONLY: 4,
+    ServiceState.STOPPED: 0,
+}
+
+_ALLOWED: Dict[ServiceState, frozenset] = {
+    ServiceState.BUILDING: frozenset(
+        {ServiceState.SERVING, ServiceState.READ_ONLY, ServiceState.STOPPED}
+    ),
+    ServiceState.SERVING: frozenset(
+        {ServiceState.DEGRADED_STALE, ServiceState.READ_ONLY,
+         ServiceState.STOPPED}
+    ),
+    ServiceState.DEGRADED_STALE: frozenset(
+        {ServiceState.SERVING, ServiceState.READ_ONLY, ServiceState.STOPPED}
+    ),
+    ServiceState.READ_ONLY: frozenset(
+        # Recovery: an admitted rebuild that *succeeds* re-arms serving;
+        # it may also pass through DEGRADED_STALE while running.
+        {ServiceState.SERVING, ServiceState.DEGRADED_STALE,
+         ServiceState.STOPPED}
+    ),
+    ServiceState.STOPPED: frozenset(),
+}
+
+
+class IllegalTransition(RuntimeError):
+    """The lifecycle was asked to make a move the machine forbids."""
+
+
+class Lifecycle:
+    """Thread-safe holder for the current :class:`ServiceState`.
+
+    Also remembers the last build/rebuild error (surfaced by the
+    ``health`` op) and mirrors the state into the metrics registry.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._lock = threading.Lock()
+        self._state = ServiceState.BUILDING
+        self._registry = registry
+        self._last_error: Optional[str] = None
+        self._since = time.monotonic()
+        self._publish(self._state)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ServiceState:
+        """The current state (point-in-time read)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def last_error(self) -> Optional[str]:
+        """Human-readable cause of the most recent degradation, if any."""
+        with self._lock:
+            return self._last_error
+
+    @property
+    def seconds_in_state(self) -> float:
+        """How long the current state has been held."""
+        with self._lock:
+            return time.monotonic() - self._since
+
+    # ------------------------------------------------------------------
+    def transition(
+        self, target: ServiceState, error: Optional[str] = None
+    ) -> None:
+        """Move to ``target``, validating against the machine.
+
+        ``error`` records the degradation cause (kept until the next
+        transition *away* from a degraded state clears it).
+        """
+        with self._lock:
+            if target is self._state:
+                if error is not None:
+                    self._last_error = error
+                return
+            if target not in _ALLOWED[self._state]:
+                raise IllegalTransition(
+                    f"illegal lifecycle transition "
+                    f"{self._state.value} -> {target.value}"
+                )
+            self._state = target
+            self._since = time.monotonic()
+            if error is not None:
+                self._last_error = error
+            elif target in (ServiceState.SERVING, ServiceState.BUILDING):
+                self._last_error = None
+        self._publish(target)
+
+    def _publish(self, state: ServiceState) -> None:
+        if self._registry is not None:
+            self._registry.gauge(
+                "repro_service_state",
+                "lifecycle state (1=building 2=serving 3=degraded_stale "
+                "4=read_only 0=stopped)",
+            ).set(float(STATE_CODES[state]))
+
+    # ------------------------------------------------------------------
+    # capability queries — what each state permits
+    # ------------------------------------------------------------------
+    def can_query(self) -> bool:
+        """Whether read queries may be answered (a snapshot permitting)."""
+        return self.state in (
+            ServiceState.SERVING,
+            ServiceState.DEGRADED_STALE,
+            ServiceState.READ_ONLY,
+        )
+
+    def can_ingest(self) -> bool:
+        """Whether mutations are accepted."""
+        return self.state in (
+            ServiceState.SERVING,
+            ServiceState.DEGRADED_STALE,
+        )

@@ -1,0 +1,15 @@
+"""Deliberately broken lint fixture: unbounded queue (THR004).
+
+A producer/consumer hand-off with no capacity: under overload the
+backlog grows without limit until the process OOMs, invisibly to any
+admission or shedding layer.  Every queue must be constructed with an
+explicit ``maxsize`` so overload surfaces as back-pressure — the
+bounds half of THR004.
+"""
+
+import queue
+
+
+def make_work_buffer():
+    """An unbounded hand-off buffer (the defect)."""
+    return queue.Queue()

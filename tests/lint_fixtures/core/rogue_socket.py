@@ -1,0 +1,18 @@
+"""Deliberately broken lint fixture: socket use outside its homes (THR004).
+
+An algorithm module that opens its own control socket.  Long-lived
+concurrency — listeners, worker threads — belongs to ``repro/service/``
+(the query daemon) and ``repro/obs/`` (the exposition plane), where
+shutdown and back-pressure have owners; a socket inside ``repro/core/``
+is an unowned side channel — the containment half of THR004.
+"""
+
+import socket
+
+
+def open_control_channel(port):
+    """Hand-rolled control listener inside an algorithm package."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", port))
+    listener.listen(1)
+    return listener

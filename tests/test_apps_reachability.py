@@ -66,3 +66,63 @@ class TestAgainstBruteForce:
         for s in range(graph.num_nodes):
             for t in range(graph.num_nodes):
                 assert index.reaches(s, t) == truth[s, t]
+
+
+class TestEdgeCases:
+    """Hardening: degenerate graphs and malformed queries fail cleanly."""
+
+    def test_empty_graph_builds_and_rejects_queries(self):
+        g = Digraph(0, np.empty((0, 2), dtype=np.int64))
+        index = ReachabilityIndex(g)
+        assert index.num_sccs == 0
+        with pytest.raises(ValueError, match="out of range"):
+            index.reaches(0, 0)
+
+    def test_empty_graph_with_precomputed_labels(self):
+        g = Digraph(0, np.empty((0, 2), dtype=np.int64))
+        index = ReachabilityIndex(g, labels=np.empty(0, dtype=np.int64))
+        assert index.num_sccs == 0
+
+    def test_single_node_no_edges(self):
+        g = Digraph(1, np.empty((0, 2), dtype=np.int64))
+        index = ReachabilityIndex(g)
+        assert index.num_sccs == 1
+        assert index.reaches(0, 0)
+
+    def test_single_node_self_loop(self):
+        g = Digraph(1, np.array([[0, 0]]))
+        index = ReachabilityIndex(g)
+        assert index.reaches(0, 0)
+
+    def test_out_of_range_ids_raise_value_error(self):
+        g = Digraph(3, np.array([[0, 1], [1, 2]]))
+        index = ReachabilityIndex(g)
+        with pytest.raises(ValueError, match="source node 3 out of range"):
+            index.reaches(3, 0)
+        with pytest.raises(ValueError, match="target node -1 out of range"):
+            index.reaches(0, -1)
+        with pytest.raises(ValueError, match="out of range"):
+            index.reaches(0, 99)
+
+    def test_cancellation_check_is_invoked_and_propagates(self):
+        # A long chain forces the fallback DFS through > 64 expansions,
+        # guaranteeing the periodic check fires.
+        n = 200
+        edges = np.array([[i, i + 1] for i in range(n - 1)])
+        index = ReachabilityIndex(Digraph(n, edges), num_traversals=1)
+
+        calls = {"n": 0}
+
+        def check():
+            calls["n"] += 1
+
+        assert index.reaches(0, n - 1, check=check)
+
+        class Cancelled(Exception):
+            pass
+
+        def aborting_check():
+            raise Cancelled()
+
+        with pytest.raises(Cancelled):
+            index.reaches(0, n - 1, check=aborting_check)

@@ -174,3 +174,76 @@ class TestDeviceIntegration:
         # The torn attempt is a fault, never a charged block write.
         assert counter.stats.seq_writes + counter.stats.rand_writes == 0
         assert counter.stats.faults_injected == 1
+
+
+class TestSlowReads:
+    """The ``slow@N:MS`` latency token: delay without error."""
+
+    def test_parse_and_roundtrip(self):
+        spec = "seed=2;read-error@1;slow@0:50;slow@4:10;crash@scan:1"
+        plan = FaultPlan.parse(spec)
+        assert plan.slow_reads == {0: 50, 4: 10}
+        assert plan.read_errors == {1: 1}
+        assert FaultPlan.parse(plan.to_spec()).to_spec() == plan.to_spec()
+        assert plan.to_spec() == spec
+
+    def test_repeated_slow_tokens_accumulate(self):
+        plan = FaultPlan.parse("slow@3:20;slow@3:30")
+        assert plan.slow_reads == {3: 50}
+
+    def test_slow_reads_never_retry(self):
+        assert FaultPlan.parse("slow@0:100;slow@1:100").planned_retries() == 0
+
+    def test_take_slow_is_consume_once(self):
+        injector = FaultInjector(FaultPlan.parse("slow@2:250"))
+        assert injector.take_slow(0) is None
+        assert injector.take_slow(2) == pytest.approx(0.25)
+        assert injector.take_slow(2) is None
+        assert injector.faults_fired == 1
+
+    def test_device_read_is_delayed_but_io_counts_unchanged(self, tmp_path):
+        edges = _edges(64)
+        clean_counter = IOCounter()
+        clean = EdgeFile.from_array(
+            str(tmp_path / "clean.bin"), edges,
+            counter=clean_counter, block_size=SMALL_BLOCK,
+        )
+        for _ in clean.scan():
+            pass
+
+        plan = FaultPlan.parse("slow@0:40")
+        slow_counter = IOCounter()
+        slow_counter.fault_injector = FaultInjector(plan)
+        slowed = EdgeFile.from_array(
+            str(tmp_path / "slow.bin"), edges,
+            counter=slow_counter, block_size=SMALL_BLOCK,
+        )
+        import time as _time
+
+        start = _time.monotonic()
+        batches = [batch.copy() for batch in slowed.scan()]
+        elapsed = _time.monotonic() - start
+
+        assert np.array_equal(np.concatenate(batches), edges)
+        assert elapsed >= 0.04
+        clean_io = clean_counter.stats
+        slow_io = slow_counter.stats
+        assert slow_io.seq_reads == clean_io.seq_reads
+        assert slow_io.rand_reads == clean_io.rand_reads
+        assert slow_io.bytes_read == clean_io.bytes_read
+        assert slow_io.io_retries == 0
+        assert slow_io.faults_injected == 1
+
+    def test_slow_composes_with_read_error_on_same_ordinal(self, tmp_path):
+        plan = FaultPlan.parse("seed=1;slow@0:10;read-error@0")
+        counter = IOCounter()
+        counter.fault_injector = FaultInjector(plan)
+        edge_file = EdgeFile.from_array(
+            str(tmp_path / "both.bin"), _edges(64),
+            counter=counter, block_size=SMALL_BLOCK,
+        )
+        batches = [batch.copy() for batch in edge_file.scan()]
+        assert np.array_equal(np.concatenate(batches), _edges(64))
+        # One delay fired, one transient error fired, one retry charged.
+        assert counter.stats.faults_injected == 2
+        assert counter.stats.io_retries == 1

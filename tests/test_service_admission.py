@@ -1,0 +1,109 @@
+"""Admission control: quote math and the fixed-window block budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import DEFAULT_BLOCK_SIZE
+from repro.obs.heartbeat import SCAN_BUDGETS, predicted_blocks_per_scan
+from repro.service.admission import (
+    DEFAULT_ITERATIONS_HINT,
+    AdmissionController,
+    quote_rebuild_blocks,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestQuote:
+    def test_quote_follows_the_cost_model(self):
+        num_edges, block = 10_000, DEFAULT_BLOCK_SIZE
+        quote = quote_rebuild_blocks("1PB-SCC", num_edges, block)
+        expected = (
+            SCAN_BUDGETS["1PB-SCC"]
+            * predicted_blocks_per_scan(num_edges, block)
+            * DEFAULT_ITERATIONS_HINT
+        )
+        assert quote == expected
+
+    def test_quote_scales_with_iterations_hint(self):
+        base = quote_rebuild_blocks("1PB-SCC", 10_000, 4096, iterations_hint=1)
+        assert quote_rebuild_blocks("1PB-SCC", 10_000, 4096,
+                                    iterations_hint=4) == 4 * base
+
+    def test_empty_graph_still_quotes_at_least_one_block(self):
+        assert quote_rebuild_blocks("1PB-SCC", 0, 4096) >= 1
+
+    def test_unknown_algorithm_uses_the_fallback_budget(self):
+        quote = quote_rebuild_blocks("NOT-AN-ALG", 10_000, 4096)
+        assert quote > 0
+
+
+class TestController:
+    def test_admits_until_the_window_is_spent(self):
+        clock = FakeClock()
+        ctl = AdmissionController(100, window_seconds=60.0, clock=clock)
+        first = ctl.request(60)
+        assert first.admitted and first.window_used_blocks == 60
+        second = ctl.request(60)
+        assert not second.admitted
+        assert second.reason.startswith("quote of 60 blocks exceeds")
+        assert ctl.admitted_total == 1 and ctl.rejected_total == 1
+
+    def test_rejection_names_the_window_reset(self):
+        clock = FakeClock()
+        ctl = AdmissionController(10, window_seconds=60.0, clock=clock)
+        ctl.request(10)
+        clock.advance(45.0)
+        decision = ctl.request(1)
+        assert not decision.admitted
+        assert decision.retry_after_s == pytest.approx(15.0)
+
+    def test_window_rolls_and_budget_returns(self):
+        clock = FakeClock()
+        ctl = AdmissionController(10, window_seconds=60.0, clock=clock)
+        assert ctl.request(10).admitted
+        assert not ctl.request(1).admitted
+        clock.advance(61.0)
+        assert ctl.request(10).admitted
+        assert ctl.window_used_blocks == 10
+
+    def test_oversized_quote_never_admits(self):
+        ctl = AdmissionController(10, clock=FakeClock())
+        decision = ctl.request(11)
+        assert not decision.admitted
+        assert decision.window_quota_blocks == 10
+
+    def test_decision_wire_form(self):
+        ctl = AdmissionController(100, clock=FakeClock())
+        payload = ctl.request(5).to_dict()
+        assert payload["admitted"] is True
+        assert payload["quoted_blocks"] == 5
+        assert set(payload) == {
+            "admitted", "quoted_blocks", "window_used_blocks",
+            "window_quota_blocks", "retry_after_s", "reason",
+        }
+
+    def test_note_actual_tallies_for_observability(self):
+        ctl = AdmissionController(100, clock=FakeClock())
+        ctl.note_actual(7)
+        ctl.note_actual(3)
+        assert ctl.actual_blocks_total == 10
+
+    def test_invalid_construction_and_requests(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(10, window_seconds=0)
+        ctl = AdmissionController(10, clock=FakeClock())
+        with pytest.raises(ValueError):
+            ctl.request(-1)

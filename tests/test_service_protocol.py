@@ -1,0 +1,194 @@
+"""Protocol framing/validation and the lifecycle state machine."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.protocol import (
+    ErrorCode,
+    MAX_LINE_BYTES,
+    OPS,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    read_frames,
+    request_deadline_ms,
+    validate_request,
+)
+from repro.service.state import (
+    STATE_CODES,
+    IllegalTransition,
+    Lifecycle,
+    ServiceState,
+)
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"id": 7, "op": "reach", "u": 1, "v": 2}
+        data = encode_message(message)
+        assert data.endswith(b"\n")
+        assert decode_line(data) == message
+
+    def test_encode_is_canonical(self):
+        # Sorted keys, compact separators: byte-stable across dict order.
+        a = encode_message({"b": 1, "a": 2})
+        b = encode_message({"a": 2, "b": 1})
+        assert a == b
+
+    def test_oversized_message_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"blob": "x" * MAX_LINE_BYTES})
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            decode_line(b"[1, 2]\n")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_line(b"{nope\n")
+
+    def test_read_frames_yields_lines_and_stops_at_eof(self):
+        stream = io.BytesIO(b'{"op":"health"}\n\n{"op":"stats"}\n')
+        frames = list(read_frames(stream))
+        assert len(frames) == 2  # the blank line is skipped
+
+    def test_read_frames_caps_line_length(self):
+        stream = io.BytesIO(b"x" * (MAX_LINE_BYTES + 10) + b"\n")
+        with pytest.raises(ProtocolError, match="line cap"):
+            list(read_frames(stream))
+
+
+class TestValidation:
+    def test_every_op_is_known(self):
+        assert validate_request({"op": "health"}) == "health"
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "explode"})
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({})
+
+    def test_reach_requires_integer_endpoints(self):
+        assert validate_request({"op": "reach", "u": 0, "v": 3}) == "reach"
+        with pytest.raises(ProtocolError, match="'v'"):
+            validate_request({"op": "reach", "u": 0})
+        with pytest.raises(ProtocolError, match="'u'"):
+            validate_request({"op": "reach", "u": "zero", "v": 1})
+
+    def test_booleans_are_not_node_ids(self):
+        # JSON true is a Python bool, an int subclass: must not pass.
+        with pytest.raises(ProtocolError, match="'u'"):
+            validate_request({"op": "reach", "u": True, "v": 1})
+
+    def test_deadline_must_be_positive_integer(self):
+        validate_request({"op": "scc", "node": 0, "deadline_ms": 100})
+        for bad in (0, -5, 1.5, True, "fast"):
+            with pytest.raises(ProtocolError, match="deadline_ms"):
+                validate_request({"op": "scc", "node": 0, "deadline_ms": bad})
+
+    def test_ingest_edge_shape(self):
+        validate_request({"op": "ingest", "edges": [[0, 1], [2, 3]]})
+        validate_request({"op": "ingest", "edges": []})
+        for bad in ("edges", [[0]], [[0, 1, 2]], [["a", 1]], [[True, 1]]):
+            with pytest.raises(ProtocolError):
+                validate_request({"op": "ingest", "edges": bad})
+
+    def test_members_limit(self):
+        validate_request({"op": "members", "scc": 0, "limit": 5})
+        with pytest.raises(ProtocolError, match="limit"):
+            validate_request({"op": "members", "scc": 0, "limit": 0})
+
+    def test_deadline_clamping(self):
+        assert request_deadline_ms({}, 1000, 60000) == 1000
+        assert request_deadline_ms({"deadline_ms": 250}, 1000, 60000) == 250
+        assert request_deadline_ms({"deadline_ms": 10 ** 9}, 1000, 60000) == 60000
+
+
+class TestEnvelopes:
+    def test_ok_envelope_carries_staleness(self):
+        fresh = ok_response(3, {"reachable": True})
+        stale = ok_response(3, {"reachable": True}, stale=True)
+        assert fresh["ok"] and not fresh["stale"]
+        assert stale["stale"] is True
+        assert stale["id"] == 3
+
+    def test_error_envelope_has_typed_code(self):
+        response = error_response(9, ErrorCode.SHED, "overloaded")
+        assert response == {
+            "id": 9,
+            "ok": False,
+            "error": {"code": "shed", "message": "overloaded"},
+        }
+
+    def test_unknown_code_degrades_to_internal(self):
+        response = error_response(1, "made-up", "boom")
+        assert response["error"]["code"] == ErrorCode.INTERNAL
+
+    def test_error_codes_cover_the_degradation_contract(self):
+        assert {
+            "shed", "deadline_exceeded", "read_only", "admission_rejected",
+            "unavailable", "out_of_range",
+        } <= ErrorCode.ALL
+
+    def test_ops_cover_the_documented_surface(self):
+        assert {
+            "reach", "scc", "members", "toposort", "ingest", "rebuild",
+            "health", "stats", "shutdown",
+        } <= OPS
+
+    def test_envelopes_are_json_serializable(self):
+        json.dumps(ok_response(None, {"x": 1}))
+        json.dumps(error_response(None, ErrorCode.INTERNAL, "x"))
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        life = Lifecycle()
+        assert life.state is ServiceState.BUILDING
+        life.transition(ServiceState.SERVING)
+        life.transition(ServiceState.DEGRADED_STALE)
+        life.transition(ServiceState.SERVING)
+        life.transition(ServiceState.STOPPED)
+
+    def test_read_only_is_recoverable(self):
+        life = Lifecycle()
+        life.transition(ServiceState.SERVING)
+        life.transition(ServiceState.READ_ONLY, error="rebuild failed: boom")
+        assert life.last_error == "rebuild failed: boom"
+        assert life.can_query() and not life.can_ingest()
+        life.transition(ServiceState.SERVING)
+        assert life.last_error is None
+        assert life.can_ingest()
+
+    def test_illegal_transitions_raise(self):
+        life = Lifecycle()
+        with pytest.raises(IllegalTransition):
+            life.transition(ServiceState.DEGRADED_STALE)  # BUILDING -> stale
+        life.transition(ServiceState.STOPPED)
+        with pytest.raises(IllegalTransition):
+            life.transition(ServiceState.SERVING)  # STOPPED is terminal
+
+    def test_self_transition_is_a_no_op_that_may_record_error(self):
+        life = Lifecycle()
+        life.transition(ServiceState.BUILDING, error="still going")
+        assert life.state is ServiceState.BUILDING
+        assert life.last_error == "still going"
+
+    def test_state_gauge_is_published(self):
+        registry = MetricsRegistry()
+        life = Lifecycle(registry)
+        life.transition(ServiceState.SERVING)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["repro_service_state"] == float(
+            STATE_CODES[ServiceState.SERVING]
+        )
+
+    def test_building_cannot_ingest_or_query(self):
+        life = Lifecycle()
+        assert not life.can_query()
+        assert not life.can_ingest()

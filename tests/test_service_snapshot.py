@@ -1,0 +1,157 @@
+"""The daemon's resident snapshot: build, query, crash-resume identity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import Digraph
+from repro.graph.storage import save_graph
+from repro.inmemory.tarjan import tarjan_scc
+from repro.io.faults import SimulatedCrash
+from repro.service.snapshot import (
+    build_snapshot,
+    condensation_edges,
+    dag_layers,
+    load_labels,
+    save_labels_atomic,
+    snapshot_from_labels,
+)
+
+
+def _chain_of_cycles(num_cycles: int = 4, cycle: int = 3) -> Digraph:
+    """num_cycles 3-cycles bridged in a chain: a known condensation."""
+    edges = []
+    for c in range(num_cycles):
+        base = c * cycle
+        for i in range(cycle):
+            edges.append([base + i, base + (i + 1) % cycle])
+        if c + 1 < num_cycles:
+            edges.append([base, (c + 1) * cycle])
+    return Digraph(num_cycles * cycle, np.asarray(edges, dtype=np.int64))
+
+
+@pytest.fixture
+def stored_graph(tmp_path):
+    graph = _chain_of_cycles()
+    path = str(tmp_path / "graph.rgr")
+    save_graph(graph, path)
+    return graph, path
+
+
+class TestBuildSnapshot:
+    def test_matches_in_memory_ground_truth(self, stored_graph):
+        graph, path = stored_graph
+        snapshot = build_snapshot(path)
+        _, expected_sccs = tarjan_scc(graph)
+        assert snapshot.num_sccs == expected_sccs == 4
+        assert snapshot.num_nodes == graph.num_nodes
+        assert sorted(snapshot.sizes.tolist()) == [3, 3, 3, 3]
+
+    def test_reachability_through_the_condensation(self, stored_graph):
+        _, path = stored_graph
+        snapshot = build_snapshot(path)
+        assert snapshot.reaches(0, 11)       # down the chain
+        assert not snapshot.reaches(11, 0)   # never back up
+        assert snapshot.reaches(1, 2)        # same SCC short-circuit
+
+    def test_layers_follow_the_chain(self, stored_graph):
+        _, path = stored_graph
+        snapshot = build_snapshot(path)
+        layers = [snapshot.layer_of(c * 3)["layer"] for c in range(4)]
+        assert layers == [0, 1, 2, 3]
+        assert snapshot.layer_of(0)["num_layers"] == 4
+
+    def test_members_truncation(self, stored_graph):
+        _, path = stored_graph
+        snapshot = build_snapshot(path)
+        scc = snapshot.scc_of(0)["scc"]
+        full = snapshot.members(scc, limit=10)
+        assert sorted(full["members"]) == [0, 1, 2] and not full["truncated"]
+        cut = snapshot.members(scc, limit=2)
+        assert len(cut["members"]) == 2 and cut["truncated"]
+        assert cut["size"] == 3  # the true size survives truncation
+
+    def test_out_of_range_queries_raise_cleanly(self, stored_graph):
+        _, path = stored_graph
+        snapshot = build_snapshot(path)
+        with pytest.raises(ValueError, match="out of range"):
+            snapshot.reaches(0, 99)
+        with pytest.raises(ValueError, match="out of range"):
+            snapshot.scc_of(-1)
+        with pytest.raises(ValueError, match="out of range"):
+            snapshot.members(99, limit=1)
+
+    def test_unknown_algorithm_rejected(self, stored_graph):
+        _, path = stored_graph
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_snapshot(path, algorithm="NOPE")
+
+
+class TestCrashResume:
+    def test_interrupted_build_resumes_to_identical_fingerprint(
+        self, stored_graph, tmp_path
+    ):
+        _, path = stored_graph
+        reference = build_snapshot(path)
+        ckpt = str(tmp_path / "ckpt")
+        with pytest.raises(SimulatedCrash):
+            build_snapshot(
+                path, checkpoint_dir=ckpt, fault_plan="seed=3;crash@scan:0"
+            )
+        resumed = build_snapshot(path, checkpoint_dir=ckpt, resume=True)
+        assert resumed.fingerprint == reference.fingerprint
+        assert np.array_equal(
+            np.sort(resumed.layers), np.sort(reference.layers)
+        )
+
+    def test_snapshot_from_labels_reconstructs_exactly(self, stored_graph):
+        _, path = stored_graph
+        built = build_snapshot(path, generation=0)
+        restored = snapshot_from_labels(
+            path, built.labels, generation=0
+        )
+        assert restored.fingerprint == built.fingerprint
+        assert restored.num_sccs == built.num_sccs
+        assert np.array_equal(restored.layers, built.layers)
+        # GRAIL traversals are seeded, so even the index agrees.
+        for u, v in [(0, 11), (11, 0), (3, 9), (9, 3)]:
+            assert restored.reaches(u, v) == built.reaches(u, v)
+
+
+class TestHelpers:
+    def test_condensation_edges_streams_unique_pairs(self, stored_graph):
+        graph, path = stored_graph
+        snapshot = build_snapshot(path)
+        from repro.graph.storage import open_disk_graph
+
+        disk = open_disk_graph(path)
+        try:
+            pairs = condensation_edges(disk, snapshot.labels)
+        finally:
+            disk.close()
+        assert pairs.shape == (3, 2)  # the three chain bridges
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_dag_layers_raises_on_cycles(self):
+        cyclic = Digraph(2, np.asarray([[0, 1], [1, 0]], dtype=np.int64))
+        with pytest.raises(ValueError, match="cycle"):
+            dag_layers(cyclic)
+
+    def test_dag_layers_empty_graph(self):
+        assert dag_layers(Digraph(0)).size == 0
+
+    def test_label_sidecar_roundtrip_is_atomic(self, tmp_path):
+        path = str(tmp_path / "labels.npy")
+        labels = np.asarray([0, 0, 1, 2], dtype=np.int64)
+        save_labels_atomic(labels, path)
+        assert not os.path.exists(path + ".staging")
+        assert np.array_equal(load_labels(path), labels)
+        # Overwrite goes through the same staged swap.
+        save_labels_atomic(labels[::-1].copy(), path)
+        assert np.array_equal(load_labels(path), labels[::-1])
+
+    def test_load_labels_absent_returns_none(self, tmp_path):
+        assert load_labels(str(tmp_path / "missing.npy")) is None

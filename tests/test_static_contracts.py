@@ -23,6 +23,7 @@ from repro.analysis_static import (
     PerEdgeBoxingRule,
     RawIORule,
     SequentialScanRule,
+    ThreadSocketDisciplineRule,
     Violation,
     module_relpath,
     pragma_allowances,
@@ -477,3 +478,90 @@ class TestLintCLI:
         out = capsys.readouterr().out
         assert code == 1
         assert "io_text.py" in out
+
+
+class TestThreadSocketDisciplineRule:
+    """THR004: thread/socket containment + mandatory queue bounds."""
+
+    def test_socket_import_flagged_outside_homes(self):
+        src = "import socket\n"
+        violations = analyze(
+            ThreadSocketDisciplineRule, src, "repro/core/one_phase.py"
+        )
+        assert [v.rule for v in violations] == ["THR004"]
+
+    def test_socketserver_from_import_flagged(self):
+        src = "from socketserver import ThreadingTCPServer\n"
+        violations = analyze(
+            ThreadSocketDisciplineRule, src, "repro/apps/toposort.py"
+        )
+        assert len(violations) == 1
+
+    def test_thread_construction_flagged_outside_homes(self):
+        src = (
+            "import threading\n"
+            "def go():\n"
+            "    t = threading.Thread(target=print)\n"
+            "    t.start()\n"
+        )
+        violations = analyze(
+            ThreadSocketDisciplineRule, src, "repro/graph/storage.py"
+        )
+        assert [v.rule for v in violations] == ["THR004"]
+
+    def test_service_and_obs_may_use_threads_and_sockets(self):
+        src = (
+            "import socket\n"
+            "import threading\n"
+            "def serve():\n"
+            "    listener = socket.socket()\n"
+            "    threading.Thread(target=listener.accept).start()\n"
+        )
+        for relpath in ("repro/service/server.py", "repro/obs/sampler.py"):
+            assert analyze(ThreadSocketDisciplineRule, src, relpath) == []
+
+    def test_unbounded_queue_flagged_everywhere(self):
+        src = "import queue\nbuf = queue.Queue()\n"
+        for relpath in ("repro/service/server.py", "repro/core/x.py"):
+            violations = analyze(ThreadSocketDisciplineRule, src, relpath)
+            assert [v.rule for v in violations] == ["THR004"], relpath
+
+    def test_bounded_queue_accepted(self):
+        src = (
+            "import queue\n"
+            "a = queue.Queue(maxsize=64)\n"
+            "b = queue.Queue(8)\n"
+        )
+        assert analyze(
+            ThreadSocketDisciplineRule, src, "repro/service/server.py"
+        ) == []
+
+    def test_simple_queue_always_flagged(self):
+        src = "import queue\nbuf = queue.SimpleQueue()\n"
+        violations = analyze(
+            ThreadSocketDisciplineRule, src, "repro/service/server.py"
+        )
+        assert len(violations) == 1
+        assert "bounded" in violations[0].message
+
+    def test_multiprocessing_queue_needs_bound(self):
+        src = (
+            "import multiprocessing\n"
+            "q = multiprocessing.Queue()\n"
+            "ok = multiprocessing.Queue(maxsize=4)\n"
+        )
+        violations = analyze(
+            ThreadSocketDisciplineRule, src, "repro/parallel/pool.py"
+        )
+        assert len(violations) == 1
+
+    def test_pragma_excuses_a_sanctioned_thread(self):
+        src = (
+            "import threading\n"
+            "t = threading.Thread(  # repro: allow[THR004]\n"
+            "    target=print,\n"
+            ")\n"
+        )
+        assert analyze(
+            ThreadSocketDisciplineRule, src, "repro/io/prefetch.py"
+        ) == []
